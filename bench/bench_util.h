@@ -1,0 +1,49 @@
+// Shared helpers for the olapdc benchmark/figure harnesses.
+
+#ifndef OLAPDC_BENCH_BENCH_UTIL_H_
+#define OLAPDC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+#include "common/result.h"
+
+namespace olapdc {
+namespace bench {
+
+/// Wall-clock stopwatch in microseconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedMs() const { return ElapsedUs() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Unwraps a Result in harness code (aborts with the error on failure).
+template <typename T>
+T Unwrap(Result<T> result) {
+  OLAPDC_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------------------\n");
+}
+
+}  // namespace bench
+}  // namespace olapdc
+
+#endif  // OLAPDC_BENCH_BENCH_UTIL_H_

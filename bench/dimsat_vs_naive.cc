@@ -1,0 +1,89 @@
+// E10 (Theorem 3): DIMSAT vs the brute-force frozen-dimension
+// enumeration. Both are exact; the naive procedure enumerates all
+// 2^edges candidate subgraphs while DIMSAT only grows well-formed
+// subhierarchies with pruning. The win factor should grow exponentially
+// with the edge count.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/dimsat.h"
+#include "core/naive_sat.h"
+#include "workload/schema_generator.h"
+
+namespace olapdc {
+namespace {
+
+using bench::PrintHeader;
+using bench::Unwrap;
+using bench::WallTimer;
+
+void Run() {
+  PrintHeader("E10: DIMSAT vs NaiveSat (full enumeration, root = Base)");
+  std::printf("%4s %6s | %10s %10s | %10s %12s | %8s %7s\n", "N", "edges",
+              "dimsat ms", "checks", "naive ms", "candidates", "speedup",
+              "agree");
+  bench::PrintRule();
+  for (int levels : {2, 3, 4}) {
+    for (int width : {2, 3}) {
+      SchemaGenOptions schema_options;
+      schema_options.num_levels = levels;
+      schema_options.categories_per_level = width;
+      schema_options.extra_edge_prob = 0.2;
+      schema_options.seed = 17 * levels + width;
+      HierarchySchemaPtr hierarchy =
+          Unwrap(GenerateLayeredHierarchy(schema_options));
+      ConstraintGenOptions constraint_options;
+      constraint_options.into_fraction = 0.5;
+      constraint_options.num_choice_constraints = 1;
+      constraint_options.num_equality_constraints = 1;
+      constraint_options.seed = levels * 31 + width;
+      DimensionSchema ds =
+          Unwrap(GenerateConstrainedSchema(hierarchy, constraint_options));
+      CategoryId base = ds.hierarchy().FindCategory("Base");
+
+      DimsatOptions dimsat_options;
+      dimsat_options.enumerate_all = true;
+      WallTimer dimsat_timer;
+      DimsatResult dimsat = Dimsat(ds, base, dimsat_options);
+      double dimsat_ms = dimsat_timer.ElapsedMs();
+      OLAPDC_CHECK(dimsat.status.ok());
+
+      NaiveSatOptions naive_options;
+      naive_options.enumerate_all = true;
+      naive_options.max_edges = 24;
+      WallTimer naive_timer;
+      auto naive = NaiveSat(ds, base, naive_options);
+      if (!naive.ok()) {
+        std::printf("%4d %6d | %10.2f %10llu |   (naive exceeds edge "
+                    "budget)\n",
+                    ds.hierarchy().num_categories(),
+                    ds.hierarchy().graph().num_edges(), dimsat_ms,
+                    static_cast<unsigned long long>(dimsat.stats.check_calls));
+        continue;
+      }
+      double naive_ms = naive_timer.ElapsedMs();
+      bool agree = naive->frozen.size() == dimsat.frozen.size() &&
+                   naive->satisfiable == dimsat.satisfiable;
+      std::printf("%4d %6d | %10.2f %10llu | %10.2f %12llu | %8.1fx %7s\n",
+                  ds.hierarchy().num_categories(),
+                  ds.hierarchy().graph().num_edges(), dimsat_ms,
+                  static_cast<unsigned long long>(dimsat.stats.check_calls),
+                  naive_ms,
+                  static_cast<unsigned long long>(naive->stats.check_calls),
+                  naive_ms / (dimsat_ms > 0 ? dimsat_ms : 0.001),
+                  agree ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "\nExpected shape: DIMSAT wins by a factor growing exponentially in "
+      "the edge count (the naive candidate count is 2^edges).\n");
+}
+
+}  // namespace
+}  // namespace olapdc
+
+int main() {
+  olapdc::Run();
+  return 0;
+}

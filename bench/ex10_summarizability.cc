@@ -1,0 +1,109 @@
+// E6 (Example 10 / Theorem 1): summarizability answers on location at
+// the schema and instance level, verified operationally: for each
+// (target, S) pair the Definition 6 rewriting is compared against the
+// directly computed cube view on a generated instance.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/location_example.h"
+#include "core/summarizability.h"
+#include "olap/cube_view.h"
+#include "workload/instance_generator.h"
+
+namespace olapdc {
+namespace {
+
+using bench::PrintHeader;
+using bench::Unwrap;
+
+std::string SetName(const HierarchySchema& schema,
+                    const std::vector<CategoryId>& s) {
+  std::string out = "{";
+  for (size_t i = 0; i < s.size(); ++i) {
+    out += (i ? ", " : "") + schema.CategoryName(s[i]);
+  }
+  return out + "}";
+}
+
+void Run() {
+  DimensionSchema ds = Unwrap(LocationSchema());
+  const HierarchySchema& schema = ds.hierarchy();
+  DimensionInstance location = Unwrap(LocationInstance());
+
+  CategoryId city = schema.FindCategory("City");
+  CategoryId province = schema.FindCategory("Province");
+  CategoryId state = schema.FindCategory("State");
+  CategoryId sale_region = schema.FindCategory("SaleRegion");
+  CategoryId country = schema.FindCategory("Country");
+
+  struct Case {
+    CategoryId target;
+    std::vector<CategoryId> sources;
+  };
+  const std::vector<Case> cases = {
+      {country, {city}},                // Example 10: YES
+      {country, {state, province}},     // Example 10: NO (Washington)
+      {country, {sale_region}},         // YES
+      {country, {city, sale_region}},   // NO (double counting)
+      {province, {city}},               // YES
+      {sale_region, {province, state}}, // NO (US stores direct)
+      {sale_region, {city}},            // NO
+      {schema.all(), {country}},        // YES
+  };
+
+  // A synthetic instance realizing every schema structure, with facts.
+  InstanceGenOptions gen;
+  gen.branching = 2;
+  gen.copies = 2;
+  DimensionInstance synthetic = Unwrap(GenerateInstanceFromFrozen(ds, gen));
+  FactTable facts = GenerateFacts(synthetic);
+
+  PrintHeader("Example 10 battery: summarizability & rewrite correctness");
+  std::printf("%-12s %-28s %-8s %-10s %-14s\n", "target", "S",
+              "schema", "instance", "SUM rewrite");
+  bench::PrintRule();
+  for (const Case& c : cases) {
+    SummarizabilityResult schema_level =
+        Unwrap(IsSummarizable(ds, c.target, c.sources));
+    bool instance_level =
+        Unwrap(IsSummarizableInInstance(location, c.target, c.sources));
+
+    CubeViewResult direct =
+        ComputeCubeView(synthetic, facts, c.target, AggFn::kSum);
+    std::vector<CubeViewResult> views;
+    views.reserve(c.sources.size());
+    for (CategoryId s : c.sources) {
+      views.push_back(ComputeCubeView(synthetic, facts, s, AggFn::kSum));
+    }
+    std::vector<MaterializedView> sources;
+    for (size_t i = 0; i < c.sources.size(); ++i) {
+      sources.push_back(MaterializedView{c.sources[i], &views[i]});
+    }
+    CubeViewResult rewritten =
+        RewriteFromViews(synthetic, sources, c.target, AggFn::kSum);
+    bool equal = CubeViewsEqual(direct, rewritten);
+
+    std::printf("%-12s %-28s %-8s %-10s %-14s\n",
+                schema.CategoryName(c.target).c_str(),
+                SetName(schema, c.sources).c_str(),
+                schema_level.summarizable ? "yes" : "no",
+                instance_level ? "yes" : "no",
+                equal ? "exact" : "DIVERGES");
+    OLAPDC_CHECK(schema_level.summarizable == equal)
+        << "Theorem 1 violated on the synthetic instance";
+  }
+  std::printf(
+      "\nEvery schema-level 'yes' rewrote exactly and every 'no' diverged "
+      "on the all-structures instance — Theorem 1 validated end to end.\n");
+}
+
+}  // namespace
+}  // namespace olapdc
+
+int main() {
+  olapdc::Run();
+  return 0;
+}

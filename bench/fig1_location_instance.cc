@@ -1,0 +1,84 @@
+// E1 (Figure 1): the `location` dimension — hierarchy schema (A) and
+// child/parent relation (B) — reconstructed, validated against C1-C7,
+// with the rollup mappings and Example 1/2 claims printed.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/location_example.h"
+#include "dim/dimension_instance.h"
+
+namespace olapdc {
+namespace {
+
+using bench::PrintHeader;
+using bench::Unwrap;
+
+void Run() {
+  PrintHeader("Figure 1(A): hierarchy schema of `location`");
+  HierarchySchemaPtr schema = Unwrap(LocationHierarchy());
+  std::printf("%d categories, %d edges; bottom categories:",
+              schema->num_categories(), schema->graph().num_edges());
+  for (CategoryId b : schema->bottom_categories()) {
+    std::printf(" %s", schema->CategoryName(b).c_str());
+  }
+  std::printf("\nshortcut edges of the schema:");
+  for (const auto& [u, v] : schema->Shortcuts()) {
+    std::printf(" %s->%s", schema->CategoryName(u).c_str(),
+                schema->CategoryName(v).c_str());
+  }
+  std::printf("\n\nGraphviz:\n%s", schema->ToDot("location_hierarchy").c_str());
+
+  PrintHeader("Figure 1(B): the child/parent relation");
+  DimensionInstance d = Unwrap(LocationInstance());
+  std::printf("%d members; validation: %s\n", d.num_members(),
+              d.Validate().ToString().c_str());
+  for (CategoryId c = 0; c < schema->num_categories(); ++c) {
+    std::printf("  %-11s:", schema->CategoryName(c).c_str());
+    for (MemberId m : d.MembersOf(c)) {
+      std::printf(" %s", d.member(m).key.c_str());
+    }
+    std::printf("\n");
+  }
+
+  PrintHeader("Rollup mapping Gamma_Store^Country (single-valued by C2)");
+  CategoryId store = schema->FindCategory("Store");
+  CategoryId country = schema->FindCategory("Country");
+  for (const auto& [x, y] : d.RollupMapping(store, country)) {
+    std::printf("  %-9s -> %s\n", d.member(x).key.c_str(),
+                d.member(y).key.c_str());
+  }
+
+  PrintHeader("Example 1 claims");
+  CategoryId city = schema->FindCategory("City");
+  CategoryId sale_region = schema->FindCategory("SaleRegion");
+  CategoryId province = schema->FindCategory("Province");
+  CategoryId state = schema->FindCategory("State");
+  int to_city = 0, to_sr = 0, to_country = 0, to_prov = 0, to_state = 0;
+  for (MemberId s : d.MembersOf(store)) {
+    to_city += d.RollsUpToCategory(s, city);
+    to_sr += d.RollsUpToCategory(s, sale_region);
+    to_country += d.RollsUpToCategory(s, country);
+    to_prov += d.RollsUpToCategory(s, province);
+    to_state += d.RollsUpToCategory(s, state);
+  }
+  std::printf(
+      "  all stores roll up to City (%d/7), SaleRegion (%d/7), "
+      "Country (%d/7)\n  stores reaching Province: %d (Canada), "
+      "State: %d (Mexico+Austin)\n",
+      to_city, to_sr, to_country, to_prov, to_state);
+  MemberId washington = *d.MemberIdOf("Washington");
+  std::printf(
+      "  Washington rolls up directly to Country without State: "
+      "state-ancestor=%s\n",
+      d.RollUpMember(washington, state) == kNoMember ? "none"
+                                                     : "unexpected!");
+}
+
+}  // namespace
+}  // namespace olapdc
+
+int main() {
+  olapdc::Run();
+  return 0;
+}

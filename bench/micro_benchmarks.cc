@@ -1,0 +1,162 @@
+// Google-benchmark microbenchmarks for the hot paths of the library:
+// simple-path enumeration (composed-atom expansion), the circle
+// operator, c-assignment search, full DIMSAT runs, instance ancestor
+// tables, and cube-view computation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "constraint/normalize.h"
+#include "core/assignment.h"
+#include "core/circle.h"
+#include "core/dimsat.h"
+#include "core/location_example.h"
+#include "graph/algorithms.h"
+#include "olap/cube_view.h"
+#include "workload/instance_generator.h"
+#include "workload/schema_generator.h"
+
+namespace olapdc {
+namespace {
+
+using bench::Unwrap;
+
+const DimensionSchema& Location() {
+  static const DimensionSchema& ds =
+      *new DimensionSchema(Unwrap(LocationSchema()));
+  return ds;
+}
+
+void BM_SimplePathEnumeration(benchmark::State& state) {
+  const HierarchySchema& schema = Location().hierarchy();
+  CategoryId store = schema.FindCategory("Store");
+  CategoryId country = schema.FindCategory("Country");
+  for (auto _ : state) {
+    auto paths = EnumerateSimplePaths(schema.graph(), store, country);
+    benchmark::DoNotOptimize(paths);
+  }
+}
+BENCHMARK(BM_SimplePathEnumeration);
+
+void BM_ExpandComposedAtom(benchmark::State& state) {
+  const HierarchySchema& schema = Location().hierarchy();
+  ExprPtr atom = MakeComposedAtom(schema.FindCategory("Store"),
+                                  schema.FindCategory("Country"));
+  for (auto _ : state) {
+    auto expanded = ExpandShorthands(schema, atom);
+    benchmark::DoNotOptimize(expanded);
+  }
+}
+BENCHMARK(BM_ExpandComposedAtom);
+
+void BM_CircleOperator(benchmark::State& state) {
+  const DimensionSchema& ds = Location();
+  const HierarchySchema& schema = ds.hierarchy();
+  auto g = Subhierarchy::FromEdges(
+      schema.num_categories(), schema.FindCategory("Store"), schema.all(),
+      {{schema.FindCategory("Store"), schema.FindCategory("City")},
+       {schema.FindCategory("City"), schema.FindCategory("Province")},
+       {schema.FindCategory("Province"), schema.FindCategory("SaleRegion")},
+       {schema.FindCategory("SaleRegion"), schema.FindCategory("Country")},
+       {schema.FindCategory("Country"), schema.all()}});
+  auto reach = g->ComputeReach();
+  std::vector<DimensionConstraint> expanded;
+  for (const DimensionConstraint& c : ds.constraints()) {
+    expanded.push_back(DimensionConstraint{
+        c.root, Simplify(Unwrap(ExpandShorthands(schema, c.expr))), c.label});
+  }
+  for (auto _ : state) {
+    for (const DimensionConstraint& c : expanded) {
+      ExprPtr circled = Simplify(ApplyCircleToConstraint(c, *g, reach));
+      benchmark::DoNotOptimize(circled);
+    }
+  }
+}
+BENCHMARK(BM_CircleOperator);
+
+void BM_SubhierarchyExpandCopy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Subhierarchy g(n, 0);
+  DynamicBitset r(n);
+  r.set(1);
+  for (auto _ : state) {
+    Subhierarchy copy = g;
+    copy.Expand(0, r);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_SubhierarchyExpandCopy)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AssignmentSearch(benchmark::State& state) {
+  auto g = Subhierarchy::FromEdges(4, 0, 3, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<ExprPtr> circled;
+  // Three interacting constraints over two categories.
+  circled.push_back(MakeOr({MakeEqualityAtom(0, 1, "a"),
+                            MakeEqualityAtom(0, 2, "x")}));
+  circled.push_back(MakeImplies(MakeEqualityAtom(0, 1, "a"),
+                                MakeEqualityAtom(0, 2, "y")));
+  circled.push_back(MakeNot(MakeEqualityAtom(0, 2, "z")));
+  AssignmentOptions options;
+  options.enumerate_all = true;
+  for (auto _ : state) {
+    auto result = FindAssignments(*g, circled, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AssignmentSearch);
+
+void BM_DimsatLocation(benchmark::State& state) {
+  const DimensionSchema& ds = Location();
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatOptions options;
+  options.enumerate_all = state.range(0) != 0;
+  for (auto _ : state) {
+    DimsatResult r = Dimsat(ds, store, options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DimsatLocation)->Arg(0)->Arg(1);
+
+void BM_InstanceBuild(benchmark::State& state) {
+  const DimensionSchema& ds = Location();
+  InstanceGenOptions gen;
+  gen.branching = 2;
+  gen.copies = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto d = GenerateInstanceFromFrozen(ds, gen);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_InstanceBuild)->Arg(1)->Arg(8);
+
+void BM_CubeView(benchmark::State& state) {
+  const DimensionSchema& ds = Location();
+  InstanceGenOptions gen;
+  gen.branching = 2;
+  gen.copies = static_cast<int>(state.range(0));
+  static std::map<int64_t, std::pair<DimensionInstance, FactTable>>& cache =
+      *new std::map<int64_t, std::pair<DimensionInstance, FactTable>>();
+  auto it = cache.find(state.range(0));
+  if (it == cache.end()) {
+    DimensionInstance d = Unwrap(GenerateInstanceFromFrozen(ds, gen));
+    FactTable facts = GenerateFacts(d);
+    it = cache.emplace(state.range(0),
+                       std::make_pair(std::move(d), std::move(facts)))
+             .first;
+  }
+  CategoryId country = ds.hierarchy().FindCategory("Country");
+  for (auto _ : state) {
+    CubeViewResult view =
+        ComputeCubeView(it->second.first, it->second.second, country,
+                        AggFn::kSum);
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(it->second.second.size()));
+}
+BENCHMARK(BM_CubeView)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace olapdc
+
+BENCHMARK_MAIN();

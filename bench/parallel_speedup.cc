@@ -1,0 +1,80 @@
+// E16 (supplementary): parallel DIMSAT. The EXPAND search space
+// partitions along the root category's first-level choices, so the
+// enumeration parallelizes with no coordination beyond a stop flag.
+// Speedup is bounded by the skew of subtree sizes (seeds are uneven).
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "core/dimsat.h"
+#include "workload/schema_generator.h"
+
+namespace olapdc {
+namespace {
+
+using bench::PrintHeader;
+using bench::Unwrap;
+using bench::WallTimer;
+
+void Run() {
+  // One reasonably large heterogeneous workload.
+  SchemaGenOptions schema_options;
+  schema_options.num_levels = 5;
+  schema_options.categories_per_level = 3;
+  schema_options.extra_edge_prob = 0.25;
+  schema_options.seed = 4;
+  HierarchySchemaPtr hierarchy =
+      Unwrap(GenerateLayeredHierarchy(schema_options));
+  ConstraintGenOptions constraint_options;
+  constraint_options.into_fraction = 0.4;
+  constraint_options.num_choice_constraints = 2;
+  constraint_options.num_equality_constraints = 2;
+  constraint_options.seed = 29;
+  DimensionSchema ds =
+      Unwrap(GenerateConstrainedSchema(hierarchy, constraint_options));
+  CategoryId base = ds.hierarchy().FindCategory("Base");
+
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.max_frozen = 1 << 16;
+
+  PrintHeader("E16: parallel DIMSAT full enumeration (17 categories)");
+  WallTimer seq_timer;
+  DimsatResult sequential = Dimsat(ds, base, options);
+  double seq_ms = seq_timer.ElapsedMs();
+  OLAPDC_CHECK(sequential.status.ok());
+  std::printf("%8s %12s %12s %10s %8s\n", "threads", "ms", "frozen",
+              "expands", "speedup");
+  bench::PrintRule();
+  std::printf("%8d %12.2f %12zu %10llu %8s\n", 1, seq_ms,
+              sequential.frozen.size(),
+              static_cast<unsigned long long>(sequential.stats.expand_calls),
+              "1.0x");
+  for (int threads : {2, 4, 8}) {
+    WallTimer timer;
+    DimsatResult parallel = DimsatParallel(ds, base, options, threads);
+    double ms = timer.ElapsedMs();
+    OLAPDC_CHECK(parallel.status.ok());
+    OLAPDC_CHECK(parallel.frozen.size() == sequential.frozen.size())
+        << "parallel enumeration must match";
+    std::printf("%8d %12.2f %12zu %10llu %7.1fx\n", threads, ms,
+                parallel.frozen.size(),
+                static_cast<unsigned long long>(parallel.stats.expand_calls),
+                seq_ms / (ms > 0 ? ms : 1e-3));
+  }
+  std::printf(
+      "\nExpected shape: near-linear speedup on multi-core hosts until "
+      "the seed-subtree skew dominates (this host reports %u hardware "
+      "threads — on a single core only the correctness claim is "
+      "observable); identical frozen sets at every thread count.\n",
+      std::thread::hardware_concurrency());
+}
+
+}  // namespace
+}  // namespace olapdc
+
+int main() {
+  olapdc::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Heterogeneous dimensions beyond retail: the healthcare diagnosis
+// dimension (Pedersen & Jensen's motivating domain, paper Section 1.3)
+// built member by member, model-checked against its constraints, and
+// compared against the two legacy homogenization baselines.
+
+#include <cstdio>
+
+#include "constraint/evaluator.h"
+#include "core/summarizability.h"
+#include "transform/dnf_transform.h"
+#include "transform/null_padding.h"
+#include "workload/realistic.h"
+
+using namespace olapdc;
+
+int main() {
+  DimensionSchema ds = HealthcareSchema().ValueOrDie();
+  const HierarchySchema& schema = ds.hierarchy();
+
+  // Hand-build a small patient/diagnosis instance. Two diagnoses sit
+  // under a family; one ("diabetes-insipidus") attaches directly to its
+  // group — the heterogeneity the schema's one(...) constraint allows.
+  DimensionInstanceBuilder builder(ds.hierarchy_ptr());
+  builder.AddMember("endocrine", "Group")
+      .AddMemberUnder("diabetes", "Family", "endocrine")
+      .AddMemberUnder("diabetes-1", "Diagnosis", "diabetes")
+      .AddMember("diabetes-2", "Diagnosis", "L3")  // Name = 'L3'
+      .AddChildParent("diabetes-2", "diabetes")
+      .AddMemberUnder("diabetes-insipidus", "Diagnosis", "endocrine")
+      .AddMemberUnder("p1", "Patient", "diabetes-1")
+      .AddMemberUnder("p2", "Patient", "diabetes-2")
+      .AddMemberUnder("p3", "Patient", "diabetes-insipidus");
+  DimensionInstance d = builder.Build().ValueOrDie();
+
+  std::printf("instance valid: %s\n", d.Validate().ToString().c_str());
+  std::printf("constraints:\n");
+  for (const DimensionConstraint& c : ds.constraints()) {
+    std::printf("  %-5s %s\n", c.label.c_str(),
+                Satisfies(d, c) ? "holds" : "VIOLATED");
+  }
+
+  // Summarizability of Group counts: from Diagnosis yes; from Family
+  // no — diabetes-insipidus never passes through a family.
+  CategoryId group = schema.FindCategory("Group");
+  CategoryId family = schema.FindCategory("Family");
+  CategoryId diagnosis = schema.FindCategory("Diagnosis");
+  std::printf("\nGroup from {Diagnosis}: %s\n",
+              IsSummarizable(ds, group, {diagnosis}).ValueOrDie().summarizable
+                  ? "safe"
+                  : "unsafe");
+  std::printf("Group from {Family}:    %s\n",
+              IsSummarizable(ds, group, {family}).ValueOrDie().summarizable
+                  ? "safe"
+                  : "unsafe");
+
+  // What the legacy fixes would do to this instance:
+  NullPaddingResult padded = PadWithNullMembers(d).ValueOrDie();
+  std::printf("\nPedersen-Jensen padding: +%d placeholder members, "
+              "+%d edges (%.0f%% of the padded dimension is filler)\n",
+              padded.stats.padded_members, padded.stats.padded_edges,
+              100.0 * padded.stats.placeholder_fraction);
+  DnfResult dnf = ToDimensionalNormalForm(d).ValueOrDie();
+  std::printf("Lehner DNF: demotes");
+  for (CategoryId c : dnf.demoted) {
+    std::printf(" %s", schema.CategoryName(c).c_str());
+  }
+  std::printf(" to attributes — no Family cube views anymore.\n");
+  std::printf("\nDimension constraints keep the instance as-is and still "
+              "prove which rewrites are safe.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Retail aggregate navigation, end to end, on the paper's running
+// example: load the location dimension and a sales fact table,
+// materialize some cube views, and let the navigator answer queries
+// from them — refusing the rewrites that summarizability reasoning
+// proves unsafe.
+
+#include <cstdio>
+#include <map>
+
+#include "core/location_example.h"
+#include "olap/navigator.h"
+
+using namespace olapdc;
+
+int main() {
+  DimensionSchema ds = LocationSchema().ValueOrDie();
+  DimensionInstance location = LocationInstance().ValueOrDie();
+  const HierarchySchema& schema = ds.hierarchy();
+
+  // Daily sales per store.
+  FactTable sales;
+  const std::pair<const char*, double> rows[] = {
+      {"st-tor-1", 120.0}, {"st-tor-2", 80.0}, {"st-ott-1", 64.0},
+      {"st-mex-1", 256.0}, {"st-mty-1", 32.0}, {"st-aus-1", 500.0},
+      {"st-was-1", 75.0},
+  };
+  for (const auto& [store, amount] : rows) {
+    sales.Add(location.MemberIdOf(store).ValueOrDie(), amount);
+  }
+
+  // Materialize the City and State views (say, they were precomputed
+  // overnight).
+  CategoryId city = schema.FindCategory("City");
+  CategoryId state = schema.FindCategory("State");
+  CategoryId country = schema.FindCategory("Country");
+  CategoryId province = schema.FindCategory("Province");
+  std::map<CategoryId, CubeViewResult> materialized;
+  materialized[city] = ComputeCubeView(location, sales, city, AggFn::kSum);
+  materialized[state] = ComputeCubeView(location, sales, state, AggFn::kSum);
+
+  auto query = [&](CategoryId target) {
+    NavigatorAnswer answer =
+        AnswerFromViews(ds, location, materialized, target, AggFn::kSum)
+            .ValueOrDie();
+    std::printf("SUM(sales) BY %s: ", schema.CategoryName(target).c_str());
+    if (!answer.answered) {
+      std::printf("no safe rewrite from the materialized views — "
+                  "falling back to base facts\n");
+      answer.view = ComputeCubeView(location, sales, target, AggFn::kSum);
+    } else {
+      std::printf("answered from {");
+      for (size_t i = 0; i < answer.used.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "",
+                    schema.CategoryName(answer.used[i]).c_str());
+      }
+      std::printf("}\n");
+    }
+    for (const auto& [member, value] : answer.view) {
+      std::printf("    %-10s %8.1f\n", location.member(member).key.c_str(),
+                  value);
+    }
+  };
+
+  // Country from {City} is provably safe (Example 10)...
+  query(country);
+  // ...Province too (only Canadian stores have provinces, and they all
+  // route through City)...
+  query(province);
+  // ...but State alone could never answer Country (Washington!), so if
+  // we drop the City view, the navigator refuses:
+  materialized.erase(city);
+  query(country);
+  return 0;
+}

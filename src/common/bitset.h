@@ -1,0 +1,173 @@
+// DynamicBitset: a fixed-capacity, heap-compact bitset sized at run
+// time. Category sets inside the DIMSAT search (subhierarchy node sets,
+// In*/ancestor sets, frontier sets) are DynamicBitsets: copying a whole
+// subhierarchy on recursion is then a handful of memcpys, which is what
+// makes copy-on-recurse backtracking cheap.
+
+#ifndef OLAPDC_COMMON_BITSET_H_
+#define OLAPDC_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace olapdc {
+
+/// A set of small non-negative integers (node ids) backed by 64-bit
+/// words. Size is fixed at construction; all binary operations require
+/// operands of equal size.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+
+  /// Creates an empty set over the universe {0, ..., size-1}.
+  explicit DynamicBitset(int size)
+      : size_(size), words_((size + 63) / 64, 0) {
+    OLAPDC_CHECK(size >= 0);
+  }
+
+  DynamicBitset(const DynamicBitset&) = default;
+  DynamicBitset& operator=(const DynamicBitset&) = default;
+  DynamicBitset(DynamicBitset&&) = default;
+  DynamicBitset& operator=(DynamicBitset&&) = default;
+
+  int size() const { return size_; }
+
+  bool test(int i) const {
+    OLAPDC_DCHECK(0 <= i && i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(int i) {
+    OLAPDC_DCHECK(0 <= i && i < size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void reset(int i) {
+    OLAPDC_DCHECK(0 <= i && i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  int count() const {
+    int n = 0;
+    for (auto w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+  /// In-place union.
+  DynamicBitset& operator|=(const DynamicBitset& o) {
+    OLAPDC_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  /// In-place intersection.
+  DynamicBitset& operator&=(const DynamicBitset& o) {
+    OLAPDC_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  /// In-place difference (this \ o).
+  DynamicBitset& operator-=(const DynamicBitset& o) {
+    OLAPDC_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator-(DynamicBitset a, const DynamicBitset& b) {
+    a -= b;
+    return a;
+  }
+
+  bool operator==(const DynamicBitset& o) const {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+  bool operator!=(const DynamicBitset& o) const { return !(*this == o); }
+
+  /// True if this and o share at least one element.
+  bool Intersects(const DynamicBitset& o) const {
+    OLAPDC_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & o.words_[i]) return true;
+    return false;
+  }
+
+  /// True if every element of this is in o.
+  bool IsSubsetOf(const DynamicBitset& o) const {
+    OLAPDC_DCHECK(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & ~o.words_[i]) return false;
+    return true;
+  }
+
+  /// The smallest element, or -1 if empty.
+  int First() const {
+    for (size_t i = 0; i < words_.size(); ++i)
+      if (words_[i]) return static_cast<int>(i * 64 + __builtin_ctzll(words_[i]));
+    return -1;
+  }
+
+  /// The smallest element strictly greater than i, or -1 if none.
+  int Next(int i) const {
+    ++i;
+    if (i >= size_) return -1;
+    size_t wi = i >> 6;
+    uint64_t w = words_[wi] & (~uint64_t{0} << (i & 63));
+    while (true) {
+      if (w) return static_cast<int>(wi * 64 + __builtin_ctzll(w));
+      if (++wi >= words_.size()) return -1;
+      w = words_[wi];
+    }
+  }
+
+  /// Calls fn(i) for every element i in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int i = First(); i >= 0; i = Next(i)) fn(i);
+  }
+
+  /// The elements as a sorted vector (for error messages and tests).
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(count());
+    ForEach([&](int i) { out.push_back(i); });
+    return out;
+  }
+
+  /// Hash over contents (for use as an unordered_map key).
+  size_t Hash() const {
+    size_t h = static_cast<size_t>(size_);
+    for (auto w : words_) h = h * 1099511628211ULL + static_cast<size_t>(w);
+    return h;
+  }
+
+ private:
+  int size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_COMMON_BITSET_H_

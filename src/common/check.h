@@ -1,0 +1,82 @@
+// OLAPDC_CHECK: internal invariant checking. A failed check indicates a
+// bug inside olapdc (not bad user input, which is reported via Status)
+// and aborts the process with a source location and message.
+
+#ifndef OLAPDC_COMMON_CHECK_H_
+#define OLAPDC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace olapdc {
+namespace internal_check {
+
+/// Accumulates the streamed message of a failed check and aborts on
+/// destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "OLAPDC_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when the check passes; compiles away.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_check
+}  // namespace olapdc
+
+#define OLAPDC_CHECK(condition)                                      \
+  (condition) ? (void)0                                              \
+              : (void)(::olapdc::internal_check::CheckFailureStream( \
+                     #condition, __FILE__, __LINE__))
+
+// OLAPDC_CHECK with a streamed message:
+//   OLAPDC_CHECK(x > 0) << "x was " << x;
+// is not expressible with the ternary form above, so OLAPDC_CHECK is
+// redefined as a statement-shaped macro instead.
+#undef OLAPDC_CHECK
+#define OLAPDC_CHECK(condition)         \
+  switch (0)                            \
+  case 0:                               \
+  default:                              \
+    if (condition) {                    \
+    } else /* NOLINT */                 \
+      ::olapdc::internal_check::CheckFailureStream(#condition, __FILE__, \
+                                                   __LINE__)
+
+#ifdef NDEBUG
+#define OLAPDC_DCHECK(condition)        \
+  switch (0)                            \
+  case 0:                               \
+  default:                              \
+    if (true) {                         \
+    } else /* NOLINT */                 \
+      ::olapdc::internal_check::NullStream()
+#else
+#define OLAPDC_DCHECK(condition) OLAPDC_CHECK(condition)
+#endif
+
+#endif  // OLAPDC_COMMON_CHECK_H_

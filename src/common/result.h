@@ -1,0 +1,88 @@
+// Result<T>: value-or-Status, the return type of fallible operations
+// that produce a value (Arrow's arrow::Result idiom).
+
+#ifndef OLAPDC_COMMON_RESULT_H_
+#define OLAPDC_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace olapdc {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Typical use:
+///
+///   Result<HierarchySchema> r = builder.Build();
+///   if (!r.ok()) return r.status();
+///   HierarchySchema schema = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : rep_(std::in_place_index<0>, std::move(value)) {}
+
+  /// Constructs from a non-OK status (implicit, so
+  /// `return Status::InvalidArgument(...);` works).
+  Result(Status status) : rep_(std::in_place_index<1>, std::move(status)) {
+    OLAPDC_CHECK(!std::get<1>(rep_).ok())
+        << "Result constructed from an OK Status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return rep_.index() == 0; }
+
+  /// The error; Status::OK() if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(rep_);
+  }
+
+  /// The held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    OLAPDC_CHECK(ok()) << "Result holds error: " << status().ToString();
+    return std::get<0>(rep_);
+  }
+  T& ValueOrDie() & {
+    OLAPDC_CHECK(ok()) << "Result holds error: " << status().ToString();
+    return std::get<0>(rep_);
+  }
+  T ValueOrDie() && {
+    OLAPDC_CHECK(ok()) << "Result holds error: " << status().ToString();
+    return std::move(std::get<0>(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace olapdc
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error to the caller. `lhs` may include a declaration:
+///   OLAPDC_ASSIGN_OR_RETURN(auto schema, builder.Build());
+#define OLAPDC_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  OLAPDC_ASSIGN_OR_RETURN_IMPL(                                  \
+      OLAPDC_CONCAT_NAME(_olapdc_result, __COUNTER__), lhs, rexpr)
+
+#define OLAPDC_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).ValueOrDie()
+
+#define OLAPDC_CONCAT_NAME(x, y) OLAPDC_CONCAT_NAME_IMPL(x, y)
+#define OLAPDC_CONCAT_NAME_IMPL(x, y) x##y
+
+#endif  // OLAPDC_COMMON_RESULT_H_

@@ -1,0 +1,10 @@
+#include "common/string_util.h"
+
+namespace olapdc {
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  return JoinMapped(parts, sep, [](const std::string& s) { return s; });
+}
+
+}  // namespace olapdc

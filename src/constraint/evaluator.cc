@@ -1,0 +1,134 @@
+#include "constraint/evaluator.h"
+
+namespace olapdc {
+
+namespace {
+
+/// The unique direct parent of x lying in category c, or kNoMember.
+/// (Uniqueness: two direct parents in one category would violate C2.)
+MemberId DirectParentIn(const DimensionInstance& d, MemberId x,
+                        CategoryId c) {
+  for (MemberId p : d.Parents(x)) {
+    if (d.member(p).category == c) return p;
+  }
+  return kNoMember;
+}
+
+bool EvalPathAtom(const DimensionInstance& d, const Expr& e, MemberId x) {
+  MemberId cur = x;
+  for (size_t i = 1; i < e.path.size(); ++i) {
+    cur = DirectParentIn(d, cur, e.path[i]);
+    if (cur == kNoMember) return false;
+  }
+  return true;
+}
+
+bool EvalEqualityAtom(const DimensionInstance& d, const Expr& e, MemberId x) {
+  MemberId ancestor = d.RollUpMember(x, e.target);
+  return ancestor != kNoMember && d.member(ancestor).name == e.constant;
+}
+
+bool EvalOrderAtom(const DimensionInstance& d, const Expr& e, MemberId x) {
+  MemberId ancestor = d.RollUpMember(x, e.target);
+  if (ancestor == kNoMember) return false;
+  std::optional<double> value = ParseNumericName(d.member(ancestor).name);
+  return value.has_value() && EvalCmp(e.cmp_op, *value, e.threshold);
+}
+
+bool EvalComposedAtom(const DimensionInstance& d, const Expr& e, MemberId x) {
+  if (e.root == e.target) return true;
+  return d.RollsUpToCategory(x, e.target);
+}
+
+bool EvalThroughAtom(const DimensionInstance& d, const Expr& e, MemberId x) {
+  const CategoryId c = e.root, ci = e.via, cj = e.target;
+  // Mirror of the five shorthand cases (Section 3.3); see
+  // normalize.cc's ExpandThrough.
+  if (c == ci && ci == cj) return true;
+  if (c == cj && c != ci) return false;
+  if (c == ci && c != cj) return d.RollsUpToCategory(x, cj);
+  if (ci == cj && c != ci) return d.RollsUpToCategory(x, ci);
+  // All distinct: pass through the (unique) ancestor in ci, then on to
+  // cj. Per-category ancestor uniqueness makes this equivalent to the
+  // disjunction over simple paths through ci.
+  MemberId via_member = d.RollUpMember(x, ci);
+  if (via_member == kNoMember) return false;
+  return d.RollsUpToCategory(via_member, cj);
+}
+
+}  // namespace
+
+bool EvalForMember(const DimensionInstance& d, const Expr& e, MemberId x) {
+  switch (e.kind) {
+    case ExprKind::kTrue:
+      return true;
+    case ExprKind::kFalse:
+      return false;
+    case ExprKind::kPathAtom:
+      return EvalPathAtom(d, e, x);
+    case ExprKind::kEqualityAtom:
+      return EvalEqualityAtom(d, e, x);
+    case ExprKind::kOrderAtom:
+      return EvalOrderAtom(d, e, x);
+    case ExprKind::kComposedAtom:
+      return EvalComposedAtom(d, e, x);
+    case ExprKind::kThroughAtom:
+      return EvalThroughAtom(d, e, x);
+    case ExprKind::kNot:
+      return !EvalForMember(d, *e.children[0], x);
+    case ExprKind::kAnd:
+      for (const auto& c : e.children) {
+        if (!EvalForMember(d, *c, x)) return false;
+      }
+      return true;
+    case ExprKind::kOr:
+      for (const auto& c : e.children) {
+        if (EvalForMember(d, *c, x)) return true;
+      }
+      return false;
+    case ExprKind::kImplies:
+      return !EvalForMember(d, *e.children[0], x) ||
+             EvalForMember(d, *e.children[1], x);
+    case ExprKind::kEquiv:
+      return EvalForMember(d, *e.children[0], x) ==
+             EvalForMember(d, *e.children[1], x);
+    case ExprKind::kXor:
+      return EvalForMember(d, *e.children[0], x) !=
+             EvalForMember(d, *e.children[1], x);
+    case ExprKind::kExactlyOne: {
+      int count = 0;
+      for (const auto& c : e.children) {
+        if (EvalForMember(d, *c, x) && ++count > 1) return false;
+      }
+      return count == 1;
+    }
+  }
+  return false;
+}
+
+bool Satisfies(const DimensionInstance& d, const DimensionConstraint& c) {
+  OLAPDC_CHECK(c.expr != nullptr);
+  for (MemberId x : d.MembersOf(c.root)) {
+    if (!EvalForMember(d, *c.expr, x)) return false;
+  }
+  return true;
+}
+
+bool SatisfiesAll(const DimensionInstance& d,
+                  const std::vector<DimensionConstraint>& sigma) {
+  for (const DimensionConstraint& c : sigma) {
+    if (!Satisfies(d, c)) return false;
+  }
+  return true;
+}
+
+std::vector<MemberId> ViolatingMembers(const DimensionInstance& d,
+                                       const DimensionConstraint& c) {
+  std::vector<MemberId> out;
+  for (MemberId x : d.MembersOf(c.root)) {
+    if (!EvalForMember(d, *c.expr, x)) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,37 @@
+// Model checking of dimension constraints over dimension instances —
+// the FOL semantics S(alpha) of Definition 4. Thanks to conditions
+// C2/C6 a member has at most one ancestor per category, so every atom
+// evaluates by deterministic ancestor lookups.
+
+#ifndef OLAPDC_CONSTRAINT_EVALUATOR_H_
+#define OLAPDC_CONSTRAINT_EVALUATOR_H_
+
+#include <vector>
+
+#include "constraint/expr.h"
+#include "dim/dimension_instance.h"
+
+namespace olapdc {
+
+/// Whether member `x` of instance `d` satisfies S(e) (x must belong to
+/// the root category of e's atoms for the result to be meaningful, but
+/// any member is accepted).
+bool EvalForMember(const DimensionInstance& d, const Expr& e, MemberId x);
+
+/// Whether `d` satisfies the constraint: S(alpha) holds for every
+/// member of the root category (Definition 4; vacuously true when the
+/// category is empty).
+bool Satisfies(const DimensionInstance& d, const DimensionConstraint& c);
+
+/// Whether `d` satisfies every constraint in `sigma`.
+bool SatisfiesAll(const DimensionInstance& d,
+                  const std::vector<DimensionConstraint>& sigma);
+
+/// The members of the root category that violate the constraint
+/// (diagnostic companion of Satisfies).
+std::vector<MemberId> ViolatingMembers(const DimensionInstance& d,
+                                       const DimensionConstraint& c);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CONSTRAINT_EVALUATOR_H_

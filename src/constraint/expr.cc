@@ -1,0 +1,272 @@
+#include "constraint/expr.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "graph/algorithms.h"
+
+namespace olapdc {
+
+namespace {
+
+ExprPtr NewExpr(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+ExprPtr NewExprWithChildren(ExprKind kind, std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  for (const auto& c : children) OLAPDC_CHECK(c != nullptr);
+  e->children = std::move(children);
+  return e;
+}
+
+}  // namespace
+
+ExprPtr MakeTrue() {
+  // Never-destroyed singleton (avoids static-destruction ordering).
+  static const ExprPtr& kTrue = *new ExprPtr(NewExpr(ExprKind::kTrue));
+  return kTrue;
+}
+
+ExprPtr MakeFalse() {
+  static const ExprPtr& kFalse = *new ExprPtr(NewExpr(ExprKind::kFalse));
+  return kFalse;
+}
+
+ExprPtr MakeBool(bool truth) { return truth ? MakeTrue() : MakeFalse(); }
+
+ExprPtr MakePathAtom(std::vector<CategoryId> path) {
+  OLAPDC_CHECK(path.size() >= 2) << "path atom needs root plus >= 1 step";
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kPathAtom;
+  e->root = path[0];
+  e->path = std::move(path);
+  return e;
+}
+
+ExprPtr MakeEqualityAtom(CategoryId root, CategoryId target,
+                         std::string constant) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kEqualityAtom;
+  e->root = root;
+  e->target = target;
+  e->constant = std::move(constant);
+  return e;
+}
+
+ExprPtr MakeComposedAtom(CategoryId root, CategoryId target) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kComposedAtom;
+  e->root = root;
+  e->target = target;
+  return e;
+}
+
+ExprPtr MakeThroughAtom(CategoryId root, CategoryId via, CategoryId target) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kThroughAtom;
+  e->root = root;
+  e->via = via;
+  e->target = target;
+  return e;
+}
+
+ExprPtr MakeOrderAtom(CategoryId root, CategoryId target, CmpOp op,
+                      double threshold) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kOrderAtom;
+  e->root = root;
+  e->target = target;
+  e->cmp_op = op;
+  e->threshold = threshold;
+  return e;
+}
+
+bool EvalCmp(CmpOp op, double value, double threshold) {
+  switch (op) {
+    case CmpOp::kLt:
+      return value < threshold;
+    case CmpOp::kLe:
+      return value <= threshold;
+    case CmpOp::kGt:
+      return value > threshold;
+    case CmpOp::kGe:
+      return value >= threshold;
+  }
+  return false;
+}
+
+std::string_view CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::optional<double> ParseNumericName(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return value;
+}
+
+ExprPtr MakeNot(ExprPtr e) {
+  return NewExprWithChildren(ExprKind::kNot, {std::move(e)});
+}
+ExprPtr MakeAnd(std::vector<ExprPtr> children) {
+  return NewExprWithChildren(ExprKind::kAnd, std::move(children));
+}
+ExprPtr MakeOr(std::vector<ExprPtr> children) {
+  return NewExprWithChildren(ExprKind::kOr, std::move(children));
+}
+ExprPtr MakeImplies(ExprPtr a, ExprPtr b) {
+  return NewExprWithChildren(ExprKind::kImplies, {std::move(a), std::move(b)});
+}
+ExprPtr MakeEquiv(ExprPtr a, ExprPtr b) {
+  return NewExprWithChildren(ExprKind::kEquiv, {std::move(a), std::move(b)});
+}
+ExprPtr MakeXor(ExprPtr a, ExprPtr b) {
+  return NewExprWithChildren(ExprKind::kXor, {std::move(a), std::move(b)});
+}
+ExprPtr MakeExactlyOne(std::vector<ExprPtr> children) {
+  return NewExprWithChildren(ExprKind::kExactlyOne, std::move(children));
+}
+
+void CollectAtoms(const ExprPtr& e, std::vector<const Expr*>* atoms) {
+  OLAPDC_CHECK(e != nullptr);
+  if (e->IsAtom()) {
+    atoms->push_back(e.get());
+    return;
+  }
+  for (const auto& child : e->children) CollectAtoms(child, atoms);
+}
+
+Result<CategoryId> InferRoot(const ExprPtr& e) {
+  std::vector<const Expr*> atoms;
+  CollectAtoms(e, &atoms);
+  if (atoms.empty()) {
+    return Status::NotFound("expression contains no atoms");
+  }
+  CategoryId root = atoms[0]->root;
+  for (const Expr* atom : atoms) {
+    if (atom->root != root) {
+      return Status::InvalidArgument(
+          "atoms of a dimension constraint must share one root category "
+          "(Definition 3)");
+    }
+  }
+  return root;
+}
+
+namespace {
+
+Status ValidateConstraint(const HierarchySchema& schema,
+                          const DimensionConstraint& c) {
+  if (c.root < 0 || c.root >= schema.num_categories()) {
+    return Status::InvalidArgument("constraint root out of range");
+  }
+  if (c.root == schema.all()) {
+    return Status::InvalidArgument(
+        "dimension constraints cannot be rooted at All (Definition 3)");
+  }
+  std::vector<const Expr*> atoms;
+  CollectAtoms(c.expr, &atoms);
+  for (const Expr* atom : atoms) {
+    if (atom->root != c.root) {
+      return Status::InvalidArgument(
+          "atom root differs from constraint root");
+    }
+    switch (atom->kind) {
+      case ExprKind::kPathAtom:
+        if (!IsSimplePath(schema.graph(), atom->path)) {
+          return Status::InvalidArgument(
+              "path atom is not a simple path of the hierarchy schema");
+        }
+        break;
+      case ExprKind::kEqualityAtom:
+      case ExprKind::kComposedAtom:
+      case ExprKind::kOrderAtom:
+        if (atom->target < 0 || atom->target >= schema.num_categories()) {
+          return Status::InvalidArgument("atom target out of range");
+        }
+        break;
+      case ExprKind::kThroughAtom:
+        if (atom->target < 0 || atom->target >= schema.num_categories() ||
+            atom->via < 0 || atom->via >= schema.num_categories()) {
+          return Status::InvalidArgument("atom category out of range");
+        }
+        break;
+      default:
+        return Status::Internal("unexpected atom kind");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DimensionConstraint> MakeConstraint(const HierarchySchema& schema,
+                                           ExprPtr e, std::string label) {
+  OLAPDC_ASSIGN_OR_RETURN(CategoryId root, InferRoot(e));
+  return MakeConstraintWithRoot(schema, root, std::move(e), std::move(label));
+}
+
+Result<DimensionConstraint> MakeConstraintWithRoot(
+    const HierarchySchema& schema, CategoryId root, ExprPtr e,
+    std::string label) {
+  DimensionConstraint c{root, std::move(e), std::move(label)};
+  OLAPDC_RETURN_NOT_OK(ValidateConstraint(schema, c));
+  return c;
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->path != b->path || a->root != b->root ||
+      a->via != b->via || a->target != b->target ||
+      a->constant != b->constant || a->cmp_op != b->cmp_op ||
+      a->threshold != b->threshold ||
+      a->children.size() != b->children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!ExprEquals(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+bool IsIntoConstraint(const DimensionConstraint& c, CategoryId* child,
+                      CategoryId* parent) {
+  if (c.expr == nullptr || c.expr->kind != ExprKind::kPathAtom ||
+      c.expr->path.size() != 2) {
+    return false;
+  }
+  if (child != nullptr) *child = c.expr->path[0];
+  if (parent != nullptr) *parent = c.expr->path[1];
+  return true;
+}
+
+void CollectConstantsFor(const ExprPtr& e, CategoryId c,
+                         std::vector<std::string>* constants) {
+  std::vector<const Expr*> atoms;
+  CollectAtoms(e, &atoms);
+  for (const Expr* atom : atoms) {
+    if (atom->kind == ExprKind::kEqualityAtom && atom->target == c) {
+      constants->push_back(atom->constant);
+    }
+  }
+}
+
+}  // namespace olapdc

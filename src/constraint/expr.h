@@ -1,0 +1,187 @@
+// The dimension-constraint language (paper Section 3): Boolean
+// combinations of path atoms and equality atoms, all rooted at a single
+// category, plus the composed shorthands `c.ci` and `c.ci.cj` of
+// Sections 3.1 and 3.3.
+//
+// Expressions are immutable trees shared via ExprPtr. Atoms reference
+// categories by id relative to a HierarchySchema.
+
+#ifndef OLAPDC_CONSTRAINT_EXPR_H_
+#define OLAPDC_CONSTRAINT_EXPR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dim/hierarchy_schema.h"
+
+namespace olapdc {
+
+enum class ExprKind {
+  kTrue,
+  kFalse,
+  /// `c_c1_..._cn`: there is a chain of direct child/parent steps from
+  /// the root member through members of c1, ..., cn. `path` holds
+  /// [c, c1, ..., cn], which must be a simple path in the hierarchy
+  /// schema (Definition 3).
+  kPathAtom,
+  /// `c.ci ~ k`: the root member has an ancestor (reflexively) in ci
+  /// whose Name is the constant k.
+  kEqualityAtom,
+  /// `c.ci`: composed path atom — shorthand for the disjunction of all
+  /// path atoms from c ending at ci (true outright when c == ci).
+  kComposedAtom,
+  /// `c.ci.cj`: the root member rolls up to cj passing through ci
+  /// (Section 3.3's five-case shorthand).
+  kThroughAtom,
+  /// `c.ci < k` (and <=, >, >=): the root member has an ancestor in ci
+  /// whose Name, read as a number, compares against the numeric
+  /// constant k. This is the Section 6 "further built-in predicates"
+  /// extension ("if the value of the price of a product is less than a
+  /// given amount, the product rolls up to some particular path").
+  /// An ancestor with a non-numeric Name never satisfies an order atom.
+  kOrderAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kEquiv,
+  kXor,
+  /// The paper's circled-dot operator: exactly one operand is true.
+  kExactlyOne,
+};
+
+/// Comparison operator of an order atom.
+enum class CmpOp { kLt, kLe, kGt, kGe };
+
+/// Evaluates `value op threshold`.
+bool EvalCmp(CmpOp op, double value, double threshold);
+
+std::string_view CmpOpToString(CmpOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A node of a dimension-constraint expression tree. Construct via the
+/// factory functions below; fields not applicable to `kind` are empty.
+class Expr {
+ public:
+  ExprKind kind;
+  /// kPathAtom: [root, c1, ..., cn], n >= 1.
+  std::vector<CategoryId> path;
+  /// All atoms: the root category.
+  CategoryId root = kNoCategory;
+  /// kThroughAtom: the category the path must pass through.
+  CategoryId via = kNoCategory;
+  /// kEqualityAtom / kComposedAtom / kThroughAtom: the end category.
+  CategoryId target = kNoCategory;
+  /// kEqualityAtom: the constant k.
+  std::string constant;
+  /// kOrderAtom: the comparison and its numeric threshold.
+  CmpOp cmp_op = CmpOp::kLt;
+  double threshold = 0.0;
+  /// Connectives: operands (kNot: 1; kImplies/kEquiv/kXor: 2;
+  /// kAnd/kOr/kExactlyOne: any number).
+  std::vector<ExprPtr> children;
+
+  bool IsAtom() const {
+    return kind == ExprKind::kPathAtom || kind == ExprKind::kEqualityAtom ||
+           kind == ExprKind::kComposedAtom ||
+           kind == ExprKind::kThroughAtom || kind == ExprKind::kOrderAtom;
+  }
+  bool IsLiteralTruth() const {
+    return kind == ExprKind::kTrue || kind == ExprKind::kFalse;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Factory functions.
+
+ExprPtr MakeTrue();
+ExprPtr MakeFalse();
+/// `truth ? True : False`.
+ExprPtr MakeBool(bool truth);
+
+/// Path atom over the node sequence [root, c1, ..., cn]; requires
+/// size >= 2. (Whether it is a simple path of the schema is checked by
+/// ValidateConstraint.)
+ExprPtr MakePathAtom(std::vector<CategoryId> path);
+
+/// Equality atom root.target ~ constant.
+ExprPtr MakeEqualityAtom(CategoryId root, CategoryId target,
+                         std::string constant);
+
+/// Composed path atom root.target.
+ExprPtr MakeComposedAtom(CategoryId root, CategoryId target);
+
+/// Through shorthand root.via.target.
+ExprPtr MakeThroughAtom(CategoryId root, CategoryId via, CategoryId target);
+
+/// Order atom root.target op threshold (Section 6 extension).
+ExprPtr MakeOrderAtom(CategoryId root, CategoryId target, CmpOp op,
+                      double threshold);
+
+/// Parses `text` as a double; nullopt for non-numeric names. Used by
+/// the order-atom semantics.
+std::optional<double> ParseNumericName(const std::string& text);
+
+ExprPtr MakeNot(ExprPtr e);
+ExprPtr MakeAnd(std::vector<ExprPtr> children);
+ExprPtr MakeOr(std::vector<ExprPtr> children);
+ExprPtr MakeImplies(ExprPtr a, ExprPtr b);
+ExprPtr MakeEquiv(ExprPtr a, ExprPtr b);
+ExprPtr MakeXor(ExprPtr a, ExprPtr b);
+ExprPtr MakeExactlyOne(std::vector<ExprPtr> children);
+
+// ---------------------------------------------------------------------
+// Constraints.
+
+/// A dimension constraint: an expression whose atoms all share one root
+/// category (Definition 3). `label` is a cosmetic tag used when
+/// printing figure reproductions ("(a)", "(b)", ...).
+struct DimensionConstraint {
+  CategoryId root = kNoCategory;
+  ExprPtr expr;
+  std::string label;
+};
+
+/// Collects pointers to every atom node in `e` (pre-order).
+void CollectAtoms(const ExprPtr& e, std::vector<const Expr*>* atoms);
+
+/// The root category shared by the atoms of `e`; NotFound when `e`
+/// contains no atoms, InvalidArgument when atoms disagree.
+Result<CategoryId> InferRoot(const ExprPtr& e);
+
+/// Wraps `e` as a DimensionConstraint, inferring and checking the root,
+/// and verifying against `schema` that: the root is not All, category
+/// ids are in range, and every path atom is a simple path of the schema.
+Result<DimensionConstraint> MakeConstraint(const HierarchySchema& schema,
+                                           ExprPtr e, std::string label = "");
+
+/// As MakeConstraint but with an explicit root (needed when `e` has no
+/// atoms, e.g. the constraint False).
+Result<DimensionConstraint> MakeConstraintWithRoot(
+    const HierarchySchema& schema, CategoryId root, ExprPtr e,
+    std::string label = "");
+
+/// Structural equality of expression trees.
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+
+/// True iff `c` is an *into* constraint (Section 5): syntactically a
+/// single path atom of length one, `child_parent`. On success stores
+/// the edge endpoints.
+bool IsIntoConstraint(const DimensionConstraint& c, CategoryId* child,
+                      CategoryId* parent);
+
+/// All constants mentioned by equality atoms of `e` that target
+/// category `c` (used to build the Const_ds map).
+void CollectConstantsFor(const ExprPtr& e, CategoryId c,
+                         std::vector<std::string>* constants);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CONSTRAINT_EXPR_H_

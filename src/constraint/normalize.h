@@ -1,0 +1,49 @@
+// Normalization of dimension constraints:
+//  - ExpandShorthands resolves composed atoms `c.ci` and through atoms
+//    `c.ci.cj` into disjunctions of plain path atoms against a concrete
+//    hierarchy schema (Sections 3.1 and 3.3). After expansion an
+//    expression mentions only path atoms and equality atoms, the form
+//    the DIMSAT circle operator consumes.
+//  - Simplify performs truth-constant folding (needed both to decide
+//    circled constraint sets quickly and to keep figure output tidy).
+
+#ifndef OLAPDC_CONSTRAINT_NORMALIZE_H_
+#define OLAPDC_CONSTRAINT_NORMALIZE_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "constraint/expr.h"
+#include "dim/hierarchy_schema.h"
+
+namespace olapdc {
+
+/// Replaces every composed atom and through atom in `e` by its
+/// definition over `schema`:
+///   c.ci       -> True if c == ci, else OR of all simple paths c..ci
+///                 (False if none exist);
+///   c.ci.cj    -> the five-case expansion of Section 3.3.
+/// `path_limit` bounds the number of simple paths enumerated per atom;
+/// exceeding it yields ResourceExhausted.
+Result<ExprPtr> ExpandShorthands(const HierarchySchema& schema,
+                                 const ExprPtr& e, size_t path_limit = 1 << 20);
+
+/// Folds truth constants through connectives:
+///   !true -> false;  AND/OR absorb/short-circuit;  a -> true  ==  true;
+///   one(true, x, y) -> !x & !y;  one() -> false;  etc.
+/// Does not reorder or otherwise rewrite non-constant operands, so the
+/// result is stable for printing.
+ExprPtr Simplify(const ExprPtr& e);
+
+/// True iff e is the literal True (after no further simplification).
+inline bool IsTrueLiteral(const ExprPtr& e) {
+  return e->kind == ExprKind::kTrue;
+}
+/// True iff e is the literal False.
+inline bool IsFalseLiteral(const ExprPtr& e) {
+  return e->kind == ExprKind::kFalse;
+}
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CONSTRAINT_NORMALIZE_H_

@@ -1,0 +1,394 @@
+#include "constraint/parser.h"
+
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace olapdc {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kString,  // quoted constant
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kSlash,
+  kDot,
+  kEquals,
+  kBang,
+  kAmp,
+  kPipe,
+  kCaret,
+  kArrow,   // -> or =>
+  kDArrow,  // <-> or <=>
+  kLess,    // <
+  kLessEq,  // <=
+  kGreater, // >
+  kGreaterEq,  // >=
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipSpace();
+      size_t pos = i_;
+      if (i_ >= text_.size()) {
+        tokens.push_back({TokKind::kEnd, "", pos});
+        return tokens;
+      }
+      char c = text_[i_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i_;
+        while (i_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i_])) ||
+                text_[i_] == '_')) {
+          ++i_;
+        }
+        tokens.push_back(
+            {TokKind::kIdent, std::string(text_.substr(start, i_ - start)),
+             pos});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = i_;
+        while (i_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[i_])) ||
+                text_[i_] == '.')) {
+          ++i_;
+        }
+        tokens.push_back(
+            {TokKind::kNumber, std::string(text_.substr(start, i_ - start)),
+             pos});
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        char quote = c;
+        ++i_;
+        size_t start = i_;
+        while (i_ < text_.size() && text_[i_] != quote) ++i_;
+        if (i_ >= text_.size()) {
+          return Status::ParseError("unterminated string constant at offset " +
+                                    std::to_string(pos));
+        }
+        tokens.push_back(
+            {TokKind::kString, std::string(text_.substr(start, i_ - start)),
+             pos});
+        ++i_;
+        continue;
+      }
+      if (Match("<->") || Match("<=>")) {
+        tokens.push_back({TokKind::kDArrow, "", pos});
+        continue;
+      }
+      if (Match("->") || Match("=>")) {
+        tokens.push_back({TokKind::kArrow, "", pos});
+        continue;
+      }
+      if (Match("<=")) {
+        tokens.push_back({TokKind::kLessEq, "", pos});
+        continue;
+      }
+      if (Match(">=")) {
+        tokens.push_back({TokKind::kGreaterEq, "", pos});
+        continue;
+      }
+      if (Match("<")) {
+        tokens.push_back({TokKind::kLess, "", pos});
+        continue;
+      }
+      if (Match(">")) {
+        tokens.push_back({TokKind::kGreater, "", pos});
+        continue;
+      }
+      TokKind kind;
+      switch (c) {
+        case '(': kind = TokKind::kLParen; break;
+        case ')': kind = TokKind::kRParen; break;
+        case ',': kind = TokKind::kComma; break;
+        case '/': kind = TokKind::kSlash; break;
+        case '.': kind = TokKind::kDot; break;
+        case '=': kind = TokKind::kEquals; break;
+        case '!': kind = TokKind::kBang; break;
+        case '&': kind = TokKind::kAmp; break;
+        case '|': kind = TokKind::kPipe; break;
+        case '^': kind = TokKind::kCaret; break;
+        default:
+          return Status::ParseError("unexpected character '" +
+                                    std::string(1, c) + "' at offset " +
+                                    std::to_string(pos));
+      }
+      ++i_;
+      tokens.push_back({kind, "", pos});
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_]))) {
+      ++i_;
+    }
+  }
+
+  bool Match(std::string_view s) {
+    if (text_.substr(i_, s.size()) == s) {
+      i_ += s.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  size_t i_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(const HierarchySchema& schema, std::vector<Token> tokens)
+      : schema_(schema), tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    OLAPDC_ASSIGN_OR_RETURN(ExprPtr e, ParseEquiv());
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("trailing input");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[i_]; }
+  Token Take() { return tokens_[i_++]; }
+  bool Accept(TokKind kind) {
+    if (Peek().kind == kind) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().pos));
+  }
+
+  Result<ExprPtr> ParseEquiv() {
+    OLAPDC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseImpl());
+    while (Accept(TokKind::kDArrow)) {
+      OLAPDC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseImpl());
+      lhs = MakeEquiv(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseImpl() {
+    OLAPDC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseXor());
+    if (Accept(TokKind::kArrow)) {
+      OLAPDC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseImpl());  // right assoc
+      return MakeImplies(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseXor() {
+    OLAPDC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOr());
+    while (Accept(TokKind::kCaret)) {
+      OLAPDC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOr());
+      lhs = MakeXor(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    OLAPDC_ASSIGN_OR_RETURN(ExprPtr first, ParseAnd());
+    std::vector<ExprPtr> operands{std::move(first)};
+    while (Accept(TokKind::kPipe)) {
+      OLAPDC_ASSIGN_OR_RETURN(ExprPtr next, ParseAnd());
+      operands.push_back(std::move(next));
+    }
+    if (operands.size() == 1) return operands[0];
+    return MakeOr(std::move(operands));
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    OLAPDC_ASSIGN_OR_RETURN(ExprPtr first, ParseUnary());
+    std::vector<ExprPtr> operands{std::move(first)};
+    while (Accept(TokKind::kAmp)) {
+      OLAPDC_ASSIGN_OR_RETURN(ExprPtr next, ParseUnary());
+      operands.push_back(std::move(next));
+    }
+    if (operands.size() == 1) return operands[0];
+    return MakeAnd(std::move(operands));
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept(TokKind::kBang)) {
+      OLAPDC_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return MakeNot(std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (Accept(TokKind::kLParen)) {
+      OLAPDC_ASSIGN_OR_RETURN(ExprPtr e, ParseEquiv());
+      if (!Accept(TokKind::kRParen)) return Err("expected ')'");
+      return e;
+    }
+    if (Peek().kind != TokKind::kIdent) {
+      return Err("expected an atom, 'true', 'false', 'one(...)' or '('");
+    }
+    Token ident = Take();
+    if (ident.text == "true") return MakeTrue();
+    if (ident.text == "false") return MakeFalse();
+    if (ident.text == "one" && Peek().kind == TokKind::kLParen) {
+      Take();  // (
+      std::vector<ExprPtr> operands;
+      do {
+        OLAPDC_ASSIGN_OR_RETURN(ExprPtr e, ParseEquiv());
+        operands.push_back(std::move(e));
+      } while (Accept(TokKind::kComma));
+      if (!Accept(TokKind::kRParen)) return Err("expected ')' after one(...)");
+      return MakeExactlyOne(std::move(operands));
+    }
+    return ParseAtom(std::move(ident));
+  }
+
+  Result<CategoryId> Category(const Token& t) const {
+    Result<CategoryId> c = schema_.CategoryIdOf(t.text);
+    if (!c.ok()) {
+      return Status::ParseError("unknown category '" + t.text +
+                                "' at offset " + std::to_string(t.pos));
+    }
+    return c;
+  }
+
+  Result<ExprPtr> ParseAtom(Token first) {
+    OLAPDC_ASSIGN_OR_RETURN(CategoryId root, Category(first));
+
+    if (Peek().kind == TokKind::kSlash) {
+      // Path atom: IDENT ('/' IDENT)+
+      std::vector<CategoryId> path{root};
+      while (Accept(TokKind::kSlash)) {
+        if (Peek().kind != TokKind::kIdent) {
+          return Err("expected category after '/'");
+        }
+        OLAPDC_ASSIGN_OR_RETURN(CategoryId c, Category(Take()));
+        path.push_back(c);
+      }
+      return MakePathAtom(std::move(path));
+    }
+
+    if (Peek().kind == TokKind::kDot) {
+      Take();  // .
+      if (Peek().kind != TokKind::kIdent) {
+        return Err("expected category after '.'");
+      }
+      OLAPDC_ASSIGN_OR_RETURN(CategoryId second, Category(Take()));
+      if (Accept(TokKind::kDot)) {
+        if (Peek().kind != TokKind::kIdent) {
+          return Err("expected category after '.'");
+        }
+        OLAPDC_ASSIGN_OR_RETURN(CategoryId third, Category(Take()));
+        return MakeThroughAtom(root, second, third);
+      }
+      if (Accept(TokKind::kEquals)) {
+        OLAPDC_ASSIGN_OR_RETURN(std::string value, ParseValue());
+        return MakeEqualityAtom(root, second, std::move(value));
+      }
+      if (IsOrderOp(Peek().kind)) {
+        return ParseOrderTail(root, second);
+      }
+      return MakeComposedAtom(root, second);
+    }
+
+    if (Accept(TokKind::kEquals)) {
+      OLAPDC_ASSIGN_OR_RETURN(std::string value, ParseValue());
+      return MakeEqualityAtom(root, root, std::move(value));
+    }
+    if (IsOrderOp(Peek().kind)) {
+      return ParseOrderTail(root, root);
+    }
+
+    return Err("expected '/', '.', '=' or a comparison after category '" +
+               first.text + "'");
+  }
+
+  static bool IsOrderOp(TokKind kind) {
+    return kind == TokKind::kLess || kind == TokKind::kLessEq ||
+           kind == TokKind::kGreater || kind == TokKind::kGreaterEq;
+  }
+
+  /// Order atom tail: a comparison operator followed by a number.
+  Result<ExprPtr> ParseOrderTail(CategoryId root, CategoryId target) {
+    Token op = Take();
+    if (Peek().kind != TokKind::kNumber) {
+      return Err("expected a numeric constant after comparison");
+    }
+    std::optional<double> threshold = ParseNumericName(Take().text);
+    if (!threshold.has_value()) {
+      return Err("malformed numeric constant");
+    }
+    CmpOp cmp;
+    switch (op.kind) {
+      case TokKind::kLess: cmp = CmpOp::kLt; break;
+      case TokKind::kLessEq: cmp = CmpOp::kLe; break;
+      case TokKind::kGreater: cmp = CmpOp::kGt; break;
+      default: cmp = CmpOp::kGe; break;
+    }
+    return MakeOrderAtom(root, target, cmp, *threshold);
+  }
+
+  Result<std::string> ParseValue() {
+    if (Peek().kind == TokKind::kString || Peek().kind == TokKind::kNumber ||
+        Peek().kind == TokKind::kIdent) {
+      return Take().text;
+    }
+    return Err("expected a constant");
+  }
+
+  const HierarchySchema& schema_;
+  std::vector<Token> tokens_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpr(const HierarchySchema& schema,
+                          std::string_view text) {
+  OLAPDC_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                          Lexer(text).Tokenize());
+  return Parser(schema, std::move(tokens)).Parse();
+}
+
+Result<DimensionConstraint> ParseConstraint(const HierarchySchema& schema,
+                                            std::string_view text,
+                                            std::string label) {
+  OLAPDC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr(schema, text));
+  return MakeConstraint(schema, std::move(e), std::move(label));
+}
+
+Result<DimensionConstraint> ParseConstraintWithRoot(
+    const HierarchySchema& schema, std::string_view root,
+    std::string_view text, std::string label) {
+  OLAPDC_ASSIGN_OR_RETURN(CategoryId root_id, schema.CategoryIdOf(root));
+  OLAPDC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr(schema, text));
+  return MakeConstraintWithRoot(schema, root_id, std::move(e),
+                                std::move(label));
+}
+
+}  // namespace olapdc

@@ -1,0 +1,62 @@
+// Text syntax for dimension constraints.
+//
+// Grammar (ASCII; see printer.h for the paper-style output notation):
+//
+//   expr     := equiv
+//   equiv    := impl  ( ('<->' | '<=>') impl )*
+//   impl     := xor   ( ('->' | '=>') impl )?          (right assoc)
+//   xor      := or    ( '^' or )*
+//   or       := and   ( '|' and )*
+//   and      := unary ( '&' unary )*
+//   unary    := '!' unary | primary
+//   primary  := 'true' | 'false'
+//             | 'one' '(' expr (',' expr)* ')'
+//             | '(' expr ')'
+//             | atom
+//   atom     := IDENT ('/' IDENT)+                      path atom
+//             | IDENT '.' IDENT '.' IDENT               through atom
+//             | IDENT '.' IDENT '=' value               equality atom
+//             | IDENT '.' IDENT                         composed atom
+//             | IDENT '=' value                         equality (c ~ k)
+//   value    := '...'-quoted | "..."-quoted | IDENT | NUMBER
+//
+// Category identifiers are [A-Za-z_][A-Za-z0-9_]* and are resolved
+// against the hierarchy schema at parse time.
+//
+// Examples over the paper's locationSch:
+//   Store/City
+//   Store.SaleRegion
+//   City = 'Washington' <-> City/Country
+//   State.Country = 'Mexico' | State.Country = 'USA'
+//   one(Store.State.Country, Store.Province.Country)
+
+#ifndef OLAPDC_CONSTRAINT_PARSER_H_
+#define OLAPDC_CONSTRAINT_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "constraint/expr.h"
+#include "dim/hierarchy_schema.h"
+
+namespace olapdc {
+
+/// Parses `text` into an expression over `schema`.
+Result<ExprPtr> ParseExpr(const HierarchySchema& schema,
+                          std::string_view text);
+
+/// Parses `text` and wraps it as a validated DimensionConstraint (root
+/// inferred from the atoms). `label` tags the constraint for printing.
+Result<DimensionConstraint> ParseConstraint(const HierarchySchema& schema,
+                                            std::string_view text,
+                                            std::string label = "");
+
+/// As ParseConstraint but with an explicit root category, required when
+/// `text` contains no atoms (e.g. the constraint "false").
+Result<DimensionConstraint> ParseConstraintWithRoot(
+    const HierarchySchema& schema, std::string_view root,
+    std::string_view text, std::string label = "");
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CONSTRAINT_PARSER_H_

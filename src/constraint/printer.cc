@@ -1,0 +1,152 @@
+#include "constraint/printer.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace olapdc {
+
+namespace {
+
+/// Shortest round-trippable rendering of a numeric threshold.
+std::string FormatThreshold(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+// Binding strength: higher binds tighter. A child is parenthesized when
+// its level is strictly lower than the context requires.
+int Level(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kEquiv:
+      return 1;
+    case ExprKind::kImplies:
+      return 2;
+    case ExprKind::kXor:
+      return 3;
+    case ExprKind::kOr:
+      return 4;
+    case ExprKind::kAnd:
+      return 5;
+    case ExprKind::kNot:
+      return 6;
+    default:
+      return 7;  // atoms, literals, one(...)
+  }
+}
+
+class Printer {
+ public:
+  Printer(const HierarchySchema& schema, const PrinterOptions& options)
+      : schema_(schema), paper_(options.paper_symbols) {}
+
+  std::string Print(const ExprPtr& e, int min_level) const {
+    std::string body = PrintNode(e);
+    if (Level(e->kind) < min_level) return "(" + body + ")";
+    return body;
+  }
+
+ private:
+  std::string Name(CategoryId c) const { return schema_.CategoryName(c); }
+
+  std::string Constant(const std::string& k) const {
+    if (paper_) return k;
+    return "'" + k + "'";
+  }
+
+  std::string PrintNode(const ExprPtr& e) const {
+    switch (e->kind) {
+      case ExprKind::kTrue:
+        return paper_ ? "⊤" : "true";  // ⊤
+      case ExprKind::kFalse:
+        return paper_ ? "⊥" : "false";  // ⊥
+      case ExprKind::kPathAtom:
+        return JoinMapped(e->path, paper_ ? "_" : "/",
+                          [&](CategoryId c) { return Name(c); });
+      case ExprKind::kEqualityAtom: {
+        std::string lhs = (e->target == e->root)
+                              ? Name(e->root)
+                              : Name(e->root) + "." + Name(e->target);
+        return lhs + (paper_ ? "≈" : " = ") + Constant(e->constant);
+      }
+      case ExprKind::kComposedAtom:
+        return Name(e->root) + "." + Name(e->target);
+      case ExprKind::kThroughAtom:
+        return Name(e->root) + "." + Name(e->via) + "." + Name(e->target);
+      case ExprKind::kOrderAtom: {
+        std::string lhs = (e->target == e->root)
+                              ? Name(e->root)
+                              : Name(e->root) + "." + Name(e->target);
+        return lhs + " " + std::string(CmpOpToString(e->cmp_op)) + " " +
+               FormatThreshold(e->threshold);
+      }
+      case ExprKind::kNot:
+        return (paper_ ? "¬" : "!") +
+               Print(e->children[0], Level(ExprKind::kNot));
+      case ExprKind::kAnd:
+        return PrintNary(e, paper_ ? " ∧ " : " & ", ExprKind::kAnd);
+      case ExprKind::kOr:
+        return PrintNary(e, paper_ ? " ∨ " : " | ", ExprKind::kOr);
+      case ExprKind::kXor:
+        return PrintNary(e, paper_ ? " ⊕ " : " ^ ", ExprKind::kXor);
+      case ExprKind::kImplies:
+        // Right-associative: the left operand needs strictly tighter
+        // binding, the right may be another implication.
+        return Print(e->children[0], Level(ExprKind::kImplies) + 1) +
+               (paper_ ? " ⊃ " : " -> ") +
+               Print(e->children[1], Level(ExprKind::kImplies));
+      case ExprKind::kEquiv:
+        return PrintNary(e, paper_ ? " ≡ " : " <-> ", ExprKind::kEquiv);
+      case ExprKind::kExactlyOne:
+        return (paper_ ? std::string("⊙(") : std::string("one(")) +
+               JoinMapped(e->children, ", ",
+                          [&](const ExprPtr& c) { return Print(c, 0); }) +
+               ")";
+    }
+    return "?";
+  }
+
+  std::string PrintNary(const ExprPtr& e, const std::string& op,
+                        ExprKind kind) const {
+    if (e->children.empty()) {
+      return kind == ExprKind::kAnd ? PrintNode(MakeTrue())
+                                    : PrintNode(MakeFalse());
+    }
+    // AND/OR parse n-ary (a & b & c is one flat node), so a *nested*
+    // same-kind child must keep its parentheses or re-parsing would
+    // flatten it into a different tree. The binary left-associative
+    // connectives (equiv, xor) re-parse nesting correctly, so their
+    // first child may sit at the same level.
+    const bool parses_nary =
+        kind == ExprKind::kAnd || kind == ExprKind::kOr;
+    const int first_level = Level(kind) + (parses_nary ? 1 : 0);
+    std::string out = Print(e->children[0], first_level);
+    for (size_t i = 1; i < e->children.size(); ++i) {
+      out += op + Print(e->children[i], Level(kind) + 1);
+    }
+    return out;
+  }
+
+  const HierarchySchema& schema_;
+  bool paper_;
+};
+
+}  // namespace
+
+std::string ExprToString(const HierarchySchema& schema, const ExprPtr& e,
+                         const PrinterOptions& options) {
+  OLAPDC_CHECK(e != nullptr);
+  return Printer(schema, options).Print(e, 0);
+}
+
+std::string ConstraintToString(const HierarchySchema& schema,
+                               const DimensionConstraint& c,
+                               const PrinterOptions& options) {
+  std::string out;
+  if (!c.label.empty()) out += c.label + " ";
+  out += ExprToString(schema, c.expr, options);
+  return out;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,34 @@
+// Pretty-printing of dimension constraints, in two styles:
+//  - ASCII (the parser's input syntax):  Store/City, Store.Country='USA',
+//    !, &, |, ^, ->, <->, one(...)
+//  - paper style (for figure reproductions): Store_City,
+//    Store.Country~USA with unicode connectives.
+
+#ifndef OLAPDC_CONSTRAINT_PRINTER_H_
+#define OLAPDC_CONSTRAINT_PRINTER_H_
+
+#include <string>
+
+#include "constraint/expr.h"
+#include "dim/hierarchy_schema.h"
+
+namespace olapdc {
+
+struct PrinterOptions {
+  /// Emit the paper's notation (Store_City, unicode connectives)
+  /// instead of the parseable ASCII syntax.
+  bool paper_symbols = false;
+};
+
+/// Renders `e` with category names resolved against `schema`.
+std::string ExprToString(const HierarchySchema& schema, const ExprPtr& e,
+                         const PrinterOptions& options = {});
+
+/// Renders a labeled constraint, e.g. "(a) Store/City".
+std::string ConstraintToString(const HierarchySchema& schema,
+                               const DimensionConstraint& c,
+                               const PrinterOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CONSTRAINT_PRINTER_H_

@@ -1,0 +1,270 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+namespace olapdc {
+
+namespace {
+
+enum class TV { kFalse, kTrue, kUnknown };
+
+TV Not(TV v) {
+  if (v == TV::kUnknown) return TV::kUnknown;
+  return v == TV::kTrue ? TV::kFalse : TV::kTrue;
+}
+
+/// Search state: per category, kUnassigned, kNk, or an index into that
+/// category's candidate list.
+constexpr int kUnassigned = -2;
+constexpr int kNk = -1;
+
+struct Searcher {
+  // Candidates per category (sorted unique constants mentioned by the
+  // circled atoms targeting it, plus numeric region representatives for
+  // order atoms).
+  std::vector<std::vector<std::string>> candidates;
+  // Numeric value of each candidate, when it parses as a number
+  // (mirrors `candidates`; used by order atoms).
+  std::vector<std::vector<std::optional<double>>> numeric;
+  std::vector<int> state;
+  std::vector<CategoryId> order;  // categories to branch on
+  const std::vector<ExprPtr>* exprs = nullptr;
+  AssignmentOptions options;
+  AssignmentSearchResult result;
+  std::vector<std::string> used;  // injectivity tracking
+
+  TV EvalAtom(const Expr& e) const {
+    const int s = state[e.target];
+    if (s == kUnassigned) return TV::kUnknown;
+    // nk stands for a fresh non-numeric constant mentioned nowhere in
+    // Sigma: it satisfies neither equality nor order atoms.
+    if (s == kNk) return TV::kFalse;
+    if (e.kind == ExprKind::kOrderAtom) {
+      const std::optional<double>& value = numeric[e.target][s];
+      if (!value.has_value()) return TV::kFalse;
+      return EvalCmp(e.cmp_op, *value, e.threshold) ? TV::kTrue : TV::kFalse;
+    }
+    return candidates[e.target][s] == e.constant ? TV::kTrue : TV::kFalse;
+  }
+
+  TV Eval(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kTrue:
+        return TV::kTrue;
+      case ExprKind::kFalse:
+        return TV::kFalse;
+      case ExprKind::kEqualityAtom:
+      case ExprKind::kOrderAtom:
+        return EvalAtom(e);
+      case ExprKind::kNot:
+        return Not(Eval(*e.children[0]));
+      case ExprKind::kAnd: {
+        TV acc = TV::kTrue;
+        for (const auto& c : e.children) {
+          TV v = Eval(*c);
+          if (v == TV::kFalse) return TV::kFalse;
+          if (v == TV::kUnknown) acc = TV::kUnknown;
+        }
+        return acc;
+      }
+      case ExprKind::kOr: {
+        TV acc = TV::kFalse;
+        for (const auto& c : e.children) {
+          TV v = Eval(*c);
+          if (v == TV::kTrue) return TV::kTrue;
+          if (v == TV::kUnknown) acc = TV::kUnknown;
+        }
+        return acc;
+      }
+      case ExprKind::kImplies: {
+        TV a = Eval(*e.children[0]);
+        TV b = Eval(*e.children[1]);
+        if (a == TV::kFalse || b == TV::kTrue) return TV::kTrue;
+        if (a == TV::kTrue && b == TV::kFalse) return TV::kFalse;
+        return TV::kUnknown;
+      }
+      case ExprKind::kEquiv: {
+        TV a = Eval(*e.children[0]);
+        TV b = Eval(*e.children[1]);
+        if (a == TV::kUnknown || b == TV::kUnknown) return TV::kUnknown;
+        return a == b ? TV::kTrue : TV::kFalse;
+      }
+      case ExprKind::kXor: {
+        TV a = Eval(*e.children[0]);
+        TV b = Eval(*e.children[1]);
+        if (a == TV::kUnknown || b == TV::kUnknown) return TV::kUnknown;
+        return a != b ? TV::kTrue : TV::kFalse;
+      }
+      case ExprKind::kExactlyOne: {
+        int known_true = 0;
+        int unknown = 0;
+        for (const auto& c : e.children) {
+          TV v = Eval(*c);
+          if (v == TV::kTrue) ++known_true;
+          if (v == TV::kUnknown) ++unknown;
+        }
+        if (known_true > 1) return TV::kFalse;
+        if (unknown > 0) return TV::kUnknown;
+        return known_true == 1 ? TV::kTrue : TV::kFalse;
+      }
+      default:
+        // Path/composed/through atoms cannot appear after circling.
+        OLAPDC_CHECK(false) << "structural atom in circled expression";
+        return TV::kFalse;
+    }
+  }
+
+  /// kFalse if any expression is violated, kTrue if all are certainly
+  /// satisfied, kUnknown otherwise.
+  TV EvalAll() const {
+    TV acc = TV::kTrue;
+    for (const auto& e : *exprs) {
+      TV v = Eval(*e);
+      if (v == TV::kFalse) return TV::kFalse;
+      if (v == TV::kUnknown) acc = TV::kUnknown;
+    }
+    return acc;
+  }
+
+  CAssignment Snapshot() const {
+    CAssignment out(state.size());
+    for (size_t c = 0; c < state.size(); ++c) {
+      if (state[c] >= 0) out[c] = candidates[c][state[c]];
+    }
+    return out;
+  }
+
+  /// Returns false to abort the search (budget / first hit found).
+  bool Recurse(size_t depth) {
+    TV overall = EvalAll();
+    if (overall == TV::kFalse) return true;  // prune, keep searching
+    if (depth == order.size()) {
+      if (overall == TV::kTrue) {
+        result.assignments.push_back(Snapshot());
+        if (!options.enumerate_all) return false;
+        if (result.assignments.size() >= options.max_results) return false;
+      }
+      return true;
+    }
+    const CategoryId c = order[depth];
+    // nk first (the common case: most categories carry no constant).
+    state[c] = kNk;
+    ++result.tried;
+    if (!Recurse(depth + 1)) return false;
+    for (int i = 0; i < static_cast<int>(candidates[c].size()); ++i) {
+      const std::string& value = candidates[c][i];
+      if (options.require_injective &&
+          std::find(used.begin(), used.end(), value) != used.end()) {
+        continue;
+      }
+      state[c] = i;
+      used.push_back(value);
+      ++result.tried;
+      bool keep_going = Recurse(depth + 1);
+      used.pop_back();
+      if (!keep_going) return false;
+    }
+    state[c] = kUnassigned;
+    return true;
+  }
+};
+
+}  // namespace
+
+AssignmentSearchResult FindAssignments(const Subhierarchy& g,
+                                       const std::vector<ExprPtr>& circled,
+                                       const AssignmentOptions& options) {
+  const int n = g.num_categories();
+  Searcher searcher;
+  searcher.options = options;
+  searcher.exprs = &circled;
+  searcher.candidates.assign(n, {});
+  searcher.state.assign(n, kNk);
+
+  // Collect mentioned constants and order thresholds per category.
+  std::vector<const Expr*> atoms;
+  for (const ExprPtr& e : circled) CollectAtoms(e, &atoms);
+  std::vector<std::vector<double>> thresholds(n);
+  for (const Expr* atom : atoms) {
+    OLAPDC_CHECK(atom->kind == ExprKind::kEqualityAtom ||
+                 atom->kind == ExprKind::kOrderAtom)
+        << "circled expressions may only contain equality/order atoms";
+    if (atom->kind == ExprKind::kEqualityAtom) {
+      searcher.candidates[atom->target].push_back(atom->constant);
+    } else {
+      thresholds[atom->target].push_back(atom->threshold);
+    }
+  }
+  for (int c = 0; c < n; ++c) {
+    auto& list = searcher.candidates[c];
+    // Region abstraction for order atoms: any real value is equivalent,
+    // with respect to the atoms targeting c, to one of — an equality
+    // constant; a threshold point; a representative of an open region
+    // between/around thresholds; or nk. Representatives are nudged
+    // until their rendering differs from every equality constant so the
+    // abstract domains stay disjoint.
+    if (!thresholds[c].empty()) {
+      std::sort(thresholds[c].begin(), thresholds[c].end());
+      thresholds[c].erase(
+          std::unique(thresholds[c].begin(), thresholds[c].end()),
+          thresholds[c].end());
+      std::set<std::string> avoid(list.begin(), list.end());
+      auto render = [](double v) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+        return std::string(buffer);
+      };
+      auto add_representative = [&](double lo, double hi) {
+        // Pick a point strictly inside (lo, hi) whose rendering is not
+        // an equality constant.
+        double a = lo, b = hi;
+        for (int tries = 0; tries < 64; ++tries) {
+          double mid = a + (b - a) / 2;
+          std::string text = render(mid);
+          if (avoid.find(text) == avoid.end()) {
+            list.push_back(std::move(text));
+            return;
+          }
+          b = mid;  // shrink towards lo; renderings must change
+        }
+        OLAPDC_CHECK(false) << "could not pick a region representative";
+      };
+      const auto& ts = thresholds[c];
+      add_representative(ts.front() - 2.0, ts.front());
+      for (size_t i = 0; i + 1 < ts.size(); ++i) {
+        add_representative(ts[i], ts[i + 1]);
+      }
+      add_representative(ts.back(), ts.back() + 2.0);
+      for (double t : ts) {
+        std::string text = render(t);
+        if (avoid.find(text) == avoid.end()) list.push_back(std::move(text));
+      }
+    }
+    if (list.empty()) continue;
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    if (g.Contains(c)) {
+      searcher.order.push_back(c);
+      searcher.state[c] = kUnassigned;
+    } else {
+      // Atom targets outside g were already circled to False; a
+      // category outside g holds no member, nk by convention.
+      list.clear();
+      searcher.state[c] = kNk;
+    }
+  }
+  searcher.numeric.assign(n, {});
+  for (int c = 0; c < n; ++c) {
+    for (const std::string& value : searcher.candidates[c]) {
+      searcher.numeric[c].push_back(ParseNumericName(value));
+    }
+  }
+
+  searcher.Recurse(0);
+  return std::move(searcher.result);
+}
+
+}  // namespace olapdc

@@ -1,0 +1,63 @@
+// c-assignments (paper Section 5): a choice, for every category of a
+// subhierarchy, of either a constant from Const_ds or the reserved
+// symbol nk ("no constant mentioned in Sigma"). A subhierarchy g
+// induces a frozen dimension iff some c-assignment satisfies the
+// circled constraint set Sigma(ds,c) ∘ g (Proposition 2).
+//
+// The search below enumerates assignments with backtracking and
+// three-valued partial evaluation. It only branches on categories that
+// are actually mentioned by surviving equality atoms; all other
+// categories take nk, which is sound and complete because an
+// unmentioned constant is observationally equivalent to nk.
+//
+// Proposition 2 declares c-assignments injective; Definition 5 does
+// not, and injectivity over nk is unsatisfiable whenever two categories
+// lack constants. We therefore enforce injectivity only among real
+// constants, and only when `require_injective` is set (DESIGN.md
+// deviation 4).
+
+#ifndef OLAPDC_CORE_ASSIGNMENT_H_
+#define OLAPDC_CORE_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraint/expr.h"
+#include "core/schema.h"
+#include "core/subhierarchy.h"
+
+namespace olapdc {
+
+/// A c-assignment: per category, the chosen constant, or nullopt = nk.
+using CAssignment = std::vector<std::optional<std::string>>;
+
+struct AssignmentOptions {
+  /// Forbid two categories sharing the same (real) constant, per the
+  /// literal Proposition 2 wording.
+  bool require_injective = false;
+  /// Collect every satisfying assignment instead of stopping at one.
+  bool enumerate_all = false;
+  /// Cap on collected assignments in enumerate_all mode.
+  size_t max_results = 1 << 20;
+};
+
+struct AssignmentSearchResult {
+  /// The satisfying assignments found (at most 1 unless enumerate_all).
+  std::vector<CAssignment> assignments;
+  /// Number of (partial) candidate choices explored.
+  uint64_t tried = 0;
+};
+
+/// Searches for c-assignments of `g` satisfying every expression in
+/// `circled` (outputs of ApplyCircleToConstraint + Simplify: only
+/// equality atoms and truth literals remain; a literal False entry
+/// makes the search trivially empty).
+AssignmentSearchResult FindAssignments(const Subhierarchy& g,
+                                       const std::vector<ExprPtr>& circled,
+                                       const AssignmentOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_ASSIGNMENT_H_

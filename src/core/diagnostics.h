@@ -1,0 +1,44 @@
+// Schema diagnostics built on the implication engine — the paper's
+// Section 6 design-stage story made concrete:
+//  - redundant constraints: members of Sigma already implied by the
+//    rest (safe to drop; keeping them only slows CHECK down);
+//  - unsatisfiable-category cores: a minimal subset of Sigma that
+//    already makes a category unsatisfiable (the actionable part of an
+//    "UNSATISFIABLE" answer).
+
+#ifndef OLAPDC_CORE_DIAGNOSTICS_H_
+#define OLAPDC_CORE_DIAGNOSTICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/dimsat.h"
+#include "core/schema.h"
+
+namespace olapdc {
+
+/// Indices (into ds.constraints()) of constraints implied by the other
+/// constraints of the schema. Order-insensitive: each constraint is
+/// tested against all the others, so mutually-redundant pairs are both
+/// reported.
+Result<std::vector<size_t>> FindRedundantConstraints(
+    const DimensionSchema& ds, const DimsatOptions& options = {});
+
+/// A copy of ds with a minimal *irredundant* constraint set: greedily
+/// drops constraints that the remaining set implies (processing in
+/// index order, so the result keeps earlier constraints when two are
+/// equivalent).
+Result<DimensionSchema> MinimizeConstraintSet(
+    const DimensionSchema& ds, const DimsatOptions& options = {});
+
+/// For a category unsatisfiable in ds: a minimal (irreducible, not
+/// necessarily minimum) subset of Sigma under which it is still
+/// unsatisfiable — deletion-based MUS extraction. InvalidArgument if
+/// the category is satisfiable.
+Result<std::vector<size_t>> UnsatisfiableCore(
+    const DimensionSchema& ds, CategoryId category,
+    const DimsatOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_DIAGNOSTICS_H_

@@ -1,0 +1,346 @@
+#include "core/dimsat.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+#include "constraint/normalize.h"
+#include "core/check_subhierarchy.h"
+
+namespace olapdc {
+
+std::string DimsatTraceEvent::ToString(const HierarchySchema& schema) const {
+  std::string out;
+  switch (kind) {
+    case Kind::kExpand: out = "EXPAND "; break;
+    case Kind::kCheckFail: out = "CHECK(fail) "; break;
+    case Kind::kCheckSuccess: out = "CHECK(ok) "; break;
+    case Kind::kPruned: out = "PRUNE "; break;
+    case Kind::kDeadEnd: out = "DEADEND "; break;
+  }
+  out += "g={";
+  out += JoinMapped(edges, ", ", [&](const std::pair<int, int>& e) {
+    return schema.CategoryName(e.first) + "->" +
+           schema.CategoryName(e.second);
+  });
+  out += "} top={";
+  out += JoinMapped(top, ", ",
+                    [&](CategoryId c) { return schema.CategoryName(c); });
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Sigma(ds, root) with composed/through shorthands expanded into plain
+/// path atoms, so the circle operator and the into-detection see the
+/// Definition 3 core language.
+Result<std::vector<DimensionConstraint>> PrepareRelevantConstraints(
+    const DimensionSchema& ds, CategoryId root, size_t path_limit) {
+  std::vector<DimensionConstraint> prepared;
+  for (const DimensionConstraint* c : ds.RelevantConstraints(root)) {
+    OLAPDC_ASSIGN_OR_RETURN(
+        ExprPtr expanded,
+        ExpandShorthands(ds.hierarchy(), c->expr, path_limit));
+    prepared.push_back(DimensionConstraint{c->root, Simplify(expanded),
+                                           c->label});
+  }
+  return prepared;
+}
+
+class DimsatSearch {
+ public:
+  DimsatSearch(const DimensionSchema& ds, CategoryId root,
+               const DimsatOptions& options,
+               std::vector<DimensionConstraint> relevant)
+      : ds_(ds),
+        schema_(ds.hierarchy()),
+        root_(root),
+        options_(options),
+        relevant_(std::move(relevant)) {
+    check_options_.assignment.require_injective =
+        options.require_injective_names;
+    check_options_.assignment.enumerate_all = options.enumerate_all;
+    check_options_.assignment.max_results = options.max_frozen;
+  }
+
+  DimsatResult Run() {
+    Subhierarchy g(schema_.num_categories(), root_);
+    return RunFrom(g);
+  }
+
+  /// Continues the search from a partially built subhierarchy (used by
+  /// the parallel driver, which seeds one worker per first-level
+  /// expansion choice).
+  DimsatResult RunFrom(const Subhierarchy& seed) {
+    Expand(seed);
+    result_.satisfiable = !result_.frozen.empty();
+    result_.stats.frozen_found = result_.frozen.size();
+    return std::move(result_);
+  }
+
+  /// Shared early-stop flag for parallel runs: once any worker decides
+  /// the global answer, the others abandon their subtrees.
+  void set_external_stop(std::atomic<bool>* stop) { external_stop_ = stop; }
+
+ private:
+  void Trace(DimsatTraceEvent::Kind kind, const Subhierarchy& g) {
+    if (!options_.collect_trace ||
+        result_.trace.size() >= options_.max_trace) {
+      return;
+    }
+    DimsatTraceEvent event;
+    event.kind = kind;
+    event.edges = g.Edges();
+    g.top().ForEach([&](int c) { event.top.push_back(c); });
+    result_.trace.push_back(std::move(event));
+  }
+
+  /// True while the search should continue; false aborts every open
+  /// recursion (first witness found, budget hit, or cap reached).
+  bool ShouldContinue() const {
+    if (external_stop_ != nullptr &&
+        external_stop_->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (!result_.status.ok()) return false;
+    if (result_.frozen.empty()) return true;
+    if (!options_.enumerate_all) return false;
+    return result_.frozen.size() < options_.max_frozen;
+  }
+
+  void RunCheck(const Subhierarchy& g) {
+    ++result_.stats.check_calls;
+    CheckOutcome outcome = CheckSubhierarchy(relevant_, g, check_options_);
+    result_.stats.assignments_tried += outcome.assignments_tried;
+    if (outcome.structurally_rejected) {
+      ++result_.stats.structural_rejections;
+    }
+    if (outcome.frozen.empty()) {
+      Trace(DimsatTraceEvent::Kind::kCheckFail, g);
+      return;
+    }
+    Trace(DimsatTraceEvent::Kind::kCheckSuccess, g);
+    for (FrozenDimension& f : outcome.frozen) {
+      if (result_.frozen.size() >= options_.max_frozen) break;
+      result_.frozen.push_back(std::move(f));
+    }
+  }
+
+  /// The EXPAND procedure (Figure 6), with the subset loop corrected to
+  /// admit R = Into (DESIGN.md deviation 2). The subhierarchy is copied
+  /// per recursive call; backtracking is implicit.
+  void Expand(const Subhierarchy& g) {
+    if (!ShouldContinue()) return;
+    if (++result_.stats.expand_calls > options_.max_expand_calls) {
+      result_.status = Status::ResourceExhausted(
+          "DIMSAT exceeded max_expand_calls");
+      return;
+    }
+    Trace(DimsatTraceEvent::Kind::kExpand, g);
+
+    // Line (6): g complete once only All awaits expansion.
+    DynamicBitset pending = g.top();
+    pending.reset(schema_.all());
+    if (pending.none()) {
+      RunCheck(g);
+      return;
+    }
+
+    // Line (10): pick a pending top category (lowest id: deterministic).
+    const CategoryId ctop = pending.First();
+    const DynamicBitset& below = g.Below(ctop);
+
+    // Lines (11)-(13): successor choices that are structurally allowed.
+    DynamicBitset allowed(schema_.num_categories());
+    DynamicBitset into(schema_.num_categories());
+    for (CategoryId c : schema_.graph().OutNeighbors(ctop)) {
+      bool blocked = false;
+      // Ss: an existing edge from below ctop into c would become a
+      // shortcut once ctop -> c completes the longer path.
+      if (options_.prune_shortcuts && g.In(c).Intersects(below)) {
+        blocked = true;
+      }
+      // Sc: c already reaches ctop; the edge would close a cycle.
+      if (options_.prune_cycles && below.test(c)) blocked = true;
+      if (!blocked) allowed.set(c);
+      if (ds_.IntoTargets(ctop).test(c)) into.set(c);
+    }
+
+    if (options_.prune_into) {
+      // Line (15): a blocked into-target dooms every choice at ctop.
+      if (!into.IsSubsetOf(allowed)) {
+        ++result_.stats.into_prunes;
+        Trace(DimsatTraceEvent::Kind::kPruned, g);
+        return;
+      }
+    } else {
+      into.clear();
+    }
+
+    if (allowed.none()) {
+      ++result_.stats.dead_ends;
+      Trace(DimsatTraceEvent::Kind::kDeadEnd, g);
+      return;
+    }
+
+    // Line (16), corrected: iterate S' over all subsets of the free
+    // choices (including the empty set) and recurse on R = S' ∪ Into
+    // whenever R is non-empty.
+    std::vector<CategoryId> free;
+    (allowed - into).ForEach([&](int c) { free.push_back(c); });
+    OLAPDC_CHECK(free.size() < 31) << "category out-degree too large";
+    const uint32_t subsets = uint32_t{1} << free.size();
+    for (uint32_t mask = 0; mask < subsets; ++mask) {
+      if (!ShouldContinue()) return;
+      DynamicBitset r = into;
+      for (size_t i = 0; i < free.size(); ++i) {
+        if (mask & (uint32_t{1} << i)) r.set(free[i]);
+      }
+      if (r.none()) continue;
+      Subhierarchy child = g;
+      child.Expand(ctop, r);
+      Expand(child);
+    }
+  }
+
+  const DimensionSchema& ds_;
+  const HierarchySchema& schema_;
+  const CategoryId root_;
+  const DimsatOptions& options_;
+  std::vector<DimensionConstraint> relevant_;
+  CheckOptions check_options_;
+  DimsatResult result_;
+  std::atomic<bool>* external_stop_ = nullptr;
+};
+
+/// First-level expansion choices of `root` under the schema+options —
+/// the parallel work items. Mirrors one EXPAND step (the seeds are
+/// exactly the subhierarchies the sequential search would recurse
+/// into).
+std::vector<Subhierarchy> FirstLevelSeeds(const DimensionSchema& ds,
+                                          CategoryId root,
+                                          const DimsatOptions& options) {
+  const HierarchySchema& schema = ds.hierarchy();
+  std::vector<Subhierarchy> seeds;
+  Subhierarchy g(schema.num_categories(), root);
+  if (root == schema.all()) return seeds;  // nothing to expand
+
+  DynamicBitset allowed(schema.num_categories());
+  DynamicBitset into(schema.num_categories());
+  for (CategoryId c : schema.graph().OutNeighbors(root)) {
+    allowed.set(c);  // no cycles/shortcuts possible at depth one
+    if (ds.IntoTargets(root).test(c)) into.set(c);
+  }
+  if (!options.prune_into) into.clear();
+  std::vector<CategoryId> free;
+  (allowed - into).ForEach([&](int c) { free.push_back(c); });
+  OLAPDC_CHECK(free.size() < 31);
+  const uint32_t subsets = uint32_t{1} << free.size();
+  for (uint32_t mask = 0; mask < subsets; ++mask) {
+    DynamicBitset r = into;
+    for (size_t i = 0; i < free.size(); ++i) {
+      if (mask & (uint32_t{1} << i)) r.set(free[i]);
+    }
+    if (r.none()) continue;
+    Subhierarchy child = g;
+    child.Expand(root, r);
+    seeds.push_back(std::move(child));
+  }
+  return seeds;
+}
+
+}  // namespace
+
+DimsatResult Dimsat(const DimensionSchema& ds, CategoryId root,
+                    const DimsatOptions& options) {
+  OLAPDC_CHECK(0 <= root && root < ds.hierarchy().num_categories());
+  Result<std::vector<DimensionConstraint>> relevant =
+      PrepareRelevantConstraints(ds, root, options.path_limit);
+  if (!relevant.ok()) {
+    DimsatResult result;
+    result.status = relevant.status();
+    return result;
+  }
+  return DimsatSearch(ds, root, options, std::move(relevant).ValueOrDie())
+      .Run();
+}
+
+DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
+                            const DimsatOptions& options, int num_threads) {
+  OLAPDC_CHECK(0 <= root && root < ds.hierarchy().num_categories());
+  OLAPDC_CHECK(!options.collect_trace)
+      << "tracing is inherently sequential; use Dimsat()";
+  if (num_threads <= 1) return Dimsat(ds, root, options);
+
+  Result<std::vector<DimensionConstraint>> relevant =
+      PrepareRelevantConstraints(ds, root, options.path_limit);
+  if (!relevant.ok()) {
+    DimsatResult result;
+    result.status = relevant.status();
+    return result;
+  }
+  std::vector<Subhierarchy> seeds = FirstLevelSeeds(ds, root, options);
+  if (seeds.empty()) return Dimsat(ds, root, options);
+
+  // Per-worker budget: sum across workers may exceed a tight global
+  // budget by (threads - 1); acceptable for a backstop limit.
+  std::atomic<bool> stop(false);
+  std::atomic<size_t> next(0);
+  std::vector<DimsatResult> partials(seeds.size());
+
+  auto worker = [&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      size_t index = next.fetch_add(1);
+      if (index >= seeds.size()) return;
+      DimsatSearch search(ds, root, options, relevant.ValueOrDie());
+      search.set_external_stop(&stop);
+      partials[index] = search.RunFrom(seeds[index]);
+      if (partials[index].satisfiable && !options.enumerate_all) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  const int n = std::min<int>(num_threads, static_cast<int>(seeds.size()));
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  DimsatResult merged;
+  for (DimsatResult& partial : partials) {
+    merged.stats.expand_calls += partial.stats.expand_calls;
+    merged.stats.check_calls += partial.stats.check_calls;
+    merged.stats.structural_rejections +=
+        partial.stats.structural_rejections;
+    merged.stats.assignments_tried += partial.stats.assignments_tried;
+    merged.stats.into_prunes += partial.stats.into_prunes;
+    merged.stats.dead_ends += partial.stats.dead_ends;
+    if (!partial.status.ok() && merged.status.ok()) {
+      merged.status = partial.status;
+    }
+    for (FrozenDimension& f : partial.frozen) {
+      if (merged.frozen.size() >= options.max_frozen) break;
+      merged.frozen.push_back(std::move(f));
+    }
+  }
+  // A budget error from a worker that was merely told to stop early is
+  // not an error of the whole run.
+  if (stop.load() && !options.enumerate_all && !merged.frozen.empty()) {
+    merged.status = Status::OK();
+  }
+  merged.satisfiable = !merged.frozen.empty();
+  merged.stats.frozen_found = merged.frozen.size();
+  return merged;
+}
+
+DimsatResult EnumerateFrozenDimensions(const DimensionSchema& ds,
+                                       CategoryId root,
+                                       DimsatOptions options) {
+  options.enumerate_all = true;
+  return Dimsat(ds, root, options);
+}
+
+}  // namespace olapdc

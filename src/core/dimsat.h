@@ -1,0 +1,111 @@
+// DIMSAT (paper Section 5, Figure 6): the backtracking decision
+// procedure for category satisfiability. EXPAND grows subhierarchies of
+// the hierarchy schema rooted at the query category, pruning choices
+// that would create cycles (Sc), shortcuts (Ss), or violate *into*
+// constraints; CHECK decides whether a completed subhierarchy induces a
+// frozen dimension (Proposition 2). By Theorem 3, the category is
+// satisfiable iff some explored subhierarchy does.
+//
+// Options expose each pruning rule independently (for the ablation
+// benchmarks) and an enumerate-all mode that collects every frozen
+// dimension instead of stopping at the first — the Figure 4 harness and
+// the workload generators run DIMSAT in that mode.
+
+#ifndef OLAPDC_CORE_DIMSAT_H_
+#define OLAPDC_CORE_DIMSAT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/frozen.h"
+#include "core/schema.h"
+#include "core/subhierarchy.h"
+
+namespace olapdc {
+
+struct DimsatOptions {
+  /// Prune successor choices that would complete a shortcut (Ss).
+  bool prune_shortcuts = true;
+  /// Prune successor choices that would close a cycle (Sc).
+  bool prune_cycles = true;
+  /// Force R to contain every into-constraint target of the expanded
+  /// category, and cut the branch when an into target is blocked.
+  bool prune_into = true;
+  /// Enforce injective constant choices (literal Proposition 2).
+  bool require_injective_names = false;
+  /// Collect every frozen dimension instead of stopping at the first.
+  bool enumerate_all = false;
+  /// Cap on collected frozen dimensions (enumerate_all mode).
+  size_t max_frozen = 1 << 20;
+  /// Budget on EXPAND calls; exceeding it aborts with
+  /// ResourceExhausted in DimsatResult::status.
+  uint64_t max_expand_calls = UINT64_MAX;
+  /// Record the EXPAND/CHECK event sequence (Figure 7 harness).
+  bool collect_trace = false;
+  size_t max_trace = 100000;
+  /// Bound on simple paths enumerated when expanding composed atoms.
+  size_t path_limit = 1 << 20;
+};
+
+struct DimsatStats {
+  uint64_t expand_calls = 0;
+  uint64_t check_calls = 0;
+  /// CHECKs rejected by the structural (cycle/shortcut) validation.
+  uint64_t structural_rejections = 0;
+  uint64_t assignments_tried = 0;
+  /// Branches cut because a blocked into-target made expansion futile.
+  uint64_t into_prunes = 0;
+  /// Expansions abandoned because no successor choice remained.
+  uint64_t dead_ends = 0;
+  uint64_t frozen_found = 0;
+};
+
+/// One step of the Figure 7 execution trace.
+struct DimsatTraceEvent {
+  enum class Kind { kExpand, kCheckFail, kCheckSuccess, kPruned, kDeadEnd };
+  Kind kind;
+  /// Snapshot of g's edges at the event.
+  std::vector<std::pair<CategoryId, CategoryId>> edges;
+  /// Snapshot of g.Top.
+  std::vector<CategoryId> top;
+
+  std::string ToString(const HierarchySchema& schema) const;
+};
+
+struct DimsatResult {
+  bool satisfiable = false;
+  /// A witness (or all frozen dimensions in enumerate_all mode).
+  std::vector<FrozenDimension> frozen;
+  DimsatStats stats;
+  std::vector<DimsatTraceEvent> trace;
+  /// OK, or ResourceExhausted when a budget was hit (in which case
+  /// `satisfiable` is only a lower bound).
+  Status status;
+};
+
+/// Decides whether `root` is satisfiable in `ds` (Theorem 3 / Figure 6).
+DimsatResult Dimsat(const DimensionSchema& ds, CategoryId root,
+                    const DimsatOptions& options = {});
+
+/// Convenience: all frozen dimensions of ds with the given root.
+DimsatResult EnumerateFrozenDimensions(const DimensionSchema& ds,
+                                       CategoryId root,
+                                       DimsatOptions options = {});
+
+/// Multi-threaded DIMSAT: the first-level expansion choices of the root
+/// category partition the search space, so workers explore disjoint
+/// subtrees and merge their results; a shared stop flag propagates the
+/// first witness in decision mode. Semantically identical to Dimsat()
+/// (the frozen-dimension *set* is equal; enumeration order may differ,
+/// and in decision mode a different — equally valid — witness may be
+/// returned). Tracing is unsupported. num_threads <= 1 falls back to
+/// the sequential search.
+DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
+                            const DimsatOptions& options, int num_threads);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_DIMSAT_H_

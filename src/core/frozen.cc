@@ -1,0 +1,72 @@
+#include "core/frozen.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "graph/dot.h"
+
+namespace olapdc {
+
+std::string FrozenDimension::ToString(const HierarchySchema& schema) const {
+  std::string out = "{";
+  out += JoinMapped(g.Edges(), ", ", [&](const std::pair<int, int>& e) {
+    return schema.CategoryName(e.first) + "->" +
+           schema.CategoryName(e.second);
+  });
+  out += "}";
+  std::vector<std::string> bindings;
+  g.categories().ForEach([&](int c) {
+    if (c < static_cast<int>(names.size()) && names[c].has_value()) {
+      bindings.push_back(schema.CategoryName(c) + "=" + *names[c]);
+    }
+  });
+  if (!bindings.empty()) out += " with " + Join(bindings, ", ");
+  return out;
+}
+
+std::string FrozenDimension::ToDot(const HierarchySchema& schema,
+                                   const std::string& graph_name) const {
+  DotOptions options;
+  options.name = graph_name;
+  Digraph d = g.ToDigraph();
+  return olapdc::ToDot(
+      d,
+      [&](int c) -> std::string {
+        if (!g.Contains(c)) return "";
+        std::string label = schema.CategoryName(c);
+        if (c < static_cast<int>(names.size()) && names[c].has_value()) {
+          label += "\\n" + *names[c];
+        }
+        return label;
+      },
+      options);
+}
+
+Result<DimensionInstance> FrozenDimension::ToInstance(
+    const DimensionSchema& ds, const std::string& nk_prefix) const {
+  const HierarchySchema& schema = ds.hierarchy();
+  DimensionInstanceBuilder builder(ds.hierarchy_ptr());
+  builder.set_auto_all(true).set_auto_link_to_all(false);
+
+  g.categories().ForEach([&](int c) {
+    const std::string& key = schema.CategoryName(c);
+    std::string name = (c < static_cast<int>(names.size()) &&
+                        names[c].has_value())
+                           ? *names[c]
+                           : nk_prefix + key;
+    if (c == schema.all()) {
+      name = "all";
+    }
+    builder.AddMember(key, key /* category name == key */, name);
+  });
+  for (const auto& [u, v] : g.Edges()) {
+    builder.AddChildParent(schema.CategoryName(u), schema.CategoryName(v));
+  }
+  return builder.Build();
+}
+
+bool FrozenEquals(const FrozenDimension& a, const FrozenDimension& b) {
+  return a.g.Edges() == b.g.Edges() && a.names == b.names;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,56 @@
+// Frozen dimensions (paper Definition 5): minimal homogeneous
+// dimension instances conveyed by a dimension schema — one member per
+// category of a shortcut/cycle-free subhierarchy, with Name values
+// drawn from Const_ds plus the reserved symbol nk. Frozen dimensions
+// are the minimal models of category satisfiability (Theorem 3) and
+// the objects enumerated for Figure 4.
+
+#ifndef OLAPDC_CORE_FROZEN_H_
+#define OLAPDC_CORE_FROZEN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/assignment.h"
+#include "core/schema.h"
+#include "core/subhierarchy.h"
+#include "dim/dimension_instance.h"
+
+namespace olapdc {
+
+/// A frozen dimension of a schema with a given root: the induced
+/// subhierarchy plus the satisfying c-assignment. names[c] == nullopt
+/// encodes nk ("any constant not mentioned for c in Sigma").
+struct FrozenDimension {
+  Subhierarchy g;
+  CAssignment names;
+
+  /// One-line description, e.g.
+  ///   "{Store->City, City->Province, ...} with Country=Canada".
+  std::string ToString(const HierarchySchema& schema) const;
+
+  /// Graphviz rendering: category nodes annotated with assigned names.
+  std::string ToDot(const HierarchySchema& schema,
+                    const std::string& graph_name = "frozen") const;
+
+  /// Materializes the frozen dimension as a real DimensionInstance:
+  /// member phi(c) per category keyed by the category's name, with the
+  /// Name attribute set to the assigned constant, or to
+  /// `nk_prefix + category name` for nk (guaranteed outside Const_ds
+  /// because Sigma constants never start with the prefix... callers
+  /// should keep the default "~"). The result satisfies C1-C7 and, by
+  /// Proposition 2, every constraint of `ds` — both are re-checked by
+  /// the validation inside DimensionInstanceBuilder and by tests.
+  Result<DimensionInstance> ToInstance(const DimensionSchema& ds,
+                                       const std::string& nk_prefix = "~") const;
+};
+
+/// Canonical ordering/equality helpers so frozen-dimension sets can be
+/// compared in tests.
+bool FrozenEquals(const FrozenDimension& a, const FrozenDimension& b);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_FROZEN_H_

@@ -1,0 +1,38 @@
+#include "core/implication.h"
+
+#include <utility>
+
+namespace olapdc {
+
+Result<ImplicationResult> Implies(const DimensionSchema& ds,
+                                  const DimensionConstraint& alpha,
+                                  const DimsatOptions& options) {
+  OLAPDC_CHECK(alpha.expr != nullptr);
+  OLAPDC_CHECK(alpha.root != ds.hierarchy().all())
+      << "constraints cannot be rooted at All";
+
+  DimensionConstraint negated{alpha.root, MakeNot(alpha.expr),
+                              alpha.label.empty() ? "" : "!" + alpha.label};
+  DimensionSchema extended = ds.WithExtraConstraint(std::move(negated));
+
+  DimsatResult search = Dimsat(extended, alpha.root, options);
+  OLAPDC_RETURN_NOT_OK(search.status);
+
+  ImplicationResult result;
+  result.implied = !search.satisfiable;
+  result.stats = search.stats;
+  if (search.satisfiable) {
+    result.counterexample = std::move(search.frozen.front());
+  }
+  return result;
+}
+
+Result<bool> IsCategorySatisfiable(const DimensionSchema& ds,
+                                   CategoryId category,
+                                   const DimsatOptions& options) {
+  DimsatResult search = Dimsat(ds, category, options);
+  OLAPDC_RETURN_NOT_OK(search.status);
+  return search.satisfiable;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,40 @@
+// The implication problem for dimension constraints (paper Section 4):
+// ds ⊨ alpha iff alpha holds in every dimension instance over ds.
+// Theorem 2 reduces it to category satisfiability:
+//   ds ⊨ alpha  iff  root(alpha) is unsatisfiable in (G, Sigma ∪ {¬alpha}).
+
+#ifndef OLAPDC_CORE_IMPLICATION_H_
+#define OLAPDC_CORE_IMPLICATION_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "core/dimsat.h"
+#include "core/schema.h"
+
+namespace olapdc {
+
+struct ImplicationResult {
+  bool implied = false;
+  /// When not implied: a frozen dimension over ds that violates alpha
+  /// (the Theorem 2/3 counterexample).
+  std::optional<FrozenDimension> counterexample;
+  /// Statistics of the underlying DIMSAT run.
+  DimsatStats stats;
+};
+
+/// Decides ds ⊨ alpha via Theorem 2 + DIMSAT. Errors only on resource
+/// exhaustion.
+Result<ImplicationResult> Implies(const DimensionSchema& ds,
+                                  const DimensionConstraint& alpha,
+                                  const DimsatOptions& options = {});
+
+/// Category satisfiability (Theorem 3 via DIMSAT): whether some
+/// instance over ds has a member in `category`.
+Result<bool> IsCategorySatisfiable(const DimensionSchema& ds,
+                                   CategoryId category,
+                                   const DimsatOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_IMPLICATION_H_

@@ -1,0 +1,96 @@
+#include "core/location_example.h"
+
+#include <utility>
+#include <vector>
+
+#include "constraint/parser.h"
+
+namespace olapdc {
+
+Result<HierarchySchemaPtr> LocationHierarchy() {
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("Store", "City")
+      .AddEdge("Store", "SaleRegion")
+      .AddEdge("City", "Province")
+      .AddEdge("City", "State")
+      .AddEdge("City", "Country")  // the Example 3 shortcut
+      .AddEdge("Province", "SaleRegion")
+      .AddEdge("State", "SaleRegion")
+      .AddEdge("State", "Country")
+      .AddEdge("SaleRegion", "Country")
+      .AddEdge("Country", "All");
+  return builder.BuildShared();
+}
+
+Result<DimensionSchema> LocationSchema() {
+  OLAPDC_ASSIGN_OR_RETURN(HierarchySchemaPtr hierarchy, LocationHierarchy());
+
+  const std::vector<std::pair<const char*, const char*>> texts = {
+      {"(a)", "Store/City"},
+      {"(b)", "Store.SaleRegion"},
+      {"(c)", "City = 'Washington' <-> City/Country"},
+      {"(d)", "City = 'Washington' -> City.Country = 'USA'"},
+      {"(e)", "State.Country = 'Mexico' | State.Country = 'USA'"},
+      {"(f)", "State.Country = 'Mexico' <-> State/SaleRegion"},
+      {"(g)", "Province.Country = 'Canada'"},
+  };
+  std::vector<DimensionConstraint> constraints;
+  constraints.reserve(texts.size());
+  for (const auto& [label, text] : texts) {
+    OLAPDC_ASSIGN_OR_RETURN(DimensionConstraint c,
+                            ParseConstraint(*hierarchy, text, label));
+    constraints.push_back(std::move(c));
+  }
+  return DimensionSchema(std::move(hierarchy), std::move(constraints));
+}
+
+Result<DimensionInstance> LocationInstance() {
+  OLAPDC_ASSIGN_OR_RETURN(HierarchySchemaPtr hierarchy, LocationHierarchy());
+  DimensionInstanceBuilder builder(std::move(hierarchy));
+
+  // Countries.
+  builder.AddMember("Canada", "Country")
+      .AddMember("Mexico", "Country")
+      .AddMember("USA", "Country");
+
+  // Sale regions.
+  builder.AddMemberUnder("SR-Canada", "SaleRegion", "Canada")
+      .AddMemberUnder("SR-Mexico", "SaleRegion", "Mexico")
+      .AddMemberUnder("SR-USA", "SaleRegion", "USA");
+
+  // Canada: cities roll up through a province to a sale region.
+  builder.AddMemberUnder("Ontario", "Province", "SR-Canada");
+  builder.AddMemberUnder("Toronto", "City", "Ontario");
+  builder.AddMemberUnder("Ottawa", "City", "Ontario");
+
+  // Mexico: cities roll up through states, which reach SaleRegion
+  // (constraint (f)) and through it the country.
+  builder.AddMemberUnder("DF", "State", "SR-Mexico");
+  builder.AddMemberUnder("NuevoLeon", "State", "SR-Mexico");
+  builder.AddMemberUnder("MexicoCity", "City", "DF");
+  builder.AddMemberUnder("Monterrey", "City", "NuevoLeon");
+
+  // USA: states roll up directly to the country, skipping SaleRegion.
+  builder.AddMemberUnder("Texas", "State", "USA");
+  builder.AddMemberUnder("Austin", "City", "Texas");
+  // Washington is the Example 1 exception: a city rolling up directly
+  // to the country (the City -> Country shortcut edge of the schema).
+  builder.AddMemberUnder("Washington", "City", "USA");
+
+  // Stores. Canadian and Mexican stores reach SaleRegion through their
+  // city chain; US stores are linked to a sale region directly
+  // (constraint (b) requires every store to reach SaleRegion).
+  builder.AddMemberUnder("st-tor-1", "Store", "Toronto");
+  builder.AddMemberUnder("st-tor-2", "Store", "Toronto");
+  builder.AddMemberUnder("st-ott-1", "Store", "Ottawa");
+  builder.AddMemberUnder("st-mex-1", "Store", "MexicoCity");
+  builder.AddMemberUnder("st-mty-1", "Store", "Monterrey");
+  builder.AddMemberUnder("st-aus-1", "Store", "Austin");
+  builder.AddChildParent("st-aus-1", "SR-USA");
+  builder.AddMemberUnder("st-was-1", "Store", "Washington");
+  builder.AddChildParent("st-was-1", "SR-USA");
+
+  return builder.Build();
+}
+
+}  // namespace olapdc

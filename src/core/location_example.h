@@ -1,0 +1,44 @@
+// The paper's running example: the `location` dimension (Figure 1) and
+// the schema `locationSch` (Figure 3), reconstructed from Examples
+// 1-13 and the textual Figure 5. Used by tests, the figure harnesses
+// (E1-E6), and the example programs.
+//
+// Hierarchy (Figure 1(A)):
+//   Store -> City, Store -> SaleRegion,
+//   City -> Province, City -> State, City -> Country (shortcut),
+//   Province -> SaleRegion,
+//   State -> SaleRegion, State -> Country,
+//   SaleRegion -> Country, Country -> All.
+//
+// Constraints (Figure 5, left column):
+//   (a) Store_City
+//   (b) Store.SaleRegion
+//   (c) City~Washington == City_Country
+//   (d) City~Washington  ⊃ City.Country~USA
+//   (e) State.Country~Mexico ∨ State.Country~USA
+//   (f) State.Country~Mexico == State_SaleRegion
+//   (g) Province.Country~Canada
+
+#ifndef OLAPDC_CORE_LOCATION_EXAMPLE_H_
+#define OLAPDC_CORE_LOCATION_EXAMPLE_H_
+
+#include "common/result.h"
+#include "core/schema.h"
+#include "dim/dimension_instance.h"
+
+namespace olapdc {
+
+/// The Figure 1(A) hierarchy schema.
+Result<HierarchySchemaPtr> LocationHierarchy();
+
+/// The Figure 3 schema locationSch = (G, {(a)..(g)}).
+Result<DimensionSchema> LocationSchema();
+
+/// The Figure 1(B) dimension instance (7 stores across Canada, Mexico
+/// and the USA, including the Washington shortcut), valid under C1-C7
+/// and satisfying every locationSch constraint.
+Result<DimensionInstance> LocationInstance();
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_LOCATION_EXAMPLE_H_

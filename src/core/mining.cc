@@ -1,0 +1,120 @@
+#include "core/mining.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "constraint/evaluator.h"
+
+namespace olapdc {
+
+namespace {
+
+/// The set of categories in which member m has direct parents.
+std::vector<CategoryId> ParentCategories(const DimensionInstance& d,
+                                         MemberId m) {
+  std::set<CategoryId> categories;
+  for (MemberId p : d.Parents(m)) {
+    categories.insert(d.member(p).category);
+  }
+  return std::vector<CategoryId>(categories.begin(), categories.end());
+}
+
+/// Conjunction pinning the direct-parent-category set of `root` to
+/// exactly `alternative`: positive path atoms for its members, negated
+/// ones for every other schema successor.
+ExprPtr AlternativeFormula(const HierarchySchema& schema, CategoryId root,
+                           const std::vector<CategoryId>& alternative) {
+  std::vector<ExprPtr> literals;
+  for (CategoryId p : schema.graph().OutNeighbors(root)) {
+    const bool positive =
+        std::find(alternative.begin(), alternative.end(), p) !=
+        alternative.end();
+    ExprPtr atom = MakePathAtom({root, p});
+    literals.push_back(positive ? atom : MakeNot(std::move(atom)));
+  }
+  OLAPDC_CHECK(!literals.empty());
+  return literals.size() == 1 ? literals[0] : MakeAnd(std::move(literals));
+}
+
+}  // namespace
+
+Result<std::vector<DimensionConstraint>> MineConstraints(
+    const DimensionInstance& d, const MiningOptions& options) {
+  const HierarchySchema& schema = d.hierarchy();
+  std::vector<DimensionConstraint> mined;
+
+  for (CategoryId c = 0; c < schema.num_categories(); ++c) {
+    if (c == schema.all() || d.MembersOf(c).empty()) continue;
+
+    // Observed direct-parent-category alternatives.
+    std::map<std::vector<CategoryId>, std::vector<MemberId>> by_alternative;
+    for (MemberId m : d.MembersOf(c)) {
+      by_alternative[ParentCategories(d, m)].push_back(m);
+    }
+
+    std::vector<ExprPtr> alternatives;
+    for (const auto& [alternative, members] : by_alternative) {
+      alternatives.push_back(AlternativeFormula(schema, c, alternative));
+    }
+    ExprPtr split = alternatives.size() == 1
+                        ? alternatives[0]
+                        : MakeOr(std::move(alternatives));
+    OLAPDC_ASSIGN_OR_RETURN(
+        DimensionConstraint split_constraint,
+        MakeConstraint(schema, std::move(split), "split"));
+    mined.push_back(std::move(split_constraint));
+
+    if (!options.mine_equality_conditions || by_alternative.size() < 2) {
+      continue;
+    }
+
+    // Equality-conditioned refinements: does some ancestor category's
+    // name determine the alternative?
+    schema.UpSet(c).ForEach([&](int t) {
+      if (t == c || t == schema.all()) return;
+      // Name of the t-ancestor per member (skip members without one).
+      std::map<std::string, std::set<const std::vector<CategoryId>*>>
+          by_name;
+      for (const auto& [alternative, members] : by_alternative) {
+        for (MemberId m : members) {
+          MemberId ancestor = d.RollUpMember(m, t);
+          if (ancestor == kNoMember) continue;
+          by_name[d.member(ancestor).name].insert(&alternative);
+        }
+      }
+      if (by_name.empty() || by_name.size() > options.max_condition_names) {
+        return;
+      }
+      for (const auto& [name, alternative_set] : by_name) {
+        if (alternative_set.size() != 1) continue;  // not determining
+        ExprPtr condition = MakeEqualityAtom(c, t, name);
+        ExprPtr consequence =
+            AlternativeFormula(schema, c, **alternative_set.begin());
+        Result<DimensionConstraint> refined = MakeConstraint(
+            schema, MakeImplies(std::move(condition), std::move(consequence)),
+            "cond");
+        OLAPDC_CHECK(refined.ok()) << refined.status().ToString();
+        mined.push_back(std::move(refined).ValueOrDie());
+      }
+    });
+  }
+
+#ifndef NDEBUG
+  // Mined constraints must hold on the instance they came from.
+  for (const DimensionConstraint& c : mined) {
+    OLAPDC_DCHECK(Satisfies(d, c));
+  }
+#endif
+  return mined;
+}
+
+Result<DimensionSchema> MineSchema(const DimensionInstance& d,
+                                   const MiningOptions& options) {
+  OLAPDC_ASSIGN_OR_RETURN(std::vector<DimensionConstraint> mined,
+                          MineConstraints(d, options));
+  return DimensionSchema(d.schema(), std::move(mined));
+}
+
+}  // namespace olapdc

@@ -1,0 +1,53 @@
+// Constraint mining: the reverse of model checking. Given a concrete
+// dimension instance, derive a set of dimension constraints the
+// instance satisfies — the starting point the paper's design-stage
+// story needs when a warehouse already has data but no declared
+// constraints ("the design of dimensions for OLAP should be driven by
+// the semantic information provided in the schema", Section 6).
+//
+// Mined per category c with at least one member:
+//   - the split of observed direct-parent-category sets (a split
+//     constraint in the ICDT'01 sense, compiled to the dimension-
+//     constraint language): members of c have parents in exactly one of
+//     the observed sets;
+//   - equality-conditioned refinements: when every member of c that
+//     rolls up to an ancestor named k in category t uses the same
+//     parent-set alternative, emit  (c.t = k -> <that alternative>).
+//
+// The mined set is guaranteed to hold on the input instance (re-checked
+// by construction via the model checker in debug builds and by tests),
+// and is *descriptive*: other instances over the same hierarchy may
+// violate it.
+
+#ifndef OLAPDC_CORE_MINING_H_
+#define OLAPDC_CORE_MINING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "constraint/expr.h"
+#include "core/schema.h"
+#include "dim/dimension_instance.h"
+
+namespace olapdc {
+
+struct MiningOptions {
+  /// Also mine equality-conditioned constraints (c.t = k -> ...).
+  bool mine_equality_conditions = true;
+  /// Only consider conditioning categories with at most this many
+  /// distinct ancestor names (larger name domains rarely condition
+  /// structure).
+  size_t max_condition_names = 8;
+};
+
+/// Mines constraints from `d`. Every returned constraint holds on `d`.
+Result<std::vector<DimensionConstraint>> MineConstraints(
+    const DimensionInstance& d, const MiningOptions& options = {});
+
+/// Convenience: the instance's hierarchy plus the mined constraints.
+Result<DimensionSchema> MineSchema(const DimensionInstance& d,
+                                   const MiningOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_MINING_H_

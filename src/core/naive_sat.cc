@@ -1,0 +1,73 @@
+#include "core/naive_sat.h"
+
+#include <utility>
+#include <vector>
+
+#include "constraint/normalize.h"
+#include "core/check_subhierarchy.h"
+#include "core/subhierarchy.h"
+
+namespace olapdc {
+
+Result<DimsatResult> NaiveSat(const DimensionSchema& ds, CategoryId root,
+                              const NaiveSatOptions& options) {
+  const HierarchySchema& schema = ds.hierarchy();
+  OLAPDC_CHECK(0 <= root && root < schema.num_categories());
+
+  // Only edges among categories reachable from the root can appear in a
+  // subhierarchy rooted there.
+  const DynamicBitset& up = schema.UpSet(root);
+  std::vector<std::pair<CategoryId, CategoryId>> edges;
+  for (const auto& [u, v] : schema.graph().Edges()) {
+    if (up.test(u) && up.test(v)) edges.emplace_back(u, v);
+  }
+  if (static_cast<int>(edges.size()) > options.max_edges) {
+    return Status::ResourceExhausted(
+        "NaiveSat: " + std::to_string(edges.size()) +
+        " candidate edges exceed max_edges");
+  }
+
+  // Expand shorthands once (same preparation as DIMSAT).
+  std::vector<DimensionConstraint> relevant;
+  for (const DimensionConstraint* c : ds.RelevantConstraints(root)) {
+    OLAPDC_ASSIGN_OR_RETURN(
+        ExprPtr expanded,
+        ExpandShorthands(schema, c->expr, options.path_limit));
+    relevant.push_back(
+        DimensionConstraint{c->root, Simplify(expanded), c->label});
+  }
+
+  CheckOptions check_options;
+  check_options.assignment.require_injective =
+      options.require_injective_names;
+  check_options.assignment.enumerate_all = options.enumerate_all;
+  check_options.assignment.max_results = options.max_frozen;
+
+  DimsatResult result;
+  const uint64_t subsets = uint64_t{1} << edges.size();
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    std::vector<std::pair<CategoryId, CategoryId>> chosen;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (mask & (uint64_t{1} << i)) chosen.push_back(edges[i]);
+    }
+    std::optional<Subhierarchy> g = Subhierarchy::FromEdges(
+        schema.num_categories(), root, schema.all(), chosen);
+    if (!g.has_value()) continue;
+
+    ++result.stats.check_calls;
+    CheckOutcome outcome = CheckSubhierarchy(relevant, *g, check_options);
+    result.stats.assignments_tried += outcome.assignments_tried;
+    if (outcome.structurally_rejected) ++result.stats.structural_rejections;
+    for (FrozenDimension& f : outcome.frozen) {
+      if (result.frozen.size() >= options.max_frozen) break;
+      result.frozen.push_back(std::move(f));
+    }
+    if (!result.frozen.empty() && !options.enumerate_all) break;
+    if (result.frozen.size() >= options.max_frozen) break;
+  }
+  result.satisfiable = !result.frozen.empty();
+  result.stats.frozen_found = result.frozen.size();
+  return result;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,60 @@
+#include "core/reasoner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "constraint/printer.h"
+
+namespace olapdc {
+
+Reasoner::Reasoner(DimensionSchema schema, DimsatOptions options)
+    : schema_(std::move(schema)), options_(std::move(options)) {}
+
+Result<bool> Reasoner::Memoized(
+    const std::string& key, const std::function<Result<bool>()>& compute) {
+  ++stats_.queries;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  OLAPDC_ASSIGN_OR_RETURN(bool value, compute());
+  cache_.emplace(key, value);
+  return value;
+}
+
+Result<bool> Reasoner::Implies(const DimensionConstraint& alpha) {
+  // Canonical key: root id + printed expression (printing is injective
+  // up to re-parse, which is what semantic identity needs here).
+  const std::string key = "i/" + std::to_string(alpha.root) + "/" +
+                          ExprToString(schema_.hierarchy(), alpha.expr);
+  return Memoized(key, [&]() -> Result<bool> {
+    OLAPDC_ASSIGN_OR_RETURN(ImplicationResult r,
+                            olapdc::Implies(schema_, alpha, options_));
+    return r.implied;
+  });
+}
+
+Result<bool> Reasoner::IsSatisfiable(CategoryId category) {
+  const std::string key = "s/" + std::to_string(category);
+  return Memoized(key, [&]() -> Result<bool> {
+    return IsCategorySatisfiable(schema_, category, options_);
+  });
+}
+
+Result<bool> Reasoner::IsSummarizable(CategoryId target,
+                                      const std::vector<CategoryId>& sources) {
+  std::vector<CategoryId> sorted = sources;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string key = "m/" + std::to_string(target);
+  for (CategoryId c : sorted) key += "," + std::to_string(c);
+  return Memoized(key, [&]() -> Result<bool> {
+    OLAPDC_ASSIGN_OR_RETURN(
+        SummarizabilityResult r,
+        olapdc::IsSummarizable(schema_, target, sorted, options_));
+    return r.summarizable;
+  });
+}
+
+}  // namespace olapdc

@@ -1,0 +1,63 @@
+// Reasoner: a memoizing façade over the decision procedures. The
+// interactive tools (summarizability matrix, view selection, aggregate
+// navigation) ask many overlapping implication questions against one
+// fixed schema; the reasoner caches answers keyed by the canonical
+// rendering of the query so repeated questions are O(1).
+//
+// The cache is sound because a DimensionSchema is immutable: answers
+// never need invalidation. A Reasoner is single-threaded (like the rest
+// of the library's mutable objects).
+
+#ifndef OLAPDC_CORE_REASONER_H_
+#define OLAPDC_CORE_REASONER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dimsat.h"
+#include "core/implication.h"
+#include "core/schema.h"
+#include "core/summarizability.h"
+
+namespace olapdc {
+
+class Reasoner {
+ public:
+  explicit Reasoner(DimensionSchema schema, DimsatOptions options = {});
+
+  const DimensionSchema& schema() const { return schema_; }
+
+  /// Cached ds |= alpha (counterexamples are not retained in the
+  /// cache; use Implies() directly when you need the witness).
+  Result<bool> Implies(const DimensionConstraint& alpha);
+
+  /// Cached category satisfiability.
+  Result<bool> IsSatisfiable(CategoryId category);
+
+  /// Cached schema-level summarizability.
+  Result<bool> IsSummarizable(CategoryId target,
+                              const std::vector<CategoryId>& sources);
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t hits = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Result<bool> Memoized(const std::string& key,
+                        const std::function<Result<bool>()>& compute);
+
+  DimensionSchema schema_;
+  DimsatOptions options_;
+  std::unordered_map<std::string, bool> cache_;
+  Stats stats_;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_REASONER_H_

@@ -1,0 +1,43 @@
+// Schema understanding tools built on frozen dimensions — the paper's
+// §1.4 remark that frozen dimensions "provide a useful representation
+// to understand heterogeneous schemas", packaged as a report:
+//   - structural overview (categories, edges, shortcuts, cycles),
+//   - satisfiability audit,
+//   - the frozen dimensions of every bottom category (the homogeneous
+//     worlds the schema mixes),
+//   - a single-source summarizability matrix,
+// plus a schema-level homogeneity test.
+
+#ifndef OLAPDC_CORE_REPORT_H_
+#define OLAPDC_CORE_REPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/dimsat.h"
+#include "core/schema.h"
+
+namespace olapdc {
+
+struct ReportOptions {
+  /// Cap on frozen dimensions listed per bottom category.
+  size_t max_frozen_per_bottom = 32;
+  /// Include the (quadratic, DIMSAT-heavy) summarizability matrix.
+  bool include_summarizability_matrix = true;
+  DimsatOptions dimsat;
+};
+
+/// Renders a human-readable report of the schema.
+Result<std::string> HeterogeneityReport(const DimensionSchema& ds,
+                                        const ReportOptions& options = {});
+
+/// A schema is *homogeneous* when every satisfiable bottom category
+/// admits exactly one frozen-dimension structure (ignoring constant
+/// choices): all members of a category then share one ancestor-category
+/// set, the classical pre-heterogeneity setting.
+Result<bool> IsHomogeneousSchema(const DimensionSchema& ds,
+                                 const DimsatOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_REPORT_H_

@@ -1,0 +1,110 @@
+#include "core/sat_reduction.h"
+
+#include <random>
+#include <string>
+#include <utility>
+
+namespace olapdc {
+
+Result<SatReduction> ReduceCnfToCategorySatisfiability(const Cnf& cnf) {
+  if (cnf.num_variables <= 0) {
+    return Status::InvalidArgument("CNF needs at least one variable");
+  }
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("Q", "T");
+  builder.AddEdge("T", "All");
+  for (int i = 1; i <= cnf.num_variables; ++i) {
+    const std::string xi = "X" + std::to_string(i);
+    builder.AddEdge("Q", xi);
+    builder.AddEdge(xi, "All");
+  }
+  OLAPDC_ASSIGN_OR_RETURN(HierarchySchemaPtr schema, builder.BuildShared());
+
+  const CategoryId q = schema->FindCategory("Q");
+  std::vector<DimensionConstraint> constraints;
+
+  // The into constraint Q/T guarantees Q always has the mandatory
+  // parent T, decoupling "Q reaches All" from the variable choices.
+  OLAPDC_ASSIGN_OR_RETURN(
+      DimensionConstraint into,
+      MakeConstraint(*schema,
+                     MakePathAtom({q, schema->FindCategory("T")}), "into"));
+  constraints.push_back(std::move(into));
+
+  for (size_t ci = 0; ci < cnf.clauses.size(); ++ci) {
+    std::vector<ExprPtr> literals;
+    for (int literal : cnf.clauses[ci]) {
+      const int var = literal > 0 ? literal : -literal;
+      if (var < 1 || var > cnf.num_variables) {
+        return Status::InvalidArgument("literal out of range");
+      }
+      CategoryId xi = schema->FindCategory("X" + std::to_string(var));
+      ExprPtr atom = MakePathAtom({q, xi});
+      literals.push_back(literal > 0 ? atom : MakeNot(std::move(atom)));
+    }
+    if (literals.empty()) {
+      return Status::InvalidArgument("empty clause (trivially unsat)");
+    }
+    OLAPDC_ASSIGN_OR_RETURN(
+        DimensionConstraint clause,
+        MakeConstraint(*schema, MakeOr(std::move(literals)),
+                       "clause" + std::to_string(ci + 1)));
+    constraints.push_back(std::move(clause));
+  }
+
+  return SatReduction{DimensionSchema(schema, std::move(constraints)), q};
+}
+
+bool EvalCnf(const Cnf& cnf, const std::vector<bool>& assignment) {
+  OLAPDC_CHECK(static_cast<int>(assignment.size()) == cnf.num_variables);
+  for (const auto& clause : cnf.clauses) {
+    bool satisfied = false;
+    for (int literal : clause) {
+      const int var = literal > 0 ? literal : -literal;
+      const bool value = assignment[var - 1];
+      satisfied |= (literal > 0) == value;
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+bool BruteForceCnfSat(const Cnf& cnf) {
+  OLAPDC_CHECK(cnf.num_variables <= 24) << "brute force limited to 24 vars";
+  const uint32_t total = uint32_t{1} << cnf.num_variables;
+  std::vector<bool> assignment(cnf.num_variables);
+  for (uint32_t mask = 0; mask < total; ++mask) {
+    for (int i = 0; i < cnf.num_variables; ++i) {
+      assignment[i] = (mask >> i) & 1;
+    }
+    if (EvalCnf(cnf, assignment)) return true;
+  }
+  return false;
+}
+
+Cnf RandomCnf(int num_variables, int num_clauses, int k, uint64_t seed) {
+  OLAPDC_CHECK(k >= 1 && k <= num_variables);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> var_dist(1, num_variables);
+  std::bernoulli_distribution sign_dist(0.5);
+
+  Cnf cnf;
+  cnf.num_variables = num_variables;
+  cnf.clauses.reserve(num_clauses);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<int> vars;
+    while (static_cast<int>(vars.size()) < k) {
+      int var = var_dist(rng);
+      bool duplicate = false;
+      for (int existing : vars) duplicate |= (existing == var);
+      if (!duplicate) vars.push_back(var);
+    }
+    std::vector<int> clause;
+    clause.reserve(k);
+    for (int var : vars) clause.push_back(sign_dist(rng) ? var : -var);
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+}  // namespace olapdc

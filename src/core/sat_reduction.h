@@ -1,0 +1,55 @@
+// The Theorem 4 hardness construction: propositional satisfiability
+// reduces to category satisfiability. Given a CNF formula over
+// variables x1..xv, build the schema
+//
+//   categories:  Q (root), T, X1..Xv, All
+//   edges:       Q -> T, Q -> Xi, T -> All, Xi -> All
+//   constraints: Q/T (into), plus one constraint per clause where a
+//                positive literal xi becomes the path atom Q/Xi and a
+//                negative one its negation.
+//
+// A subhierarchy rooted at Q chooses an arbitrary subset of the Xi
+// (presence of the edge Q -> Xi = "xi true"), so Q is satisfiable in
+// the schema iff the CNF is satisfiable. Used by tests and by the
+// sat_reduction benchmark (E11) to generate hard instances.
+
+#ifndef OLAPDC_CORE_SAT_REDUCTION_H_
+#define OLAPDC_CORE_SAT_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/schema.h"
+
+namespace olapdc {
+
+/// A CNF formula: each clause is a list of non-zero literals; literal
+/// +i means variable i (1-based), -i its negation.
+struct Cnf {
+  int num_variables = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+/// The reduction output: the schema plus the id of the root category Q.
+struct SatReduction {
+  DimensionSchema schema;
+  CategoryId query;
+};
+
+/// Builds the Theorem 4 schema for `cnf`.
+Result<SatReduction> ReduceCnfToCategorySatisfiability(const Cnf& cnf);
+
+/// Evaluates `cnf` under `assignment` (assignment[i-1] = value of xi).
+bool EvalCnf(const Cnf& cnf, const std::vector<bool>& assignment);
+
+/// Brute-force CNF satisfiability (reference for tests; 2^v).
+bool BruteForceCnfSat(const Cnf& cnf);
+
+/// Deterministic random k-SAT generator (clauses of size k over v
+/// variables, no repeated variables within a clause).
+Cnf RandomCnf(int num_variables, int num_clauses, int k, uint64_t seed);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_SAT_REDUCTION_H_

@@ -1,0 +1,56 @@
+#include "core/schema.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace olapdc {
+
+DimensionSchema::DimensionSchema(HierarchySchemaPtr hierarchy,
+                                 std::vector<DimensionConstraint> constraints)
+    : hierarchy_(std::move(hierarchy)), constraints_(std::move(constraints)) {
+  OLAPDC_CHECK(hierarchy_ != nullptr);
+  const int n = hierarchy_->num_categories();
+
+  constants_.assign(n, {});
+  for (const DimensionConstraint& c : constraints_) {
+    std::vector<const Expr*> atoms;
+    CollectAtoms(c.expr, &atoms);
+    for (const Expr* atom : atoms) {
+      if (atom->kind == ExprKind::kEqualityAtom) {
+        constants_[atom->target].push_back(atom->constant);
+      }
+    }
+  }
+  for (auto& list : constants_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    max_constants_ = std::max(max_constants_, static_cast<int>(list.size()));
+  }
+
+  into_targets_.assign(n, DynamicBitset(n));
+  for (const DimensionConstraint& c : constraints_) {
+    CategoryId child, parent;
+    if (IsIntoConstraint(c, &child, &parent)) {
+      into_targets_[child].set(parent);
+    }
+  }
+}
+
+std::vector<const DimensionConstraint*> DimensionSchema::RelevantConstraints(
+    CategoryId c) const {
+  const DynamicBitset& up = hierarchy_->UpSet(c);
+  std::vector<const DimensionConstraint*> out;
+  for (const DimensionConstraint& constraint : constraints_) {
+    if (up.test(constraint.root)) out.push_back(&constraint);
+  }
+  return out;
+}
+
+DimensionSchema DimensionSchema::WithExtraConstraint(
+    DimensionConstraint extra) const {
+  std::vector<DimensionConstraint> constraints = constraints_;
+  constraints.push_back(std::move(extra));
+  return DimensionSchema(hierarchy_, std::move(constraints));
+}
+
+}  // namespace olapdc

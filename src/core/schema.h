@@ -1,0 +1,69 @@
+// Dimension schemas (paper Section 3.1): a hierarchy schema G together
+// with a set Sigma of dimension constraints. This is the object the
+// implication problem, category satisfiability, and summarizability
+// tests are posed against.
+
+#ifndef OLAPDC_CORE_SCHEMA_H_
+#define OLAPDC_CORE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "constraint/expr.h"
+#include "dim/hierarchy_schema.h"
+
+namespace olapdc {
+
+/// An immutable dimension schema ds = (G, Sigma). Precomputes the
+/// Const_ds map (constants per category mentioned by equality atoms)
+/// and the *into*-constraint edge sets used by DIMSAT's pruning.
+class DimensionSchema {
+ public:
+  DimensionSchema(HierarchySchemaPtr hierarchy,
+                  std::vector<DimensionConstraint> constraints);
+
+  const HierarchySchema& hierarchy() const { return *hierarchy_; }
+  const HierarchySchemaPtr& hierarchy_ptr() const { return hierarchy_; }
+  const std::vector<DimensionConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Sigma(ds, c): the constraints whose root is reachable from c
+  /// (Section 5) — the only ones a frozen dimension rooted at c can
+  /// possibly be non-vacuous for.
+  std::vector<const DimensionConstraint*> RelevantConstraints(
+      CategoryId c) const;
+
+  /// Const_ds(c): the constants k with an equality atom targeting c in
+  /// Sigma, sorted and deduplicated.
+  const std::vector<std::string>& ConstantsOf(CategoryId c) const {
+    OLAPDC_DCHECK(0 <= c && c < hierarchy().num_categories());
+    return constants_[c];
+  }
+
+  /// The maximum |Const_ds(c)| over all categories (the paper's N_K).
+  int max_constants_per_category() const { return max_constants_; }
+
+  /// The categories c' such that Sigma contains the into constraint
+  /// c_c' (a bare length-one path atom), as a bitset.
+  const DynamicBitset& IntoTargets(CategoryId c) const {
+    OLAPDC_DCHECK(0 <= c && c < hierarchy().num_categories());
+    return into_targets_[c];
+  }
+
+  /// A copy of this schema with one more constraint (used by the
+  /// Theorem 2 reduction of implication to category satisfiability).
+  DimensionSchema WithExtraConstraint(DimensionConstraint extra) const;
+
+ private:
+  HierarchySchemaPtr hierarchy_;
+  std::vector<DimensionConstraint> constraints_;
+  std::vector<std::vector<std::string>> constants_;
+  std::vector<DynamicBitset> into_targets_;
+  int max_constants_ = 0;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_SCHEMA_H_

@@ -1,0 +1,197 @@
+#include "core/subhierarchy.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace olapdc {
+
+Subhierarchy::Subhierarchy(int num_categories, CategoryId root)
+    : n_(num_categories),
+      root_(root),
+      cats_(num_categories),
+      top_(num_categories),
+      out_(num_categories, DynamicBitset(num_categories)),
+      in_(num_categories, DynamicBitset(num_categories)),
+      below_(num_categories, DynamicBitset(num_categories)) {
+  OLAPDC_CHECK(0 <= root && root < num_categories);
+  cats_.set(root);
+  top_.set(root);
+}
+
+int Subhierarchy::num_edges() const {
+  int count = 0;
+  cats_.ForEach([&](int u) { count += out_[u].count(); });
+  return count;
+}
+
+void Subhierarchy::Expand(CategoryId ctop, const DynamicBitset& r) {
+  OLAPDC_DCHECK(top_.test(ctop)) << "Expand target must be a top category";
+  OLAPDC_DCHECK(r.any());
+  top_.reset(ctop);
+
+  // Everything below ctop — plus ctop itself — now reaches every
+  // category that r's members reach.
+  DynamicBitset delta = below_[ctop];
+  delta.set(ctop);
+
+  std::vector<CategoryId> frontier;
+  r.ForEach([&](int c) {
+    if (!cats_.test(c)) {
+      cats_.set(c);
+      top_.set(c);
+    }
+    out_[ctop].set(c);
+    in_[c].set(ctop);
+    frontier.push_back(c);
+  });
+
+  // Propagate delta to every category reachable from r (inclusive).
+  // Prior Below sets were exact, so the new facts are exactly `delta`
+  // on that reachable region.
+  DynamicBitset visited(n_);
+  while (!frontier.empty()) {
+    CategoryId x = frontier.back();
+    frontier.pop_back();
+    if (visited.test(x)) continue;
+    visited.set(x);
+    below_[x] |= delta;
+    out_[x].ForEach([&](int y) {
+      if (!visited.test(y)) frontier.push_back(y);
+    });
+  }
+}
+
+bool Subhierarchy::IsPath(const std::vector<CategoryId>& path) const {
+  if (path.empty()) return false;
+  if (!cats_.test(path[0])) return false;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!HasEdge(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+std::vector<DynamicBitset> Subhierarchy::ComputeReach() const {
+  std::vector<DynamicBitset> reach(n_, DynamicBitset(n_));
+  // Process categories; repeated relaxation handles arbitrary insertion
+  // orders (g may be cyclic when pruning is disabled, so a plain
+  // reverse-topological pass is not guaranteed to exist).
+  bool changed = true;
+  cats_.ForEach([&](int u) { reach[u].set(u); });
+  while (changed) {
+    changed = false;
+    cats_.ForEach([&](int u) {
+      DynamicBitset before = reach[u];
+      out_[u].ForEach([&](int v) { reach[u] |= reach[v]; });
+      if (reach[u] != before) changed = true;
+    });
+  }
+  return reach;
+}
+
+std::vector<std::pair<CategoryId, CategoryId>> Subhierarchy::Edges() const {
+  std::vector<std::pair<CategoryId, CategoryId>> edges;
+  cats_.ForEach([&](int u) {
+    out_[u].ForEach([&](int v) { edges.emplace_back(u, v); });
+  });
+  return edges;
+}
+
+Digraph Subhierarchy::ToDigraph() const {
+  Digraph g(n_);
+  for (const auto& [u, v] : Edges()) g.AddEdge(u, v);
+  return g;
+}
+
+bool Subhierarchy::HasCycleIn() const { return HasCycle(ToDigraph()); }
+
+bool Subhierarchy::HasShortcut() const {
+  std::vector<DynamicBitset> reach = ComputeReach();
+  bool found = false;
+  cats_.ForEach([&](int u) {
+    if (found) return;
+    out_[u].ForEach([&](int v) {
+      if (found) return;
+      // Edge (u, v) plus a path u -> w -> ... -> v for some other
+      // successor w of u.
+      out_[u].ForEach([&](int w) {
+        if (w != v && reach[w].test(v)) found = true;
+      });
+    });
+  });
+  return found;
+}
+
+std::optional<Subhierarchy> Subhierarchy::FromEdges(
+    int num_categories, CategoryId root, CategoryId all,
+    const std::vector<std::pair<CategoryId, CategoryId>>& edges) {
+  Subhierarchy g(num_categories, root);
+  g.top_.clear();
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= num_categories || v < 0 || v >= num_categories ||
+        u == v) {
+      return std::nullopt;
+    }
+    g.cats_.set(u);
+    g.cats_.set(v);
+    g.out_[u].set(v);
+    g.in_[v].set(u);
+  }
+
+  // Reachability from root must cover every category of g.
+  {
+    DynamicBitset seen(num_categories);
+    std::vector<CategoryId> frontier{root};
+    seen.set(root);
+    while (!frontier.empty()) {
+      CategoryId u = frontier.back();
+      frontier.pop_back();
+      g.out_[u].ForEach([&](int v) {
+        if (!seen.test(v)) {
+          seen.set(v);
+          frontier.push_back(v);
+        }
+      });
+    }
+    if (!g.cats_.IsSubsetOf(seen)) return std::nullopt;
+  }
+
+  // Every category without outgoing edges must be All (otherwise it
+  // cannot reach All); All itself must have none. With acyclicity this
+  // implies c ->* All for all c. (Cyclic edge sets are representable —
+  // the structural CHECK rejects them later.)
+  bool ok = true;
+  g.cats_.ForEach([&](int u) {
+    bool has_out = g.out_[u].any();
+    if (u == all && has_out) ok = false;
+    if (u != all && !has_out) ok = false;
+    if (!has_out) g.top_.set(u);
+  });
+  if (root == all && g.cats_.count() == 1) ok = true;
+  if (!ok) return std::nullopt;
+  if (!g.cats_.test(all) && !(root == all && g.cats_.count() == 1)) {
+    return std::nullopt;
+  }
+
+  // Rebuild Below exactly.
+  std::vector<DynamicBitset> reach(num_categories,
+                                   DynamicBitset(num_categories));
+  bool changed = true;
+  g.cats_.ForEach([&](int u) { reach[u].set(u); });
+  while (changed) {
+    changed = false;
+    g.cats_.ForEach([&](int u) {
+      DynamicBitset before = reach[u];
+      g.out_[u].ForEach([&](int v) { reach[u] |= reach[v]; });
+      if (reach[u] != before) changed = true;
+    });
+  }
+  g.cats_.ForEach([&](int v) {
+    g.cats_.ForEach([&](int u) {
+      if (u != v && reach[u].test(v)) g.below_[v].set(u);
+    });
+  });
+  return g;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,88 @@
+#include "core/summarizability.h"
+
+#include <utility>
+
+#include "constraint/evaluator.h"
+
+namespace olapdc {
+
+Result<DimensionConstraint> SummarizabilityConstraint(
+    const HierarchySchema& schema, CategoryId bottom, CategoryId c,
+    const std::vector<CategoryId>& s) {
+  if (bottom == schema.all()) {
+    return Status::InvalidArgument(
+        "bottom category cannot be All (constraints cannot be rooted "
+        "there)");
+  }
+  std::vector<ExprPtr> through;
+  through.reserve(s.size());
+  for (CategoryId ci : s) {
+    if (ci < 0 || ci >= schema.num_categories()) {
+      return Status::InvalidArgument("category id out of range in S");
+    }
+    through.push_back(MakeThroughAtom(bottom, ci, c));
+  }
+  ExprPtr expr = MakeImplies(MakeComposedAtom(bottom, c),
+                             MakeExactlyOne(std::move(through)));
+  return MakeConstraintWithRoot(schema, bottom, std::move(expr));
+}
+
+Result<SummarizabilityResult> IsSummarizable(
+    const DimensionSchema& ds, CategoryId c,
+    const std::vector<CategoryId>& s, const DimsatOptions& options) {
+  const HierarchySchema& schema = ds.hierarchy();
+  if (c < 0 || c >= schema.num_categories()) {
+    return Status::InvalidArgument("target category out of range");
+  }
+
+  SummarizabilityResult result;
+  result.summarizable = true;
+  for (CategoryId bottom : schema.bottom_categories()) {
+    if (bottom == schema.all()) continue;  // degenerate one-node schema
+    OLAPDC_ASSIGN_OR_RETURN(
+        DimensionConstraint alpha,
+        SummarizabilityConstraint(schema, bottom, c, s));
+    OLAPDC_ASSIGN_OR_RETURN(ImplicationResult implication,
+                            Implies(ds, alpha, options));
+    SummarizabilityResult::PerBottom detail;
+    detail.bottom = bottom;
+    detail.implied = implication.implied;
+    detail.counterexample = std::move(implication.counterexample);
+    result.summarizable &= implication.implied;
+    result.details.push_back(std::move(detail));
+  }
+  return result;
+}
+
+Result<bool> IsSummarizableInInstance(const DimensionInstance& d,
+                                      CategoryId c,
+                                      const std::vector<CategoryId>& s) {
+  const HierarchySchema& schema = d.hierarchy();
+  for (CategoryId bottom : schema.bottom_categories()) {
+    if (bottom == schema.all()) continue;
+    OLAPDC_ASSIGN_OR_RETURN(
+        DimensionConstraint alpha,
+        SummarizabilityConstraint(schema, bottom, c, s));
+    if (!Satisfies(d, alpha)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<MemberId>> SummarizabilityViolators(
+    const DimensionInstance& d, CategoryId c,
+    const std::vector<CategoryId>& s) {
+  const HierarchySchema& schema = d.hierarchy();
+  std::vector<MemberId> violators;
+  for (CategoryId bottom : schema.bottom_categories()) {
+    if (bottom == schema.all()) continue;
+    OLAPDC_ASSIGN_OR_RETURN(
+        DimensionConstraint alpha,
+        SummarizabilityConstraint(schema, bottom, c, s));
+    for (MemberId m : ViolatingMembers(d, alpha)) {
+      violators.push_back(m);
+    }
+  }
+  return violators;
+}
+
+}  // namespace olapdc

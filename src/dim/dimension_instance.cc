@@ -1,0 +1,273 @@
+#include "dim/dimension_instance.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/string_util.h"
+#include "graph/algorithms.h"
+#include "graph/dot.h"
+
+namespace olapdc {
+
+namespace {
+
+/// Computes, for every category c, the table of strict ancestors in c
+/// per member, verifying C2 (partitioning) and C6 (stratification)
+/// along the way. `topo_down` receives a parents-before-children order.
+Status BuildAncestorTables(const HierarchySchema& schema,
+                           const std::vector<Member>& members,
+                           const Digraph& child_parent,
+                           std::vector<std::vector<MemberId>>* ancestor_in,
+                           std::vector<MemberId>* topo_down) {
+  // Child/parent edges point child -> parent, so a topological order
+  // lists children before parents; reversing yields parents first.
+  Result<std::vector<int>> topo = TopologicalSort(child_parent);
+  if (!topo.ok()) {
+    return Status::InvalidModel(
+        "C6 (stratification) violated: the child/parent relation is "
+        "cyclic");
+  }
+  *topo_down = std::move(topo).ValueOrDie();
+  std::reverse(topo_down->begin(), topo_down->end());
+
+  const int num_categories = schema.num_categories();
+  const int num_members = static_cast<int>(members.size());
+  ancestor_in->assign(num_categories,
+                      std::vector<MemberId>(num_members, kNoMember));
+
+  for (CategoryId c = 0; c < num_categories; ++c) {
+    std::vector<MemberId>& anc = (*ancestor_in)[c];
+    for (MemberId x : *topo_down) {
+      for (MemberId p : child_parent.OutNeighbors(x)) {
+        MemberId candidate =
+            (members[p].category == c) ? p : anc[p];
+        if (candidate == kNoMember) continue;
+        if (anc[x] != kNoMember && anc[x] != candidate) {
+          return Status::InvalidModel(
+              "C2 (partitioning) violated: member '" + members[x].key +
+              "' rolls up to both '" + members[anc[x]].key + "' and '" +
+              members[candidate].key + "' in category '" +
+              schema.CategoryName(c) + "'");
+        }
+        anc[x] = candidate;
+      }
+      if (members[x].category == c && anc[x] != kNoMember) {
+        return Status::InvalidModel(
+            "C6 (stratification) violated: member '" + members[x].key +
+            "' has strict ancestor '" + members[anc[x]].key +
+            "' in its own category '" + schema.CategoryName(c) + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MemberId DimensionInstance::FindMember(std::string_view key) const {
+  auto it = by_key_.find(std::string(key));
+  return it == by_key_.end() ? kNoMember : it->second;
+}
+
+Result<MemberId> DimensionInstance::MemberIdOf(std::string_view key) const {
+  MemberId m = FindMember(key);
+  if (m == kNoMember) {
+    return Status::NotFound("unknown member '" + std::string(key) + "'");
+  }
+  return m;
+}
+
+std::vector<std::pair<MemberId, MemberId>> DimensionInstance::RollupMapping(
+    CategoryId c1, CategoryId c2) const {
+  std::vector<std::pair<MemberId, MemberId>> pairs;
+  for (MemberId m : MembersOf(c1)) {
+    MemberId target = RollUpMember(m, c2);
+    if (target != kNoMember) pairs.emplace_back(m, target);
+  }
+  return pairs;
+}
+
+Status DimensionInstance::ComputeAncestorTables() {
+  return BuildAncestorTables(*schema_, members_, child_parent_, &ancestor_in_,
+                             &topo_down_);
+}
+
+Status DimensionInstance::Validate(bool enforce_shortcut_condition) const {
+  const HierarchySchema& schema = *schema_;
+
+  // C1 (connectivity): member edges only along schema edges.
+  for (const auto& [x, y] : child_parent_.Edges()) {
+    if (!schema.HasEdge(members_[x].category, members_[y].category)) {
+      return Status::InvalidModel(
+          "C1 (connectivity) violated: edge '" + members_[x].key + "' < '" +
+          members_[y].key + "' has no schema edge " +
+          schema.CategoryName(members_[x].category) + " -> " +
+          schema.CategoryName(members_[y].category));
+    }
+  }
+
+  // C2 + C6 via ancestor-table recomputation.
+  std::vector<std::vector<MemberId>> ancestor_in;
+  std::vector<MemberId> topo_down;
+  OLAPDC_RETURN_NOT_OK(BuildAncestorTables(schema, members_, child_parent_,
+                                           &ancestor_in, &topo_down));
+
+  // C3 (disjointness) holds by construction: each member belongs to
+  // exactly one category.
+
+  // C4 (top category): MembSet_All = {all}.
+  if (by_category_[schema.all()].size() != 1) {
+    return Status::InvalidModel(
+        "C4 (top category) violated: the All category has " +
+        std::to_string(by_category_[schema.all()].size()) +
+        " members; expected exactly 1");
+  }
+
+  // C5 (no shortcuts): an edge x < y must not be paralleled by a chain
+  // x < p <= ... <= y of length >= 2. With per-category ancestor
+  // uniqueness this reduces to: some parent p != y of x rolls up to y.
+  for (const auto& [x, y] :
+       enforce_shortcut_condition
+           ? child_parent_.Edges()
+           : std::vector<std::pair<int, int>>{}) {
+    const CategoryId cy = members_[y].category;
+    for (MemberId p : child_parent_.OutNeighbors(x)) {
+      if (p == y) continue;
+      MemberId via =
+          (members_[p].category == cy) ? p : ancestor_in[cy][p];
+      if (via == y) {
+        return Status::InvalidModel(
+            "C5 (shortcuts) violated: edge '" + members_[x].key + "' < '" +
+            members_[y].key + "' is paralleled by a longer chain through '" +
+            members_[p].key + "'");
+      }
+    }
+  }
+
+  // C7 (up connectivity): every member outside All has a parent.
+  for (MemberId m = 0; m < num_members(); ++m) {
+    if (members_[m].category == schema.all()) continue;
+    if (child_parent_.OutDegree(m) == 0) {
+      return Status::InvalidModel(
+          "C7 (up connectivity) violated: member '" + members_[m].key +
+          "' of category '" + schema.CategoryName(members_[m].category) +
+          "' has no parent");
+    }
+  }
+  return Status::OK();
+}
+
+std::string DimensionInstance::ToDot(const std::string& graph_name) const {
+  DotOptions options;
+  options.name = graph_name;
+  return olapdc::ToDot(
+      child_parent_, [this](int m) { return members_[m].key; }, options);
+}
+
+DimensionInstanceBuilder::DimensionInstanceBuilder(HierarchySchemaPtr schema)
+    : schema_(std::move(schema)) {
+  OLAPDC_CHECK(schema_ != nullptr);
+}
+
+DimensionInstanceBuilder& DimensionInstanceBuilder::AddMember(
+    std::string_view key, std::string_view category) {
+  return AddMember(key, category, key);
+}
+
+DimensionInstanceBuilder& DimensionInstanceBuilder::AddMember(
+    std::string_view key, std::string_view category, std::string_view name) {
+  CategoryId c = schema_->FindCategory(category);
+  if (c == kNoCategory) {
+    deferred_errors_.push_back("unknown category '" + std::string(category) +
+                               "' for member '" + std::string(key) + "'");
+    return *this;
+  }
+  pending_members_.push_back(
+      Member{std::string(key), c, std::string(name)});
+  return *this;
+}
+
+DimensionInstanceBuilder& DimensionInstanceBuilder::AddChildParent(
+    std::string_view child, std::string_view parent) {
+  pending_edges_.emplace_back(std::string(child), std::string(parent));
+  return *this;
+}
+
+DimensionInstanceBuilder& DimensionInstanceBuilder::AddMemberUnder(
+    std::string_view key, std::string_view category, std::string_view parent) {
+  AddMember(key, category);
+  AddChildParent(key, parent);
+  return *this;
+}
+
+Result<DimensionInstance> DimensionInstanceBuilder::Build() const {
+  if (!deferred_errors_.empty()) {
+    return Status::InvalidArgument(Join(deferred_errors_, "; "));
+  }
+
+  DimensionInstance inst;
+  inst.schema_ = schema_;
+  inst.members_ = pending_members_;
+
+  const CategoryId all_cat = schema_->all();
+  bool has_all_member = false;
+  for (const Member& m : inst.members_) {
+    if (m.category == all_cat) has_all_member = true;
+  }
+  if (!has_all_member && auto_all_) {
+    inst.members_.push_back(Member{"all", all_cat, "all"});
+  }
+
+  inst.by_category_.assign(schema_->num_categories(), {});
+  for (MemberId m = 0; m < inst.num_members(); ++m) {
+    const Member& member = inst.members_[m];
+    auto [it, inserted] = inst.by_key_.emplace(member.key, m);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate member key '" + member.key +
+                                     "'");
+    }
+    inst.by_category_[member.category].push_back(m);
+  }
+
+  if (inst.by_category_[all_cat].size() != 1) {
+    return Status::InvalidModel(
+        "C4 (top category) violated: the All category has " +
+        std::to_string(inst.by_category_[all_cat].size()) +
+        " members; expected exactly 1");
+  }
+  inst.all_member_ = inst.by_category_[all_cat][0];
+
+  inst.child_parent_ = Digraph(inst.num_members());
+  for (const auto& [child_key, parent_key] : pending_edges_) {
+    auto child_it = inst.by_key_.find(child_key);
+    auto parent_it = inst.by_key_.find(parent_key);
+    if (child_it == inst.by_key_.end()) {
+      return Status::InvalidArgument("child/parent edge references unknown "
+                                     "member '" + child_key + "'");
+    }
+    if (parent_it == inst.by_key_.end()) {
+      return Status::InvalidArgument("child/parent edge references unknown "
+                                     "member '" + parent_key + "'");
+    }
+    inst.child_parent_.AddEdge(child_it->second, parent_it->second);
+  }
+
+  if (auto_link_to_all_) {
+    for (MemberId m = 0; m < inst.num_members(); ++m) {
+      if (m == inst.all_member_) continue;
+      if (inst.child_parent_.OutDegree(m) == 0 &&
+          schema_->HasEdge(inst.members_[m].category, all_cat)) {
+        inst.child_parent_.AddEdge(m, inst.all_member_);
+      }
+    }
+  }
+
+  OLAPDC_RETURN_NOT_OK(inst.ComputeAncestorTables());
+  if (!skip_validation_) {
+    OLAPDC_RETURN_NOT_OK(inst.Validate());
+  }
+  return inst;
+}
+
+}  // namespace olapdc

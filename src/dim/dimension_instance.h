@@ -1,0 +1,210 @@
+// Dimension instances (paper Definition 2): members per category, a
+// child/parent relation, and a Name attribute, subject to conditions
+// C1-C7 (Figure 2 of the paper):
+//
+//   C1 Connectivity      member edges only along schema edges
+//   C2 Partitioning      each member reaches at most one member per
+//                        category (rollups are functions; "strict")
+//   C3 Disjointness      member sets pairwise disjoint
+//   C4 Top category      MembSet_All = {all}
+//   C5 Shortcuts         no member edge is paralleled by a longer chain
+//   C6 Stratification    no member is a strict ancestor of a member of
+//                        its own category (implies < is acyclic)
+//   C7 Up connectivity   every member outside All has a parent
+//
+// Build instances with DimensionInstanceBuilder; Build() validates all
+// seven conditions and precomputes per-category ancestor tables that
+// make rollup queries O(1).
+
+#ifndef OLAPDC_DIM_DIMENSION_INSTANCE_H_
+#define OLAPDC_DIM_DIMENSION_INSTANCE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dim/hierarchy_schema.h"
+#include "graph/digraph.h"
+
+namespace olapdc {
+
+/// Dense index of a member within its dimension instance.
+using MemberId = int;
+
+/// Sentinel for "no member".
+inline constexpr MemberId kNoMember = -1;
+
+/// A member of a dimension instance.
+struct Member {
+  /// Unique key within the instance (C3 disjointness is by construction:
+  /// a key belongs to exactly one category).
+  std::string key;
+  /// The category holding this member.
+  CategoryId category = kNoCategory;
+  /// The value of the Name attribute (defaults to `key`).
+  std::string name;
+};
+
+/// An immutable, validated dimension instance over a hierarchy schema.
+class DimensionInstance {
+ public:
+  const HierarchySchemaPtr& schema() const { return schema_; }
+  const HierarchySchema& hierarchy() const { return *schema_; }
+
+  int num_members() const { return static_cast<int>(members_.size()); }
+
+  const Member& member(MemberId m) const {
+    OLAPDC_DCHECK(0 <= m && m < num_members());
+    return members_[m];
+  }
+
+  /// The member with key `key`, or kNoMember.
+  MemberId FindMember(std::string_view key) const;
+
+  /// The member with key `key`, or NotFound.
+  Result<MemberId> MemberIdOf(std::string_view key) const;
+
+  /// The single member of the All category.
+  MemberId all_member() const { return all_member_; }
+
+  /// Members of category c, in insertion order.
+  const std::vector<MemberId>& MembersOf(CategoryId c) const {
+    OLAPDC_DCHECK(0 <= c && c < hierarchy().num_categories());
+    return by_category_[c];
+  }
+
+  /// The member-level child/parent relation <.
+  const Digraph& child_parent() const { return child_parent_; }
+
+  /// The direct parents of m (members m' with m < m').
+  const std::vector<MemberId>& Parents(MemberId m) const {
+    return child_parent_.OutNeighbors(m);
+  }
+
+  /// The direct children of m.
+  const std::vector<MemberId>& Children(MemberId m) const {
+    return child_parent_.InNeighbors(m);
+  }
+
+  /// The unique member of category c that m rolls up to (m <= result),
+  /// or kNoMember. Returns m itself when m already belongs to c.
+  /// O(1) via the precomputed ancestor tables.
+  MemberId RollUpMember(MemberId m, CategoryId c) const {
+    OLAPDC_DCHECK(0 <= m && m < num_members());
+    OLAPDC_DCHECK(0 <= c && c < hierarchy().num_categories());
+    if (members_[m].category == c) return m;
+    return ancestor_in_[c][m];
+  }
+
+  /// True iff m <= m' (m rolls up to member m').
+  bool RollsUpTo(MemberId m, MemberId target) const {
+    return RollUpMember(m, members_[target].category) == target;
+  }
+
+  /// True iff m rolls up to some member of category c (reflexively).
+  bool RollsUpToCategory(MemberId m, CategoryId c) const {
+    return RollUpMember(m, c) != kNoMember;
+  }
+
+  /// The rollup mapping Gamma_{c1}^{c2}: pairs (x1, x2) with
+  /// x1 in c1, x2 in c2, x1 <= x2. Single-valued in x1 by C2.
+  std::vector<std::pair<MemberId, MemberId>> RollupMapping(
+      CategoryId c1, CategoryId c2) const;
+
+  /// Re-runs the full C1-C7 validation (Build() already ran it unless
+  /// the builder was told to skip). Pass enforce_shortcut_condition =
+  /// false to relax C5, the validity notion of models (Pedersen &
+  /// Jensen) that admit direct links shadowing longer chains — used by
+  /// the transform baselines.
+  Status Validate(bool enforce_shortcut_condition = true) const;
+
+  /// Graphviz rendering of the child/parent relation with member names.
+  std::string ToDot(const std::string& graph_name = "instance") const;
+
+ private:
+  friend class DimensionInstanceBuilder;
+  DimensionInstance() = default;
+
+  /// Recomputes ancestor_in_ from the child/parent graph; fails with
+  /// InvalidModel if C2 or C6 is violated (which the table relies on).
+  Status ComputeAncestorTables();
+
+  HierarchySchemaPtr schema_;
+  std::vector<Member> members_;
+  std::unordered_map<std::string, MemberId> by_key_;
+  std::vector<std::vector<MemberId>> by_category_;
+  Digraph child_parent_;
+  MemberId all_member_ = kNoMember;
+  /// ancestor_in_[c][m] = the unique *strict* ancestor of m in category
+  /// c, or kNoMember. (RollUpMember adds the reflexive case.)
+  std::vector<std::vector<MemberId>> ancestor_in_;
+  /// Members in an order where parents precede children.
+  std::vector<MemberId> topo_down_;
+};
+
+/// Incrementally assembles a DimensionInstance.
+class DimensionInstanceBuilder {
+ public:
+  explicit DimensionInstanceBuilder(HierarchySchemaPtr schema);
+
+  /// Adds a member with the given unique key into the named category.
+  /// The Name attribute defaults to `key`; pass `name` to override.
+  /// Errors (duplicate key, unknown category) are reported at Build().
+  DimensionInstanceBuilder& AddMember(std::string_view key,
+                                      std::string_view category);
+  DimensionInstanceBuilder& AddMember(std::string_view key,
+                                      std::string_view category,
+                                      std::string_view name);
+
+  /// Records child < parent. Unknown keys are reported at Build().
+  DimensionInstanceBuilder& AddChildParent(std::string_view child,
+                                           std::string_view parent);
+
+  /// Convenience: member `key` in `category` whose single parent is
+  /// `parent` (which must already exist or be added later).
+  DimensionInstanceBuilder& AddMemberUnder(std::string_view key,
+                                           std::string_view category,
+                                           std::string_view parent);
+
+  /// If no member of the All category was added, Build() creates one
+  /// with key "all" (C4). Enabled by default; disable to test C4
+  /// violations.
+  DimensionInstanceBuilder& set_auto_all(bool v) {
+    auto_all_ = v;
+    return *this;
+  }
+
+  /// Automatically links any member x of a category c with c NEARROW All
+  /// that would otherwise violate C7 to the all member. Convenient when
+  /// hand-writing small instances. Default on.
+  DimensionInstanceBuilder& set_auto_link_to_all(bool v) {
+    auto_link_to_all_ = v;
+    return *this;
+  }
+
+  /// Skips the C1-C7 validation pass (for generators that produce
+  /// instances correct by construction). Ancestor tables are still
+  /// computed, so C2/C6 violations are caught regardless.
+  DimensionInstanceBuilder& set_skip_validation(bool v) {
+    skip_validation_ = v;
+    return *this;
+  }
+
+  Result<DimensionInstance> Build() const;
+
+ private:
+  HierarchySchemaPtr schema_;
+  std::vector<Member> pending_members_;
+  std::vector<std::pair<std::string, std::string>> pending_edges_;
+  std::vector<std::string> deferred_errors_;
+  bool auto_all_ = true;
+  bool auto_link_to_all_ = true;
+  bool skip_validation_ = false;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_DIM_DIMENSION_INSTANCE_H_

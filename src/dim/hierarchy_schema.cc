@@ -1,0 +1,97 @@
+#include "dim/hierarchy_schema.h"
+
+#include <string>
+
+#include "graph/algorithms.h"
+#include "graph/dot.h"
+
+namespace olapdc {
+
+CategoryId HierarchySchema::FindCategory(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoCategory : it->second;
+}
+
+Result<CategoryId> HierarchySchema::CategoryIdOf(std::string_view name) const {
+  CategoryId c = FindCategory(name);
+  if (c == kNoCategory) {
+    return Status::NotFound("unknown category '" + std::string(name) + "'");
+  }
+  return c;
+}
+
+std::vector<std::pair<CategoryId, CategoryId>> HierarchySchema::Shortcuts()
+    const {
+  return FindShortcuts(graph_);
+}
+
+std::string HierarchySchema::ToDot(const std::string& graph_name) const {
+  DotOptions options;
+  options.name = graph_name;
+  return olapdc::ToDot(
+      graph_, [this](int u) { return names_[u]; }, options);
+}
+
+HierarchySchemaBuilder::HierarchySchemaBuilder() {
+  Intern(HierarchySchema::kAllName);
+}
+
+CategoryId HierarchySchemaBuilder::Intern(std::string_view name) {
+  std::string key(name);
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) return it->second;
+  CategoryId id = static_cast<CategoryId>(names_.size());
+  names_.push_back(key);
+  by_name_.emplace(std::move(key), id);
+  return id;
+}
+
+HierarchySchemaBuilder& HierarchySchemaBuilder::AddCategory(
+    std::string_view name) {
+  Intern(name);
+  return *this;
+}
+
+HierarchySchemaBuilder& HierarchySchemaBuilder::AddEdge(
+    std::string_view child, std::string_view parent) {
+  edges_.emplace_back(Intern(child), Intern(parent));
+  return *this;
+}
+
+Result<HierarchySchema> HierarchySchemaBuilder::Build() const {
+  HierarchySchema schema;
+  schema.names_ = names_;
+  schema.by_name_ = by_name_;
+  schema.all_ = by_name_.at(std::string(HierarchySchema::kAllName));
+  schema.graph_ = Digraph(static_cast<int>(names_.size()));
+
+  for (const auto& [child, parent] : edges_) {
+    if (child == parent) {
+      return Status::InvalidModel("self-loop edge on category '" +
+                                  names_[child] + "' (Definition 1(b))");
+    }
+    if (child == schema.all_) {
+      return Status::InvalidModel(
+          "the top category All cannot have outgoing edges");
+    }
+    schema.graph_.AddEdge(child, parent);
+  }
+
+  schema.up_sets_ = TransitiveClosure(schema.graph_);
+  for (CategoryId c = 0; c < schema.num_categories(); ++c) {
+    if (!schema.up_sets_[c].test(schema.all_)) {
+      return Status::InvalidModel("category '" + schema.names_[c] +
+                                  "' does not reach All (Definition 1(a))");
+    }
+    if (schema.graph_.InDegree(c) == 0) schema.bottoms_.push_back(c);
+  }
+  return schema;
+}
+
+Result<HierarchySchemaPtr> HierarchySchemaBuilder::BuildShared() const {
+  OLAPDC_ASSIGN_OR_RETURN(HierarchySchema schema, Build());
+  return HierarchySchemaPtr(
+      std::make_shared<const HierarchySchema>(std::move(schema)));
+}
+
+}  // namespace olapdc

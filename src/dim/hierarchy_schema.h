@@ -1,0 +1,137 @@
+// Hierarchy schemas (paper Definition 1): the category-level skeleton of
+// a dimension. A hierarchy schema is a directed graph over categories
+// with a distinguished top category `All`, where
+//   (a) every category reaches All, and
+//   (b) there are no self-loop edges.
+// Cycles between distinct categories and shortcut edges are explicitly
+// allowed (Examples 3 and 4 of the paper).
+
+#ifndef OLAPDC_DIM_HIERARCHY_SCHEMA_H_
+#define OLAPDC_DIM_HIERARCHY_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace olapdc {
+
+/// Dense index of a category within its hierarchy schema.
+using CategoryId = int;
+
+/// Sentinel for "no category".
+inline constexpr CategoryId kNoCategory = -1;
+
+/// An immutable, validated hierarchy schema. Build instances with
+/// HierarchySchemaBuilder.
+class HierarchySchema {
+ public:
+  /// The reserved name of the distinguished top category.
+  static constexpr std::string_view kAllName = "All";
+
+  int num_categories() const { return graph_.num_nodes(); }
+
+  /// The id of the distinguished top category All.
+  CategoryId all() const { return all_; }
+
+  const std::string& CategoryName(CategoryId c) const {
+    OLAPDC_DCHECK(0 <= c && c < num_categories());
+    return names_[c];
+  }
+
+  /// The id of the category named `name`, or kNoCategory.
+  CategoryId FindCategory(std::string_view name) const;
+
+  /// The id of the category named `name`, or NotFound.
+  Result<CategoryId> CategoryIdOf(std::string_view name) const;
+
+  /// The child-to-parent category graph (the relation "nearly-above",
+  /// written c1 NEARROW c2 in the paper).
+  const Digraph& graph() const { return graph_; }
+
+  bool HasEdge(CategoryId child, CategoryId parent) const {
+    return graph_.HasEdge(child, parent);
+  }
+
+  /// Categories with no incoming edge (candidates to carry base facts).
+  const std::vector<CategoryId>& bottom_categories() const {
+    return bottoms_;
+  }
+
+  /// The up-set of c: all categories c' with c NEARROW* c' (reflexive-
+  /// transitive closure), as a bitset over category ids.
+  const DynamicBitset& UpSet(CategoryId c) const {
+    OLAPDC_DCHECK(0 <= c && c < num_categories());
+    return up_sets_[c];
+  }
+
+  /// True iff c2 is reachable from c1 (including c1 == c2).
+  bool Reaches(CategoryId c1, CategoryId c2) const {
+    return UpSet(c1).test(c2);
+  }
+
+  /// The shortcut edges of this schema (Section 2.1): edges (c, c') for
+  /// which a path from c to c' through a third category also exists.
+  std::vector<std::pair<CategoryId, CategoryId>> Shortcuts() const;
+
+  /// Graphviz rendering with category names.
+  std::string ToDot(const std::string& graph_name = "hierarchy") const;
+
+ private:
+  friend class HierarchySchemaBuilder;
+  HierarchySchema() = default;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, CategoryId> by_name_;
+  Digraph graph_;
+  CategoryId all_ = kNoCategory;
+  std::vector<CategoryId> bottoms_;
+  std::vector<DynamicBitset> up_sets_;
+};
+
+/// Shared-ownership handle used wherever several objects (instances,
+/// schemas-with-constraints, subhierarchies) refer to one hierarchy.
+using HierarchySchemaPtr = std::shared_ptr<const HierarchySchema>;
+
+/// Incrementally assembles a HierarchySchema. The top category All is
+/// always present; categories referenced by AddEdge are created on
+/// first use.
+class HierarchySchemaBuilder {
+ public:
+  HierarchySchemaBuilder();
+
+  /// Declares a category (idempotent). Returns *this for chaining.
+  HierarchySchemaBuilder& AddCategory(std::string_view name);
+
+  /// Adds the edge child NEARROW parent, creating either category if
+  /// needed.
+  HierarchySchemaBuilder& AddEdge(std::string_view child,
+                                  std::string_view parent);
+
+  /// Validates Definition 1 and produces the schema:
+  ///  - no self-loop edges,
+  ///  - every category reaches All,
+  ///  - All has no outgoing edges.
+  Result<HierarchySchema> Build() const;
+
+  /// Build() wrapped in shared ownership.
+  Result<HierarchySchemaPtr> BuildShared() const;
+
+ private:
+  CategoryId Intern(std::string_view name);
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, CategoryId> by_name_;
+  std::vector<std::pair<CategoryId, CategoryId>> edges_;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_DIM_HIERARCHY_SCHEMA_H_

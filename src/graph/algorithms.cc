@@ -1,0 +1,179 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+namespace olapdc {
+
+namespace {
+
+/// Generic BFS from `start` over a neighbor accessor.
+template <typename NeighborFn>
+DynamicBitset Bfs(int num_nodes, int start, NeighborFn&& neighbors) {
+  DynamicBitset seen(num_nodes);
+  std::vector<int> queue;
+  seen.set(start);
+  queue.push_back(start);
+  while (!queue.empty()) {
+    int u = queue.back();
+    queue.pop_back();
+    for (int v : neighbors(u)) {
+      if (!seen.test(v)) {
+        seen.set(v);
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+DynamicBitset ReachableFrom(const Digraph& g, int start) {
+  return Bfs(g.num_nodes(), start,
+             [&](int u) -> const std::vector<int>& { return g.OutNeighbors(u); });
+}
+
+DynamicBitset ReachesTo(const Digraph& g, int target) {
+  return Bfs(g.num_nodes(), target,
+             [&](int u) -> const std::vector<int>& { return g.InNeighbors(u); });
+}
+
+std::vector<DynamicBitset> TransitiveClosure(const Digraph& g) {
+  std::vector<DynamicBitset> closure;
+  closure.reserve(g.num_nodes());
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    closure.push_back(ReachableFrom(g, u));
+  }
+  return closure;
+}
+
+bool HasCycle(const Digraph& g) { return !TopologicalSort(g).ok(); }
+
+Result<std::vector<int>> TopologicalSort(const Digraph& g) {
+  const int n = g.num_nodes();
+  std::vector<int> in_degree(n, 0);
+  for (int u = 0; u < n; ++u) in_degree[u] = g.InDegree(u);
+
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> frontier;
+  for (int u = 0; u < n; ++u) {
+    if (in_degree[u] == 0) frontier.push_back(u);
+  }
+  while (!frontier.empty()) {
+    int u = frontier.back();
+    frontier.pop_back();
+    order.push_back(u);
+    for (int v : g.OutNeighbors(u)) {
+      if (--in_degree[v] == 0) frontier.push_back(v);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument("graph has a directed cycle");
+  }
+  return order;
+}
+
+bool HasSimplePathThroughThirdNode(const Digraph& g, int u, int v) {
+  // A simple path u -> w -> ... -> v with w != v never revisits u, so it
+  // exists iff some out-neighbor w != v of u reaches v in g minus node u.
+  // (Exact even in cyclic graphs: any walk from w to v avoiding u
+  // contains a simple path from w to v avoiding u.)
+  DynamicBitset blocked(g.num_nodes());
+  blocked.set(u);
+  for (int w : g.OutNeighbors(u)) {
+    if (w == v || w == u) continue;
+    // BFS from w avoiding u.
+    DynamicBitset seen(g.num_nodes());
+    std::vector<int> queue{w};
+    seen.set(w);
+    while (!queue.empty()) {
+      int x = queue.back();
+      queue.pop_back();
+      if (x == v) return true;
+      for (int y : g.OutNeighbors(x)) {
+        if (y == u || seen.test(y)) continue;
+        seen.set(y);
+        queue.push_back(y);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<int, int>> FindShortcuts(const Digraph& g) {
+  std::vector<std::pair<int, int>> shortcuts;
+  for (const auto& [u, v] : g.Edges()) {
+    if (HasSimplePathThroughThirdNode(g, u, v)) shortcuts.emplace_back(u, v);
+  }
+  return shortcuts;
+}
+
+namespace {
+
+struct PathEnumState {
+  const Digraph* g;
+  int to;
+  size_t limit;
+  size_t produced = 0;
+  std::vector<int> stack;
+  DynamicBitset on_stack;
+  const std::function<void(const std::vector<int>&)>* fn;
+
+  bool Dfs(int u) {
+    stack.push_back(u);
+    on_stack.set(u);
+    if (u == to) {
+      if (produced >= limit) return false;
+      ++produced;
+      (*fn)(stack);
+    } else {
+      for (int v : g->OutNeighbors(u)) {
+        if (on_stack.test(v)) continue;
+        if (!Dfs(v)) return false;
+      }
+    }
+    on_stack.reset(u);
+    stack.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+Status ForEachSimplePath(
+    const Digraph& g, int from, int to, size_t limit,
+    const std::function<void(const std::vector<int>&)>& fn) {
+  OLAPDC_CHECK(0 <= from && from < g.num_nodes());
+  OLAPDC_CHECK(0 <= to && to < g.num_nodes());
+  PathEnumState state{&g, to, limit, 0, {}, DynamicBitset(g.num_nodes()), &fn};
+  if (!state.Dfs(from)) {
+    return Status::ResourceExhausted(
+        "simple-path enumeration exceeded limit");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<int>>> EnumerateSimplePaths(const Digraph& g,
+                                                           int from, int to,
+                                                           size_t limit) {
+  std::vector<std::vector<int>> paths;
+  OLAPDC_RETURN_NOT_OK(ForEachSimplePath(
+      g, from, to, limit,
+      [&](const std::vector<int>& path) { paths.push_back(path); }));
+  return paths;
+}
+
+bool IsSimplePath(const Digraph& g, const std::vector<int>& nodes) {
+  if (nodes.empty()) return false;
+  DynamicBitset seen(g.num_nodes());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int u = nodes[i];
+    if (u < 0 || u >= g.num_nodes() || seen.test(u)) return false;
+    seen.set(u);
+    if (i + 1 < nodes.size() && !g.HasEdge(u, nodes[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,65 @@
+// Graph algorithms used throughout olapdc: reachability, transitive
+// closure, cycle detection, shortcut detection (the paper's Definition
+// of shortcut), simple-path enumeration (used to expand composed path
+// atoms), and topological sort.
+
+#ifndef OLAPDC_GRAPH_ALGORITHMS_H_
+#define OLAPDC_GRAPH_ALGORITHMS_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/digraph.h"
+
+namespace olapdc {
+
+/// The set of nodes reachable from `start` by following edges forward.
+/// Includes `start` itself (reflexive-transitive closure of one node).
+DynamicBitset ReachableFrom(const Digraph& g, int start);
+
+/// The set of nodes from which `target` is reachable. Includes `target`.
+DynamicBitset ReachesTo(const Digraph& g, int target);
+
+/// For every node u, the set of nodes reachable from u (including u).
+std::vector<DynamicBitset> TransitiveClosure(const Digraph& g);
+
+/// True iff g contains a directed cycle (self-loops count).
+bool HasCycle(const Digraph& g);
+
+/// A topological order of g, or InvalidArgument if g has a cycle.
+Result<std::vector<int>> TopologicalSort(const Digraph& g);
+
+/// True iff some simple path from u to v of length >= 2 exists in g.
+/// Combined with an edge (u, v) this is exactly the paper's notion of a
+/// *shortcut* (Section 2.1): "a pair of categories c and c' such that
+/// c -> c' and there is a path from c to c' passing through some third
+/// category".
+bool HasSimplePathThroughThirdNode(const Digraph& g, int u, int v);
+
+/// All shortcut edges of g: edges (u, v) for which a simple path from u
+/// to v through a third node also exists.
+std::vector<std::pair<int, int>> FindShortcuts(const Digraph& g);
+
+/// Enumerates every simple path from `from` to `to` (node sequences
+/// including both endpoints; a single-node path is produced when
+/// from == to). Invokes `fn` once per path. Stops and returns
+/// ResourceExhausted once more than `limit` paths have been produced.
+Status ForEachSimplePath(const Digraph& g, int from, int to, size_t limit,
+                         const std::function<void(const std::vector<int>&)>& fn);
+
+/// Convenience wrapper collecting the paths of ForEachSimplePath.
+Result<std::vector<std::vector<int>>> EnumerateSimplePaths(
+    const Digraph& g, int from, int to, size_t limit = 1 << 20);
+
+/// True iff `nodes` (a node sequence) is a simple path in g: all nodes
+/// distinct and consecutive pairs joined by edges. A single node is a
+/// (trivial) simple path.
+bool IsSimplePath(const Digraph& g, const std::vector<int>& nodes);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,46 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace olapdc {
+
+void Digraph::AddEdge(int u, int v) {
+  OLAPDC_CHECK(0 <= u && u < num_nodes()) << "bad source node " << u;
+  OLAPDC_CHECK(0 <= v && v < num_nodes()) << "bad target node " << v;
+  if (HasEdge(u, v)) return;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool Digraph::HasEdge(int u, int v) const {
+  OLAPDC_DCHECK(0 <= u && u < num_nodes());
+  OLAPDC_DCHECK(0 <= v && v < num_nodes());
+  const auto& nbrs = out_[u];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+std::vector<std::pair<int, int>> Digraph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(num_edges_);
+  for (int u = 0; u < num_nodes(); ++u) {
+    for (int v : out_[u]) edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+bool Digraph::operator==(const Digraph& o) const {
+  if (num_nodes() != o.num_nodes() || num_edges_ != o.num_edges_) {
+    return false;
+  }
+  for (int u = 0; u < num_nodes(); ++u) {
+    std::vector<int> a = out_[u];
+    std::vector<int> b = o.out_[u];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) return false;
+  }
+  return true;
+}
+
+}  // namespace olapdc

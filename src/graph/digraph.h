@@ -1,0 +1,69 @@
+// Digraph: a simple directed graph over dense integer node ids
+// [0, num_nodes). Hierarchy schemas, dimension instances (child/parent
+// relations) and DIMSAT subhierarchies are all views over Digraphs.
+//
+// The graph is simple (no parallel edges, self-loops allowed only if the
+// caller inserts them — hierarchy-schema validation rejects them) and
+// keeps both forward and reverse adjacency for O(out-degree)/O(in-degree)
+// traversal in either direction.
+
+#ifndef OLAPDC_GRAPH_DIGRAPH_H_
+#define OLAPDC_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/check.h"
+
+namespace olapdc {
+
+/// A directed graph with a fixed node count and dynamically added edges.
+class Digraph {
+ public:
+  Digraph() : Digraph(0) {}
+
+  /// Creates a graph with `num_nodes` nodes and no edges.
+  explicit Digraph(int num_nodes)
+      : out_(num_nodes), in_(num_nodes), num_edges_(0) {
+    OLAPDC_CHECK(num_nodes >= 0);
+  }
+
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Adds edge u -> v. Duplicate insertions are ignored.
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  /// Nodes w with an edge u -> w, in insertion order.
+  const std::vector<int>& OutNeighbors(int u) const {
+    OLAPDC_DCHECK(0 <= u && u < num_nodes());
+    return out_[u];
+  }
+
+  /// Nodes w with an edge w -> u, in insertion order.
+  const std::vector<int>& InNeighbors(int u) const {
+    OLAPDC_DCHECK(0 <= u && u < num_nodes());
+    return in_[u];
+  }
+
+  int OutDegree(int u) const { return static_cast<int>(OutNeighbors(u).size()); }
+  int InDegree(int u) const { return static_cast<int>(InNeighbors(u).size()); }
+
+  /// All edges as (u, v) pairs, grouped by source.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  bool operator==(const Digraph& o) const;
+
+ private:
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+  int num_edges_;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_GRAPH_DIGRAPH_H_

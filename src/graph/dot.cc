@@ -1,0 +1,42 @@
+#include "graph/dot.h"
+
+#include <vector>
+
+namespace olapdc {
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const Digraph& g,
+                  const std::function<std::string(int)>& label,
+                  const DotOptions& options) {
+  std::vector<std::string> labels(g.num_nodes());
+  for (int u = 0; u < g.num_nodes(); ++u) labels[u] = label(u);
+
+  std::string out = "digraph " + options.name + " {\n";
+  if (options.bottom_up) out += "  rankdir=BT;\n";
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    if (labels[u].empty()) continue;
+    out += "  n" + std::to_string(u) + " [label=\"" + EscapeDot(labels[u]) +
+           "\"];\n";
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    if (labels[u].empty() || labels[v].empty()) continue;
+    out += "  n" + std::to_string(u) + " -> n" + std::to_string(v) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,33 @@
+// Graphviz DOT export for directed graphs. Used by the figure
+// harnesses (hierarchy schemas, dimension instances, frozen dimensions)
+// and by the heterogeneity report.
+
+#ifndef OLAPDC_GRAPH_DOT_H_
+#define OLAPDC_GRAPH_DOT_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace olapdc {
+
+/// Options controlling DOT output.
+struct DotOptions {
+  /// Graph name after the `digraph` keyword.
+  std::string name = "g";
+  /// Draw edges bottom-up (rankdir=BT), the usual orientation for
+  /// dimension hierarchies where All sits on top.
+  bool bottom_up = true;
+};
+
+/// Renders g as a Graphviz digraph. `label(u)` supplies the display
+/// label of node u; nodes with an empty label are omitted together with
+/// their incident edges (used to render subgraphs of a schema).
+std::string ToDot(const Digraph& g,
+                  const std::function<std::string(int)>& label,
+                  const DotOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_GRAPH_DOT_H_

@@ -1,0 +1,127 @@
+#include "io/instance_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace olapdc {
+
+namespace {
+
+/// Splits a line into whitespace tokens, treating '...'-quoted spans as
+/// single tokens.
+Result<std::vector<std::string>> Tokenize(const std::string& line,
+                                          int number) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') break;
+    if (line[i] == '\'') {
+      size_t close = line.find('\'', i + 1);
+      if (close == std::string::npos) {
+        return Status::ParseError("line " + std::to_string(number) +
+                                  ": unterminated quote");
+      }
+      tokens.push_back(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else {
+      size_t end = i;
+      while (end < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      tokens.push_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Result<DimensionInstance> ParseInstanceText(HierarchySchemaPtr schema,
+                                            std::string_view text,
+                                            bool skip_validation) {
+  DimensionInstanceBuilder builder(std::move(schema));
+  builder.set_skip_validation(skip_validation);
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    OLAPDC_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                            Tokenize(raw, number));
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+    if (keyword == "member") {
+      if (tokens.size() < 3 || tokens.size() > 4) {
+        return Status::ParseError(
+            "line " + std::to_string(number) +
+            ": member needs <key> <category> [<name>]");
+      }
+      if (tokens.size() == 4) {
+        builder.AddMember(tokens[1], tokens[2], tokens[3]);
+      } else {
+        builder.AddMember(tokens[1], tokens[2]);
+      }
+    } else if (keyword == "edge") {
+      if (tokens.size() != 3) {
+        return Status::ParseError("line " + std::to_string(number) +
+                                  ": edge needs <child> <parent>");
+      }
+      builder.AddChildParent(tokens[1], tokens[2]);
+    } else {
+      return Status::ParseError("line " + std::to_string(number) +
+                                ": unknown keyword '" + keyword + "'");
+    }
+  }
+  return builder.Build();
+}
+
+std::string SerializeInstance(const DimensionInstance& d) {
+  const HierarchySchema& schema = d.hierarchy();
+  std::string out = "# olapdc dimension instance\n";
+  for (CategoryId c = 0; c < schema.num_categories(); ++c) {
+    for (MemberId m : d.MembersOf(c)) {
+      const Member& member = d.member(m);
+      out += "member " + member.key + " " + schema.CategoryName(c);
+      if (member.name != member.key) {
+        out += " '" + member.name + "'";
+      }
+      out += "\n";
+    }
+  }
+  for (const auto& [x, y] : d.child_parent().Edges()) {
+    out += "edge " + d.member(x).key + " " + d.member(y).key + "\n";
+  }
+  return out;
+}
+
+Result<DimensionInstance> LoadInstanceFile(HierarchySchemaPtr schema,
+                                           const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open instance file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseInstanceText(std::move(schema), buffer.str());
+}
+
+Status SaveInstanceFile(const DimensionInstance& d, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot write instance file '" + path +
+                                   "'");
+  }
+  file << SerializeInstance(d);
+  return file ? Status::OK()
+              : Status::InvalidArgument("write failed for '" + path + "'");
+}
+
+}  // namespace olapdc

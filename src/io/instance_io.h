@@ -1,0 +1,39 @@
+// Text serialization of dimension instances, relative to a hierarchy
+// schema. Line-based:
+//
+//   # comment
+//   member <key> <category> [<name or 'quoted name'>]
+//   edge <child-key> <parent-key>
+//
+// The Name attribute defaults to the key. Keys and categories are
+// whitespace-free tokens; names may be single-quoted to contain spaces.
+
+#ifndef OLAPDC_IO_INSTANCE_IO_H_
+#define OLAPDC_IO_INSTANCE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "dim/dimension_instance.h"
+
+namespace olapdc {
+
+/// Parses the instance text format over `schema`. Build()'s full C1-C7
+/// validation runs unless `skip_validation`.
+Result<DimensionInstance> ParseInstanceText(HierarchySchemaPtr schema,
+                                            std::string_view text,
+                                            bool skip_validation = false);
+
+/// Renders d in the instance text format (members grouped by category;
+/// the auto-created `all` member is included).
+std::string SerializeInstance(const DimensionInstance& d);
+
+/// File wrappers.
+Result<DimensionInstance> LoadInstanceFile(HierarchySchemaPtr schema,
+                                           const std::string& path);
+Status SaveInstanceFile(const DimensionInstance& d, const std::string& path);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_IO_INSTANCE_IO_H_

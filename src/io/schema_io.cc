@@ -1,0 +1,166 @@
+#include "io/schema_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "constraint/parser.h"
+#include "constraint/printer.h"
+
+namespace olapdc {
+
+namespace {
+
+struct Line {
+  std::string keyword;
+  std::string rest;
+  int number;
+};
+
+/// Splits `text` into (keyword, rest-of-line) pairs, dropping comments
+/// and blank lines.
+std::vector<Line> SplitLines(std::string_view text) {
+  std::vector<Line> lines;
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    size_t start = raw.find_first_not_of(" \t\r");
+    if (start == std::string::npos || raw[start] == '#') continue;
+    size_t space = raw.find_first_of(" \t", start);
+    Line line;
+    line.number = number;
+    if (space == std::string::npos) {
+      line.keyword = raw.substr(start);
+    } else {
+      line.keyword = raw.substr(start, space - start);
+      size_t rest_start = raw.find_first_not_of(" \t", space);
+      if (rest_start != std::string::npos) {
+        size_t rest_end = raw.find_last_not_of(" \t\r");
+        line.rest = raw.substr(rest_start, rest_end - rest_start + 1);
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+Status Err(const Line& line, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line.number) + ": " +
+                            message);
+}
+
+}  // namespace
+
+Result<DimensionSchema> ParseSchemaText(std::string_view text) {
+  const std::vector<Line> lines = SplitLines(text);
+
+  // Pass 1: hierarchy.
+  HierarchySchemaBuilder builder;
+  for (const Line& line : lines) {
+    if (line.keyword == "category") {
+      if (line.rest.empty()) return Err(line, "category needs a name");
+      builder.AddCategory(line.rest);
+    } else if (line.keyword == "edge") {
+      std::istringstream words(line.rest);
+      std::string child, parent, extra;
+      words >> child >> parent;
+      if (child.empty() || parent.empty() || (words >> extra)) {
+        return Err(line, "edge needs exactly two categories");
+      }
+      builder.AddEdge(child, parent);
+    } else if (line.keyword != "constraint") {
+      return Err(line, "unknown keyword '" + line.keyword + "'");
+    }
+  }
+  OLAPDC_ASSIGN_OR_RETURN(HierarchySchemaPtr hierarchy,
+                          builder.BuildShared());
+
+  // Pass 2: constraints.
+  std::vector<DimensionConstraint> constraints;
+  for (const Line& line : lines) {
+    if (line.keyword != "constraint") continue;
+    if (line.rest.empty()) return Err(line, "constraint needs an expression");
+
+    // A leading parenthesized token may be a label — but an expression
+    // can also start with '('. Try the label interpretation first and
+    // fall back to parsing the whole line as an expression.
+    std::string label;
+    std::string body = line.rest;
+    if (body[0] == '(') {
+      size_t close = body.find(')');
+      if (close != std::string::npos) {
+        std::string candidate_label = body.substr(0, close + 1);
+        size_t body_start = body.find_first_not_of(" \t", close + 1);
+        std::string candidate_body =
+            body_start == std::string::npos ? "" : body.substr(body_start);
+        if (!candidate_body.empty() &&
+            candidate_label.find_first_of(" \t") == std::string::npos) {
+          Result<DimensionConstraint> labeled =
+              ParseConstraint(*hierarchy, candidate_body, candidate_label);
+          if (labeled.ok()) {
+            constraints.push_back(std::move(labeled).ValueOrDie());
+            continue;
+          }
+        }
+      }
+    }
+    Result<DimensionConstraint> parsed =
+        ParseConstraint(*hierarchy, body, label);
+    if (!parsed.ok()) {
+      return Err(line, parsed.status().message());
+    }
+    constraints.push_back(std::move(parsed).ValueOrDie());
+  }
+  return DimensionSchema(std::move(hierarchy), std::move(constraints));
+}
+
+std::string SerializeSchema(const DimensionSchema& ds) {
+  const HierarchySchema& schema = ds.hierarchy();
+  std::string out = "# olapdc dimension schema\n";
+  for (CategoryId c = 0; c < schema.num_categories(); ++c) {
+    if (c != schema.all()) out += "category " + schema.CategoryName(c) + "\n";
+  }
+  for (const auto& [u, v] : schema.graph().Edges()) {
+    out += "edge " + schema.CategoryName(u) + " " + schema.CategoryName(v) +
+           "\n";
+  }
+  for (const DimensionConstraint& c : ds.constraints()) {
+    out += "constraint ";
+    if (!c.label.empty()) {
+      // Labels are serialized parenthesized so the parser can tell them
+      // apart from the expression.
+      if (c.label.front() == '(' && c.label.back() == ')') {
+        out += c.label + " ";
+      } else {
+        out += "(" + c.label + ") ";
+      }
+    }
+    out += ExprToString(schema, c.expr) + "\n";
+  }
+  return out;
+}
+
+Result<DimensionSchema> LoadSchemaFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open schema file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseSchemaText(buffer.str());
+}
+
+Status SaveSchemaFile(const DimensionSchema& ds, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot write schema file '" + path + "'");
+  }
+  file << SerializeSchema(ds);
+  return file ? Status::OK()
+              : Status::InvalidArgument("write failed for '" + path + "'");
+}
+
+}  // namespace olapdc

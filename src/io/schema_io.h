@@ -1,0 +1,37 @@
+// Text serialization of dimension schemas. The format is line-based:
+//
+//   # comment
+//   category Store                  (optional; edges imply categories)
+//   edge Store City
+//   constraint (a) Store/City
+//   constraint City = 'Washington' <-> City/Country
+//
+// A `constraint` line may start with a parenthesized label; the rest of
+// the line is parsed with the constraint grammar of parser.h.
+// Serialization round-trips: Parse(Serialize(ds)) reproduces the same
+// hierarchy and constraint set.
+
+#ifndef OLAPDC_IO_SCHEMA_IO_H_
+#define OLAPDC_IO_SCHEMA_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/schema.h"
+
+namespace olapdc {
+
+/// Parses the schema text format.
+Result<DimensionSchema> ParseSchemaText(std::string_view text);
+
+/// Renders ds in the schema text format.
+std::string SerializeSchema(const DimensionSchema& ds);
+
+/// File wrappers.
+Result<DimensionSchema> LoadSchemaFile(const std::string& path);
+Status SaveSchemaFile(const DimensionSchema& ds, const std::string& path);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_IO_SCHEMA_IO_H_

@@ -1,0 +1,42 @@
+#include "olap/aggregate.h"
+
+#include <algorithm>
+
+namespace olapdc {
+
+std::string_view AggFnName(AggFn af) {
+  switch (af) {
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+void AggState::AccumulateRaw(AggFn af, double measure) {
+  const double contribution = (af == AggFn::kCount) ? 1.0 : measure;
+  if (!initialized) {
+    value = contribution;
+    initialized = true;
+    return;
+  }
+  switch (af) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+      value += contribution;
+      break;
+    case AggFn::kMin:
+      value = std::min(value, contribution);
+      break;
+    case AggFn::kMax:
+      value = std::max(value, contribution);
+      break;
+  }
+}
+
+}  // namespace olapdc

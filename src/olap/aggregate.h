@@ -1,0 +1,38 @@
+// Distributive aggregate functions (paper Section 1.2, footnote 1):
+// SUM, COUNT, MIN, MAX, each with the combining function af^c used to
+// merge partial aggregates (COUNT^c = SUM; the others are their own
+// combiners).
+
+#ifndef OLAPDC_OLAP_AGGREGATE_H_
+#define OLAPDC_OLAP_AGGREGATE_H_
+
+#include <string_view>
+
+namespace olapdc {
+
+enum class AggFn { kSum, kCount, kMin, kMax };
+
+/// The combiner af^c applied when merging partial aggregates.
+constexpr AggFn Combiner(AggFn af) {
+  return af == AggFn::kCount ? AggFn::kSum : af;
+}
+
+std::string_view AggFnName(AggFn af);
+
+/// Incremental aggregation state for one group.
+struct AggState {
+  double value = 0.0;
+  bool initialized = false;
+
+  /// Folds a raw measure with aggregate `af` (COUNT ignores the value).
+  void AccumulateRaw(AggFn af, double measure);
+
+  /// Folds a partial aggregate with the combiner of `af`.
+  void AccumulatePartial(AggFn af, double partial) {
+    AccumulateRaw(Combiner(af), partial);
+  }
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_OLAP_AGGREGATE_H_

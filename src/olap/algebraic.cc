@@ -1,0 +1,57 @@
+#include "olap/algebraic.h"
+
+#include <utility>
+#include <vector>
+
+namespace olapdc {
+
+CubeViewResult ComputeAverageView(const DimensionInstance& d,
+                                  const FactTable& facts, CategoryId c) {
+  return AverageFromSumCount(ComputeCubeView(d, facts, c, AggFn::kSum),
+                             ComputeCubeView(d, facts, c, AggFn::kCount));
+}
+
+CubeViewResult AverageFromSumCount(const CubeViewResult& sum_view,
+                                   const CubeViewResult& count_view) {
+  CubeViewResult out;
+  for (const auto& [member, sum] : sum_view) {
+    auto it = count_view.find(member);
+    if (it == count_view.end() || it->second == 0.0) continue;
+    out[member] = sum / it->second;
+  }
+  return out;
+}
+
+Result<NavigatorAnswer> AnswerAverageFromViews(
+    const DimensionSchema& ds, const DimensionInstance& d,
+    const std::map<CategoryId, CubeViewResult>& sum_views,
+    const std::map<CategoryId, CubeViewResult>& count_views,
+    CategoryId target, const NavigatorOptions& options) {
+  // Only categories materialized with both components can serve.
+  std::vector<CategoryId> candidates;
+  for (const auto& [c, view] : sum_views) {
+    if (count_views.count(c) > 0) candidates.push_back(c);
+  }
+
+  NavigatorAnswer answer;
+  OLAPDC_ASSIGN_OR_RETURN(
+      std::optional<std::vector<CategoryId>> rewrite_set,
+      FindRewriteSet(ds, d, candidates, target, options));
+  if (!rewrite_set.has_value()) return answer;
+  answer.answered = true;
+  answer.used = *rewrite_set;
+
+  std::vector<MaterializedView> sum_sources, count_sources;
+  for (CategoryId c : answer.used) {
+    sum_sources.push_back(MaterializedView{c, &sum_views.at(c)});
+    count_sources.push_back(MaterializedView{c, &count_views.at(c)});
+  }
+  CubeViewResult sum =
+      RewriteFromViews(d, sum_sources, target, AggFn::kSum);
+  CubeViewResult count =
+      RewriteFromViews(d, count_sources, target, AggFn::kCount);
+  answer.view = AverageFromSumCount(sum, count);
+  return answer;
+}
+
+}  // namespace olapdc

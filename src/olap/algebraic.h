@@ -1,0 +1,41 @@
+// Algebraic aggregates. The paper restricts cube views to
+// *distributive* aggregate functions (footnote 1): AVG is not
+// distributive — an average of averages is wrong — but it is
+// *algebraic*: it decomposes into the distributive pair (SUM, COUNT).
+// This module extends aggregate navigation to AVG by rewriting both
+// components through the same summarizable source set and dividing at
+// the end, so every safety argument of Theorem 1 carries over
+// unchanged.
+
+#ifndef OLAPDC_OLAP_ALGEBRAIC_H_
+#define OLAPDC_OLAP_ALGEBRAIC_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "olap/navigator.h"
+
+namespace olapdc {
+
+/// AVG(measure) grouped by category `c`, computed directly from facts.
+CubeViewResult ComputeAverageView(const DimensionInstance& d,
+                                  const FactTable& facts, CategoryId c);
+
+/// Combines aligned SUM and COUNT views into an AVG view (groups with a
+/// zero or missing count are dropped).
+CubeViewResult AverageFromSumCount(const CubeViewResult& sum_view,
+                                   const CubeViewResult& count_view);
+
+/// Answers AVG at `target` from materialized SUM and COUNT views
+/// (keyed by category; both maps must cover the rewrite set found by
+/// the navigator). `answered` is false when no summarizable source set
+/// exists among the categories materialized in *both* maps.
+Result<NavigatorAnswer> AnswerAverageFromViews(
+    const DimensionSchema& ds, const DimensionInstance& d,
+    const std::map<CategoryId, CubeViewResult>& sum_views,
+    const std::map<CategoryId, CubeViewResult>& count_views,
+    CategoryId target, const NavigatorOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_OLAP_ALGEBRAIC_H_

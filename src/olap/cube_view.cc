@@ -1,0 +1,51 @@
+#include "olap/cube_view.h"
+
+#include <cmath>
+
+namespace olapdc {
+
+CubeViewResult ComputeCubeView(const DimensionInstance& d,
+                               const FactTable& facts, CategoryId c,
+                               AggFn af) {
+  std::map<MemberId, AggState> groups;
+  for (const FactRow& row : facts.rows()) {
+    MemberId group = d.RollUpMember(row.base_member, c);
+    if (group == kNoMember) continue;
+    groups[group].AccumulateRaw(af, row.measure);
+  }
+  CubeViewResult out;
+  for (const auto& [member, state] : groups) out[member] = state.value;
+  return out;
+}
+
+CubeViewResult RewriteFromViews(const DimensionInstance& d,
+                                const std::vector<MaterializedView>& sources,
+                                CategoryId c, AggFn af) {
+  std::map<MemberId, AggState> groups;
+  for (const MaterializedView& source : sources) {
+    OLAPDC_CHECK(source.view != nullptr);
+    for (const auto& [member, partial] : *source.view) {
+      // Gamma_{ci}^{c}: drop rows whose member does not roll up to c.
+      MemberId group = d.RollUpMember(member, c);
+      if (group == kNoMember) continue;
+      groups[group].AccumulatePartial(af, partial);
+    }
+  }
+  CubeViewResult out;
+  for (const auto& [member, state] : groups) out[member] = state.value;
+  return out;
+}
+
+bool CubeViewsEqual(const CubeViewResult& a, const CubeViewResult& b,
+                    double epsilon) {
+  if (a.size() != b.size()) return false;
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    if (ita->first != itb->first) return false;
+    if (std::fabs(ita->second - itb->second) > epsilon) return false;
+  }
+  return true;
+}
+
+}  // namespace olapdc

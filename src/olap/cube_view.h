@@ -1,0 +1,52 @@
+// Single-category cube views (paper Section 3.3):
+//   CubeView(d, F, c, af(m)) = Pi_{c, af(m)} (F ⋈ Gamma_{cb}^{c} d)
+// and the Definition 6 rewriting that reconstructs a cube view at c
+// from precomputed cube views at categories S = {c1..cn}:
+//   Pi_{c, af^c(m)} ( ⊎_i ( pi_{c,m} Gamma_{ci}^{c} d ⋈ CubeView(..ci..) ) )
+// The rewriting is correct for every fact table and every distributive
+// aggregate iff c is summarizable from S (Theorem 1) — the property
+// tests exercise exactly this equivalence.
+
+#ifndef OLAPDC_OLAP_CUBE_VIEW_H_
+#define OLAPDC_OLAP_CUBE_VIEW_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "olap/aggregate.h"
+#include "olap/fact_table.h"
+
+namespace olapdc {
+
+/// A computed cube view: group member -> aggregated measure, ordered by
+/// member id (deterministic for comparison).
+using CubeViewResult = std::map<MemberId, double>;
+
+/// Aggregates `facts` to the granularity of category `c`. Facts whose
+/// base member does not roll up to `c` are dropped (no group).
+CubeViewResult ComputeCubeView(const DimensionInstance& d,
+                               const FactTable& facts, CategoryId c,
+                               AggFn af);
+
+/// A precomputed cube view at a source category.
+struct MaterializedView {
+  CategoryId category = kNoCategory;
+  const CubeViewResult* view = nullptr;
+};
+
+/// The Definition 6 rewriting: recombines the views in `sources`
+/// (cube views of the same fact table at categories c1..cn) into a
+/// cube view at `c`, joining each through Gamma_{ci}^{c} and merging
+/// with the combiner af^c.
+CubeViewResult RewriteFromViews(const DimensionInstance& d,
+                                const std::vector<MaterializedView>& sources,
+                                CategoryId c, AggFn af);
+
+/// Exact equality of two cube views up to `epsilon` per group.
+bool CubeViewsEqual(const CubeViewResult& a, const CubeViewResult& b,
+                    double epsilon = 1e-9);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_OLAP_CUBE_VIEW_H_

@@ -1,0 +1,116 @@
+#include "olap/datacube.h"
+
+#include <string>
+#include <utility>
+
+#include "core/summarizability.h"
+
+namespace olapdc {
+
+Datacube::Datacube(std::vector<DimensionInstance> axes)
+    : axes_(std::move(axes)) {
+  bottom_sets_.reserve(axes_.size());
+  for (const DimensionInstance& axis : axes_) {
+    DynamicBitset bottoms(axis.hierarchy().num_categories());
+    for (CategoryId b : axis.hierarchy().bottom_categories()) {
+      bottoms.set(b);
+    }
+    bottom_sets_.push_back(std::move(bottoms));
+  }
+}
+
+Result<Datacube> Datacube::Create(std::vector<DimensionInstance> axes) {
+  if (axes.empty()) {
+    return Status::InvalidArgument("a datacube needs at least one axis");
+  }
+  return Datacube(std::move(axes));
+}
+
+Status Datacube::CheckArity(size_t n, const char* what) const {
+  if (n != axes_.size()) {
+    return Status::InvalidArgument(
+        std::string(what) + " must have one entry per axis (" +
+        std::to_string(axes_.size()) + "), got " + std::to_string(n));
+  }
+  return Status::OK();
+}
+
+Status Datacube::AddFact(CellKey base, double measure) {
+  OLAPDC_RETURN_NOT_OK(CheckArity(base.size(), "fact coordinates"));
+  for (int i = 0; i < num_axes(); ++i) {
+    MemberId m = base[i];
+    if (m < 0 || m >= axes_[i].num_members()) {
+      return Status::InvalidArgument("axis " + std::to_string(i) +
+                                     ": unknown member id");
+    }
+    if (!bottom_sets_[i].test(axes_[i].member(m).category)) {
+      return Status::InvalidArgument(
+          "axis " + std::to_string(i) + ": member '" +
+          axes_[i].member(m).key + "' is not in a bottom category");
+    }
+  }
+  rows_.push_back(Row{std::move(base), measure});
+  return Status::OK();
+}
+
+Result<MultiCubeView> Datacube::ComputeView(
+    const std::vector<CategoryId>& group_by, AggFn af) const {
+  OLAPDC_RETURN_NOT_OK(CheckArity(group_by.size(), "group-by"));
+  std::map<CellKey, AggState> groups;
+  CellKey cell(axes_.size());
+  for (const Row& row : rows_) {
+    bool in_domain = true;
+    for (int i = 0; i < num_axes(); ++i) {
+      cell[i] = axes_[i].RollUpMember(row.base[i], group_by[i]);
+      in_domain &= (cell[i] != kNoMember);
+    }
+    if (!in_domain) continue;
+    groups[cell].AccumulateRaw(af, row.measure);
+  }
+  MultiCubeView out;
+  for (const auto& [key, state] : groups) out[key] = state.value;
+  return out;
+}
+
+Result<MultiCubeView> Datacube::RollUpView(
+    const MultiCubeView& view, const std::vector<CategoryId>& source,
+    const std::vector<CategoryId>& target, AggFn af) const {
+  OLAPDC_RETURN_NOT_OK(CheckArity(source.size(), "source granularity"));
+  OLAPDC_RETURN_NOT_OK(CheckArity(target.size(), "target granularity"));
+  (void)source;  // documented context; the members carry the mapping
+  std::map<CellKey, AggState> groups;
+  CellKey cell(axes_.size());
+  for (const auto& [key, partial] : view) {
+    if (static_cast<int>(key.size()) != num_axes()) {
+      return Status::InvalidArgument("view cell arity mismatch");
+    }
+    bool in_domain = true;
+    for (int i = 0; i < num_axes(); ++i) {
+      cell[i] = axes_[i].RollUpMember(key[i], target[i]);
+      in_domain &= (cell[i] != kNoMember);
+    }
+    if (!in_domain) continue;
+    groups[cell].AccumulatePartial(af, partial);
+  }
+  MultiCubeView out;
+  for (const auto& [key, state] : groups) out[key] = state.value;
+  return out;
+}
+
+Result<bool> Datacube::IsRollupSafe(
+    const std::vector<DimensionSchema>& schemas,
+    const std::vector<CategoryId>& source,
+    const std::vector<CategoryId>& target) const {
+  OLAPDC_RETURN_NOT_OK(CheckArity(schemas.size(), "schemas"));
+  OLAPDC_RETURN_NOT_OK(CheckArity(source.size(), "source granularity"));
+  OLAPDC_RETURN_NOT_OK(CheckArity(target.size(), "target granularity"));
+  for (int i = 0; i < num_axes(); ++i) {
+    OLAPDC_ASSIGN_OR_RETURN(
+        SummarizabilityResult r,
+        IsSummarizable(schemas[i], target[i], {source[i]}));
+    if (!r.summarizable) return false;
+  }
+  return true;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,91 @@
+// Multidimensional data cubes. The paper develops its theory for
+// single-dimension cube views ("a sale ... can be viewed as a point in
+// a space whose dimensions are items, stores, and time"), which is
+// without loss of generality: a multidimensional cube view factors into
+// one rollup join per dimension. This module supplies that lifting:
+//
+//   - a Datacube holds one DimensionInstance per axis and fact rows
+//     addressed by one base member per axis;
+//   - a cube view groups by one category per axis;
+//   - a coarser view is derivable from a finer *single* materialized
+//     view iff, on every axis, the target category is summarizable from
+//     the source category (the per-dimension product rule — Theorem 1
+//     applied axis-wise; the tests exercise both the rule and its
+//     failure when any single axis is unsafe).
+
+#ifndef OLAPDC_OLAP_DATACUBE_H_
+#define OLAPDC_OLAP_DATACUBE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/schema.h"
+#include "dim/dimension_instance.h"
+#include "olap/aggregate.h"
+
+namespace olapdc {
+
+/// A cube cell address: one member per axis.
+using CellKey = std::vector<MemberId>;
+
+/// A computed multidimensional cube view: cell -> aggregate.
+using MultiCubeView = std::map<CellKey, double>;
+
+/// A fact cube over several dimension instances.
+class Datacube {
+ public:
+  /// Takes ownership of the axes. At least one axis is required.
+  static Result<Datacube> Create(std::vector<DimensionInstance> axes);
+
+  int num_axes() const { return static_cast<int>(axes_.size()); }
+  const DimensionInstance& axis(int i) const {
+    OLAPDC_DCHECK(0 <= i && i < num_axes());
+    return axes_[i];
+  }
+  size_t num_facts() const { return rows_.size(); }
+
+  /// Appends a fact; every coordinate must be a member of a bottom
+  /// category of its axis.
+  Status AddFact(CellKey base, double measure);
+
+  /// Aggregates to the granularity `group_by` (one category per axis).
+  /// Facts not rolling up on some axis are dropped, as in the
+  /// single-dimension CubeView.
+  Result<MultiCubeView> ComputeView(const std::vector<CategoryId>& group_by,
+                                    AggFn af) const;
+
+  /// Rolls a finer materialized view up to `target` granularity
+  /// (Definition 6 lifted axis-wise). Correct for every fact cube iff
+  /// on each axis target[i] is summarizable from {source[i]} — use
+  /// IsRollupSafe to decide.
+  Result<MultiCubeView> RollUpView(const MultiCubeView& view,
+                                   const std::vector<CategoryId>& source,
+                                   const std::vector<CategoryId>& target,
+                                   AggFn af) const;
+
+  /// The product rule: every axis' target summarizable from its source
+  /// under the axis' schema (schema-level, so valid for all instances
+  /// over the schemas).
+  Result<bool> IsRollupSafe(const std::vector<DimensionSchema>& schemas,
+                            const std::vector<CategoryId>& source,
+                            const std::vector<CategoryId>& target) const;
+
+ private:
+  struct Row {
+    CellKey base;
+    double measure;
+  };
+
+  explicit Datacube(std::vector<DimensionInstance> axes);
+
+  Status CheckArity(size_t n, const char* what) const;
+
+  std::vector<DimensionInstance> axes_;
+  std::vector<DynamicBitset> bottom_sets_;  // per axis: bottom categories
+  std::vector<Row> rows_;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_OLAP_DATACUBE_H_

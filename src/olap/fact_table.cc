@@ -1,0 +1,23 @@
+#include "olap/fact_table.h"
+
+namespace olapdc {
+
+Status FactTable::ValidateAgainst(const DimensionInstance& d) const {
+  const HierarchySchema& schema = d.hierarchy();
+  DynamicBitset bottoms(schema.num_categories());
+  for (CategoryId c : schema.bottom_categories()) bottoms.set(c);
+  for (const FactRow& row : rows_) {
+    if (row.base_member < 0 || row.base_member >= d.num_members()) {
+      return Status::InvalidArgument("fact references unknown member id " +
+                                     std::to_string(row.base_member));
+    }
+    if (!bottoms.test(d.member(row.base_member).category)) {
+      return Status::InvalidArgument(
+          "fact member '" + d.member(row.base_member).key +
+          "' is not in a bottom category");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace olapdc

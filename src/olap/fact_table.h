@@ -1,0 +1,45 @@
+// Fact tables: the raw data cube views aggregate. A fact row carries a
+// base member (a member of one of the instance's bottom categories) and
+// a numeric measure.
+
+#ifndef OLAPDC_OLAP_FACT_TABLE_H_
+#define OLAPDC_OLAP_FACT_TABLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dim/dimension_instance.h"
+
+namespace olapdc {
+
+struct FactRow {
+  MemberId base_member = kNoMember;
+  double measure = 0.0;
+};
+
+/// A fact table over one dimension instance. (The paper's cube views
+/// are single-dimension; a multidimensional cube factors into one
+/// rollup join per dimension, so one dimension suffices to exercise
+/// the theory.)
+class FactTable {
+ public:
+  FactTable() = default;
+  explicit FactTable(std::vector<FactRow> rows) : rows_(std::move(rows)) {}
+
+  void Add(MemberId base_member, double measure) {
+    rows_.push_back(FactRow{base_member, measure});
+  }
+
+  const std::vector<FactRow>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Verifies every base member belongs to a bottom category of `d`.
+  Status ValidateAgainst(const DimensionInstance& d) const;
+
+ private:
+  std::vector<FactRow> rows_;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_OLAP_FACT_TABLE_H_

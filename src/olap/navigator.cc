@@ -1,0 +1,84 @@
+#include "olap/navigator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/summarizability.h"
+
+namespace olapdc {
+
+namespace {
+
+Result<bool> IsUsable(const DimensionSchema& ds, const DimensionInstance& d,
+                      CategoryId target, const std::vector<CategoryId>& s,
+                      const NavigatorOptions& options) {
+  if (options.mode == NavigatorMode::kSchemaLevel) {
+    OLAPDC_ASSIGN_OR_RETURN(SummarizabilityResult result,
+                            IsSummarizable(ds, target, s, options.dimsat));
+    return result.summarizable;
+  }
+  return IsSummarizableInInstance(d, target, s);
+}
+
+}  // namespace
+
+Result<std::optional<std::vector<CategoryId>>> FindRewriteSet(
+    const DimensionSchema& ds, const DimensionInstance& d,
+    const std::vector<CategoryId>& materialized, CategoryId target,
+    const NavigatorOptions& options) {
+  // A materialized view of the target itself answers the query
+  // directly.
+  for (CategoryId c : materialized) {
+    if (c == target) {
+      return std::optional<std::vector<CategoryId>>(
+          std::vector<CategoryId>{c});
+    }
+  }
+
+  // Enumerate subsets by increasing size: smaller rewrite sets mean
+  // fewer joins.
+  const int n = static_cast<int>(materialized.size());
+  OLAPDC_CHECK(n < 20) << "too many materialized views to enumerate";
+  const int max_size = std::min(options.max_rewrite_set, n);
+  for (int size = 1; size <= max_size; ++size) {
+    for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
+      if (__builtin_popcount(mask) != size) continue;
+      std::vector<CategoryId> s;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (uint32_t{1} << i)) s.push_back(materialized[i]);
+      }
+      OLAPDC_ASSIGN_OR_RETURN(bool usable,
+                              IsUsable(ds, d, target, s, options));
+      if (usable) return std::optional<std::vector<CategoryId>>(s);
+    }
+  }
+  return std::optional<std::vector<CategoryId>>(std::nullopt);
+}
+
+Result<NavigatorAnswer> AnswerFromViews(
+    const DimensionSchema& ds, const DimensionInstance& d,
+    const std::map<CategoryId, CubeViewResult>& materialized,
+    CategoryId target, AggFn af, const NavigatorOptions& options) {
+  std::vector<CategoryId> categories;
+  categories.reserve(materialized.size());
+  for (const auto& [c, view] : materialized) categories.push_back(c);
+
+  OLAPDC_ASSIGN_OR_RETURN(
+      std::optional<std::vector<CategoryId>> rewrite_set,
+      FindRewriteSet(ds, d, categories, target, options));
+
+  NavigatorAnswer answer;
+  if (!rewrite_set.has_value()) return answer;
+  answer.answered = true;
+  answer.used = *rewrite_set;
+
+  std::vector<MaterializedView> sources;
+  sources.reserve(answer.used.size());
+  for (CategoryId c : answer.used) {
+    sources.push_back(MaterializedView{c, &materialized.at(c)});
+  }
+  answer.view = RewriteFromViews(d, sources, target, af);
+  return answer;
+}
+
+}  // namespace olapdc

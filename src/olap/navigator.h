@@ -1,0 +1,67 @@
+// The aggregate navigator (paper Section 1.2 / Kimball [9]): given a
+// set of materialized cube views and a query category, find a set S of
+// materialized categories from which the query is summarizable, and
+// answer the query with the Definition 6 rewriting instead of scanning
+// base facts. Summarizability is established either at the schema
+// level (safe for every instance over the schema; uses DIMSAT) or at
+// the instance level (valid for the current instance only; model
+// checking — cheaper and admits more rewrites).
+
+#ifndef OLAPDC_OLAP_NAVIGATOR_H_
+#define OLAPDC_OLAP_NAVIGATOR_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dimsat.h"
+#include "core/schema.h"
+#include "olap/cube_view.h"
+
+namespace olapdc {
+
+enum class NavigatorMode {
+  /// Prove summarizability from the dimension schema (Theorem 1 +
+  /// DIMSAT implication): the rewrite set works for every instance.
+  kSchemaLevel,
+  /// Check summarizability on the given instance only (Theorem 1 by
+  /// model checking).
+  kInstanceLevel,
+};
+
+struct NavigatorOptions {
+  NavigatorMode mode = NavigatorMode::kSchemaLevel;
+  /// Largest rewrite set tried (subsets of the materialized categories
+  /// are enumerated by increasing size).
+  int max_rewrite_set = 3;
+  DimsatOptions dimsat;
+};
+
+struct NavigatorAnswer {
+  /// False when no summarizable subset of the materialized categories
+  /// exists; `view` is then empty.
+  bool answered = false;
+  /// The rewrite set S used.
+  std::vector<CategoryId> used;
+  CubeViewResult view;
+};
+
+/// Finds a rewrite set for `target` among `materialized` categories, or
+/// nullopt. Does not touch any data — pure reasoning.
+Result<std::optional<std::vector<CategoryId>>> FindRewriteSet(
+    const DimensionSchema& ds, const DimensionInstance& d,
+    const std::vector<CategoryId>& materialized, CategoryId target,
+    const NavigatorOptions& options = {});
+
+/// Answers CubeView(d, facts, target, af) from `materialized` views
+/// when a rewrite set exists (the views must all derive from the same
+/// fact table).
+Result<NavigatorAnswer> AnswerFromViews(
+    const DimensionSchema& ds, const DimensionInstance& d,
+    const std::map<CategoryId, CubeViewResult>& materialized,
+    CategoryId target, AggFn af, const NavigatorOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_OLAP_NAVIGATOR_H_

@@ -1,0 +1,62 @@
+#include "olap/view_selection.h"
+
+#include <algorithm>
+
+namespace olapdc {
+
+Result<ViewSelectionResult> SelectViews(
+    const DimensionSchema& ds, const DimensionInstance& d,
+    const std::vector<CategoryId>& queries,
+    const ViewSelectionOptions& options) {
+  const HierarchySchema& schema = ds.hierarchy();
+
+  std::vector<CategoryId> candidates = options.candidates;
+  if (candidates.empty()) {
+    DynamicBitset excluded(schema.num_categories());
+    excluded.set(schema.all());
+    for (CategoryId b : schema.bottom_categories()) excluded.set(b);
+    for (CategoryId c = 0; c < schema.num_categories(); ++c) {
+      if (!excluded.test(c)) candidates.push_back(c);
+    }
+  }
+  const int n = static_cast<int>(candidates.size());
+  OLAPDC_CHECK(n < 20) << "too many candidate categories to enumerate";
+
+  NavigatorOptions nav_options;
+  nav_options.mode = NavigatorMode::kSchemaLevel;
+  nav_options.max_rewrite_set = options.max_rewrite_set;
+  nav_options.dimsat = options.dimsat;
+
+  ViewSelectionResult best;
+  const int max_views = std::min(options.max_views, n);
+  for (int size = 0; size <= max_views && !best.found; ++size) {
+    for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
+      if (__builtin_popcount(mask) != size) continue;
+      std::vector<CategoryId> selected;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (uint32_t{1} << i)) selected.push_back(candidates[i]);
+      }
+      std::vector<std::vector<CategoryId>> rewrite_sets;
+      bool covers = true;
+      for (CategoryId q : queries) {
+        OLAPDC_ASSIGN_OR_RETURN(
+            std::optional<std::vector<CategoryId>> rewrite,
+            FindRewriteSet(ds, d, selected, q, nav_options));
+        if (!rewrite.has_value()) {
+          covers = false;
+          break;
+        }
+        rewrite_sets.push_back(std::move(*rewrite));
+      }
+      if (covers) {
+        best.found = true;
+        best.selected = std::move(selected);
+        best.rewrite_sets = std::move(rewrite_sets);
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,54 @@
+// View-selection advisor (paper Section 6: dimension constraints
+// "may play an important role in the problem of selecting views to
+// materialize ... by supplying meta-data to support the test of whether
+// a selected set of views is sufficient to compute all the required
+// queries").
+//
+// Given a set of query categories, find a small set of categories to
+// materialize such that every query is summarizable (schema-level, so
+// the choice is valid for every instance) from some subset of the
+// materialized set. Exact search over candidate sets by increasing
+// size, with memoized implication calls.
+
+#ifndef OLAPDC_OLAP_VIEW_SELECTION_H_
+#define OLAPDC_OLAP_VIEW_SELECTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dimsat.h"
+#include "core/schema.h"
+#include "olap/navigator.h"
+
+namespace olapdc {
+
+struct ViewSelectionOptions {
+  /// Categories eligible for materialization; empty = every category
+  /// except All and the bottom categories (those are the base data).
+  std::vector<CategoryId> candidates;
+  /// Largest materialized set considered.
+  int max_views = 4;
+  /// Largest rewrite set per query.
+  int max_rewrite_set = 3;
+  DimsatOptions dimsat;
+};
+
+struct ViewSelectionResult {
+  /// False when no candidate subset of size <= max_views covers all
+  /// queries.
+  bool found = false;
+  std::vector<CategoryId> selected;
+  /// Per query, the rewrite set assigned from `selected`.
+  std::vector<std::vector<CategoryId>> rewrite_sets;
+};
+
+/// Finds a minimum-cardinality materialization set covering `queries`.
+Result<ViewSelectionResult> SelectViews(const DimensionSchema& ds,
+                                        const DimensionInstance& d,
+                                        const std::vector<CategoryId>& queries,
+                                        const ViewSelectionOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_OLAP_VIEW_SELECTION_H_

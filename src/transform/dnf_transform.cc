@@ -1,0 +1,114 @@
+#include "transform/dnf_transform.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace olapdc {
+
+Result<DnfResult> ToDimensionalNormalForm(const DimensionInstance& d) {
+  const HierarchySchema& schema = d.hierarchy();
+  const int num_categories = schema.num_categories();
+
+  // A category is kept iff every base member (member of a bottom
+  // category) rolls up to it. Bottom categories and All are always
+  // kept.
+  DynamicBitset kept(num_categories);
+  kept.set(schema.all());
+  for (CategoryId b : schema.bottom_categories()) kept.set(b);
+  for (CategoryId c = 0; c < num_categories; ++c) {
+    if (kept.test(c)) continue;
+    bool universal = true;
+    for (CategoryId b : schema.bottom_categories()) {
+      for (MemberId x : d.MembersOf(b)) {
+        universal &= d.RollsUpToCategory(x, c);
+        if (!universal) break;
+      }
+      if (!universal) break;
+    }
+    if (universal) kept.set(c);
+  }
+
+  std::vector<CategoryId> kept_list;
+  std::vector<CategoryId> demoted_list;
+  for (CategoryId c = 0; c < num_categories; ++c) {
+    (kept.test(c) ? kept_list : demoted_list).push_back(c);
+  }
+
+  // Attribute tables: record, per demoted category, the former ancestor
+  // name of every base member.
+  std::map<CategoryId, std::map<std::string, std::string>> attributes;
+  for (CategoryId c : demoted_list) {
+    auto& table = attributes[c];
+    for (CategoryId b : schema.bottom_categories()) {
+      for (MemberId x : d.MembersOf(b)) {
+        MemberId ancestor = d.RollUpMember(x, c);
+        if (ancestor != kNoMember) {
+          table[d.member(x).key] = d.member(ancestor).name;
+        }
+      }
+    }
+  }
+
+  // Per kept member, its rollup targets into kept categories; edges go
+  // to the *minimal* targets (not dominated by another target), which
+  // keeps the spliced instance shortcut-free and preserves every rollup
+  // into kept categories.
+  struct PendingEdge {
+    MemberId child;
+    MemberId parent;
+  };
+  std::vector<PendingEdge> member_edges;
+  std::vector<std::pair<CategoryId, CategoryId>> category_edges;
+  for (CategoryId c = 0; c < num_categories; ++c) {
+    if (!kept.test(c)) continue;
+    for (MemberId x : d.MembersOf(c)) {
+      if (x == d.all_member()) continue;
+      std::vector<MemberId> targets;
+      kept.ForEach([&](int kc) {
+        if (kc == c) return;
+        MemberId t = d.RollUpMember(x, kc);
+        if (t != kNoMember) targets.push_back(t);
+      });
+      for (MemberId a : targets) {
+        bool minimal = true;
+        for (MemberId b : targets) {
+          if (b != a && d.RollsUpTo(b, a)) minimal = false;
+        }
+        if (minimal) {
+          member_edges.push_back(PendingEdge{x, a});
+          category_edges.emplace_back(c, d.member(a).category);
+        }
+      }
+    }
+  }
+
+  // Reduced hierarchy schema over the kept categories.
+  HierarchySchemaBuilder schema_builder;
+  kept.ForEach([&](int c) { schema_builder.AddCategory(schema.CategoryName(c)); });
+  std::sort(category_edges.begin(), category_edges.end());
+  category_edges.erase(
+      std::unique(category_edges.begin(), category_edges.end()),
+      category_edges.end());
+  for (const auto& [c1, c2] : category_edges) {
+    schema_builder.AddEdge(schema.CategoryName(c1), schema.CategoryName(c2));
+  }
+  OLAPDC_ASSIGN_OR_RETURN(HierarchySchemaPtr reduced,
+                          schema_builder.BuildShared());
+
+  DimensionInstanceBuilder builder(reduced);
+  builder.set_auto_all(true).set_auto_link_to_all(false);
+  kept.ForEach([&](int c) {
+    for (MemberId x : d.MembersOf(c)) {
+      builder.AddMember(d.member(x).key, schema.CategoryName(c),
+                        d.member(x).name);
+    }
+  });
+  for (const PendingEdge& e : member_edges) {
+    builder.AddChildParent(d.member(e.child).key, d.member(e.parent).key);
+  }
+  OLAPDC_ASSIGN_OR_RETURN(DimensionInstance homogeneous, builder.Build());
+  return DnfResult{std::move(homogeneous), std::move(kept_list),
+                   std::move(demoted_list), std::move(attributes)};
+}
+
+}  // namespace olapdc

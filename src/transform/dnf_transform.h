@@ -1,0 +1,50 @@
+// The Lehner/Albrecht/Wedekind "dimensional normal form" baseline
+// (paper Section 1.3, ref [11]): transform a heterogeneous dimension
+// into a homogeneous one by *demoting* the categories that cause
+// heterogeneity from the hierarchy to mere attributes. The hierarchy
+// keeps only categories every base member rolls up to; the demoted
+// categories survive as per-member attribute annotations outside the
+// hierarchy.
+//
+// The paper's criticism: "the proposed transformation flattens the
+// child/parent relation, limiting summarizability in the dimension
+// instance" — after the transform, no cube view can be (correctly)
+// derived at a demoted category. The transform reports exactly which
+// categories (and thus which aggregation levels) are lost; benchmark
+// E13 quantifies this against constraint-based reasoning, which loses
+// nothing.
+
+#ifndef OLAPDC_TRANSFORM_DNF_TRANSFORM_H_
+#define OLAPDC_TRANSFORM_DNF_TRANSFORM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dim/dimension_instance.h"
+
+namespace olapdc {
+
+struct DnfResult {
+  /// The homogenized instance over the reduced hierarchy schema.
+  DimensionInstance homogeneous;
+  /// Categories kept in the hierarchy (ids of the *original* schema).
+  std::vector<CategoryId> kept;
+  /// Categories demoted to attributes (ids of the original schema).
+  std::vector<CategoryId> demoted;
+  /// Attribute tables: demoted category -> (base-ish member key ->
+  /// name of its former ancestor in that category). Only members that
+  /// actually had such an ancestor appear.
+  std::map<CategoryId, std::map<std::string, std::string>> attributes;
+};
+
+/// Computes the DNF transform of `d`: a category is kept iff every
+/// member of every bottom category rolls up to it; demoted categories
+/// are spliced out of the child/parent relation (children re-linked to
+/// the nearest kept ancestors) and recorded as attributes.
+Result<DnfResult> ToDimensionalNormalForm(const DimensionInstance& d);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_TRANSFORM_DNF_TRANSFORM_H_

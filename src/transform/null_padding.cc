@@ -1,0 +1,236 @@
+#include "transform/null_padding.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.h"
+
+namespace olapdc {
+
+namespace {
+
+/// Union-find over node ids where "real" elements (original members)
+/// dominate placeholder elements; unioning two distinct real elements
+/// is the unrepresentable case and is reported by Union returning
+/// false.
+class Fusion {
+ public:
+  Fusion(int num_elements, int num_real)
+      : parent_(num_elements), num_real_(num_real) {
+    for (int i = 0; i < num_elements; ++i) parent_[i] = i;
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool IsReal(int x) const { return x < num_real_; }
+
+  /// Merges the classes of a and b; keeps the real representative on
+  /// top. Returns false when both classes are rooted at distinct real
+  /// members (fusion impossible).
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return true;
+    if (IsReal(a) && IsReal(b)) return false;
+    if (IsReal(b)) std::swap(a, b);
+    parent_[b] = a;  // a is real if either is
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+  int num_real_;
+};
+
+}  // namespace
+
+Result<NullPaddingResult> PadWithNullMembers(const DimensionInstance& d,
+                                             const std::string& prefix) {
+  const HierarchySchema& schema = d.hierarchy();
+  if (HasCycle(schema.graph())) {
+    return Status::InvalidArgument(
+        "null padding requires an acyclic hierarchy schema");
+  }
+
+  // ------------------------------------------------------------------
+  // 1. Create placeholder nodes: for each member z, one per category in
+  //    the "missing chain" reachable from cat(z) (upward BFS that stops
+  //    as soon as a real ancestor resumes).
+  const int num_real = d.num_members();
+  struct Placeholder {
+    MemberId owner;
+    CategoryId category;
+  };
+  std::vector<Placeholder> placeholders;
+  // placeholder_id_of[z * C + c] -> element id (or -1).
+  const int num_categories = schema.num_categories();
+  std::vector<int> placeholder_of(
+      static_cast<size_t>(num_real) * num_categories, -1);
+  auto placeholder_id = [&](MemberId z, CategoryId c) {
+    return placeholder_of[static_cast<size_t>(z) * num_categories + c];
+  };
+
+  std::vector<std::pair<int, int>> edges;  // over element ids
+  for (const auto& [x, y] : d.child_parent().Edges()) edges.emplace_back(x, y);
+
+  for (MemberId z = 0; z < num_real; ++z) {
+    const Member& member = d.member(z);
+    if (member.category == schema.all()) continue;
+
+    auto ensure_placeholder = [&](CategoryId c) {
+      int& slot = placeholder_of[static_cast<size_t>(z) * num_categories + c];
+      if (slot < 0) {
+        slot = num_real + static_cast<int>(placeholders.size());
+        placeholders.push_back(Placeholder{z, c});
+      }
+      return slot;
+    };
+
+    std::vector<CategoryId> frontier;
+    for (CategoryId next : schema.graph().OutNeighbors(member.category)) {
+      if (next == schema.all()) continue;
+      if (d.RollUpMember(z, next) != kNoMember) continue;
+      bool fresh = placeholder_id(z, next) < 0;
+      edges.emplace_back(z, ensure_placeholder(next));
+      if (fresh) frontier.push_back(next);
+    }
+    while (!frontier.empty()) {
+      CategoryId c = frontier.back();
+      frontier.pop_back();
+      const int from = placeholder_id(z, c);
+      for (CategoryId next : schema.graph().OutNeighbors(c)) {
+        if (next == schema.all()) {
+          edges.emplace_back(from, d.all_member());
+          continue;
+        }
+        MemberId real = d.RollUpMember(z, next);
+        if (real != kNoMember) {
+          edges.emplace_back(from, real);
+          continue;
+        }
+        bool fresh = placeholder_id(z, next) < 0;
+        edges.emplace_back(from, ensure_placeholder(next));
+        if (fresh) frontier.push_back(next);
+      }
+    }
+  }
+
+  const int num_elements = num_real + static_cast<int>(placeholders.size());
+  auto category_of = [&](int element) {
+    return element < num_real ? d.member(element).category
+                              : placeholders[element - num_real].category;
+  };
+
+  // ------------------------------------------------------------------
+  // 2. Fuse placeholders until the padded graph is strict again (C2):
+  //    fixpoint of the ancestor-uniqueness propagation with union-find
+  //    merging. Two distinct *real* candidates cannot be merged — that
+  //    is exactly the class of dimensions Pedersen & Jensen's
+  //    transformation does not handle (paper Section 1.3).
+  Digraph padded_graph(num_elements);
+  for (const auto& [u, v] : edges) padded_graph.AddEdge(u, v);
+  Result<std::vector<int>> topo = TopologicalSort(padded_graph);
+  if (!topo.ok()) {
+    return Status::Internal("padded member graph unexpectedly cyclic");
+  }
+  std::vector<int> parents_first = std::move(topo).ValueOrDie();
+  std::reverse(parents_first.begin(), parents_first.end());
+
+  Fusion fusion(num_elements, num_real);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (CategoryId c = 0; c < num_categories; ++c) {
+      std::vector<int> anc(num_elements, -1);
+      for (int x : parents_first) {
+        for (int p : padded_graph.OutNeighbors(x)) {
+          int candidate =
+              (category_of(p) == c) ? fusion.Find(p) : anc[p];
+          if (candidate < 0) continue;
+          candidate = fusion.Find(candidate);
+          if (anc[x] < 0) {
+            anc[x] = candidate;
+          } else if (fusion.Find(anc[x]) != candidate) {
+            if (!fusion.Union(anc[x], candidate)) {
+              return Status::InvalidModel(
+                  "null padding would need to fuse two distinct real "
+                  "members of category '" + schema.CategoryName(c) +
+                  "' — instance outside the restricted class handled by "
+                  "the Pedersen-Jensen transformation");
+            }
+            anc[x] = fusion.Find(anc[x]);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 3. Materialize the fused graph as a DimensionInstance.
+  DimensionInstanceBuilder builder(d.schema());
+  builder.set_auto_all(true).set_auto_link_to_all(false).set_skip_validation(
+      true);
+
+  auto element_key = [&](int element) -> std::string {
+    element = fusion.Find(element);
+    if (element < num_real) return d.member(element).key;
+    const Placeholder& p = placeholders[element - num_real];
+    return prefix + schema.CategoryName(p.category) + ":" +
+           d.member(p.owner).key;
+  };
+
+  for (MemberId m = 0; m < num_real; ++m) {
+    const Member& member = d.member(m);
+    builder.AddMember(member.key, schema.CategoryName(member.category),
+                      member.name);
+  }
+  int added_members = 0;
+  for (int i = 0; i < static_cast<int>(placeholders.size()); ++i) {
+    const int element = num_real + i;
+    if (fusion.Find(element) != element) continue;  // fused away
+    builder.AddMember(element_key(element),
+                      schema.CategoryName(placeholders[i].category),
+                      "N/A");
+    ++added_members;
+  }
+
+  std::vector<std::pair<std::string, std::string>> final_edges;
+  for (const auto& [u, v] : edges) {
+    std::string ku = element_key(u);
+    std::string kv = element_key(v);
+    if (ku == kv) continue;  // collapsed by fusion
+    final_edges.emplace_back(std::move(ku), std::move(kv));
+  }
+  std::sort(final_edges.begin(), final_edges.end());
+  final_edges.erase(std::unique(final_edges.begin(), final_edges.end()),
+                    final_edges.end());
+  for (const auto& [ku, kv] : final_edges) builder.AddChildParent(ku, kv);
+
+  OLAPDC_ASSIGN_OR_RETURN(DimensionInstance padded, builder.Build());
+  // C5 is relaxed by design; everything else (in particular C2) must
+  // hold after fusion.
+  OLAPDC_RETURN_NOT_OK(padded.Validate(/*enforce_shortcut_condition=*/false));
+
+  NullPaddingResult result{std::move(padded), {}};
+  result.stats.original_members = num_real;
+  result.stats.padded_members = added_members;
+  result.stats.original_edges = d.child_parent().num_edges();
+  result.stats.padded_edges =
+      result.padded.child_parent().num_edges() - result.stats.original_edges;
+  result.stats.placeholder_fraction =
+      static_cast<double>(added_members) /
+      static_cast<double>(num_real + added_members);
+  return result;
+}
+
+}  // namespace olapdc

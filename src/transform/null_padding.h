@@ -1,0 +1,53 @@
+// The Pedersen & Jensen null-member transformation (paper Section 1.3,
+// ref [14] "Extending practical pre-aggregation in OLAP"): make a
+// heterogeneous dimension instance homogeneous by inserting placeholder
+// ("null") members wherever a member lacks an ancestor in a category
+// above it, so that every rollup mapping becomes total.
+//
+// The paper criticizes this approach: "null members may cause
+// considerable waste of memory and computational effort due to the
+// increased sparsity of the cube views". The transform therefore
+// reports exactly that waste (members/edges added, padded fraction), and
+// the transform_baselines benchmark (E13) measures it against the
+// constraint-based alternative that leaves the instance untouched.
+//
+// The padded instance satisfies C1-C4, C6, C7; C5 (no shortcuts) is
+// relaxed, as in Pedersen & Jensen's model, because a placeholder chain
+// may shadow or be shadowed by real links (validate with
+// Validate(/*enforce_shortcut_condition=*/false)).
+
+#ifndef OLAPDC_TRANSFORM_NULL_PADDING_H_
+#define OLAPDC_TRANSFORM_NULL_PADDING_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dim/dimension_instance.h"
+
+namespace olapdc {
+
+struct NullPaddingStats {
+  int original_members = 0;
+  int padded_members = 0;   // placeholder members added
+  int original_edges = 0;
+  int padded_edges = 0;     // edges added
+  /// Members of the result that are placeholders, as a fraction.
+  double placeholder_fraction = 0.0;
+};
+
+struct NullPaddingResult {
+  DimensionInstance padded;
+  NullPaddingStats stats;
+};
+
+/// Pads `d` so that every member rolls up to every category reachable
+/// from its category in the hierarchy schema. Placeholder members are
+/// keyed `prefix + category + ":" + member key` (one per member and
+/// missing category — the per-member cost is intentional; sharing
+/// placeholders would merge unrelated aggregates).
+Result<NullPaddingResult> PadWithNullMembers(const DimensionInstance& d,
+                                             const std::string& prefix = "na:");
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_TRANSFORM_NULL_PADDING_H_

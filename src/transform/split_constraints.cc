@@ -1,0 +1,52 @@
+#include "transform/split_constraints.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace olapdc {
+
+Result<DimensionConstraint> CompileSplitConstraint(
+    const HierarchySchema& schema, const SplitConstraint& split) {
+  if (split.root < 0 || split.root >= schema.num_categories()) {
+    return Status::InvalidArgument("split-constraint root out of range");
+  }
+  if (split.alternatives.empty()) {
+    return Status::InvalidArgument(
+        "split constraint needs at least one alternative");
+  }
+  const std::vector<CategoryId>& successors =
+      schema.graph().OutNeighbors(split.root);
+
+  std::vector<ExprPtr> alternatives;
+  alternatives.reserve(split.alternatives.size());
+  for (const std::vector<CategoryId>& alt : split.alternatives) {
+    if (alt.empty()) {
+      return Status::InvalidArgument(
+          "split-constraint alternative cannot be empty (condition C7 "
+          "requires at least one parent)");
+    }
+    std::vector<ExprPtr> literals;
+    for (CategoryId p : successors) {
+      const bool positive = std::find(alt.begin(), alt.end(), p) != alt.end();
+      ExprPtr atom = MakePathAtom({split.root, p});
+      literals.push_back(positive ? atom : MakeNot(std::move(atom)));
+    }
+    for (CategoryId p : alt) {
+      if (std::find(successors.begin(), successors.end(), p) ==
+          successors.end()) {
+        return Status::InvalidArgument(
+            "alternative category '" + schema.CategoryName(p) +
+            "' is not directly above '" +
+            schema.CategoryName(split.root) + "'");
+      }
+    }
+    literals.shrink_to_fit();
+    alternatives.push_back(literals.size() == 1 ? literals[0]
+                                                : MakeAnd(std::move(literals)));
+  }
+  ExprPtr expr = alternatives.size() == 1 ? alternatives[0]
+                                          : MakeOr(std::move(alternatives));
+  return MakeConstraint(schema, std::move(expr));
+}
+
+}  // namespace olapdc

@@ -1,0 +1,40 @@
+// Split constraints (paper Section 1.3, ref [6] — Hurtado & Mendelzon,
+// ICDT 2001): statements of the form
+//     c  =>  { S1, ..., Sm }
+// where each Si is a set of categories directly above c, meaning that
+// the set of categories in which a member of c has direct parents is
+// exactly one of the alternatives Si. The paper observes that split
+// constraints are a strict subclass of dimension constraints; this
+// module realizes the inclusion by compiling a split constraint into an
+// equivalent dimension constraint over path atoms, so all of the
+// DIMSAT machinery applies to legacy split-constraint schemas.
+
+#ifndef OLAPDC_TRANSFORM_SPLIT_CONSTRAINTS_H_
+#define OLAPDC_TRANSFORM_SPLIT_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "constraint/expr.h"
+#include "dim/hierarchy_schema.h"
+
+namespace olapdc {
+
+/// A split constraint: members of `root` have direct parents in exactly
+/// one of the `alternatives` (each a set of categories directly above
+/// `root` in the schema).
+struct SplitConstraint {
+  CategoryId root = kNoCategory;
+  std::vector<std::vector<CategoryId>> alternatives;
+};
+
+/// Compiles into the equivalent dimension constraint
+///   OR_i ( AND_{p in Si} root_p  AND  AND_{p in Out(root)\Si} !root_p ).
+/// Distinct alternatives cannot hold simultaneously (the parent-set is
+/// pinned exactly), so plain disjunction is faithful.
+Result<DimensionConstraint> CompileSplitConstraint(
+    const HierarchySchema& schema, const SplitConstraint& split);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_TRANSFORM_SPLIT_CONSTRAINTS_H_

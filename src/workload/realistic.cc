@@ -1,0 +1,85 @@
+#include "workload/realistic.h"
+
+#include <utility>
+#include <vector>
+
+#include "constraint/parser.h"
+
+namespace olapdc {
+
+namespace {
+
+Result<DimensionSchema> BuildSchema(
+    HierarchySchemaBuilder& builder,
+    const std::vector<std::pair<const char*, const char*>>& texts) {
+  OLAPDC_ASSIGN_OR_RETURN(HierarchySchemaPtr schema, builder.BuildShared());
+  std::vector<DimensionConstraint> constraints;
+  constraints.reserve(texts.size());
+  for (const auto& [label, text] : texts) {
+    OLAPDC_ASSIGN_OR_RETURN(DimensionConstraint c,
+                            ParseConstraint(*schema, text, label));
+    constraints.push_back(std::move(c));
+  }
+  return DimensionSchema(std::move(schema), std::move(constraints));
+}
+
+}  // namespace
+
+Result<DimensionSchema> HealthcareSchema() {
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("Patient", "Diagnosis")
+      .AddEdge("Diagnosis", "Family")
+      .AddEdge("Diagnosis", "Group")  // the exceptional direct edge
+      .AddEdge("Family", "Group")
+      .AddEdge("Group", "All");
+  return BuildSchema(
+      builder,
+      {
+          {"(h1)", "Patient/Diagnosis"},
+          // A diagnosis sits under exactly one of Family / Group
+          // directly (never both: that would be a shortcut anyway).
+          {"(h2)", "one(Diagnosis/Family, Diagnosis/Group)"},
+          {"(h3)", "Family/Group"},
+          // Low-level ("L3") diagnoses always have a family.
+          {"(h4)", "Diagnosis = 'L3' -> Diagnosis/Family"},
+      });
+}
+
+Result<DimensionSchema> ProductSchema() {
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("Product", "Brand")
+      .AddEdge("Product", "Category")
+      .AddEdge("Brand", "Company")
+      .AddEdge("Company", "All")
+      .AddEdge("Category", "Department")
+      .AddEdge("Department", "All");
+  return BuildSchema(
+      builder,
+      {
+          {"(p1)", "Product/Category"},
+          {"(p2)", "Category/Department"},
+          {"(p3)", "Brand/Company"},
+          // Own-label products skip Brand; the grocery department is
+          // entirely own-label.
+          {"(p4)",
+           "Product.Department = 'Grocery' -> !Product/Brand"},
+      });
+}
+
+Result<DimensionSchema> TimeSchema() {
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("Day", "Month")
+      .AddEdge("Month", "Quarter")
+      .AddEdge("Quarter", "Year")
+      .AddEdge("Year", "All")
+      .AddEdge("Day", "Week")
+      .AddEdge("Week", "All");
+  return BuildSchema(builder, {
+                                  {"(t1)", "Day/Month"},
+                                  {"(t2)", "Day/Week"},
+                                  {"(t3)", "Month/Quarter"},
+                                  {"(t4)", "Quarter/Year"},
+                              });
+}
+
+}  // namespace olapdc

@@ -1,0 +1,39 @@
+// Hand-written "practical situation" schemas for the E12 suite (the
+// paper's Section 6 conjecture that DIMSAT answers implication queries
+// "of the order of a few seconds" in practice). Three domains:
+//
+//  - retail location: the paper's own locationSch (core/location_example.h);
+//  - healthcare diagnoses: the Pedersen & Jensen motivating scenario —
+//    low-level diagnoses grouped into families, with some diagnoses
+//    attached directly to diagnosis groups;
+//  - product catalog: products with optional brands, heterogeneous
+//    across departments.
+
+#ifndef OLAPDC_WORKLOAD_REALISTIC_H_
+#define OLAPDC_WORKLOAD_REALISTIC_H_
+
+#include "common/result.h"
+#include "core/schema.h"
+
+namespace olapdc {
+
+/// Diagnosis dimension: Patient -> Diagnosis -> {Family | Group},
+/// Family -> Group -> All. Heterogeneity: a diagnosis belongs to
+/// exactly one of Family or Group directly.
+Result<DimensionSchema> HealthcareSchema();
+
+/// Product dimension: Product -> {Brand, Category}, Brand -> Company ->
+/// All, Category -> Department -> All. Heterogeneity: own-label
+/// products have no brand; branded products roll up to a company.
+Result<DimensionSchema> ProductSchema();
+
+/// Time dimension: Day -> Month -> Quarter -> Year -> All and
+/// Day -> Week -> All. Weeks cross month and year boundaries, so Week
+/// rolls up only to All — the textbook reason weekly aggregates cannot
+/// rebuild yearly ones (Lenz & Shoshani's classic summarizability
+/// failure, reproduced by the tests through Theorem 1).
+Result<DimensionSchema> TimeSchema();
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_WORKLOAD_REALISTIC_H_

@@ -1,0 +1,188 @@
+#include "workload/schema_generator.h"
+
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.h"
+
+namespace olapdc {
+
+namespace {
+
+std::string LevelCategoryName(int level, int index) {
+  if (level == 0) return "Base";
+  return "L" + std::to_string(level) + "C" + std::to_string(index);
+}
+
+}  // namespace
+
+Result<HierarchySchemaPtr> GenerateLayeredHierarchy(
+    const SchemaGenOptions& options) {
+  if (options.num_levels < 1 || options.categories_per_level < 1) {
+    return Status::InvalidArgument("need >= 1 level and >= 1 category");
+  }
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // levels[i] = names at level i; level 0 = {Base}; implicit top = All.
+  std::vector<std::vector<std::string>> levels;
+  levels.push_back({"Base"});
+  for (int level = 1; level <= options.num_levels; ++level) {
+    std::vector<std::string> names;
+    for (int i = 0; i < options.categories_per_level; ++i) {
+      names.push_back(LevelCategoryName(level, i));
+    }
+    levels.push_back(std::move(names));
+  }
+
+  HierarchySchemaBuilder builder;
+  std::vector<std::pair<std::string, std::string>> edges;
+  auto add_edge = [&](const std::string& a, const std::string& b) {
+    edges.emplace_back(a, b);
+    builder.AddEdge(a, b);
+  };
+
+  // Spanning out-edges: every category points somewhere one level up
+  // (the top level points at All).
+  for (int level = 0; level <= options.num_levels; ++level) {
+    for (const std::string& name : levels[level]) {
+      if (level == options.num_levels) {
+        add_edge(name, "All");
+      } else {
+        const auto& next = levels[level + 1];
+        std::uniform_int_distribution<size_t> pick(0, next.size() - 1);
+        add_edge(name, next[pick(rng)]);
+      }
+    }
+  }
+
+  // Optional extra edges across up to max_level_jump levels.
+  for (int level = 0; level <= options.num_levels; ++level) {
+    for (const std::string& from : levels[level]) {
+      const int highest =
+          std::min(options.num_levels, level + options.max_level_jump);
+      for (int to_level = level + 1; to_level <= highest; ++to_level) {
+        for (const std::string& to : levels[to_level]) {
+          bool exists = false;
+          for (const auto& [a, b] : edges) {
+            exists |= (a == from && b == to);
+          }
+          if (!exists && coin(rng) < options.extra_edge_prob) {
+            add_edge(from, to);
+          }
+        }
+      }
+    }
+  }
+
+  // Every non-bottom category should have an in-edge so Base stays the
+  // unique bottom category.
+  for (int level = 1; level <= options.num_levels; ++level) {
+    for (const std::string& name : levels[level]) {
+      bool has_in = false;
+      for (const auto& [a, b] : edges) has_in |= (b == name);
+      if (!has_in) {
+        const auto& below = levels[level - 1];
+        std::uniform_int_distribution<size_t> pick(0, below.size() - 1);
+        add_edge(below[pick(rng)], name);
+      }
+    }
+  }
+
+  return builder.BuildShared();
+}
+
+Result<DimensionSchema> GenerateConstrainedSchema(
+    const HierarchySchemaPtr& schema, const ConstraintGenOptions& options) {
+  OLAPDC_CHECK(schema != nullptr);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  std::vector<DimensionConstraint> constraints;
+  DynamicBitset into_source(schema->num_categories());
+
+  // Into constraints: sampled per edge, skipping shortcut edges (an
+  // into constraint on a shortcut edge conflicts with condition C5
+  // whenever the longer path is also forced, making whole schemas
+  // trivially unsatisfiable — real designs put into constraints on the
+  // primary rollup edges).
+  for (const auto& [u, v] : schema->graph().Edges()) {
+    if (v == schema->all() && schema->graph().OutDegree(u) == 1) {
+      continue;  // forced anyway
+    }
+    if (HasSimplePathThroughThirdNode(schema->graph(), u, v)) continue;
+    if (coin(rng) < options.into_fraction) {
+      OLAPDC_ASSIGN_OR_RETURN(
+          DimensionConstraint c,
+          MakeConstraint(*schema, MakePathAtom({u, v}), "into"));
+      constraints.push_back(std::move(c));
+      into_source.set(u);
+    }
+  }
+
+  // Exclusive-choice constraints over categories with several parents
+  // none of which is already forced.
+  std::vector<CategoryId> choice_candidates;
+  for (CategoryId c = 0; c < schema->num_categories(); ++c) {
+    if (c != schema->all() && schema->graph().OutDegree(c) >= 2 &&
+        !into_source.test(c)) {
+      choice_candidates.push_back(c);
+    }
+  }
+  for (int i = 0;
+       i < options.num_choice_constraints && !choice_candidates.empty();
+       ++i) {
+    std::uniform_int_distribution<size_t> pick(0,
+                                               choice_candidates.size() - 1);
+    CategoryId c = choice_candidates[pick(rng)];
+    std::vector<ExprPtr> atoms;
+    for (CategoryId p : schema->graph().OutNeighbors(c)) {
+      atoms.push_back(MakePathAtom({c, p}));
+    }
+    OLAPDC_ASSIGN_OR_RETURN(
+        DimensionConstraint constraint,
+        MakeConstraint(*schema, MakeExactlyOne(std::move(atoms)), "choice"));
+    constraints.push_back(std::move(constraint));
+  }
+
+  // Equality-conditioned structure: (c.t = k -> c_p). Vacuously
+  // satisfiable via nk, so these never make the schema unsatisfiable on
+  // their own but do enlarge the c-assignment space (the N_K knob).
+  std::vector<CategoryId> eq_candidates;
+  for (CategoryId c = 0; c < schema->num_categories(); ++c) {
+    if (c != schema->all() && schema->graph().OutDegree(c) >= 2) {
+      eq_candidates.push_back(c);
+    }
+  }
+  for (int i = 0; i < options.num_equality_constraints && !eq_candidates.empty();
+       ++i) {
+    std::uniform_int_distribution<size_t> pick(0, eq_candidates.size() - 1);
+    CategoryId c = eq_candidates[pick(rng)];
+    const auto& successors = schema->graph().OutNeighbors(c);
+    std::uniform_int_distribution<size_t> pick_succ(0, successors.size() - 1);
+    CategoryId p = successors[pick_succ(rng)];
+    // Target: some category strictly above c (here: the successor's
+    // first successor if any, else the successor itself).
+    CategoryId t = p;
+    if (schema->graph().OutDegree(p) > 0 &&
+        schema->graph().OutNeighbors(p)[0] != schema->all()) {
+      t = schema->graph().OutNeighbors(p)[0];
+    }
+    std::uniform_int_distribution<int> pick_const(0, options.num_constants - 1);
+    std::string constant = "k" + schema->CategoryName(t) + "_" +
+                           std::to_string(pick_const(rng));
+    OLAPDC_ASSIGN_OR_RETURN(
+        DimensionConstraint constraint,
+        MakeConstraint(*schema,
+                       MakeImplies(MakeEqualityAtom(c, t, constant),
+                                   MakePathAtom({c, p})),
+                       "eq"));
+    constraints.push_back(std::move(constraint));
+  }
+
+  return DimensionSchema(schema, std::move(constraints));
+}
+
+}  // namespace olapdc

@@ -1,0 +1,69 @@
+// Parametric random hierarchy-schema and constraint generators, the
+// synthetic workload for the scaling (E7/E8), ablation (E9) and
+// baseline (E10) benchmarks. The paper has no published testbed (its
+// runtime study lives in an unavailable full version), so these
+// generators realize the workload family its Section 5 heuristics are
+// motivated by: layered DAGs where "heterogeneity arises as an
+// exception, having most of the edges of the schema associated with
+// *into* constraints".
+//
+// All generators are deterministic in their seed.
+
+#ifndef OLAPDC_WORKLOAD_SCHEMA_GENERATOR_H_
+#define OLAPDC_WORKLOAD_SCHEMA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/schema.h"
+#include "dim/hierarchy_schema.h"
+
+namespace olapdc {
+
+struct SchemaGenOptions {
+  /// Number of category levels between the single bottom category and
+  /// All (the bottom category "Base" is level 0; All sits above the
+  /// last level).
+  int num_levels = 4;
+  /// Categories per intermediate level.
+  int categories_per_level = 3;
+  /// Probability of each optional extra edge (beyond the spanning
+  /// edges that keep the schema well-formed).
+  double extra_edge_prob = 0.3;
+  /// How many levels an edge may jump (1 = only adjacent levels).
+  int max_level_jump = 2;
+  uint64_t seed = 1;
+};
+
+/// A layered random hierarchy schema. Category names are
+/// "L<level>C<index>"; level 0 is the single bottom category "Base".
+Result<HierarchySchemaPtr> GenerateLayeredHierarchy(
+    const SchemaGenOptions& options);
+
+struct ConstraintGenOptions {
+  /// Fraction of schema edges turned into *into* constraints
+  /// (heterogeneity-as-exception knob; 1.0 = fully homogeneous).
+  double into_fraction = 0.5;
+  /// Number of exclusive-choice constraints ⊙(c_p1, ..., c_pk) over
+  /// categories with several parents.
+  int num_choice_constraints = 2;
+  /// Number of equality-conditioned constraints
+  /// (c.t = k  ->  c_p) tying a structural choice to an ancestor name.
+  int num_equality_constraints = 2;
+  /// Constants drawn per equality constraint target (the paper's N_K
+  /// knob).
+  int num_constants = 2;
+  uint64_t seed = 1;
+};
+
+/// Random dimension constraints over `schema`. Into constraints are
+/// sampled per edge; choice/equality constraints are sampled over
+/// categories with out-degree >= 2. The result is not guaranteed
+/// satisfiable for every category — both outcomes are legitimate
+/// satisfiability workloads.
+Result<DimensionSchema> GenerateConstrainedSchema(
+    const HierarchySchemaPtr& schema, const ConstraintGenOptions& options);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_WORKLOAD_SCHEMA_GENERATOR_H_

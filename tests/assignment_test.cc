@@ -1,0 +1,117 @@
+// Tests for the c-assignment search.
+
+#include <gtest/gtest.h>
+
+#include "core/assignment.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+// Universe: categories 0 (root), 1, 2, 3 (All); chain 0->1->2->3.
+Subhierarchy Chain() {
+  auto g = Subhierarchy::FromEdges(4, 0, 3, {{0, 1}, {1, 2}, {2, 3}});
+  OLAPDC_CHECK(g.has_value());
+  return *g;
+}
+
+TEST(AssignmentTest, EmptyConstraintSetIsSatisfiedByAllNk) {
+  AssignmentSearchResult r = FindAssignments(Chain(), {});
+  ASSERT_EQ(r.assignments.size(), 1u);
+  for (const auto& v : r.assignments[0]) EXPECT_FALSE(v.has_value());
+}
+
+TEST(AssignmentTest, SingleAtomForcesConstant) {
+  // 0.2 ~ "a" must hold.
+  std::vector<ExprPtr> circled = {MakeEqualityAtom(0, 2, "a")};
+  AssignmentSearchResult r = FindAssignments(Chain(), circled);
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_EQ(r.assignments[0][2], "a");
+}
+
+TEST(AssignmentTest, NegatedAtomPrefersNk) {
+  std::vector<ExprPtr> circled = {MakeNot(MakeEqualityAtom(0, 2, "a"))};
+  AssignmentSearchResult r = FindAssignments(Chain(), circled);
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_FALSE(r.assignments[0][2].has_value());
+}
+
+TEST(AssignmentTest, ContradictionHasNoAssignment) {
+  std::vector<ExprPtr> circled = {MakeEqualityAtom(0, 2, "a"),
+                                  MakeEqualityAtom(0, 2, "b")};
+  AssignmentSearchResult r = FindAssignments(Chain(), circled);
+  EXPECT_TRUE(r.assignments.empty());
+  EXPECT_GT(r.tried, 0u);
+}
+
+TEST(AssignmentTest, LiteralFalseHasNoAssignment) {
+  std::vector<ExprPtr> circled = {MakeFalse()};
+  EXPECT_TRUE(FindAssignments(Chain(), circled).assignments.empty());
+}
+
+TEST(AssignmentTest, DisjunctionEnumeratesAllModels) {
+  // one constraint: 0.1 ~ "x" | 0.2 ~ "y". Models over mentioned cats:
+  // (x, nk), (x, y), (nk, y) -> 3 assignments.
+  std::vector<ExprPtr> circled = {
+      MakeOr({MakeEqualityAtom(0, 1, "x"), MakeEqualityAtom(0, 2, "y")})};
+  AssignmentOptions options;
+  options.enumerate_all = true;
+  AssignmentSearchResult r = FindAssignments(Chain(), circled, options);
+  EXPECT_EQ(r.assignments.size(), 3u);
+}
+
+TEST(AssignmentTest, ExactlyOneSemantics) {
+  std::vector<ExprPtr> circled = {MakeExactlyOne(
+      {MakeEqualityAtom(0, 1, "x"), MakeEqualityAtom(0, 2, "y")})};
+  AssignmentOptions options;
+  options.enumerate_all = true;
+  AssignmentSearchResult r = FindAssignments(Chain(), circled, options);
+  // (x, nk) and (nk, y) but not (x, y) and not (nk, nk).
+  EXPECT_EQ(r.assignments.size(), 2u);
+}
+
+TEST(AssignmentTest, InjectivityForbidsSharedConstants) {
+  // Both categories must be named "a": satisfiable by default,
+  // unsatisfiable under the literal Proposition 2 injectivity.
+  std::vector<ExprPtr> circled = {MakeEqualityAtom(0, 1, "a"),
+                                  MakeEqualityAtom(0, 2, "a")};
+  EXPECT_EQ(FindAssignments(Chain(), circled).assignments.size(), 1u);
+  AssignmentOptions injective;
+  injective.require_injective = true;
+  EXPECT_TRUE(FindAssignments(Chain(), circled, injective).assignments.empty());
+}
+
+TEST(AssignmentTest, InjectivityAllowsManyNk) {
+  // nk is exempt from injectivity: all-nk remains valid.
+  std::vector<ExprPtr> circled = {
+      MakeNot(MakeEqualityAtom(0, 1, "a")),
+      MakeNot(MakeEqualityAtom(0, 2, "a"))};
+  AssignmentOptions injective;
+  injective.require_injective = true;
+  EXPECT_EQ(FindAssignments(Chain(), circled, injective).assignments.size(),
+            1u);
+}
+
+TEST(AssignmentTest, MaxResultsCap) {
+  std::vector<ExprPtr> circled = {
+      MakeOr({MakeEqualityAtom(0, 1, "x"), MakeEqualityAtom(0, 2, "y")})};
+  AssignmentOptions options;
+  options.enumerate_all = true;
+  options.max_results = 2;
+  EXPECT_EQ(FindAssignments(Chain(), circled, options).assignments.size(),
+            2u);
+}
+
+TEST(AssignmentTest, ImplicationConnective) {
+  // (0.1 ~ "x") -> (0.2 ~ "y"): enumerate; models over {1,2}:
+  // (nk,nk), (nk,y), (x,y) — not (x,nk).
+  std::vector<ExprPtr> circled = {MakeImplies(MakeEqualityAtom(0, 1, "x"),
+                                              MakeEqualityAtom(0, 2, "y"))};
+  AssignmentOptions options;
+  options.enumerate_all = true;
+  EXPECT_EQ(FindAssignments(Chain(), circled, options).assignments.size(),
+            3u);
+}
+
+}  // namespace
+}  // namespace olapdc

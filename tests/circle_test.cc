@@ -1,0 +1,164 @@
+// Tests for the circle operator Sigma ∘ g (Definition 8), including a
+// verbatim reproduction of Figure 5 on the Example 12 subhierarchy.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "constraint/normalize.h"
+#include "constraint/printer.h"
+#include "core/assignment.h"
+#include "core/circle.h"
+#include "core/location_example.h"
+#include "core/schema.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+class CircleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(ds_, LocationSchema());
+    const HierarchySchema& schema = ds_->hierarchy();
+    store_ = schema.FindCategory("Store");
+    city_ = schema.FindCategory("City");
+    province_ = schema.FindCategory("Province");
+    state_ = schema.FindCategory("State");
+    sale_region_ = schema.FindCategory("SaleRegion");
+    country_ = schema.FindCategory("Country");
+    all_ = schema.all();
+  }
+
+  /// The Example 12 subhierarchy: a "mixed" structure containing both
+  /// Province and State:
+  ///   Store->City, City->{Province, State}, Province->SaleRegion,
+  ///   State->Country, SaleRegion->Country, Country->All.
+  Subhierarchy Example12Subhierarchy() {
+    auto g = Subhierarchy::FromEdges(
+        ds_->hierarchy().num_categories(), store_, all_,
+        {{store_, city_},
+         {city_, province_},
+         {city_, state_},
+         {province_, sale_region_},
+         {state_, country_},
+         {sale_region_, country_},
+         {country_, all_}});
+    OLAPDC_CHECK(g.has_value());
+    return *g;
+  }
+
+  std::string Circled(const DimensionConstraint& c, const Subhierarchy& g,
+                      const std::vector<DynamicBitset>& reach) {
+    PrinterOptions paper;
+    paper.paper_symbols = true;
+    return ExprToString(ds_->hierarchy(),
+                        ApplyCircleToConstraint(c, g, reach), paper);
+  }
+
+  std::optional<DimensionSchema> ds_;
+  CategoryId store_, city_, province_, state_, sale_region_, country_, all_;
+};
+
+TEST_F(CircleTest, Figure5Reproduction) {
+  Subhierarchy g = Example12Subhierarchy();
+  EXPECT_FALSE(g.HasCycleIn());
+  EXPECT_FALSE(g.HasShortcut());
+  auto reach = g.ComputeReach();
+
+  const auto& sigma = ds_->constraints();
+  ASSERT_EQ(sigma.size(), 7u);
+
+  // Figure 5, right column, row by row.
+  EXPECT_EQ(Circled(sigma[0], g, reach), "⊤");  // (a) Store_City
+  EXPECT_EQ(Circled(sigma[1], g, reach), "⊤");  // (b) Store.SaleRegion
+  EXPECT_EQ(Circled(sigma[2], g, reach),
+            "City≈Washington ≡ ⊥");  // (c)
+  EXPECT_EQ(Circled(sigma[3], g, reach),
+            "City≈Washington ⊃ City.Country≈USA");  // (d) unchanged
+  EXPECT_EQ(Circled(sigma[4], g, reach),
+            "State.Country≈Mexico ∨ State.Country≈USA");  // (e) unchanged
+  EXPECT_EQ(Circled(sigma[5], g, reach),
+            "State.Country≈Mexico ≡ ⊥");  // (f)
+  EXPECT_EQ(Circled(sigma[6], g, reach),
+            "Province.Country≈Canada");  // (g) unchanged
+}
+
+TEST_F(CircleTest, Example12SubhierarchyInducesNoFrozenDimension) {
+  // (e) forces Country ∈ {Mexico, USA}; (g) forces Country = Canada.
+  // The mixed subhierarchy therefore fails CHECK — the schema keeps the
+  // Canadian and Mexican/US structures apart.
+  Subhierarchy g = Example12Subhierarchy();
+  auto reach = g.ComputeReach();
+  std::vector<ExprPtr> circled;
+  for (const DimensionConstraint& c : ds_->constraints()) {
+    ExprPtr e = Simplify(ApplyCircleToConstraint(c, g, reach));
+    if (!IsTrueLiteral(e)) circled.push_back(e);
+  }
+  AssignmentSearchResult search = FindAssignments(g, circled);
+  EXPECT_TRUE(search.assignments.empty());
+}
+
+TEST_F(CircleTest, ConstraintWithRootOutsideGIsVacuous) {
+  // The Canada structure contains no State category; the State-rooted
+  // constraints (e) and (f) must circle to ⊤, not ⊥ (DESIGN.md
+  // deviation 1).
+  auto g = Subhierarchy::FromEdges(
+      ds_->hierarchy().num_categories(), store_, all_,
+      {{store_, city_},
+       {city_, province_},
+       {province_, sale_region_},
+       {sale_region_, country_},
+       {country_, all_}});
+  ASSERT_TRUE(g.has_value());
+  auto reach = g->ComputeReach();
+  const auto& sigma = ds_->constraints();
+  EXPECT_TRUE(IsTrueLiteral(ApplyCircleToConstraint(sigma[4], *g, reach)));
+  EXPECT_TRUE(IsTrueLiteral(ApplyCircleToConstraint(sigma[5], *g, reach)));
+  // And the Canada structure does induce a frozen dimension.
+  std::vector<ExprPtr> circled;
+  for (const DimensionConstraint& c : sigma) {
+    ExprPtr e = Simplify(ApplyCircleToConstraint(c, *g, reach));
+    ASSERT_FALSE(IsFalseLiteral(e)) << c.label;
+    if (!IsTrueLiteral(e)) circled.push_back(e);
+  }
+  AssignmentSearchResult search = FindAssignments(*g, circled);
+  ASSERT_EQ(search.assignments.size(), 1u);
+  EXPECT_EQ(search.assignments[0][country_], "Canada");
+  EXPECT_FALSE(search.assignments[0][city_].has_value());  // nk
+}
+
+TEST_F(CircleTest, PathAtomsReplacedByTruthValues) {
+  Subhierarchy g = Example12Subhierarchy();
+  auto reach = g.ComputeReach();
+  ExprPtr in_g = MakePathAtom({store_, city_, province_});
+  ExprPtr not_in_g = MakePathAtom({store_, sale_region_});
+  EXPECT_TRUE(IsTrueLiteral(ApplyCircleToExpr(in_g, g, reach)));
+  EXPECT_TRUE(IsFalseLiteral(ApplyCircleToExpr(not_in_g, g, reach)));
+}
+
+TEST_F(CircleTest, ComposedAndThroughAtomsCircledByReachability) {
+  Subhierarchy g = Example12Subhierarchy();
+  auto reach = g.ComputeReach();
+  EXPECT_TRUE(IsTrueLiteral(
+      ApplyCircleToExpr(MakeComposedAtom(store_, country_), g, reach)));
+  EXPECT_TRUE(IsTrueLiteral(
+      ApplyCircleToExpr(MakeThroughAtom(store_, state_, country_), g, reach)));
+  // No path from Store through SaleRegion to State exists in g:
+  EXPECT_TRUE(IsFalseLiteral(ApplyCircleToExpr(
+      MakeThroughAtom(store_, sale_region_, state_), g, reach)));
+  EXPECT_TRUE(IsTrueLiteral(
+      ApplyCircleToExpr(MakeComposedAtom(store_, store_), g, reach)));
+}
+
+TEST_F(CircleTest, EqualityAtomTargetOutsideReachIsFalse) {
+  Subhierarchy g = Example12Subhierarchy();
+  auto reach = g.ComputeReach();
+  // Province-rooted atom about State: no path Province -> State.
+  ExprPtr atom = MakeEqualityAtom(province_, state_, "x");
+  EXPECT_TRUE(IsFalseLiteral(ApplyCircleToExpr(atom, g, reach)));
+}
+
+}  // namespace
+}  // namespace olapdc

@@ -1,0 +1,173 @@
+// Tests for Status, Result and DynamicBitset.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, CopyingSharesRepresentation) {
+  Status a = Status::NotFound("x");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.message(), "x");
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kInvalidModel, StatusCode::kParseError,
+        StatusCode::kResourceExhausted, StatusCode::kNotFound,
+        StatusCode::kInternal}) {
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::ParseError("oops"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  OLAPDC_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  ASSERT_OK_AND_ASSIGN(int q, Quarter(8));
+  EXPECT_EQ(q, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(BitsetTest, SetTestReset) {
+  DynamicBitset b(100);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(50));
+  EXPECT_EQ(b.count(), 4);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3);
+}
+
+TEST(BitsetTest, IterationIsAscendingAndComplete) {
+  DynamicBitset b(130);
+  std::vector<int> expected = {0, 1, 63, 64, 65, 127, 128, 129};
+  for (int i : expected) b.set(i);
+  EXPECT_EQ(b.ToVector(), expected);
+  EXPECT_EQ(b.First(), 0);
+  EXPECT_EQ(b.Next(1), 63);
+  EXPECT_EQ(b.Next(129), -1);
+}
+
+TEST(BitsetTest, EmptyBitsetIteration) {
+  DynamicBitset b(10);
+  EXPECT_EQ(b.First(), -1);
+  EXPECT_TRUE(b.ToVector().empty());
+}
+
+TEST(BitsetTest, SetOperations) {
+  DynamicBitset a(70), b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  b.set(2);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ((a & b).ToVector(), std::vector<int>({65}));
+  EXPECT_EQ((a | b).ToVector(), std::vector<int>({1, 2, 65}));
+  EXPECT_EQ((a - b).ToVector(), std::vector<int>({1}));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE((a & b).IsSubsetOf(a));
+  DynamicBitset c(70);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(c.IsSubsetOf(a));
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  DynamicBitset a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(13);
+  EXPECT_NE(a, b);
+  b.set(13);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+class BitsetSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsetSweepTest, CountMatchesIterationAtEverySize) {
+  const int size = GetParam();
+  DynamicBitset b(size);
+  // Set every third bit.
+  int expected = 0;
+  for (int i = 0; i < size; i += 3) {
+    b.set(i);
+    ++expected;
+  }
+  EXPECT_EQ(b.count(), expected);
+  int seen = 0;
+  int last = -1;
+  b.ForEach([&](int i) {
+    EXPECT_GT(i, last);
+    EXPECT_EQ(i % 3, 0);
+    last = i;
+    ++seen;
+  });
+  EXPECT_EQ(seen, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetSweepTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 200));
+
+}  // namespace
+}  // namespace olapdc

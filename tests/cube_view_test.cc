@@ -1,0 +1,180 @@
+// Tests for the OLAP substrate: fact tables, aggregates, cube views,
+// and the Definition 6 rewriting on the location dimension.
+
+#include <gtest/gtest.h>
+
+#include "core/location_example.h"
+#include "olap/cube_view.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+class CubeViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(d_, LocationInstance());
+    const HierarchySchema& schema = d_->hierarchy();
+    store_ = schema.FindCategory("Store");
+    city_ = schema.FindCategory("City");
+    country_ = schema.FindCategory("Country");
+    state_ = schema.FindCategory("State");
+    province_ = schema.FindCategory("Province");
+    sale_region_ = schema.FindCategory("SaleRegion");
+
+    // One fact per store with a distinct power-of-two-ish measure so
+    // sums identify their contributors.
+    const std::pair<const char*, double> rows[] = {
+        {"st-tor-1", 1},  {"st-tor-2", 2},  {"st-ott-1", 4},
+        {"st-mex-1", 8},  {"st-mty-1", 16}, {"st-aus-1", 32},
+        {"st-was-1", 64},
+    };
+    for (const auto& [key, measure] : rows) {
+      facts_.Add(*d_->MemberIdOf(key), measure);
+    }
+  }
+
+  double ValueOf(const CubeViewResult& view, const std::string& key) {
+    auto it = view.find(*d_->MemberIdOf(key));
+    return it == view.end() ? -1 : it->second;
+  }
+
+  std::optional<DimensionInstance> d_;
+  FactTable facts_;
+  CategoryId store_, city_, country_, state_, province_, sale_region_;
+};
+
+TEST_F(CubeViewTest, AggregateFunctions) {
+  EXPECT_EQ(Combiner(AggFn::kCount), AggFn::kSum);
+  EXPECT_EQ(Combiner(AggFn::kSum), AggFn::kSum);
+  EXPECT_EQ(Combiner(AggFn::kMin), AggFn::kMin);
+  EXPECT_EQ(AggFnName(AggFn::kMax), "MAX");
+  AggState state;
+  state.AccumulateRaw(AggFn::kMin, 5);
+  state.AccumulateRaw(AggFn::kMin, 3);
+  state.AccumulateRaw(AggFn::kMin, 9);
+  EXPECT_EQ(state.value, 3);
+}
+
+TEST_F(CubeViewTest, FactValidation) {
+  EXPECT_OK(facts_.ValidateAgainst(*d_));
+  FactTable bad;
+  bad.Add(*d_->MemberIdOf("Toronto"), 1.0);  // City is not a bottom category
+  EXPECT_FALSE(bad.ValidateAgainst(*d_).ok());
+  FactTable bogus;
+  bogus.Add(9999, 1.0);
+  EXPECT_FALSE(bogus.ValidateAgainst(*d_).ok());
+}
+
+TEST_F(CubeViewTest, SumByCountry) {
+  CubeViewResult view = ComputeCubeView(*d_, facts_, country_, AggFn::kSum);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(ValueOf(view, "Canada"), 1 + 2 + 4);
+  EXPECT_EQ(ValueOf(view, "Mexico"), 8 + 16);
+  EXPECT_EQ(ValueOf(view, "USA"), 32 + 64);
+}
+
+TEST_F(CubeViewTest, CountAndMinMaxByCity) {
+  CubeViewResult count = ComputeCubeView(*d_, facts_, city_, AggFn::kCount);
+  EXPECT_EQ(ValueOf(count, "Toronto"), 2);
+  EXPECT_EQ(ValueOf(count, "Washington"), 1);
+  CubeViewResult mx = ComputeCubeView(*d_, facts_, city_, AggFn::kMax);
+  EXPECT_EQ(ValueOf(mx, "Toronto"), 2);
+  CubeViewResult mn = ComputeCubeView(*d_, facts_, city_, AggFn::kMin);
+  EXPECT_EQ(ValueOf(mn, "Toronto"), 1);
+}
+
+TEST_F(CubeViewTest, FactsNotRollingUpAreDropped) {
+  // Only Mexican and Texan stores have State ancestors.
+  CubeViewResult view = ComputeCubeView(*d_, facts_, state_, AggFn::kSum);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(ValueOf(view, "DF"), 8);
+  EXPECT_EQ(ValueOf(view, "Texas"), 32);
+  double total = 0;
+  for (const auto& [m, v] : view) total += v;
+  EXPECT_EQ(total, 8 + 16 + 32);  // Washington/Canada facts dropped
+}
+
+TEST_F(CubeViewTest, RewriteFromCityIsExact) {
+  // Country is summarizable from {City} (Example 10) — rewriting must
+  // reproduce the direct view for every distributive aggregate.
+  for (AggFn agg :
+       {AggFn::kSum, AggFn::kCount, AggFn::kMin, AggFn::kMax}) {
+    CubeViewResult direct = ComputeCubeView(*d_, facts_, country_, agg);
+    CubeViewResult city_view = ComputeCubeView(*d_, facts_, city_, agg);
+    CubeViewResult rewritten = RewriteFromViews(
+        *d_, {MaterializedView{city_, &city_view}}, country_, agg);
+    EXPECT_TRUE(CubeViewsEqual(direct, rewritten))
+        << AggFnName(agg);
+  }
+}
+
+TEST_F(CubeViewTest, RewriteFromStateProvinceLosesWashington) {
+  // Country is NOT summarizable from {State, Province}: the rewrite
+  // drops the Washington store's facts.
+  CubeViewResult direct = ComputeCubeView(*d_, facts_, country_, AggFn::kSum);
+  CubeViewResult state_view = ComputeCubeView(*d_, facts_, state_, AggFn::kSum);
+  CubeViewResult prov_view =
+      ComputeCubeView(*d_, facts_, province_, AggFn::kSum);
+  CubeViewResult rewritten =
+      RewriteFromViews(*d_,
+                       {MaterializedView{state_, &state_view},
+                        MaterializedView{province_, &prov_view}},
+                       country_, AggFn::kSum);
+  EXPECT_FALSE(CubeViewsEqual(direct, rewritten));
+  EXPECT_EQ(ValueOf(rewritten, "USA"), 32);           // lost 64
+  EXPECT_EQ(ValueOf(rewritten, "Canada"), 1 + 2 + 4);  // unaffected
+}
+
+TEST_F(CubeViewTest, RewriteFromCityAndSaleRegionDoubleCounts) {
+  CubeViewResult direct = ComputeCubeView(*d_, facts_, country_, AggFn::kSum);
+  CubeViewResult city_view = ComputeCubeView(*d_, facts_, city_, AggFn::kSum);
+  CubeViewResult sr_view =
+      ComputeCubeView(*d_, facts_, sale_region_, AggFn::kSum);
+  CubeViewResult rewritten =
+      RewriteFromViews(*d_,
+                       {MaterializedView{city_, &city_view},
+                        MaterializedView{sale_region_, &sr_view}},
+                       country_, AggFn::kSum);
+  // Every store reaches Country through both -> exactly double.
+  for (const auto& [member, value] : direct) {
+    EXPECT_EQ(rewritten.at(member), 2 * value);
+  }
+  // MAX is idempotent, so the same non-summarizable set *happens* to
+  // work — which is why Definition 6 quantifies over all aggregates.
+  CubeViewResult direct_max =
+      ComputeCubeView(*d_, facts_, country_, AggFn::kMax);
+  CubeViewResult city_max = ComputeCubeView(*d_, facts_, city_, AggFn::kMax);
+  CubeViewResult sr_max =
+      ComputeCubeView(*d_, facts_, sale_region_, AggFn::kMax);
+  CubeViewResult rewritten_max =
+      RewriteFromViews(*d_,
+                       {MaterializedView{city_, &city_max},
+                        MaterializedView{sale_region_, &sr_max}},
+                       country_, AggFn::kMax);
+  EXPECT_TRUE(CubeViewsEqual(direct_max, rewritten_max));
+}
+
+TEST_F(CubeViewTest, CubeViewsEqualEdgeCases) {
+  CubeViewResult a, b;
+  EXPECT_TRUE(CubeViewsEqual(a, b));
+  a[1] = 1.0;
+  EXPECT_FALSE(CubeViewsEqual(a, b));
+  b[1] = 1.0 + 1e-12;
+  EXPECT_TRUE(CubeViewsEqual(a, b));
+  b[1] = 1.5;
+  EXPECT_FALSE(CubeViewsEqual(a, b));
+  a[2] = 1.0;
+  b[1] = 1.0;
+  b[3] = 1.0;
+  EXPECT_FALSE(CubeViewsEqual(a, b));  // different keys
+}
+
+TEST_F(CubeViewTest, EmptyFactTable) {
+  FactTable empty;
+  CubeViewResult view = ComputeCubeView(*d_, empty, country_, AggFn::kSum);
+  EXPECT_TRUE(view.empty());
+}
+
+}  // namespace
+}  // namespace olapdc

@@ -1,0 +1,164 @@
+// Tests for the multidimensional datacube: views, rollups, and the
+// axis-wise product rule for rollup safety (Theorem 1 lifted to cubes).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/location_example.h"
+#include "olap/datacube.h"
+#include "tests/test_util.h"
+#include "workload/instance_generator.h"
+#include "workload/realistic.h"
+
+namespace olapdc {
+namespace {
+
+/// A location x time cube with one fact per (store, day) pair.
+struct CubeFixture {
+  DimensionSchema location_schema;
+  DimensionSchema time_schema;
+  Datacube cube;
+  int location_axis = 0;
+  int time_axis = 1;
+};
+
+CubeFixture MakeCube() {
+  auto location_schema = LocationSchema();
+  OLAPDC_CHECK(location_schema.ok());
+  auto time_schema = TimeSchema();
+  OLAPDC_CHECK(time_schema.ok());
+  auto location = LocationInstance();
+  OLAPDC_CHECK(location.ok());
+  InstanceGenOptions gen;
+  gen.branching = 2;
+  auto time = GenerateInstanceFromFrozen(*time_schema, gen);
+  OLAPDC_CHECK(time.ok()) << time.status().ToString();
+
+  auto cube = Datacube::Create({*location, *time});
+  OLAPDC_CHECK(cube.ok());
+
+  // Facts: every store on every day, deterministic measures.
+  const DimensionInstance& loc = cube->axis(0);
+  const DimensionInstance& tim = cube->axis(1);
+  CategoryId store = loc.hierarchy().FindCategory("Store");
+  CategoryId day = tim.hierarchy().FindCategory("Day");
+  double measure = 1;
+  for (MemberId s : loc.MembersOf(store)) {
+    for (MemberId d : tim.MembersOf(day)) {
+      OLAPDC_CHECK(cube->AddFact({s, d}, measure).ok());
+      measure += 1;
+    }
+  }
+  return CubeFixture{std::move(*location_schema), std::move(*time_schema),
+                     std::move(*cube)};
+}
+
+TEST(DatacubeTest, CreateAndAddFactValidation) {
+  auto location = LocationInstance();
+  ASSERT_TRUE(location.ok());
+  EXPECT_FALSE(Datacube::Create({}).ok());
+  ASSERT_OK_AND_ASSIGN(Datacube cube, Datacube::Create({*location}));
+  // Wrong arity.
+  EXPECT_FALSE(cube.AddFact({1, 2}, 1.0).ok());
+  // Non-bottom member.
+  MemberId toronto = *location->MemberIdOf("Toronto");
+  EXPECT_FALSE(cube.AddFact({toronto}, 1.0).ok());
+  // Unknown id.
+  EXPECT_FALSE(cube.AddFact({99999}, 1.0).ok());
+  // Valid.
+  MemberId store = *location->MemberIdOf("st-tor-1");
+  EXPECT_OK(cube.AddFact({store}, 1.0));
+  EXPECT_EQ(cube.num_facts(), 1u);
+}
+
+TEST(DatacubeTest, ViewTotalsAreConsistentAcrossGranularities) {
+  CubeFixture f = MakeCube();
+  const HierarchySchema& loc = f.cube.axis(0).hierarchy();
+  const HierarchySchema& tim = f.cube.axis(1).hierarchy();
+
+  ASSERT_OK_AND_ASSIGN(
+      MultiCubeView by_country_year,
+      f.cube.ComputeView(
+          {loc.FindCategory("Country"), tim.FindCategory("Year")},
+          AggFn::kSum));
+  ASSERT_OK_AND_ASSIGN(
+      MultiCubeView by_all_all,
+      f.cube.ComputeView({loc.all(), tim.all()}, AggFn::kSum));
+  ASSERT_EQ(by_all_all.size(), 1u);
+  double total = by_all_all.begin()->second;
+  double sum = 0;
+  for (const auto& [cell, value] : by_country_year) sum += value;
+  EXPECT_DOUBLE_EQ(sum, total)
+      << "every fact reaches Country and Year exactly once";
+}
+
+TEST(DatacubeTest, SafeRollupIsExact) {
+  CubeFixture f = MakeCube();
+  const HierarchySchema& loc = f.cube.axis(0).hierarchy();
+  const HierarchySchema& tim = f.cube.axis(1).hierarchy();
+  std::vector<CategoryId> fine = {loc.FindCategory("City"),
+                                  tim.FindCategory("Month")};
+  std::vector<CategoryId> coarse = {loc.FindCategory("Country"),
+                                    tim.FindCategory("Year")};
+  std::vector<DimensionSchema> schemas = {f.location_schema, f.time_schema};
+
+  ASSERT_OK_AND_ASSIGN(bool safe,
+                       f.cube.IsRollupSafe(schemas, fine, coarse));
+  EXPECT_TRUE(safe);
+
+  for (AggFn af : {AggFn::kSum, AggFn::kCount, AggFn::kMin, AggFn::kMax}) {
+    ASSERT_OK_AND_ASSIGN(MultiCubeView fine_view,
+                         f.cube.ComputeView(fine, af));
+    ASSERT_OK_AND_ASSIGN(MultiCubeView direct,
+                         f.cube.ComputeView(coarse, af));
+    ASSERT_OK_AND_ASSIGN(MultiCubeView rolled,
+                         f.cube.RollUpView(fine_view, fine, coarse, af));
+    EXPECT_EQ(direct, rolled) << AggFnName(af);
+  }
+}
+
+TEST(DatacubeTest, UnsafeAxisBreaksTheProduct) {
+  CubeFixture f = MakeCube();
+  const HierarchySchema& loc = f.cube.axis(0).hierarchy();
+  const HierarchySchema& tim = f.cube.axis(1).hierarchy();
+  std::vector<DimensionSchema> schemas = {f.location_schema, f.time_schema};
+
+  // Location axis fine = State: Country is NOT summarizable from State
+  // (Washington), even though the time axis Month -> Year is safe.
+  std::vector<CategoryId> fine = {loc.FindCategory("State"),
+                                  tim.FindCategory("Month")};
+  std::vector<CategoryId> coarse = {loc.FindCategory("Country"),
+                                    tim.FindCategory("Year")};
+  ASSERT_OK_AND_ASSIGN(bool safe,
+                       f.cube.IsRollupSafe(schemas, fine, coarse));
+  EXPECT_FALSE(safe);
+
+  ASSERT_OK_AND_ASSIGN(MultiCubeView fine_view,
+                       f.cube.ComputeView(fine, AggFn::kSum));
+  ASSERT_OK_AND_ASSIGN(MultiCubeView direct,
+                       f.cube.ComputeView(coarse, AggFn::kSum));
+  ASSERT_OK_AND_ASSIGN(
+      MultiCubeView rolled,
+      f.cube.RollUpView(fine_view, fine, coarse, AggFn::kSum));
+  EXPECT_NE(direct, rolled) << "Washington facts are lost on the way";
+
+  // Week on the time axis is equally fatal.
+  std::vector<CategoryId> weekly = {loc.FindCategory("City"),
+                                    tim.FindCategory("Week")};
+  ASSERT_OK_AND_ASSIGN(bool weekly_safe,
+                       f.cube.IsRollupSafe(schemas, weekly, coarse));
+  EXPECT_FALSE(weekly_safe);
+}
+
+TEST(DatacubeTest, ArityChecks) {
+  CubeFixture f = MakeCube();
+  EXPECT_FALSE(f.cube.ComputeView({0}, AggFn::kSum).ok());
+  MultiCubeView bogus;
+  bogus[{1}] = 1.0;  // wrong arity cell
+  EXPECT_FALSE(
+      f.cube.RollUpView(bogus, {0, 0}, {0, 0}, AggFn::kSum).ok());
+}
+
+}  // namespace
+}  // namespace olapdc

@@ -1,0 +1,234 @@
+// Tests for dimension instances: each of the conditions C1-C7
+// (Definition 2 / Figure 2) violated individually, plus rollup
+// machinery on valid instances.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/location_example.h"
+#include "dim/dimension_instance.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+using testing_util::MakeHierarchy;
+
+HierarchySchemaPtr SmallSchema() {
+  return MakeHierarchy({{"Store", "City"},
+                        {"City", "Province"},
+                        {"City", "State"},
+                        {"Province", "Country"},
+                        {"State", "Country"},
+                        {"Country", "All"}});
+}
+
+TEST(InstanceBuilderTest, BuildsValidInstance) {
+  DimensionInstanceBuilder builder(SmallSchema());
+  builder.AddMember("Canada", "Country")
+      .AddMemberUnder("Ontario", "Province", "Canada")
+      .AddMemberUnder("Toronto", "City", "Ontario")
+      .AddMemberUnder("s1", "Store", "Toronto");
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, builder.Build());
+  EXPECT_EQ(d.num_members(), 5);  // + auto "all"
+  EXPECT_OK(d.Validate());
+}
+
+TEST(InstanceBuilderTest, DuplicateKeyRejected) {
+  DimensionInstanceBuilder builder(SmallSchema());
+  builder.AddMember("x", "Country").AddMember("x", "Province");
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InstanceBuilderTest, UnknownCategoryRejected) {
+  DimensionInstanceBuilder builder(SmallSchema());
+  builder.AddMember("x", "Galaxy");
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(InstanceBuilderTest, UnknownEdgeEndpointRejected) {
+  DimensionInstanceBuilder builder(SmallSchema());
+  builder.AddMember("Canada", "Country");
+  builder.AddChildParent("Canada", "nowhere");
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(InstanceConditionsTest, C1ConnectivityViolation) {
+  // Store directly under Country: no schema edge Store -> Country.
+  DimensionInstanceBuilder builder(SmallSchema());
+  builder.AddMember("Canada", "Country").AddMemberUnder("s1", "Store",
+                                                        "Canada");
+  Status status = builder.Build().status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidModel);
+  EXPECT_NE(status.message().find("C1"), std::string::npos);
+}
+
+TEST(InstanceConditionsTest, C2PartitioningViolation) {
+  // Toronto under two different provinces.
+  DimensionInstanceBuilder builder(SmallSchema());
+  builder.AddMember("Canada", "Country")
+      .AddMemberUnder("Ontario", "Province", "Canada")
+      .AddMemberUnder("Quebec", "Province", "Canada")
+      .AddMemberUnder("Toronto", "City", "Ontario")
+      .AddChildParent("Toronto", "Quebec")
+      .AddMemberUnder("s1", "Store", "Toronto");
+  Status status = builder.Build().status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidModel);
+  EXPECT_NE(status.message().find("C2"), std::string::npos);
+}
+
+TEST(InstanceConditionsTest, C2DeepDiamondViolation) {
+  // The two-ancestor conflict only appears transitively: city under
+  // province and state that belong to different countries.
+  DimensionInstanceBuilder builder(SmallSchema());
+  builder.AddMember("Canada", "Country")
+      .AddMember("USA", "Country")
+      .AddMemberUnder("Ontario", "Province", "Canada")
+      .AddMemberUnder("NY", "State", "USA")
+      .AddMemberUnder("Weird", "City", "Ontario")
+      .AddChildParent("Weird", "NY")
+      .AddMemberUnder("s1", "Store", "Weird");
+  Status status = builder.Build().status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidModel);
+  EXPECT_NE(status.message().find("C2"), std::string::npos);
+}
+
+TEST(InstanceConditionsTest, C2ConvergingDiamondIsFine) {
+  DimensionInstanceBuilder builder(SmallSchema());
+  builder.AddMember("Canada", "Country")
+      .AddMemberUnder("Ontario", "Province", "Canada")
+      .AddMemberUnder("OntState", "State", "Canada")
+      .AddMemberUnder("Toronto", "City", "Ontario")
+      .AddChildParent("Toronto", "OntState")
+      .AddMemberUnder("s1", "Store", "Toronto");
+  ASSERT_OK(builder.Build().status());
+}
+
+TEST(InstanceConditionsTest, C4TopCategoryViolation) {
+  DimensionInstanceBuilder builder(SmallSchema());
+  builder.AddMember("all1", "All").AddMember("all2", "All");
+  Status status = builder.Build().status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidModel);
+  EXPECT_NE(status.message().find("C4"), std::string::npos);
+}
+
+TEST(InstanceConditionsTest, C5ShortcutViolation) {
+  // Schema with a shortcut edge Store -> Province lets us build the
+  // member-level shortcut.
+  HierarchySchemaPtr schema = MakeHierarchy({{"Store", "City"},
+                                             {"Store", "Province"},
+                                             {"City", "Province"},
+                                             {"Province", "All"}});
+  DimensionInstanceBuilder builder(schema);
+  builder.AddMember("Ontario", "Province")
+      .AddMemberUnder("Toronto", "City", "Ontario")
+      .AddMemberUnder("s1", "Store", "Toronto")
+      .AddChildParent("s1", "Ontario");  // parallels s1 < Toronto < Ontario
+  Status status = builder.Build().status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidModel);
+  EXPECT_NE(status.message().find("C5"), std::string::npos);
+  // The relaxed validation used by the transform baselines accepts it.
+  DimensionInstanceBuilder relaxed(schema);
+  relaxed.AddMember("Ontario", "Province")
+      .AddMemberUnder("Toronto", "City", "Ontario")
+      .AddMemberUnder("s1", "Store", "Toronto")
+      .AddChildParent("s1", "Ontario")
+      .set_skip_validation(true);
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, relaxed.Build());
+  EXPECT_OK(d.Validate(/*enforce_shortcut_condition=*/false));
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(InstanceConditionsTest, C6StratificationCycleViolation) {
+  // Cyclic schema (allowed) but cyclic member chain (not allowed).
+  HierarchySchemaPtr schema = MakeHierarchy(
+      {{"A", "B"}, {"B", "A"}, {"A", "All"}, {"B", "All"}});
+  DimensionInstanceBuilder builder(schema);
+  builder.AddMember("a1", "A")
+      .AddMember("b1", "B")
+      .AddChildParent("a1", "b1")
+      .AddChildParent("b1", "a1");
+  Status status = builder.Build().status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidModel);
+  EXPECT_NE(status.message().find("C6"), std::string::npos);
+}
+
+TEST(InstanceConditionsTest, C6SameCategoryAncestorViolation) {
+  HierarchySchemaPtr schema = MakeHierarchy(
+      {{"A", "B"}, {"B", "A"}, {"A", "All"}, {"B", "All"}});
+  DimensionInstanceBuilder builder(schema);
+  builder.AddMember("a1", "A")
+      .AddMember("b1", "B")
+      .AddMember("a2", "A")
+      .AddChildParent("a1", "b1")
+      .AddChildParent("b1", "a2");
+  // a1 << a2 within category A (a2 itself is auto-linked to all).
+  Status status = builder.Build().status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidModel);
+  EXPECT_NE(status.message().find("C6"), std::string::npos);
+}
+
+TEST(InstanceConditionsTest, C7UpConnectivityViolation) {
+  DimensionInstanceBuilder builder(SmallSchema());
+  // A store with no parent; Store has no edge to All so auto-linking
+  // does not apply.
+  builder.AddMember("s1", "Store");
+  Status status = builder.Build().status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidModel);
+  EXPECT_NE(status.message().find("C7"), std::string::npos);
+}
+
+TEST(InstanceTest, RollUpMemberAndMappings) {
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, LocationInstance());
+  const HierarchySchema& schema = d.hierarchy();
+  ASSERT_OK_AND_ASSIGN(MemberId toronto, d.MemberIdOf("Toronto"));
+  ASSERT_OK_AND_ASSIGN(MemberId canada, d.MemberIdOf("Canada"));
+  ASSERT_OK_AND_ASSIGN(MemberId store, d.MemberIdOf("st-tor-1"));
+
+  CategoryId country = schema.FindCategory("Country");
+  CategoryId state = schema.FindCategory("State");
+  EXPECT_EQ(d.RollUpMember(toronto, country), canada);
+  EXPECT_EQ(d.RollUpMember(toronto, state), kNoMember);
+  EXPECT_EQ(d.RollUpMember(store, country), canada);
+  // Reflexive.
+  EXPECT_EQ(d.RollUpMember(canada, country), canada);
+  EXPECT_TRUE(d.RollsUpTo(store, canada));
+  EXPECT_FALSE(d.RollsUpTo(canada, store));
+  EXPECT_TRUE(d.RollsUpTo(store, d.all_member()));
+
+  // Gamma_{Store}^{Country} maps all 7 stores.
+  auto gamma = d.RollupMapping(schema.FindCategory("Store"), country);
+  EXPECT_EQ(gamma.size(), 7u);
+  // Gamma_{Store}^{State}: only the Mexico and Austin stores.
+  auto gamma_state = d.RollupMapping(schema.FindCategory("Store"), state);
+  EXPECT_EQ(gamma_state.size(), 3u);
+}
+
+TEST(InstanceTest, LocationInstanceIsValidAndComplete) {
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, LocationInstance());
+  EXPECT_OK(d.Validate());
+  const HierarchySchema& schema = d.hierarchy();
+  EXPECT_EQ(d.MembersOf(schema.FindCategory("Store")).size(), 7u);
+  EXPECT_EQ(d.MembersOf(schema.FindCategory("City")).size(), 6u);
+  EXPECT_EQ(d.MembersOf(schema.FindCategory("Country")).size(), 3u);
+  EXPECT_EQ(d.MembersOf(schema.all()).size(), 1u);
+}
+
+TEST(InstanceTest, ParentsAndChildren) {
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, LocationInstance());
+  ASSERT_OK_AND_ASSIGN(MemberId ontario, d.MemberIdOf("Ontario"));
+  EXPECT_EQ(d.Children(ontario).size(), 2u);  // Toronto, Ottawa
+  EXPECT_EQ(d.Parents(ontario).size(), 1u);   // SR-Canada
+  EXPECT_FALSE(d.MemberIdOf("nonexistent").ok());
+}
+
+TEST(InstanceTest, DotOutput) {
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, LocationInstance());
+  std::string dot = d.ToDot();
+  EXPECT_NE(dot.find("Washington"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olapdc

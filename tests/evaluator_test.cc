@@ -1,0 +1,140 @@
+// Tests for the model checker (Definition 4 semantics) on the paper's
+// location instance.
+
+#include <gtest/gtest.h>
+
+#include "constraint/evaluator.h"
+#include "constraint/parser.h"
+#include "core/location_example.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+using testing_util::ParseC;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(instance_, LocationInstance());
+    schema_ = instance_->schema();
+  }
+
+  bool Holds(const std::string& text) {
+    auto c = ParseConstraintWithRoot(*schema_, "Store", text);
+    OLAPDC_CHECK(c.ok()) << text << ": " << c.status().ToString();
+    return Satisfies(*instance_, *c);
+  }
+
+  bool HoldsFor(const std::string& member, const std::string& text) {
+    DimensionConstraint c = ParseC(*schema_, text);
+    auto m = instance_->MemberIdOf(member);
+    OLAPDC_CHECK(m.ok());
+    return EvalForMember(*instance_, *c.expr, *m);
+  }
+
+  std::optional<DimensionInstance> instance_;
+  HierarchySchemaPtr schema_;
+};
+
+TEST_F(EvaluatorTest, AllLocationSchConstraintsHold) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  for (const DimensionConstraint& c : ds.constraints()) {
+    EXPECT_TRUE(Satisfies(*instance_, c)) << c.label;
+    EXPECT_TRUE(ViolatingMembers(*instance_, c).empty()) << c.label;
+  }
+  EXPECT_TRUE(SatisfiesAll(*instance_, ds.constraints()));
+}
+
+TEST_F(EvaluatorTest, PathAtoms) {
+  // Example 5: all the stores roll up to City via a direct edge.
+  EXPECT_TRUE(Holds("Store/City"));
+  // Not all stores have a *direct* SaleRegion parent.
+  EXPECT_FALSE(Holds("Store/SaleRegion"));
+  EXPECT_TRUE(HoldsFor("st-aus-1", "Store/SaleRegion"));
+  EXPECT_FALSE(HoldsFor("st-tor-1", "Store/SaleRegion"));
+  // Multi-step path atoms.
+  EXPECT_TRUE(HoldsFor("st-tor-1", "Store/City/Province/SaleRegion"));
+  EXPECT_FALSE(HoldsFor("st-mex-1", "Store/City/Province"));
+  EXPECT_TRUE(HoldsFor("st-mex-1", "Store/City/State/SaleRegion"));
+}
+
+TEST_F(EvaluatorTest, ComposedAtoms) {
+  // Example 7: all the stores roll up to SaleRegion.
+  EXPECT_TRUE(Holds("Store.SaleRegion"));
+  EXPECT_TRUE(Holds("Store.Country"));
+  EXPECT_TRUE(Holds("Store.City"));
+  EXPECT_FALSE(Holds("Store.Province"));  // only the Canadian ones
+  EXPECT_TRUE(HoldsFor("st-tor-1", "Store.Province"));
+  EXPECT_FALSE(HoldsFor("st-was-1", "Store.Province"));
+}
+
+TEST_F(EvaluatorTest, EqualityAtoms) {
+  // Example 6's antecedent/consequent pieces.
+  EXPECT_TRUE(HoldsFor("st-tor-1", "Store.Country = 'Canada'"));
+  EXPECT_FALSE(HoldsFor("st-tor-1", "Store.Country = 'USA'"));
+  EXPECT_TRUE(HoldsFor("st-was-1", "Store.City = 'Washington'"));
+  // Abbreviated own-category equality.
+  EXPECT_TRUE(HoldsFor("Washington", "City = 'Washington'"));
+  EXPECT_FALSE(HoldsFor("Toronto", "City = 'Washington'"));
+  // Equality on a category the member does not reach is false.
+  EXPECT_FALSE(HoldsFor("Washington", "City.Province = 'Ontario'"));
+}
+
+TEST_F(EvaluatorTest, Example6Constraint) {
+  // If a store rolls up to Canada it reaches Province through City.
+  EXPECT_TRUE(Holds("Store.Country = 'Canada' -> Store/City/Province"));
+  // The USA variant is false: Washington stores have no Province.
+  EXPECT_FALSE(Holds("Store.Country = 'USA' -> Store/City/State"));
+}
+
+TEST_F(EvaluatorTest, ThroughAtoms) {
+  // Example 10 instance-level checks.
+  EXPECT_TRUE(Holds("Store.Country -> Store.City.Country"));
+  EXPECT_FALSE(Holds(
+      "Store.Country -> (Store.State.Country ^ Store.Province.Country)"));
+  EXPECT_TRUE(HoldsFor("st-mex-1", "Store.State.Country"));
+  EXPECT_FALSE(HoldsFor("st-was-1", "Store.State.Country"));
+  EXPECT_TRUE(HoldsFor("st-was-1", "Store.City.Country"));
+  EXPECT_TRUE(HoldsFor("st-was-1", "Store.SaleRegion.Country"));
+}
+
+TEST_F(EvaluatorTest, ConnectivesAndExactlyOne) {
+  EXPECT_TRUE(Holds("true"));
+  EXPECT_FALSE(Holds("false"));
+  EXPECT_TRUE(Holds("Store.City & Store.SaleRegion"));
+  EXPECT_TRUE(Holds("Store.Province | Store.State | Store/City"));
+  EXPECT_TRUE(Holds("!Store.Province | Store.Country = 'Canada'"));
+  // Every store reaches Country through exactly one of City-direct,
+  // Province, State... no: through exactly one of {Province, State} or
+  // neither, so one(...) over those two fails for Washington stores.
+  EXPECT_FALSE(
+      Holds("one(Store.Province.Country, Store.State.Country)"));
+  EXPECT_TRUE(Holds(
+      "one(Store.Province.Country, Store.State.Country) | "
+      "Store.City = 'Washington'"));
+}
+
+TEST_F(EvaluatorTest, VacuousOnEmptyCategory) {
+  // Build an instance with no stores at all: Store-rooted constraints
+  // hold vacuously.
+  DimensionInstanceBuilder builder(schema_);
+  builder.AddMember("Canada", "Country");
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, builder.Build());
+  EXPECT_TRUE(Satisfies(d, ParseC(*schema_, "false & Store/City | false")));
+}
+
+TEST_F(EvaluatorTest, ViolatingMembersPinpointsCulprits) {
+  DimensionConstraint c = ParseC(*schema_, "Store.Province");
+  std::vector<MemberId> violators = ViolatingMembers(*instance_, c);
+  // All four non-Canadian stores violate.
+  EXPECT_EQ(violators.size(), 4u);
+  for (MemberId m : violators) {
+    EXPECT_TRUE(instance_->member(m).key.find("tor") == std::string::npos &&
+                instance_->member(m).key.find("ott") == std::string::npos)
+        << instance_->member(m).key;
+  }
+}
+
+}  // namespace
+}  // namespace olapdc

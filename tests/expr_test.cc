@@ -1,0 +1,125 @@
+// Tests for the constraint AST: factories, root inference, validation,
+// into-constraint detection, structural equality.
+
+#include <gtest/gtest.h>
+
+#include "constraint/expr.h"
+#include "core/location_example.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(schema_, LocationHierarchy());
+    store_ = schema_->FindCategory("Store");
+    city_ = schema_->FindCategory("City");
+    country_ = schema_->FindCategory("Country");
+    state_ = schema_->FindCategory("State");
+  }
+
+  HierarchySchemaPtr schema_;
+  CategoryId store_, city_, country_, state_;
+};
+
+TEST_F(ExprTest, FactoriesProduceExpectedKinds) {
+  EXPECT_EQ(MakeTrue()->kind, ExprKind::kTrue);
+  EXPECT_EQ(MakeFalse()->kind, ExprKind::kFalse);
+  EXPECT_EQ(MakeBool(true), MakeTrue());
+  EXPECT_EQ(MakePathAtom({store_, city_})->kind, ExprKind::kPathAtom);
+  EXPECT_EQ(MakeEqualityAtom(city_, country_, "USA")->kind,
+            ExprKind::kEqualityAtom);
+  EXPECT_EQ(MakeComposedAtom(store_, country_)->kind,
+            ExprKind::kComposedAtom);
+  EXPECT_EQ(MakeThroughAtom(store_, city_, country_)->kind,
+            ExprKind::kThroughAtom);
+  EXPECT_TRUE(MakePathAtom({store_, city_})->IsAtom());
+  EXPECT_FALSE(MakeTrue()->IsAtom());
+  EXPECT_TRUE(MakeTrue()->IsLiteralTruth());
+}
+
+TEST_F(ExprTest, InferRoot) {
+  ExprPtr e = MakeImplies(MakeEqualityAtom(city_, city_, "Washington"),
+                          MakePathAtom({city_, country_}));
+  ASSERT_OK_AND_ASSIGN(CategoryId root, InferRoot(e));
+  EXPECT_EQ(root, city_);
+
+  // Mixed roots rejected.
+  ExprPtr mixed = MakeAnd({MakePathAtom({store_, city_}),
+                           MakePathAtom({city_, country_})});
+  EXPECT_EQ(InferRoot(mixed).status().code(), StatusCode::kInvalidArgument);
+
+  // No atoms: NotFound.
+  EXPECT_EQ(InferRoot(MakeTrue()).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExprTest, MakeConstraintValidates) {
+  // Valid.
+  EXPECT_OK(MakeConstraint(*schema_, MakePathAtom({store_, city_})).status());
+  // Root at All rejected.
+  EXPECT_FALSE(
+      MakeConstraint(*schema_, MakeComposedAtom(schema_->all(), city_)).ok());
+  // Path atom that is not a schema path rejected (Store -> Country has
+  // no edge).
+  EXPECT_FALSE(
+      MakeConstraint(*schema_, MakePathAtom({store_, country_})).ok());
+  // Path atom with repeated category rejected (not simple).
+  EXPECT_FALSE(MakeConstraint(*schema_,
+                              MakePathAtom({store_, city_, state_, city_}))
+                   .ok());
+  // Constraint with no atoms needs an explicit root.
+  EXPECT_FALSE(MakeConstraint(*schema_, MakeFalse()).ok());
+  EXPECT_OK(MakeConstraintWithRoot(*schema_, store_, MakeFalse()).status());
+}
+
+TEST_F(ExprTest, IsIntoConstraint) {
+  ASSERT_OK_AND_ASSIGN(
+      DimensionConstraint into,
+      MakeConstraint(*schema_, MakePathAtom({store_, city_})));
+  CategoryId child, parent;
+  EXPECT_TRUE(IsIntoConstraint(into, &child, &parent));
+  EXPECT_EQ(child, store_);
+  EXPECT_EQ(parent, city_);
+
+  ASSERT_OK_AND_ASSIGN(
+      DimensionConstraint longer,
+      MakeConstraint(*schema_, MakePathAtom({store_, city_, state_})));
+  EXPECT_FALSE(IsIntoConstraint(longer, nullptr, nullptr));
+
+  ASSERT_OK_AND_ASSIGN(
+      DimensionConstraint wrapped,
+      MakeConstraint(*schema_, MakeNot(MakePathAtom({store_, city_}))));
+  EXPECT_FALSE(IsIntoConstraint(wrapped, nullptr, nullptr));
+}
+
+TEST_F(ExprTest, ExprEquals) {
+  ExprPtr a = MakeAnd({MakePathAtom({store_, city_}),
+                       MakeEqualityAtom(store_, country_, "USA")});
+  ExprPtr b = MakeAnd({MakePathAtom({store_, city_}),
+                       MakeEqualityAtom(store_, country_, "USA")});
+  ExprPtr c = MakeAnd({MakePathAtom({store_, city_}),
+                       MakeEqualityAtom(store_, country_, "Mexico")});
+  EXPECT_TRUE(ExprEquals(a, b));
+  EXPECT_FALSE(ExprEquals(a, c));
+  EXPECT_FALSE(ExprEquals(a, MakeOr({MakePathAtom({store_, city_})})));
+}
+
+TEST_F(ExprTest, CollectAtomsAndConstants) {
+  ExprPtr e = MakeOr({MakeEqualityAtom(state_, country_, "Mexico"),
+                      MakeEqualityAtom(state_, country_, "USA"),
+                      MakePathAtom({state_, country_})});
+  std::vector<const Expr*> atoms;
+  CollectAtoms(e, &atoms);
+  EXPECT_EQ(atoms.size(), 3u);
+  std::vector<std::string> constants;
+  CollectConstantsFor(e, country_, &constants);
+  EXPECT_EQ(constants.size(), 2u);
+  constants.clear();
+  CollectConstantsFor(e, state_, &constants);
+  EXPECT_TRUE(constants.empty());
+}
+
+}  // namespace
+}  // namespace olapdc

@@ -1,0 +1,172 @@
+// Randomized robustness tests ("fuzz-lite", deterministic seeds):
+//  F1 random expression trees survive print -> reparse -> identical AST
+//  F2 random byte-ish garbage never crashes the parsers (they return
+//     ParseError statuses)
+//  F3 random single-edit mutations of a valid instance either stay
+//     valid or are rejected with an InvalidModel status naming a
+//     condition — never accepted silently as something else.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "constraint/parser.h"
+#include "constraint/printer.h"
+#include "core/location_example.h"
+#include "io/instance_io.h"
+#include "io/schema_io.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+/// Random expression tree over the location hierarchy.
+ExprPtr RandomExpr(const HierarchySchema& schema, std::mt19937_64& rng,
+                   int depth) {
+  std::uniform_int_distribution<int> cat_dist(0,
+                                              schema.num_categories() - 1);
+  auto non_all = [&] {
+    CategoryId c;
+    do {
+      c = cat_dist(rng);
+    } while (c == schema.all());
+    return c;
+  };
+  const CategoryId root = schema.FindCategory("Store");
+
+  std::uniform_int_distribution<int> kind_dist(0, depth <= 0 ? 4 : 11);
+  switch (kind_dist(rng)) {
+    case 0:
+      return MakeComposedAtom(root, cat_dist(rng));
+    case 1:
+      return MakeThroughAtom(root, non_all(), cat_dist(rng));
+    case 2:
+      return MakeEqualityAtom(root, cat_dist(rng),
+                              "k" + std::to_string(rng() % 3));
+    case 3:
+      return MakeOrderAtom(root, cat_dist(rng),
+                           static_cast<CmpOp>(rng() % 4),
+                           static_cast<double>(rng() % 100));
+    case 4: {
+      // A short valid path atom from Store.
+      CategoryId next =
+          schema.graph().OutNeighbors(root)[rng() %
+                                            schema.graph()
+                                                .OutNeighbors(root)
+                                                .size()];
+      return MakePathAtom({root, next});
+    }
+    case 5:
+      return MakeNot(RandomExpr(schema, rng, depth - 1));
+    case 6:
+      return MakeAnd({RandomExpr(schema, rng, depth - 1),
+                      RandomExpr(schema, rng, depth - 1)});
+    case 7:
+      return MakeOr({RandomExpr(schema, rng, depth - 1),
+                     RandomExpr(schema, rng, depth - 1)});
+    case 8:
+      return MakeImplies(RandomExpr(schema, rng, depth - 1),
+                         RandomExpr(schema, rng, depth - 1));
+    case 9:
+      return MakeEquiv(RandomExpr(schema, rng, depth - 1),
+                       RandomExpr(schema, rng, depth - 1));
+    case 10:
+      return MakeXor(RandomExpr(schema, rng, depth - 1),
+                     RandomExpr(schema, rng, depth - 1));
+    default:
+      return MakeExactlyOne({RandomExpr(schema, rng, depth - 1),
+                             RandomExpr(schema, rng, depth - 1),
+                             RandomExpr(schema, rng, depth - 1)});
+  }
+}
+
+class PrintParseFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrintParseFuzzTest, F1RandomTreesRoundTrip) {
+  auto hierarchy = LocationHierarchy();
+  ASSERT_TRUE(hierarchy.ok());
+  std::mt19937_64 rng(GetParam() * 7919 + 11);
+  for (int i = 0; i < 50; ++i) {
+    ExprPtr e = RandomExpr(**hierarchy, rng, 4);
+    std::string printed = ExprToString(**hierarchy, e);
+    auto reparsed = ParseExpr(**hierarchy, printed);
+    ASSERT_TRUE(reparsed.ok())
+        << printed << ": " << reparsed.status().ToString();
+    EXPECT_TRUE(ExprEquals(e, *reparsed)) << printed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrintParseFuzzTest, ::testing::Range(0, 8));
+
+TEST(GarbageInputTest, F2ParsersReturnErrorsNotCrashes) {
+  auto hierarchy = LocationHierarchy();
+  ASSERT_TRUE(hierarchy.ok());
+  std::mt19937_64 rng(1234);
+  const std::string alphabet =
+      "StoreCity/.&|!()<->= '\"0123456789abc_,^#\n\t";
+  std::uniform_int_distribution<size_t> char_dist(0, alphabet.size() - 1);
+  int parse_failures = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::uniform_int_distribution<int> len_dist(0, 40);
+    std::string garbage;
+    const int length = len_dist(rng);
+    for (int j = 0; j < length; ++j) {
+      garbage.push_back(alphabet[char_dist(rng)]);
+    }
+    // Must not crash; most inputs fail to parse.
+    parse_failures += !ParseExpr(**hierarchy, garbage).ok();
+    (void)ParseSchemaText(garbage);
+    (void)ParseInstanceText(*hierarchy, garbage);
+  }
+  EXPECT_GT(parse_failures, 400) << "garbage should rarely parse";
+}
+
+class MutationFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationFuzzTest, F3MutatedInstancesNeverValidateWrongly) {
+  auto original = LocationInstance();
+  ASSERT_TRUE(original.ok());
+  const HierarchySchema& schema = original->hierarchy();
+  std::mt19937_64 rng(GetParam() * 613 + 7);
+
+  for (int i = 0; i < 40; ++i) {
+    // Rebuild the instance with one random extra child/parent edge.
+    DimensionInstanceBuilder builder(original->schema());
+    builder.set_skip_validation(true);
+    for (MemberId m = 0; m < original->num_members(); ++m) {
+      const Member& member = original->member(m);
+      builder.AddMember(member.key, schema.CategoryName(member.category),
+                        member.name);
+    }
+    for (const auto& [x, y] : original->child_parent().Edges()) {
+      builder.AddChildParent(original->member(x).key,
+                             original->member(y).key);
+    }
+    std::uniform_int_distribution<int> member_dist(
+        0, original->num_members() - 1);
+    MemberId a = member_dist(rng);
+    MemberId b = member_dist(rng);
+    builder.AddChildParent(original->member(a).key, original->member(b).key);
+
+    Result<DimensionInstance> mutated = builder.Build();
+    if (!mutated.ok()) {
+      // Rejected during table construction: must be a model violation.
+      EXPECT_EQ(mutated.status().code(), StatusCode::kInvalidModel);
+      continue;
+    }
+    // Accepted by construction: the full validator must agree or name
+    // a C-condition.
+    Status status = mutated->Validate();
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kInvalidModel);
+      EXPECT_NE(status.message().find("C"), std::string::npos);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace olapdc

@@ -1,0 +1,190 @@
+// Tests for the graph substrate: Digraph and its algorithms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "graph/dot.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+Digraph Diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(DigraphTest, EdgesAndDegrees) {
+  Digraph g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(3), 2);
+  EXPECT_EQ(g.Edges().size(), 4u);
+}
+
+TEST(DigraphTest, DuplicateEdgeIgnored) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(DigraphTest, Equality) {
+  Digraph a = Diamond();
+  Digraph b(4);
+  // Same edges inserted in a different order.
+  b.AddEdge(2, 3);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(0, 1);
+  EXPECT_EQ(a, b);
+  b.AddEdge(3, 0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ReachabilityTest, ForwardAndBackward) {
+  Digraph g = Diamond();
+  EXPECT_EQ(ReachableFrom(g, 0).ToVector(), std::vector<int>({0, 1, 2, 3}));
+  EXPECT_EQ(ReachableFrom(g, 1).ToVector(), std::vector<int>({1, 3}));
+  EXPECT_EQ(ReachesTo(g, 3).ToVector(), std::vector<int>({0, 1, 2, 3}));
+  EXPECT_EQ(ReachesTo(g, 1).ToVector(), std::vector<int>({0, 1}));
+}
+
+TEST(ReachabilityTest, TransitiveClosure) {
+  Digraph g = Diamond();
+  auto closure = TransitiveClosure(g);
+  EXPECT_EQ(closure[0].count(), 4);
+  EXPECT_EQ(closure[3].count(), 1);  // reflexive only
+}
+
+TEST(TopologicalSortTest, ValidOrder) {
+  Digraph g = Diamond();
+  ASSERT_OK_AND_ASSIGN(std::vector<int> order, TopologicalSort(g));
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](int x) {
+    return std::find(order.begin(), order.end(), x) - order.begin();
+  };
+  for (const auto& [u, v] : g.Edges()) EXPECT_LT(pos(u), pos(v));
+}
+
+TEST(TopologicalSortTest, DetectsCycle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  EXPECT_FALSE(TopologicalSort(g).ok());
+  EXPECT_TRUE(HasCycle(g));
+  EXPECT_FALSE(HasCycle(Diamond()));
+}
+
+TEST(ShortcutTest, DirectPlusLongerPath) {
+  Digraph g = Diamond();
+  g.AddEdge(0, 3);  // shortcut: 0->3 with 0->1->3
+  auto shortcuts = FindShortcuts(g);
+  ASSERT_EQ(shortcuts.size(), 1u);
+  EXPECT_EQ(shortcuts[0], std::make_pair(0, 3));
+  EXPECT_TRUE(HasSimplePathThroughThirdNode(g, 0, 3));
+  EXPECT_FALSE(HasSimplePathThroughThirdNode(g, 0, 1));
+}
+
+TEST(ShortcutTest, DiamondAloneIsNotAShortcut) {
+  EXPECT_TRUE(FindShortcuts(Diamond()).empty());
+}
+
+TEST(ShortcutTest, CycleDoesNotFakeASimplePath) {
+  // 0 -> 1, 1 -> 0, 0 -> 2: the walk 0 -> 1 -> 0 -> 2 is not simple, so
+  // (0, 2) must NOT be reported as a shortcut.
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 2);
+  EXPECT_FALSE(HasSimplePathThroughThirdNode(g, 0, 2));
+  // But adding 1 -> 2 creates a genuine simple path 0 -> 1 -> 2.
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(HasSimplePathThroughThirdNode(g, 0, 2));
+}
+
+TEST(SimplePathTest, EnumerateAllPaths) {
+  Digraph g = Diamond();
+  ASSERT_OK_AND_ASSIGN(auto paths, EnumerateSimplePaths(g, 0, 3));
+  ASSERT_EQ(paths.size(), 2u);
+  std::sort(paths.begin(), paths.end());
+  EXPECT_EQ(paths[0], std::vector<int>({0, 1, 3}));
+  EXPECT_EQ(paths[1], std::vector<int>({0, 2, 3}));
+}
+
+TEST(SimplePathTest, TrivialPathWhenEndpointsEqual) {
+  Digraph g = Diamond();
+  ASSERT_OK_AND_ASSIGN(auto paths, EnumerateSimplePaths(g, 2, 2));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], std::vector<int>({2}));
+}
+
+TEST(SimplePathTest, NoPath) {
+  Digraph g = Diamond();
+  ASSERT_OK_AND_ASSIGN(auto paths, EnumerateSimplePaths(g, 3, 0));
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(SimplePathTest, LimitEnforced) {
+  // Complete bipartite-ish layered graph with many paths.
+  Digraph g(8);
+  for (int a = 1; a <= 3; ++a) {
+    g.AddEdge(0, a);
+    for (int b = 4; b <= 6; ++b) g.AddEdge(a, b);
+  }
+  for (int b = 4; b <= 6; ++b) g.AddEdge(b, 7);
+  // 3 * 3 = 9 paths from 0 to 7.
+  ASSERT_OK_AND_ASSIGN(auto paths, EnumerateSimplePaths(g, 0, 7));
+  EXPECT_EQ(paths.size(), 9u);
+  EXPECT_FALSE(EnumerateSimplePaths(g, 0, 7, /*limit=*/4).ok());
+}
+
+TEST(SimplePathTest, IsSimplePath) {
+  Digraph g = Diamond();
+  EXPECT_TRUE(IsSimplePath(g, {0, 1, 3}));
+  EXPECT_TRUE(IsSimplePath(g, {2}));
+  EXPECT_FALSE(IsSimplePath(g, {0, 3}));        // no edge
+  EXPECT_FALSE(IsSimplePath(g, {}));            // empty
+  Digraph cyc(2);
+  cyc.AddEdge(0, 1);
+  cyc.AddEdge(1, 0);
+  EXPECT_FALSE(IsSimplePath(cyc, {0, 1, 0}));   // repeated node
+}
+
+TEST(DotTest, RendersNodesAndEdges) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  std::string dot =
+      ToDot(g, [](int u) { return u == 0 ? "child" : "parent"; });
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("child"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(DotTest, OmitsUnlabeledNodes) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  std::string dot = ToDot(g, [](int u) -> std::string {
+    return u == 2 ? "" : "n" + std::to_string(u);
+  });
+  EXPECT_EQ(dot.find("n1 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olapdc

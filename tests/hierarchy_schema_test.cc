@@ -1,0 +1,127 @@
+// Tests for hierarchy schemas (Definition 1), including the paper's
+// Example 3 (shortcuts) and Example 4 (cycles).
+
+#include <gtest/gtest.h>
+
+#include "core/location_example.h"
+#include "dim/hierarchy_schema.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+using testing_util::MakeHierarchy;
+
+TEST(HierarchySchemaTest, BasicLookups) {
+  HierarchySchemaPtr schema =
+      MakeHierarchy({{"Store", "City"}, {"City", "All"}});
+  EXPECT_EQ(schema->num_categories(), 3);
+  EXPECT_NE(schema->FindCategory("Store"), kNoCategory);
+  EXPECT_EQ(schema->FindCategory("Nowhere"), kNoCategory);
+  EXPECT_FALSE(schema->CategoryIdOf("Nowhere").ok());
+  EXPECT_EQ(schema->CategoryName(schema->all()), "All");
+  EXPECT_TRUE(
+      schema->HasEdge(schema->FindCategory("Store"), schema->FindCategory("City")));
+}
+
+TEST(HierarchySchemaTest, RejectsSelfLoop) {
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("A", "A");
+  builder.AddEdge("A", "All");
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidModel);
+}
+
+TEST(HierarchySchemaTest, RejectsCategoryNotReachingAll) {
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("A", "All");
+  builder.AddCategory("Orphan");
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidModel);
+}
+
+TEST(HierarchySchemaTest, RejectsEdgesOutOfAll) {
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("All", "A");
+  builder.AddEdge("A", "All");
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(HierarchySchemaTest, AllAloneIsValid) {
+  HierarchySchemaBuilder builder;
+  ASSERT_OK_AND_ASSIGN(HierarchySchema schema, builder.Build());
+  EXPECT_EQ(schema.num_categories(), 1);
+  EXPECT_EQ(schema.bottom_categories(),
+            std::vector<CategoryId>({schema.all()}));
+}
+
+TEST(HierarchySchemaTest, CyclesBetweenDistinctCategoriesAllowed) {
+  // Example 4: SaleDistrict <-> City.
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("Store", "SaleDistrict")
+      .AddEdge("SaleDistrict", "City")
+      .AddEdge("City", "SaleDistrict")
+      .AddEdge("City", "All")
+      .AddEdge("SaleDistrict", "All");
+  ASSERT_OK_AND_ASSIGN(HierarchySchema schema, builder.Build());
+  EXPECT_TRUE(schema.Reaches(schema.FindCategory("SaleDistrict"),
+                             schema.FindCategory("City")));
+  EXPECT_TRUE(schema.Reaches(schema.FindCategory("City"),
+                             schema.FindCategory("SaleDistrict")));
+}
+
+TEST(HierarchySchemaTest, BottomCategories) {
+  HierarchySchemaPtr schema = MakeHierarchy(
+      {{"A", "C"}, {"B", "C"}, {"C", "All"}});
+  std::vector<CategoryId> bottoms = schema->bottom_categories();
+  EXPECT_EQ(bottoms.size(), 2u);
+}
+
+TEST(HierarchySchemaTest, UpSetIsReflexiveTransitive) {
+  ASSERT_OK_AND_ASSIGN(HierarchySchemaPtr schema, LocationHierarchy());
+  CategoryId store = schema->FindCategory("Store");
+  CategoryId country = schema->FindCategory("Country");
+  CategoryId province = schema->FindCategory("Province");
+  EXPECT_TRUE(schema->Reaches(store, store));
+  EXPECT_TRUE(schema->Reaches(store, country));
+  EXPECT_TRUE(schema->Reaches(province, country));
+  EXPECT_FALSE(schema->Reaches(country, store));
+  // Every category reaches All (Definition 1(a)).
+  for (CategoryId c = 0; c < schema->num_categories(); ++c) {
+    EXPECT_TRUE(schema->Reaches(c, schema->all()));
+  }
+}
+
+TEST(HierarchySchemaTest, Example3CityCountryShortcut) {
+  ASSERT_OK_AND_ASSIGN(HierarchySchemaPtr schema, LocationHierarchy());
+  auto shortcuts = schema->Shortcuts();
+  // Example 3 names (City, Country); the hierarchy has two more
+  // shortcut edges: Store -> SaleRegion (shadowed by
+  // Store/City/Province/SaleRegion) and State -> Country (shadowed by
+  // State/SaleRegion/Country).
+  ASSERT_EQ(shortcuts.size(), 3u);
+  bool found_city_country = false;
+  for (const auto& [u, v] : shortcuts) {
+    found_city_country |= (u == schema->FindCategory("City") &&
+                           v == schema->FindCategory("Country"));
+  }
+  EXPECT_TRUE(found_city_country);
+}
+
+TEST(HierarchySchemaTest, LocationHierarchyShape) {
+  ASSERT_OK_AND_ASSIGN(HierarchySchemaPtr schema, LocationHierarchy());
+  EXPECT_EQ(schema->num_categories(), 7);  // incl. All
+  EXPECT_EQ(schema->graph().num_edges(), 10);
+  EXPECT_EQ(schema->bottom_categories(),
+            std::vector<CategoryId>({schema->FindCategory("Store")}));
+}
+
+TEST(HierarchySchemaTest, DotContainsAllCategories) {
+  ASSERT_OK_AND_ASSIGN(HierarchySchemaPtr schema, LocationHierarchy());
+  std::string dot = schema->ToDot();
+  for (const char* name :
+       {"Store", "City", "Province", "State", "SaleRegion", "Country"}) {
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace olapdc

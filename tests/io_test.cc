@@ -1,0 +1,164 @@
+// Tests for the text serialization of schemas and instances.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "constraint/evaluator.h"
+#include "constraint/printer.h"
+#include "core/dimsat.h"
+#include "core/location_example.h"
+#include "io/instance_io.h"
+#include "io/schema_io.h"
+#include "tests/test_util.h"
+
+// for MakeHierarchy/ParseC in the label test
+
+
+namespace olapdc {
+namespace {
+
+TEST(SchemaIoTest, ParseBasicSchema) {
+  const char* text = R"(
+# a comment
+category Store
+edge Store City
+edge City All
+
+constraint (a) Store/City
+constraint Store.City
+)";
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, ParseSchemaText(text));
+  EXPECT_EQ(ds.hierarchy().num_categories(), 3);
+  ASSERT_EQ(ds.constraints().size(), 2u);
+  EXPECT_EQ(ds.constraints()[0].label, "(a)");
+  EXPECT_EQ(ds.constraints()[1].label, "");
+}
+
+TEST(SchemaIoTest, RoundTripLocationSchema) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema original, LocationSchema());
+  std::string text = SerializeSchema(original);
+  ASSERT_OK_AND_ASSIGN(DimensionSchema reparsed, ParseSchemaText(text));
+  EXPECT_TRUE(original.hierarchy().graph() == reparsed.hierarchy().graph());
+  ASSERT_EQ(original.constraints().size(), reparsed.constraints().size());
+  for (size_t i = 0; i < original.constraints().size(); ++i) {
+    EXPECT_EQ(original.constraints()[i].label,
+              reparsed.constraints()[i].label);
+    // Category ids coincide because serialization preserves insertion
+    // order, so structural equality applies directly.
+    EXPECT_TRUE(ExprEquals(original.constraints()[i].expr,
+                           reparsed.constraints()[i].expr))
+        << original.constraints()[i].label;
+  }
+  // Same reasoning results.
+  DimsatResult a = EnumerateFrozenDimensions(
+      original, original.hierarchy().FindCategory("Store"));
+  DimsatResult b = EnumerateFrozenDimensions(
+      reparsed, reparsed.hierarchy().FindCategory("Store"));
+  EXPECT_EQ(a.frozen.size(), b.frozen.size());
+}
+
+TEST(SchemaIoTest, ConstraintStartingWithParenIsNotALabel) {
+  const char* text =
+      "edge A B\nedge A C\nedge B All\nedge C All\n"
+      "constraint (A/B | A/C) & A.B\n";
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, ParseSchemaText(text));
+  ASSERT_EQ(ds.constraints().size(), 1u);
+  EXPECT_EQ(ds.constraints()[0].label, "");
+  EXPECT_EQ(ds.constraints()[0].expr->kind, ExprKind::kAnd);
+}
+
+TEST(SchemaIoTest, Errors) {
+  EXPECT_FALSE(ParseSchemaText("bogus line\n").ok());
+  EXPECT_FALSE(ParseSchemaText("edge A\n").ok());         // one endpoint
+  EXPECT_FALSE(ParseSchemaText("edge A B C\n").ok());     // three
+  EXPECT_FALSE(ParseSchemaText("category\n").ok());       // unnamed
+  EXPECT_FALSE(
+      ParseSchemaText("edge A All\nconstraint A/Nowhere\n").ok());
+  EXPECT_FALSE(ParseSchemaText("edge A All\nconstraint\n").ok());
+  // Orphan category violates Definition 1.
+  EXPECT_FALSE(ParseSchemaText("category Orphan\nedge A All\n").ok());
+  EXPECT_FALSE(LoadSchemaFile("/nonexistent/path.olapdc").ok());
+}
+
+TEST(SchemaIoTest, FileRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  const std::string path = ::testing::TempDir() + "/schema_io_test.olapdc";
+  ASSERT_OK(SaveSchemaFile(ds, path));
+  ASSERT_OK_AND_ASSIGN(DimensionSchema loaded, LoadSchemaFile(path));
+  EXPECT_EQ(loaded.constraints().size(), ds.constraints().size());
+  std::remove(path.c_str());
+}
+
+TEST(SchemaIoTest, UnparenthesizedLabelsRoundTrip) {
+  // Mining produces bare labels like "split"; serialization must keep
+  // them distinguishable from the expression.
+  auto hierarchy = testing_util::MakeHierarchy({{"A", "B"}, {"B", "All"}});
+  DimensionSchema ds(
+      hierarchy, {testing_util::ParseC(*hierarchy, "A/B", "split")});
+  std::string text = SerializeSchema(ds);
+  EXPECT_NE(text.find("constraint (split) A/B"), std::string::npos) << text;
+  ASSERT_OK_AND_ASSIGN(DimensionSchema reparsed, ParseSchemaText(text));
+  ASSERT_EQ(reparsed.constraints().size(), 1u);
+  EXPECT_EQ(reparsed.constraints()[0].label, "(split)");
+  EXPECT_EQ(reparsed.constraints()[0].expr->kind, ExprKind::kPathAtom);
+}
+
+TEST(InstanceIoTest, ParseBasicInstance) {
+  ASSERT_OK_AND_ASSIGN(HierarchySchemaPtr schema, LocationHierarchy());
+  const char* text = R"(
+# Canada only
+member Canada Country
+member SR-Canada SaleRegion 'Sale Region East'
+member Ontario Province
+member Toronto City
+member s1 Store
+edge SR-Canada Canada
+edge Ontario SR-Canada
+edge Toronto Ontario
+edge s1 Toronto
+)";
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d,
+                       ParseInstanceText(schema, text));
+  EXPECT_EQ(d.num_members(), 6);  // + all
+  ASSERT_OK_AND_ASSIGN(MemberId sr, d.MemberIdOf("SR-Canada"));
+  EXPECT_EQ(d.member(sr).name, "Sale Region East");
+  EXPECT_OK(d.Validate());
+}
+
+TEST(InstanceIoTest, RoundTripLocationInstance) {
+  ASSERT_OK_AND_ASSIGN(DimensionInstance original, LocationInstance());
+  std::string text = SerializeInstance(original);
+  ASSERT_OK_AND_ASSIGN(
+      DimensionInstance reparsed,
+      ParseInstanceText(original.schema(), text));
+  EXPECT_EQ(reparsed.num_members(), original.num_members());
+  EXPECT_EQ(reparsed.child_parent().num_edges(),
+            original.child_parent().num_edges());
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  EXPECT_TRUE(SatisfiesAll(reparsed, ds.constraints()));
+}
+
+TEST(InstanceIoTest, Errors) {
+  ASSERT_OK_AND_ASSIGN(HierarchySchemaPtr schema, LocationHierarchy());
+  EXPECT_FALSE(ParseInstanceText(schema, "member x\n").ok());
+  EXPECT_FALSE(ParseInstanceText(schema, "edge a\n").ok());
+  EXPECT_FALSE(ParseInstanceText(schema, "member x 'unterminated\n").ok());
+  EXPECT_FALSE(ParseInstanceText(schema, "frobnicate x y\n").ok());
+  EXPECT_FALSE(ParseInstanceText(schema, "member x Galaxy\n").ok());
+  EXPECT_FALSE(LoadInstanceFile(schema, "/nonexistent").ok());
+}
+
+TEST(InstanceIoTest, FileRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, LocationInstance());
+  const std::string path = ::testing::TempDir() + "/instance_io_test.txt";
+  ASSERT_OK(SaveInstanceFile(d, path));
+  ASSERT_OK_AND_ASSIGN(DimensionInstance loaded,
+                       LoadInstanceFile(d.schema(), path));
+  EXPECT_EQ(loaded.num_members(), d.num_members());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace olapdc

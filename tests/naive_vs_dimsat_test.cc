@@ -1,0 +1,146 @@
+// Differential testing: DIMSAT against the brute-force Theorem 3
+// oracle, on the paper's schema and on random generated workloads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/dimsat.h"
+#include "core/location_example.h"
+#include "core/naive_sat.h"
+#include "tests/test_util.h"
+#include "workload/schema_generator.h"
+
+namespace olapdc {
+namespace {
+
+/// Canonical text form of a frozen-dimension set for comparison.
+std::vector<std::string> Canonical(const std::vector<FrozenDimension>& fs,
+                                   const HierarchySchema& schema) {
+  std::vector<std::string> out;
+  out.reserve(fs.size());
+  for (const FrozenDimension& f : fs) out.push_back(f.ToString(schema));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(NaiveVsDimsatTest, LocationSchemaAgreesExactly) {
+  auto ds_result = LocationSchema();
+  ASSERT_TRUE(ds_result.ok());
+  const DimensionSchema& ds = *ds_result;
+  for (CategoryId c = 0; c < ds.hierarchy().num_categories(); ++c) {
+    DimsatOptions options;
+    options.enumerate_all = true;
+    DimsatResult dimsat = Dimsat(ds, c, options);
+    ASSERT_OK(dimsat.status);
+    NaiveSatOptions naive_options;
+    naive_options.enumerate_all = true;
+    ASSERT_OK_AND_ASSIGN(DimsatResult naive, NaiveSat(ds, c, naive_options));
+    EXPECT_EQ(dimsat.satisfiable, naive.satisfiable)
+        << ds.hierarchy().CategoryName(c);
+    EXPECT_EQ(Canonical(dimsat.frozen, ds.hierarchy()),
+              Canonical(naive.frozen, ds.hierarchy()))
+        << ds.hierarchy().CategoryName(c);
+  }
+}
+
+TEST(NaiveVsDimsatTest, NaiveRefusesOversizedInputs) {
+  auto ds_result = LocationSchema();
+  ASSERT_TRUE(ds_result.ok());
+  NaiveSatOptions options;
+  options.max_edges = 3;
+  CategoryId store = ds_result->hierarchy().FindCategory("Store");
+  EXPECT_EQ(NaiveSat(*ds_result, store, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// Property sweep: random layered schemas with random constraints; both
+// procedures must produce identical frozen-dimension sets from the
+// bottom category.
+class RandomDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDifferentialTest, FrozenSetsAgree) {
+  const int seed = GetParam();
+  SchemaGenOptions schema_options;
+  schema_options.num_levels = 2 + (seed % 2);
+  schema_options.categories_per_level = 2;
+  schema_options.extra_edge_prob = 0.35;
+  schema_options.seed = static_cast<uint64_t>(seed) * 7919 + 1;
+  auto hierarchy = GenerateLayeredHierarchy(schema_options);
+  ASSERT_TRUE(hierarchy.ok());
+
+  ConstraintGenOptions constraint_options;
+  constraint_options.into_fraction = 0.3 + 0.1 * (seed % 5);
+  constraint_options.num_choice_constraints = seed % 3;
+  constraint_options.num_equality_constraints = seed % 3;
+  constraint_options.seed = static_cast<uint64_t>(seed) * 104729 + 3;
+  auto ds = GenerateConstrainedSchema(*hierarchy, constraint_options);
+  ASSERT_TRUE(ds.ok());
+
+  CategoryId base = ds->hierarchy().FindCategory("Base");
+  ASSERT_NE(base, kNoCategory);
+
+  DimsatOptions dimsat_options;
+  dimsat_options.enumerate_all = true;
+  DimsatResult dimsat = Dimsat(*ds, base, dimsat_options);
+  ASSERT_OK(dimsat.status);
+
+  NaiveSatOptions naive_options;
+  naive_options.enumerate_all = true;
+  naive_options.max_edges = 22;
+  auto naive = NaiveSat(*ds, base, naive_options);
+  if (!naive.ok()) GTEST_SKIP() << "edge count beyond brute-force budget";
+
+  EXPECT_EQ(dimsat.satisfiable, naive->satisfiable) << "seed " << seed;
+  EXPECT_EQ(Canonical(dimsat.frozen, ds->hierarchy()),
+            Canonical(naive->frozen, ds->hierarchy()))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDifferentialTest,
+                         ::testing::Range(0, 30));
+
+// The ablations must also agree with the oracle (soundness does not
+// depend on pruning).
+class AblationDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AblationDifferentialTest, UnprunedSearchAgrees) {
+  const int seed = GetParam();
+  SchemaGenOptions schema_options;
+  schema_options.num_levels = 2;
+  schema_options.categories_per_level = 2;
+  schema_options.extra_edge_prob = 0.4;
+  schema_options.seed = static_cast<uint64_t>(seed) * 31 + 17;
+  auto hierarchy = GenerateLayeredHierarchy(schema_options);
+  ASSERT_TRUE(hierarchy.ok());
+  ConstraintGenOptions constraint_options;
+  constraint_options.into_fraction = 0.6;
+  constraint_options.num_choice_constraints = 1;
+  constraint_options.seed = seed;
+  auto ds = GenerateConstrainedSchema(*hierarchy, constraint_options);
+  ASSERT_TRUE(ds.ok());
+  CategoryId base = ds->hierarchy().FindCategory("Base");
+
+  DimsatOptions pruned;
+  pruned.enumerate_all = true;
+  DimsatOptions unpruned = pruned;
+  unpruned.prune_shortcuts = false;
+  unpruned.prune_cycles = false;
+  unpruned.prune_into = false;
+
+  DimsatResult a = Dimsat(*ds, base, pruned);
+  DimsatResult b = Dimsat(*ds, base, unpruned);
+  ASSERT_OK(a.status);
+  ASSERT_OK(b.status);
+  EXPECT_EQ(Canonical(a.frozen, ds->hierarchy()),
+            Canonical(b.frozen, ds->hierarchy()))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AblationDifferentialTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace olapdc

@@ -1,0 +1,153 @@
+// Tests for the aggregate navigator and the view-selection advisor.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/location_example.h"
+#include "olap/navigator.h"
+#include "olap/view_selection.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+class NavigatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(ds_, LocationSchema());
+    ASSERT_OK_AND_ASSIGN(d_, LocationInstance());
+    const HierarchySchema& schema = ds_->hierarchy();
+    city_ = schema.FindCategory("City");
+    state_ = schema.FindCategory("State");
+    province_ = schema.FindCategory("Province");
+    sale_region_ = schema.FindCategory("SaleRegion");
+    country_ = schema.FindCategory("Country");
+
+    for (const char* key : {"st-tor-1", "st-tor-2", "st-ott-1", "st-mex-1",
+                            "st-mty-1", "st-aus-1", "st-was-1"}) {
+      facts_.Add(*d_->MemberIdOf(key), 10.0);
+    }
+  }
+
+  std::optional<DimensionSchema> ds_;
+  std::optional<DimensionInstance> d_;
+  FactTable facts_;
+  CategoryId city_, state_, province_, sale_region_, country_;
+};
+
+TEST_F(NavigatorTest, FindsSingleCategoryRewrite) {
+  ASSERT_OK_AND_ASSIGN(
+      auto rewrite,
+      FindRewriteSet(*ds_, *d_, {state_, city_}, country_, {}));
+  ASSERT_TRUE(rewrite.has_value());
+  EXPECT_EQ(*rewrite, std::vector<CategoryId>({city_}));
+}
+
+TEST_F(NavigatorTest, MaterializedTargetShortCircuits) {
+  ASSERT_OK_AND_ASSIGN(
+      auto rewrite,
+      FindRewriteSet(*ds_, *d_, {state_, country_}, country_, {}));
+  ASSERT_TRUE(rewrite.has_value());
+  EXPECT_EQ(*rewrite, std::vector<CategoryId>({country_}));
+}
+
+TEST_F(NavigatorTest, RefusesWhenNoSummarizableSubsetExists) {
+  // {State, Province} cannot answer Country at the schema level
+  // (Washington), and no other materialized view helps.
+  ASSERT_OK_AND_ASSIGN(
+      auto rewrite,
+      FindRewriteSet(*ds_, *d_, {state_, province_}, country_, {}));
+  EXPECT_FALSE(rewrite.has_value());
+}
+
+TEST_F(NavigatorTest, InstanceModeAdmitsMoreRewrites) {
+  // Build a Washington-free instance: {State, Province} then answers
+  // Country at the instance level, though never at the schema level.
+  DimensionInstanceBuilder builder(ds_->hierarchy_ptr());
+  builder.AddMember("Canada", "Country")
+      .AddMemberUnder("SR-Canada", "SaleRegion", "Canada")
+      .AddMemberUnder("Ontario", "Province", "SR-Canada")
+      .AddMemberUnder("Toronto", "City", "Ontario")
+      .AddMemberUnder("s1", "Store", "Toronto");
+  ASSERT_OK_AND_ASSIGN(DimensionInstance small, builder.Build());
+
+  NavigatorOptions schema_mode;
+  ASSERT_OK_AND_ASSIGN(
+      auto schema_rewrite,
+      FindRewriteSet(*ds_, small, {state_, province_}, country_,
+                     schema_mode));
+  EXPECT_FALSE(schema_rewrite.has_value());
+
+  NavigatorOptions instance_mode;
+  instance_mode.mode = NavigatorMode::kInstanceLevel;
+  ASSERT_OK_AND_ASSIGN(
+      auto instance_rewrite,
+      FindRewriteSet(*ds_, small, {state_, province_}, country_,
+                     instance_mode));
+  EXPECT_TRUE(instance_rewrite.has_value());
+}
+
+TEST_F(NavigatorTest, AnswerMatchesDirectComputation) {
+  std::map<CategoryId, CubeViewResult> materialized;
+  materialized[city_] = ComputeCubeView(*d_, facts_, city_, AggFn::kSum);
+  materialized[state_] = ComputeCubeView(*d_, facts_, state_, AggFn::kSum);
+
+  ASSERT_OK_AND_ASSIGN(
+      NavigatorAnswer answer,
+      AnswerFromViews(*ds_, *d_, materialized, country_, AggFn::kSum, {}));
+  ASSERT_TRUE(answer.answered);
+  EXPECT_EQ(answer.used, std::vector<CategoryId>({city_}));
+  CubeViewResult direct = ComputeCubeView(*d_, facts_, country_, AggFn::kSum);
+  EXPECT_TRUE(CubeViewsEqual(answer.view, direct));
+}
+
+TEST_F(NavigatorTest, AnswerRefusesUnanswerableQuery) {
+  std::map<CategoryId, CubeViewResult> materialized;
+  materialized[state_] = ComputeCubeView(*d_, facts_, state_, AggFn::kSum);
+  ASSERT_OK_AND_ASSIGN(
+      NavigatorAnswer answer,
+      AnswerFromViews(*ds_, *d_, materialized, country_, AggFn::kSum, {}));
+  EXPECT_FALSE(answer.answered);
+  EXPECT_TRUE(answer.view.empty());
+}
+
+TEST_F(NavigatorTest, ViewSelectionCoversQueries) {
+  ViewSelectionOptions options;
+  ASSERT_OK_AND_ASSIGN(
+      ViewSelectionResult selection,
+      SelectViews(*ds_, *d_, {country_, sale_region_, province_}, options));
+  ASSERT_TRUE(selection.found);
+  // A single materialized City view answers Province; Country and
+  // SaleRegion need more. Whatever the choice, it must cover all
+  // queries via the navigator.
+  EXPECT_LE(selection.selected.size(), 4u);
+  ASSERT_EQ(selection.rewrite_sets.size(), 3u);
+  for (const auto& rewrite : selection.rewrite_sets) {
+    EXPECT_FALSE(rewrite.empty());
+    for (CategoryId c : rewrite) {
+      EXPECT_TRUE(std::find(selection.selected.begin(),
+                            selection.selected.end(),
+                            c) != selection.selected.end());
+    }
+  }
+}
+
+TEST_F(NavigatorTest, ViewSelectionMinimality) {
+  // Query {Province} alone: materializing {City} or {Province} works;
+  // the advisor must find a single-view solution.
+  ASSERT_OK_AND_ASSIGN(ViewSelectionResult selection,
+                       SelectViews(*ds_, *d_, {province_}, {}));
+  ASSERT_TRUE(selection.found);
+  EXPECT_EQ(selection.selected.size(), 1u);
+}
+
+TEST_F(NavigatorTest, ViewSelectionEmptyQuerySet) {
+  ASSERT_OK_AND_ASSIGN(ViewSelectionResult selection,
+                       SelectViews(*ds_, *d_, {}, {}));
+  EXPECT_TRUE(selection.found);
+  EXPECT_TRUE(selection.selected.empty());
+}
+
+}  // namespace
+}  // namespace olapdc

@@ -1,0 +1,108 @@
+// Tests for the parallel DIMSAT driver: semantic equivalence with the
+// sequential search across thread counts, workloads, and modes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/dimsat.h"
+#include "core/location_example.h"
+#include "tests/test_util.h"
+#include "workload/schema_generator.h"
+
+namespace olapdc {
+namespace {
+
+std::vector<std::string> Canonical(const std::vector<FrozenDimension>& fs,
+                                   const HierarchySchema& schema) {
+  std::vector<std::string> out;
+  out.reserve(fs.size());
+  for (const FrozenDimension& f : fs) out.push_back(f.ToString(schema));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ParallelDimsatTest, LocationEnumerationMatchesSequential) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatOptions options;
+  options.enumerate_all = true;
+  DimsatResult sequential = Dimsat(ds, store, options);
+  for (int threads : {1, 2, 4, 8}) {
+    DimsatResult parallel = DimsatParallel(ds, store, options, threads);
+    ASSERT_OK(parallel.status);
+    EXPECT_EQ(Canonical(parallel.frozen, ds.hierarchy()),
+              Canonical(sequential.frozen, ds.hierarchy()))
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelDimsatTest, DecisionModeFindsAWitness) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatResult r = DimsatParallel(ds, store, {}, 4);
+  ASSERT_OK(r.status);
+  EXPECT_TRUE(r.satisfiable);
+  ASSERT_FALSE(r.frozen.empty());
+  // Whatever witness a worker found, it is a genuine frozen dimension.
+  ASSERT_OK(r.frozen.front().ToInstance(ds).status());
+}
+
+TEST(ParallelDimsatTest, UnsatisfiableStaysUnsatisfiable) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  DimensionSchema extended = ds.WithExtraConstraint(
+      testing_util::ParseC(ds.hierarchy(), "!SaleRegion/Country"));
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  for (int threads : {2, 4}) {
+    DimsatResult r = DimsatParallel(extended, store, {}, threads);
+    ASSERT_OK(r.status);
+    EXPECT_FALSE(r.satisfiable);
+  }
+}
+
+TEST(ParallelDimsatTest, AllRootFallsBackToSequential) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  DimsatResult r = DimsatParallel(ds, ds.hierarchy().all(), {}, 4);
+  EXPECT_TRUE(r.satisfiable);
+}
+
+class ParallelRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRandomTest, MatchesSequentialOnRandomSchemas) {
+  const int seed = GetParam();
+  SchemaGenOptions schema_options;
+  schema_options.num_levels = 3;
+  schema_options.categories_per_level = 2;
+  schema_options.extra_edge_prob = 0.3;
+  schema_options.seed = static_cast<uint64_t>(seed) * 911 + 3;
+  auto hierarchy = GenerateLayeredHierarchy(schema_options);
+  ASSERT_TRUE(hierarchy.ok());
+  ConstraintGenOptions constraint_options;
+  constraint_options.into_fraction = 0.4;
+  constraint_options.num_choice_constraints = 1;
+  constraint_options.num_equality_constraints = 1;
+  constraint_options.seed = seed;
+  auto ds = GenerateConstrainedSchema(*hierarchy, constraint_options);
+  ASSERT_TRUE(ds.ok());
+  CategoryId base = ds->hierarchy().FindCategory("Base");
+
+  DimsatOptions options;
+  options.enumerate_all = true;
+  DimsatResult sequential = Dimsat(*ds, base, options);
+  ASSERT_OK(sequential.status);
+  DimsatResult parallel = DimsatParallel(*ds, base, options, 4);
+  ASSERT_OK(parallel.status);
+  EXPECT_EQ(Canonical(parallel.frozen, ds->hierarchy()),
+            Canonical(sequential.frozen, ds->hierarchy()))
+      << "seed " << seed;
+  // Decision mode agrees on satisfiability.
+  DimsatResult decision = DimsatParallel(*ds, base, {}, 4);
+  EXPECT_EQ(decision.satisfiable, sequential.satisfiable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRandomTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace olapdc

@@ -1,0 +1,189 @@
+// Tests for the constraint parser and printer, including the
+// round-trip property: parse(print(parse(text))) == parse(text).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "constraint/parser.h"
+#include "constraint/printer.h"
+#include "core/location_example.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_OK_AND_ASSIGN(schema_, LocationHierarchy()); }
+  HierarchySchemaPtr schema_;
+};
+
+TEST_F(ParserTest, PathAtom) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e, ParseExpr(*schema_, "Store/City/Province"));
+  ASSERT_EQ(e->kind, ExprKind::kPathAtom);
+  EXPECT_EQ(e->path.size(), 3u);
+  EXPECT_EQ(e->path[0], schema_->FindCategory("Store"));
+  EXPECT_EQ(e->path[2], schema_->FindCategory("Province"));
+}
+
+TEST_F(ParserTest, ComposedAtom) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e, ParseExpr(*schema_, "Store.SaleRegion"));
+  ASSERT_EQ(e->kind, ExprKind::kComposedAtom);
+  EXPECT_EQ(e->root, schema_->FindCategory("Store"));
+  EXPECT_EQ(e->target, schema_->FindCategory("SaleRegion"));
+}
+
+TEST_F(ParserTest, ThroughAtom) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e, ParseExpr(*schema_, "Store.City.Country"));
+  ASSERT_EQ(e->kind, ExprKind::kThroughAtom);
+  EXPECT_EQ(e->via, schema_->FindCategory("City"));
+  EXPECT_EQ(e->target, schema_->FindCategory("Country"));
+}
+
+TEST_F(ParserTest, EqualityAtoms) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e,
+                       ParseExpr(*schema_, "State.Country = 'Mexico'"));
+  ASSERT_EQ(e->kind, ExprKind::kEqualityAtom);
+  EXPECT_EQ(e->constant, "Mexico");
+  // Abbreviated form c = k means c.c = k.
+  ASSERT_OK_AND_ASSIGN(ExprPtr abbr,
+                       ParseExpr(*schema_, "City = 'Washington'"));
+  ASSERT_EQ(abbr->kind, ExprKind::kEqualityAtom);
+  EXPECT_EQ(abbr->root, abbr->target);
+  // Double-quoted and bare constants.
+  ASSERT_OK_AND_ASSIGN(ExprPtr dq,
+                       ParseExpr(*schema_, "City = \"Washington\""));
+  EXPECT_EQ(dq->constant, "Washington");
+  ASSERT_OK_AND_ASSIGN(ExprPtr bare, ParseExpr(*schema_, "City = Washington"));
+  EXPECT_EQ(bare->constant, "Washington");
+  ASSERT_OK_AND_ASSIGN(ExprPtr num, ParseExpr(*schema_, "City = 42"));
+  EXPECT_EQ(num->constant, "42");
+}
+
+TEST_F(ParserTest, ConnectivesAndPrecedence) {
+  // a -> b | c parses as a -> (b | c).
+  ASSERT_OK_AND_ASSIGN(
+      ExprPtr e,
+      ParseExpr(*schema_, "Store/City -> Store.Province | Store.State"));
+  ASSERT_EQ(e->kind, ExprKind::kImplies);
+  EXPECT_EQ(e->children[1]->kind, ExprKind::kOr);
+
+  // & binds tighter than |.
+  ASSERT_OK_AND_ASSIGN(
+      ExprPtr and_or,
+      ParseExpr(*schema_, "Store.City | Store.State & Store.Province"));
+  ASSERT_EQ(and_or->kind, ExprKind::kOr);
+  EXPECT_EQ(and_or->children[1]->kind, ExprKind::kAnd);
+
+  // Implication is right-associative.
+  ASSERT_OK_AND_ASSIGN(
+      ExprPtr impl,
+      ParseExpr(*schema_, "Store.City -> Store.State -> Store.Province"));
+  ASSERT_EQ(impl->kind, ExprKind::kImplies);
+  EXPECT_EQ(impl->children[1]->kind, ExprKind::kImplies);
+
+  // Parentheses override.
+  ASSERT_OK_AND_ASSIGN(
+      ExprPtr paren,
+      ParseExpr(*schema_, "(Store.City | Store.State) & Store.Province"));
+  ASSERT_EQ(paren->kind, ExprKind::kAnd);
+
+  // Negation and xor.
+  ASSERT_OK_AND_ASSIGN(ExprPtr x,
+                       ParseExpr(*schema_, "!Store.City ^ Store.State"));
+  ASSERT_EQ(x->kind, ExprKind::kXor);
+  EXPECT_EQ(x->children[0]->kind, ExprKind::kNot);
+
+  // one(...).
+  ASSERT_OK_AND_ASSIGN(
+      ExprPtr one,
+      ParseExpr(*schema_, "one(Store/City, Store/SaleRegion)"));
+  ASSERT_EQ(one->kind, ExprKind::kExactlyOne);
+  EXPECT_EQ(one->children.size(), 2u);
+
+  // true/false literals, alternative arrows.
+  ASSERT_OK_AND_ASSIGN(ExprPtr t, ParseExpr(*schema_, "true <-> false"));
+  EXPECT_EQ(t->kind, ExprKind::kEquiv);
+  ASSERT_OK_AND_ASSIGN(ExprPtr t2, ParseExpr(*schema_, "true <=> false"));
+  EXPECT_EQ(t2->kind, ExprKind::kEquiv);
+  ASSERT_OK_AND_ASSIGN(ExprPtr t3, ParseExpr(*schema_, "true => false"));
+  EXPECT_EQ(t3->kind, ExprKind::kImplies);
+}
+
+TEST_F(ParserTest, Errors) {
+  EXPECT_FALSE(ParseExpr(*schema_, "").ok());
+  EXPECT_FALSE(ParseExpr(*schema_, "Store/Galaxy").ok());  // unknown category
+  EXPECT_FALSE(ParseExpr(*schema_, "Store/City extra").ok());  // trailing
+  EXPECT_FALSE(ParseExpr(*schema_, "Store/").ok());
+  EXPECT_FALSE(ParseExpr(*schema_, "(Store.City").ok());  // unbalanced
+  EXPECT_FALSE(ParseExpr(*schema_, "Store.City = ").ok());
+  EXPECT_FALSE(ParseExpr(*schema_, "City = 'unterminated").ok());
+  EXPECT_FALSE(ParseExpr(*schema_, "one(Store.City").ok());
+  EXPECT_FALSE(ParseExpr(*schema_, "Store").ok());  // bare category
+  EXPECT_FALSE(ParseExpr(*schema_, "@").ok());      // bad character
+  EXPECT_FALSE(ParseExpr(*schema_, "Store.City.State.Country").ok());
+}
+
+TEST_F(ParserTest, ParseConstraintInfersRootAndValidates) {
+  ASSERT_OK_AND_ASSIGN(DimensionConstraint c,
+                       ParseConstraint(*schema_, "Store/City", "(a)"));
+  EXPECT_EQ(c.root, schema_->FindCategory("Store"));
+  EXPECT_EQ(c.label, "(a)");
+  // A path that does not follow schema edges is rejected at the
+  // constraint level (Store has no edge to Province).
+  EXPECT_FALSE(ParseConstraint(*schema_, "Store/Province").ok());
+  // Root must not be All — no atom can produce that, but mixed roots:
+  EXPECT_FALSE(ParseConstraint(*schema_, "Store/City & City/Province").ok());
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintThenReparseIsIdentity) {
+  auto schema_result = LocationHierarchy();
+  ASSERT_TRUE(schema_result.ok());
+  const HierarchySchema& schema = **schema_result;
+  ASSERT_OK_AND_ASSIGN(ExprPtr parsed, ParseExpr(schema, GetParam()));
+  std::string printed = ExprToString(schema, parsed);
+  ASSERT_OK_AND_ASSIGN(ExprPtr reparsed, ParseExpr(schema, printed));
+  EXPECT_TRUE(ExprEquals(parsed, reparsed))
+      << GetParam() << " printed as " << printed;
+  // Printing is a fixpoint after one round.
+  EXPECT_EQ(printed, ExprToString(schema, reparsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Constraints, RoundTripTest,
+    ::testing::Values(
+        "Store/City", "Store/City/Province", "Store.SaleRegion",
+        "Store.City.Country", "City = 'Washington'",
+        "State.Country = 'Mexico'",
+        "City = 'Washington' <-> City/Country",
+        "City = 'Washington' -> City.Country = 'USA'",
+        "State.Country = 'Mexico' | State.Country = 'USA'",
+        "one(Store.State.Country, Store.Province.Country)",
+        "!Store/SaleRegion", "!(Store.City | Store.State)",
+        "Store.City & Store.State & Store.Province",
+        "Store.City | Store.State | Store.Province",
+        "Store.City ^ Store.State",
+        "Store.City -> Store.State -> Store.Province",
+        "(Store.City -> Store.State) -> Store.Province",
+        "Store.City <-> Store.State",
+        "true", "false", "true & Store/City",
+        "one(Store/City, true, false)",
+        "!(!Store/City)",
+        "Store.City & (Store.State | Store.Province)"));
+
+TEST_F(ParserTest, PaperSymbolsOutput) {
+  PrinterOptions paper;
+  paper.paper_symbols = true;
+  ASSERT_OK_AND_ASSIGN(
+      ExprPtr e, ParseExpr(*schema_, "City = 'Washington' <-> City/Country"));
+  std::string out = ExprToString(*schema_, e, paper);
+  EXPECT_NE(out.find("City≈Washington"), std::string::npos) << out;
+  EXPECT_NE(out.find("≡"), std::string::npos) << out;
+  EXPECT_NE(out.find("City_Country"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace olapdc

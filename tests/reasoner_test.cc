@@ -1,0 +1,78 @@
+// Tests for the memoizing Reasoner facade.
+
+#include <gtest/gtest.h>
+
+#include "constraint/parser.h"
+#include "core/location_example.h"
+#include "core/reasoner.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+using testing_util::ParseC;
+
+TEST(ReasonerTest, AnswersMatchDirectCalls) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  const HierarchySchema& schema = ds.hierarchy();
+  Reasoner reasoner(ds);
+
+  DimensionConstraint alpha =
+      ParseC(schema, "Store.Country -> Store.City.Country");
+  ASSERT_OK_AND_ASSIGN(bool implied, reasoner.Implies(alpha));
+  EXPECT_TRUE(implied);
+  ASSERT_OK_AND_ASSIGN(bool sat,
+                       reasoner.IsSatisfiable(schema.FindCategory("Store")));
+  EXPECT_TRUE(sat);
+  ASSERT_OK_AND_ASSIGN(
+      bool summ,
+      reasoner.IsSummarizable(schema.FindCategory("Country"),
+                              {schema.FindCategory("State"),
+                               schema.FindCategory("Province")}));
+  EXPECT_FALSE(summ);
+}
+
+TEST(ReasonerTest, CacheHitsOnRepeatsAndEquivalentKeys) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  const HierarchySchema& schema = ds.hierarchy();
+  Reasoner reasoner(ds);
+
+  DimensionConstraint alpha = ParseC(schema, "Store.SaleRegion");
+  ASSERT_OK(reasoner.Implies(alpha).status());
+  EXPECT_EQ(reasoner.stats().hits, 0u);
+  ASSERT_OK(reasoner.Implies(alpha).status());
+  EXPECT_EQ(reasoner.stats().hits, 1u);
+
+  // Summarizability keys are order- and duplicate-insensitive.
+  CategoryId state = schema.FindCategory("State");
+  CategoryId province = schema.FindCategory("Province");
+  CategoryId country = schema.FindCategory("Country");
+  ASSERT_OK(reasoner.IsSummarizable(country, {state, province}).status());
+  uint64_t hits = reasoner.stats().hits;
+  ASSERT_OK(
+      reasoner.IsSummarizable(country, {province, state, state}).status());
+  EXPECT_EQ(reasoner.stats().hits, hits + 1);
+}
+
+TEST(ReasonerTest, MatrixWorkloadMostlyHitsAfterWarmup) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  const HierarchySchema& schema = ds.hierarchy();
+  Reasoner reasoner(ds);
+  auto sweep = [&] {
+    for (CategoryId t = 0; t < schema.num_categories(); ++t) {
+      if (t == schema.all()) continue;
+      for (CategoryId s = 0; s < schema.num_categories(); ++s) {
+        if (s == schema.all()) continue;
+        ASSERT_OK(reasoner.IsSummarizable(t, {s}).status());
+      }
+    }
+  };
+  sweep();
+  const uint64_t first_pass = reasoner.stats().queries;
+  sweep();
+  EXPECT_EQ(reasoner.stats().queries, 2 * first_pass);
+  EXPECT_GE(reasoner.stats().hits, first_pass);
+}
+
+}  // namespace
+}  // namespace olapdc

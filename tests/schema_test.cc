@@ -1,0 +1,96 @@
+// Tests for DimensionSchema itself: relevant-constraint selection
+// (Sigma(ds, c)), the Const_ds map, into-edge derivation, and schema
+// extension.
+
+#include <gtest/gtest.h>
+
+#include "core/location_example.h"
+#include "core/schema.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+using testing_util::ParseC;
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_OK_AND_ASSIGN(ds_, LocationSchema()); }
+  std::optional<DimensionSchema> ds_;
+};
+
+TEST_F(SchemaTest, RelevantConstraintsFollowReachability) {
+  const HierarchySchema& schema = ds_->hierarchy();
+  // From Store every constraint root is reachable: all 7 relevant.
+  EXPECT_EQ(ds_->RelevantConstraints(schema.FindCategory("Store")).size(),
+            7u);
+  // From City: the City-, State- and Province-rooted ones (not (a),(b)).
+  EXPECT_EQ(ds_->RelevantConstraints(schema.FindCategory("City")).size(),
+            5u);
+  // From State: (e) and (f) only.
+  auto state_relevant =
+      ds_->RelevantConstraints(schema.FindCategory("State"));
+  ASSERT_EQ(state_relevant.size(), 2u);
+  EXPECT_EQ(state_relevant[0]->label, "(e)");
+  EXPECT_EQ(state_relevant[1]->label, "(f)");
+  // From Country / All: none.
+  EXPECT_TRUE(ds_->RelevantConstraints(schema.FindCategory("Country")).empty());
+  EXPECT_TRUE(ds_->RelevantConstraints(schema.all()).empty());
+}
+
+TEST_F(SchemaTest, ConstMapAndNk) {
+  const HierarchySchema& schema = ds_->hierarchy();
+  EXPECT_EQ(ds_->ConstantsOf(schema.FindCategory("City")),
+            std::vector<std::string>({"Washington"}));
+  EXPECT_EQ(ds_->ConstantsOf(schema.FindCategory("Country")),
+            std::vector<std::string>({"Canada", "Mexico", "USA"}));
+  EXPECT_TRUE(ds_->ConstantsOf(schema.FindCategory("Store")).empty());
+  EXPECT_EQ(ds_->max_constants_per_category(), 3);
+}
+
+TEST_F(SchemaTest, IntoTargetsDerivedSyntactically) {
+  const HierarchySchema& schema = ds_->hierarchy();
+  // Only (a) Store/City is syntactically an into constraint; (b) is a
+  // composed atom, and (c)/(f) wrap path atoms inside equivalences.
+  EXPECT_EQ(ds_->IntoTargets(schema.FindCategory("Store")).ToVector(),
+            std::vector<int>({schema.FindCategory("City")}));
+  EXPECT_TRUE(ds_->IntoTargets(schema.FindCategory("City")).none());
+  EXPECT_TRUE(ds_->IntoTargets(schema.FindCategory("State")).none());
+}
+
+TEST_F(SchemaTest, WithExtraConstraintIsNonDestructive) {
+  const HierarchySchema& schema = ds_->hierarchy();
+  DimensionSchema extended = ds_->WithExtraConstraint(
+      ParseC(schema, "Store/SaleRegion", "(h)"));
+  EXPECT_EQ(extended.constraints().size(), 8u);
+  EXPECT_EQ(ds_->constraints().size(), 7u);
+  // The new into constraint shows up in the derived edge set of the
+  // extended schema only.
+  EXPECT_TRUE(extended.IntoTargets(schema.FindCategory("Store"))
+                  .test(schema.FindCategory("SaleRegion")));
+  EXPECT_FALSE(ds_->IntoTargets(schema.FindCategory("Store"))
+                   .test(schema.FindCategory("SaleRegion")));
+  // Both share the hierarchy object.
+  EXPECT_EQ(&extended.hierarchy(), &ds_->hierarchy());
+}
+
+TEST(SchemaBasicsTest, EmptyConstraintSet) {
+  auto hierarchy = testing_util::MakeHierarchy({{"A", "All"}});
+  DimensionSchema ds(hierarchy, {});
+  EXPECT_TRUE(ds.constraints().empty());
+  EXPECT_EQ(ds.max_constants_per_category(), 0);
+  EXPECT_TRUE(ds.RelevantConstraints(0).empty());
+}
+
+TEST(SchemaBasicsTest, DuplicateConstantsDeduplicated) {
+  auto hierarchy = testing_util::MakeHierarchy({{"A", "B"}, {"B", "All"}});
+  DimensionSchema ds(
+      hierarchy,
+      {ParseC(*hierarchy, "A.B = 'x' | A.B = 'x' | A.B = 'y'")});
+  EXPECT_EQ(ds.ConstantsOf(hierarchy->FindCategory("B")),
+            std::vector<std::string>({"x", "y"}));
+  EXPECT_EQ(ds.max_constants_per_category(), 2);
+}
+
+}  // namespace
+}  // namespace olapdc

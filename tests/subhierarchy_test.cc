@@ -1,0 +1,168 @@
+// Tests for the Subhierarchy structure: EXPAND bookkeeping (Top, In*),
+// FromEdges validation, cycle and shortcut detection — including the
+// "shortcut at distance" case the paper's incremental test misses
+// (DESIGN.md deviations).
+
+#include <gtest/gtest.h>
+
+#include "core/location_example.h"
+#include "core/subhierarchy.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+using testing_util::MakeHierarchy;
+
+TEST(SubhierarchyTest, InitialState) {
+  Subhierarchy g(5, 0);
+  EXPECT_EQ(g.root(), 0);
+  EXPECT_TRUE(g.Contains(0));
+  EXPECT_FALSE(g.Contains(1));
+  EXPECT_EQ(g.top().ToVector(), std::vector<int>({0}));
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(SubhierarchyTest, ExpandMaintainsTopAndBelow) {
+  // Category universe {0..4}; grow 0 -> {1,2}, 1 -> {3}, 2 -> {3},
+  // 3 -> {4}.
+  Subhierarchy g(5, 0);
+  DynamicBitset r12(5);
+  r12.set(1);
+  r12.set(2);
+  g.Expand(0, r12);
+  EXPECT_EQ(g.top().ToVector(), std::vector<int>({1, 2}));
+  EXPECT_EQ(g.Below(1).ToVector(), std::vector<int>({0}));
+
+  DynamicBitset r3(5);
+  r3.set(3);
+  g.Expand(1, r3);
+  EXPECT_EQ(g.Below(3).ToVector(), std::vector<int>({0, 1}));
+
+  g.Expand(2, r3);  // diamond: 3 gains a second parent
+  EXPECT_EQ(g.Below(3).ToVector(), std::vector<int>({0, 1, 2}));
+  EXPECT_EQ(g.top().ToVector(), std::vector<int>({3}));
+
+  DynamicBitset r4(5);
+  r4.set(4);
+  g.Expand(3, r4);
+  // In* must have propagated through the already-expanded node 3.
+  EXPECT_EQ(g.Below(4).ToVector(), std::vector<int>({0, 1, 2, 3}));
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_FALSE(g.HasCycleIn());
+  EXPECT_FALSE(g.HasShortcut());
+}
+
+TEST(SubhierarchyTest, BelowPropagatesThroughExpandedNodes) {
+  // The DESIGN.md deviation-3 scenario: an already-expanded category
+  // gains a new incoming edge; In* of everything above must update.
+  Subhierarchy g(6, 0);
+  auto set = [](int n, std::initializer_list<int> xs) {
+    DynamicBitset b(n);
+    for (int x : xs) b.set(x);
+    return b;
+  };
+  g.Expand(0, set(6, {1, 2}));
+  g.Expand(1, set(6, {3}));
+  g.Expand(3, set(6, {5}));
+  // Now 2 (still top) points at the already-expanded 3.
+  g.Expand(2, set(6, {3}));
+  EXPECT_TRUE(g.Below(3).test(2));
+  EXPECT_TRUE(g.Below(5).test(2)) << "In* must propagate past node 3";
+}
+
+TEST(SubhierarchyTest, PathAndReach) {
+  Subhierarchy g(4, 0);
+  DynamicBitset r1(4), r2(4), r3(4);
+  r1.set(1);
+  r2.set(2);
+  r3.set(3);
+  g.Expand(0, r1);
+  g.Expand(1, r2);
+  g.Expand(2, r3);
+  EXPECT_TRUE(g.IsPath({0, 1, 2, 3}));
+  EXPECT_TRUE(g.IsPath({1, 2}));
+  EXPECT_FALSE(g.IsPath({0, 2}));
+  EXPECT_FALSE(g.IsPath({}));
+  auto reach = g.ComputeReach();
+  EXPECT_TRUE(reach[0].test(3));
+  EXPECT_TRUE(reach[2].test(2));  // reflexive
+  EXPECT_FALSE(reach[3].test(0));
+}
+
+TEST(SubhierarchyTest, CycleDetection) {
+  // Force a cycle via FromEdges (EXPAND with pruning would refuse).
+  auto g = Subhierarchy::FromEdges(4, 0, 3,
+                                   {{0, 1}, {1, 2}, {2, 1}, {1, 3}, {2, 3}});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(g->HasCycleIn());
+}
+
+TEST(SubhierarchyTest, ShortcutDetection) {
+  auto g = Subhierarchy::FromEdges(4, 0, 3,
+                                   {{0, 1}, {0, 2}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(g->HasShortcut());  // 0->2 shadowed by 0->1->2
+  auto clean = Subhierarchy::FromEdges(4, 0, 3,
+                                       {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_FALSE(clean->HasShortcut());
+}
+
+TEST(SubhierarchyTest, DistanceShortcutBuiltViaExpand) {
+  // The counterexample showing EXPAND's Ss test is incomplete:
+  // categories r=0, b=1, t=2, z=3, c'=4, c''=5, All=6.
+  // Edges grown: r->{b,z}, b->{c'',t}, z->{c'}, c'->{c''}, c''->{All},
+  // then t->{c'} completes the shortcut (b,c'') via b->t->c'->c''.
+  Subhierarchy g(7, 0);
+  auto set = [](std::initializer_list<int> xs) {
+    DynamicBitset b(7);
+    for (int x : xs) b.set(x);
+    return b;
+  };
+  g.Expand(0, set({1, 3}));
+  g.Expand(1, set({5, 2}));
+  g.Expand(3, set({4}));
+  g.Expand(4, set({5}));
+  g.Expand(5, set({6}));
+  // The paper's incremental test: In(c') ∩ In*(t) = {3} ∩ {0,1} = ∅,
+  // so EXPAND would allow t -> c'. The structural check must still
+  // catch the resulting shortcut.
+  EXPECT_TRUE(g.In(4).ToVector() == std::vector<int>({3}));
+  EXPECT_TRUE((g.In(4) & g.Below(2)).none())
+      << "paper's Ss test sees nothing wrong";
+  g.Expand(2, set({4}));
+  EXPECT_TRUE(g.HasShortcut()) << "shortcut (1,5) via 1->2->4->5";
+  EXPECT_FALSE(g.HasCycleIn());
+}
+
+TEST(SubhierarchyFromEdgesTest, ValidationRules) {
+  // Not reachable from root.
+  EXPECT_FALSE(
+      Subhierarchy::FromEdges(4, 0, 3, {{0, 3}, {1, 3}}).has_value());
+  // Dead-end category (1 has no out-edge and is not All).
+  EXPECT_FALSE(Subhierarchy::FromEdges(4, 0, 3, {{0, 1}, {0, 3}}).has_value());
+  // All with an out-edge.
+  EXPECT_FALSE(Subhierarchy::FromEdges(4, 0, 3, {{0, 3}, {3, 1}, {1, 3}})
+                   .has_value());
+  // Self-loop.
+  EXPECT_FALSE(Subhierarchy::FromEdges(4, 0, 3, {{0, 0}, {0, 3}}).has_value());
+  // Root == All singleton.
+  EXPECT_TRUE(Subhierarchy::FromEdges(4, 3, 3, {}).has_value());
+  // Minimal valid chain.
+  auto g = Subhierarchy::FromEdges(4, 0, 3, {{0, 3}});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_EQ(g->Below(3).ToVector(), std::vector<int>({0}));
+}
+
+TEST(SubhierarchyTest, ToDigraphAndEdges) {
+  auto g = Subhierarchy::FromEdges(4, 0, 3, {{0, 1}, {1, 3}, {0, 3}});
+  ASSERT_TRUE(g.has_value());
+  Digraph d = g->ToDigraph();
+  EXPECT_EQ(d.num_edges(), 3);
+  EXPECT_EQ(g->Edges().size(), 3u);
+}
+
+}  // namespace
+}  // namespace olapdc

@@ -1,0 +1,219 @@
+// olapdc — command-line front end for the dimension-constraint
+// reasoner.
+//
+//   olapdc check <schema-file>
+//       Parse the schema and audit every category's satisfiability;
+//       for unsatisfiable categories, print a minimal conflicting
+//       constraint core.
+//   olapdc frozen <schema-file> <root-category>
+//       Enumerate the frozen dimensions with the given root.
+//   olapdc implies <schema-file> <constraint...>
+//       Decide ds |= alpha; print a counterexample structure if not.
+//   olapdc summarizable <schema-file> <target> <source>...
+//       Theorem 1 test: is <target> summarizable from the sources?
+//   olapdc minimize <schema-file>
+//       Print the schema with redundant constraints removed.
+//   olapdc dot <schema-file>
+//       Emit the hierarchy as Graphviz.
+//   olapdc validate <schema-file> <instance-file>
+//       Load an instance, run C1-C7 validation and the Sigma model
+//       check.
+//   olapdc mine <schema-file> <instance-file>
+//       Learn dimension constraints from the instance and print the
+//       resulting schema.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "constraint/evaluator.h"
+#include "constraint/parser.h"
+#include "constraint/printer.h"
+#include "core/diagnostics.h"
+#include "core/dimsat.h"
+#include "core/implication.h"
+#include "core/mining.h"
+#include "core/report.h"
+#include "core/summarizability.h"
+#include "io/instance_io.h"
+#include "io/schema_io.h"
+
+namespace olapdc {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: olapdc <command> <schema-file> [args...]\n"
+      "  check <schema>                     satisfiability audit\n"
+      "  frozen <schema> <root>             enumerate frozen dimensions\n"
+      "  implies <schema> <constraint...>   decide ds |= alpha\n"
+      "  summarizable <schema> <target> <source>...\n"
+      "  minimize <schema>                  drop redundant constraints\n"
+      "  report <schema>                    heterogeneity report\n"
+      "  dot <schema>                       Graphviz of the hierarchy\n"
+      "  validate <schema> <instance>       C1-C7 + Sigma model check\n"
+      "  mine <schema> <instance>           learn constraints from data\n");
+  return 2;
+}
+
+int Check(const DimensionSchema& ds) {
+  const HierarchySchema& schema = ds.hierarchy();
+  bool all_ok = true;
+  for (CategoryId c = 0; c < schema.num_categories(); ++c) {
+    Result<bool> satisfiable = IsCategorySatisfiable(ds, c);
+    if (!satisfiable.ok()) return Fail(satisfiable.status());
+    std::printf("%-20s %s\n", schema.CategoryName(c).c_str(),
+                *satisfiable ? "satisfiable" : "UNSATISFIABLE");
+    if (!*satisfiable) {
+      all_ok = false;
+      Result<std::vector<size_t>> core = UnsatisfiableCore(ds, c);
+      if (core.ok()) {
+        std::printf("  conflicting constraints:\n");
+        for (size_t i : *core) {
+          std::printf("    %s\n",
+                      ConstraintToString(schema, ds.constraints()[i]).c_str());
+        }
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+int Frozen(const DimensionSchema& ds, const std::string& root_name) {
+  Result<CategoryId> root = ds.hierarchy().CategoryIdOf(root_name);
+  if (!root.ok()) return Fail(root.status());
+  DimsatResult r = EnumerateFrozenDimensions(ds, *root);
+  if (!r.status.ok()) return Fail(r.status);
+  std::printf("%zu frozen dimension(s) with root %s:\n", r.frozen.size(),
+              root_name.c_str());
+  for (const FrozenDimension& f : r.frozen) {
+    std::printf("  %s\n", f.ToString(ds.hierarchy()).c_str());
+  }
+  return 0;
+}
+
+int ImpliesCmd(const DimensionSchema& ds, const std::string& text) {
+  Result<DimensionConstraint> alpha =
+      ParseConstraint(ds.hierarchy(), text);
+  if (!alpha.ok()) return Fail(alpha.status());
+  Result<ImplicationResult> r = Implies(ds, *alpha);
+  if (!r.ok()) return Fail(r.status());
+  if (r->implied) {
+    std::printf("IMPLIED\n");
+    return 0;
+  }
+  std::printf("NOT IMPLIED\n");
+  if (r->counterexample.has_value()) {
+    std::printf("counterexample: %s\n",
+                r->counterexample->ToString(ds.hierarchy()).c_str());
+  }
+  return 1;
+}
+
+int Summarizable(const DimensionSchema& ds,
+                 const std::vector<std::string>& args) {
+  const HierarchySchema& schema = ds.hierarchy();
+  Result<CategoryId> target = schema.CategoryIdOf(args[0]);
+  if (!target.ok()) return Fail(target.status());
+  std::vector<CategoryId> sources;
+  for (size_t i = 1; i < args.size(); ++i) {
+    Result<CategoryId> c = schema.CategoryIdOf(args[i]);
+    if (!c.ok()) return Fail(c.status());
+    sources.push_back(*c);
+  }
+  Result<SummarizabilityResult> r = IsSummarizable(ds, *target, sources);
+  if (!r.ok()) return Fail(r.status());
+  std::printf("%s\n", r->summarizable ? "SUMMARIZABLE" : "NOT SUMMARIZABLE");
+  for (const auto& detail : r->details) {
+    if (!detail.implied && detail.counterexample.has_value()) {
+      std::printf("counterexample (bottom %s): %s\n",
+                  schema.CategoryName(detail.bottom).c_str(),
+                  detail.counterexample->ToString(schema).c_str());
+    }
+  }
+  return r->summarizable ? 0 : 1;
+}
+
+int Minimize(const DimensionSchema& ds) {
+  Result<DimensionSchema> minimized = MinimizeConstraintSet(ds);
+  if (!minimized.ok()) return Fail(minimized.status());
+  std::printf("%s", SerializeSchema(*minimized).c_str());
+  std::fprintf(stderr, "kept %zu of %zu constraints\n",
+               minimized->constraints().size(), ds.constraints().size());
+  return 0;
+}
+
+int Validate(const DimensionSchema& ds, const std::string& instance_path) {
+  Result<DimensionInstance> d =
+      LoadInstanceFile(ds.hierarchy_ptr(), instance_path);
+  if (!d.ok()) return Fail(d.status());
+  std::printf("structure (C1-C7): OK (%d members)\n", d->num_members());
+  bool ok = true;
+  for (const DimensionConstraint& c : ds.constraints()) {
+    bool holds = Satisfies(*d, c);
+    ok &= holds;
+    std::printf("%-8s %s\n", holds ? "holds" : "VIOLATED",
+                ConstraintToString(ds.hierarchy(), c).c_str());
+    if (!holds) {
+      for (MemberId m : ViolatingMembers(*d, c)) {
+        std::printf("         by member '%s'\n", d->member(m).key.c_str());
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  Result<DimensionSchema> ds = LoadSchemaFile(argv[2]);
+  if (!ds.ok()) return Fail(ds.status());
+
+  if (command == "check") return Check(*ds);
+  if (command == "dot") {
+    std::printf("%s", ds->hierarchy().ToDot().c_str());
+    return 0;
+  }
+  if (command == "minimize") return Minimize(*ds);
+  if (command == "report") {
+    Result<std::string> report = HeterogeneityReport(*ds);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s", report->c_str());
+    return 0;
+  }
+  if (command == "frozen" && argc >= 4) return Frozen(*ds, argv[3]);
+  if (command == "implies" && argc >= 4) {
+    std::string text;
+    for (int i = 3; i < argc; ++i) {
+      if (i > 3) text += " ";
+      text += argv[i];
+    }
+    return ImpliesCmd(*ds, text);
+  }
+  if (command == "summarizable" && argc >= 5) {
+    std::vector<std::string> args(argv + 3, argv + argc);
+    return Summarizable(*ds, args);
+  }
+  if (command == "validate" && argc >= 4) return Validate(*ds, argv[3]);
+  if (command == "mine" && argc >= 4) {
+    Result<DimensionInstance> d =
+        LoadInstanceFile(ds->hierarchy_ptr(), argv[3]);
+    if (!d.ok()) return Fail(d.status());
+    Result<DimensionSchema> mined = MineSchema(*d);
+    if (!mined.ok()) return Fail(mined.status());
+    std::printf("%s", SerializeSchema(*mined).c_str());
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace olapdc
+
+int main(int argc, char** argv) { return olapdc::Run(argc, argv); }
