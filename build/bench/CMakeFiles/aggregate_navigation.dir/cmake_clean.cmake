@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_navigation.dir/aggregate_navigation.cc.o"
+  "CMakeFiles/aggregate_navigation.dir/aggregate_navigation.cc.o.d"
+  "aggregate_navigation"
+  "aggregate_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsat_vs_naive.dir/dimsat_vs_naive.cc.o"
+  "CMakeFiles/dimsat_vs_naive.dir/dimsat_vs_naive.cc.o.d"
+  "dimsat_vs_naive"
+  "dimsat_vs_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsat_vs_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

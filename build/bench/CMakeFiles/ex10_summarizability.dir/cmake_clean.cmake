@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex10_summarizability.dir/ex10_summarizability.cc.o"
+  "CMakeFiles/ex10_summarizability.dir/ex10_summarizability.cc.o.d"
+  "ex10_summarizability"
+  "ex10_summarizability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex10_summarizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ex10_summarizability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_location_instance.dir/fig1_location_instance.cc.o"
+  "CMakeFiles/fig1_location_instance.dir/fig1_location_instance.cc.o.d"
+  "fig1_location_instance"
+  "fig1_location_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_location_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_location_schema.dir/fig3_location_schema.cc.o"
+  "CMakeFiles/fig3_location_schema.dir/fig3_location_schema.cc.o.d"
+  "fig3_location_schema"
+  "fig3_location_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_location_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

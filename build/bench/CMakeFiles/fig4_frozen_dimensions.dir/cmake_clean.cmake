@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_frozen_dimensions.dir/fig4_frozen_dimensions.cc.o"
+  "CMakeFiles/fig4_frozen_dimensions.dir/fig4_frozen_dimensions.cc.o.d"
+  "fig4_frozen_dimensions"
+  "fig4_frozen_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_frozen_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

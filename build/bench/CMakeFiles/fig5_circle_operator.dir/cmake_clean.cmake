@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_circle_operator.dir/fig5_circle_operator.cc.o"
+  "CMakeFiles/fig5_circle_operator.dir/fig5_circle_operator.cc.o.d"
+  "fig5_circle_operator"
+  "fig5_circle_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_circle_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

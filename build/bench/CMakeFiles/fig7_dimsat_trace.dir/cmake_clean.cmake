@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dimsat_trace.dir/fig7_dimsat_trace.cc.o"
+  "CMakeFiles/fig7_dimsat_trace.dir/fig7_dimsat_trace.cc.o.d"
+  "fig7_dimsat_trace"
+  "fig7_dimsat_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dimsat_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/heterogeneity_growth.cc" "bench/CMakeFiles/heterogeneity_growth.dir/heterogeneity_growth.cc.o" "gcc" "bench/CMakeFiles/heterogeneity_growth.dir/heterogeneity_growth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/olapdc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/olapdc_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/olapdc_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/olapdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/olapdc_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/dim/CMakeFiles/olapdc_dim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/olapdc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olapdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

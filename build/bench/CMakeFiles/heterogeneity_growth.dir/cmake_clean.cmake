@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneity_growth.dir/heterogeneity_growth.cc.o"
+  "CMakeFiles/heterogeneity_growth.dir/heterogeneity_growth.cc.o.d"
+  "heterogeneity_growth"
+  "heterogeneity_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneity_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

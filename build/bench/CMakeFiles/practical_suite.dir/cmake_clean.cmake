@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/practical_suite.dir/practical_suite.cc.o"
+  "CMakeFiles/practical_suite.dir/practical_suite.cc.o.d"
+  "practical_suite"
+  "practical_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/practical_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

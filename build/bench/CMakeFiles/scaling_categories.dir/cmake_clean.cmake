@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_categories.dir/scaling_categories.cc.o"
+  "CMakeFiles/scaling_categories.dir/scaling_categories.cc.o.d"
+  "scaling_categories"
+  "scaling_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

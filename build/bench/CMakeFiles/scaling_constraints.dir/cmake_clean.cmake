@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_constraints.dir/scaling_constraints.cc.o"
+  "CMakeFiles/scaling_constraints.dir/scaling_constraints.cc.o.d"
+  "scaling_constraints"
+  "scaling_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_baselines.dir/transform_baselines.cc.o"
+  "CMakeFiles/transform_baselines.dir/transform_baselines.cc.o.d"
+  "transform_baselines"
+  "transform_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_healthcare_catalog.dir/healthcare_catalog.cc.o"
+  "CMakeFiles/example_healthcare_catalog.dir/healthcare_catalog.cc.o.d"
+  "example_healthcare_catalog"
+  "example_healthcare_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_healthcare_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

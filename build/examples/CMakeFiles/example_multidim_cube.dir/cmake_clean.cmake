@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multidim_cube.dir/multidim_cube.cc.o"
+  "CMakeFiles/example_multidim_cube.dir/multidim_cube.cc.o.d"
+  "example_multidim_cube"
+  "example_multidim_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multidim_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_retail_navigation.dir/retail_navigation.cc.o"
+  "CMakeFiles/example_retail_navigation.dir/retail_navigation.cc.o.d"
+  "example_retail_navigation"
+  "example_retail_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_retail_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_schema_design.dir/schema_design.cc.o"
+  "CMakeFiles/example_schema_design.dir/schema_design.cc.o.d"
+  "example_schema_design"
+  "example_schema_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_schema_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

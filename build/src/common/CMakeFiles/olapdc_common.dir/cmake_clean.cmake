@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olapdc_common.dir/status.cc.o"
+  "CMakeFiles/olapdc_common.dir/status.cc.o.d"
+  "CMakeFiles/olapdc_common.dir/string_util.cc.o"
+  "CMakeFiles/olapdc_common.dir/string_util.cc.o.d"
+  "libolapdc_common.a"
+  "libolapdc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olapdc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

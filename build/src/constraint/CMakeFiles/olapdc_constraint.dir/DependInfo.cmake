@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/evaluator.cc" "src/constraint/CMakeFiles/olapdc_constraint.dir/evaluator.cc.o" "gcc" "src/constraint/CMakeFiles/olapdc_constraint.dir/evaluator.cc.o.d"
+  "/root/repo/src/constraint/expr.cc" "src/constraint/CMakeFiles/olapdc_constraint.dir/expr.cc.o" "gcc" "src/constraint/CMakeFiles/olapdc_constraint.dir/expr.cc.o.d"
+  "/root/repo/src/constraint/normalize.cc" "src/constraint/CMakeFiles/olapdc_constraint.dir/normalize.cc.o" "gcc" "src/constraint/CMakeFiles/olapdc_constraint.dir/normalize.cc.o.d"
+  "/root/repo/src/constraint/parser.cc" "src/constraint/CMakeFiles/olapdc_constraint.dir/parser.cc.o" "gcc" "src/constraint/CMakeFiles/olapdc_constraint.dir/parser.cc.o.d"
+  "/root/repo/src/constraint/printer.cc" "src/constraint/CMakeFiles/olapdc_constraint.dir/printer.cc.o" "gcc" "src/constraint/CMakeFiles/olapdc_constraint.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dim/CMakeFiles/olapdc_dim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/olapdc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olapdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olapdc_constraint.dir/evaluator.cc.o"
+  "CMakeFiles/olapdc_constraint.dir/evaluator.cc.o.d"
+  "CMakeFiles/olapdc_constraint.dir/expr.cc.o"
+  "CMakeFiles/olapdc_constraint.dir/expr.cc.o.d"
+  "CMakeFiles/olapdc_constraint.dir/normalize.cc.o"
+  "CMakeFiles/olapdc_constraint.dir/normalize.cc.o.d"
+  "CMakeFiles/olapdc_constraint.dir/parser.cc.o"
+  "CMakeFiles/olapdc_constraint.dir/parser.cc.o.d"
+  "CMakeFiles/olapdc_constraint.dir/printer.cc.o"
+  "CMakeFiles/olapdc_constraint.dir/printer.cc.o.d"
+  "libolapdc_constraint.a"
+  "libolapdc_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olapdc_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

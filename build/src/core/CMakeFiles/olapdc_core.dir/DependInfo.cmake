@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cc" "src/core/CMakeFiles/olapdc_core.dir/assignment.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/assignment.cc.o.d"
+  "/root/repo/src/core/check_subhierarchy.cc" "src/core/CMakeFiles/olapdc_core.dir/check_subhierarchy.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/check_subhierarchy.cc.o.d"
+  "/root/repo/src/core/circle.cc" "src/core/CMakeFiles/olapdc_core.dir/circle.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/circle.cc.o.d"
+  "/root/repo/src/core/diagnostics.cc" "src/core/CMakeFiles/olapdc_core.dir/diagnostics.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/diagnostics.cc.o.d"
+  "/root/repo/src/core/dimsat.cc" "src/core/CMakeFiles/olapdc_core.dir/dimsat.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/dimsat.cc.o.d"
+  "/root/repo/src/core/frozen.cc" "src/core/CMakeFiles/olapdc_core.dir/frozen.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/frozen.cc.o.d"
+  "/root/repo/src/core/implication.cc" "src/core/CMakeFiles/olapdc_core.dir/implication.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/implication.cc.o.d"
+  "/root/repo/src/core/location_example.cc" "src/core/CMakeFiles/olapdc_core.dir/location_example.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/location_example.cc.o.d"
+  "/root/repo/src/core/mining.cc" "src/core/CMakeFiles/olapdc_core.dir/mining.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/mining.cc.o.d"
+  "/root/repo/src/core/naive_sat.cc" "src/core/CMakeFiles/olapdc_core.dir/naive_sat.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/naive_sat.cc.o.d"
+  "/root/repo/src/core/reasoner.cc" "src/core/CMakeFiles/olapdc_core.dir/reasoner.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/reasoner.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/olapdc_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/report.cc.o.d"
+  "/root/repo/src/core/sat_reduction.cc" "src/core/CMakeFiles/olapdc_core.dir/sat_reduction.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/sat_reduction.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/core/CMakeFiles/olapdc_core.dir/schema.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/schema.cc.o.d"
+  "/root/repo/src/core/subhierarchy.cc" "src/core/CMakeFiles/olapdc_core.dir/subhierarchy.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/subhierarchy.cc.o.d"
+  "/root/repo/src/core/summarizability.cc" "src/core/CMakeFiles/olapdc_core.dir/summarizability.cc.o" "gcc" "src/core/CMakeFiles/olapdc_core.dir/summarizability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraint/CMakeFiles/olapdc_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/dim/CMakeFiles/olapdc_dim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/olapdc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olapdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

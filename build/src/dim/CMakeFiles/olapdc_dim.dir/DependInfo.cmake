@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dim/dimension_instance.cc" "src/dim/CMakeFiles/olapdc_dim.dir/dimension_instance.cc.o" "gcc" "src/dim/CMakeFiles/olapdc_dim.dir/dimension_instance.cc.o.d"
+  "/root/repo/src/dim/hierarchy_schema.cc" "src/dim/CMakeFiles/olapdc_dim.dir/hierarchy_schema.cc.o" "gcc" "src/dim/CMakeFiles/olapdc_dim.dir/hierarchy_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/olapdc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olapdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olapdc_dim.dir/dimension_instance.cc.o"
+  "CMakeFiles/olapdc_dim.dir/dimension_instance.cc.o.d"
+  "CMakeFiles/olapdc_dim.dir/hierarchy_schema.cc.o"
+  "CMakeFiles/olapdc_dim.dir/hierarchy_schema.cc.o.d"
+  "libolapdc_dim.a"
+  "libolapdc_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olapdc_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

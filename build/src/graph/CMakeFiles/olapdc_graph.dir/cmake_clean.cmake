@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olapdc_graph.dir/algorithms.cc.o"
+  "CMakeFiles/olapdc_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/olapdc_graph.dir/digraph.cc.o"
+  "CMakeFiles/olapdc_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/olapdc_graph.dir/dot.cc.o"
+  "CMakeFiles/olapdc_graph.dir/dot.cc.o.d"
+  "libolapdc_graph.a"
+  "libolapdc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olapdc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for olapdc_graph.
+# This may be replaced when dependencies are built.

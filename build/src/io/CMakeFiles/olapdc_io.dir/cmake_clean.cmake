@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olapdc_io.dir/instance_io.cc.o"
+  "CMakeFiles/olapdc_io.dir/instance_io.cc.o.d"
+  "CMakeFiles/olapdc_io.dir/schema_io.cc.o"
+  "CMakeFiles/olapdc_io.dir/schema_io.cc.o.d"
+  "libolapdc_io.a"
+  "libolapdc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olapdc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

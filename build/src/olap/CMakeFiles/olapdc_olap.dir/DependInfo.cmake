@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olap/aggregate.cc" "src/olap/CMakeFiles/olapdc_olap.dir/aggregate.cc.o" "gcc" "src/olap/CMakeFiles/olapdc_olap.dir/aggregate.cc.o.d"
+  "/root/repo/src/olap/algebraic.cc" "src/olap/CMakeFiles/olapdc_olap.dir/algebraic.cc.o" "gcc" "src/olap/CMakeFiles/olapdc_olap.dir/algebraic.cc.o.d"
+  "/root/repo/src/olap/cube_view.cc" "src/olap/CMakeFiles/olapdc_olap.dir/cube_view.cc.o" "gcc" "src/olap/CMakeFiles/olapdc_olap.dir/cube_view.cc.o.d"
+  "/root/repo/src/olap/datacube.cc" "src/olap/CMakeFiles/olapdc_olap.dir/datacube.cc.o" "gcc" "src/olap/CMakeFiles/olapdc_olap.dir/datacube.cc.o.d"
+  "/root/repo/src/olap/fact_table.cc" "src/olap/CMakeFiles/olapdc_olap.dir/fact_table.cc.o" "gcc" "src/olap/CMakeFiles/olapdc_olap.dir/fact_table.cc.o.d"
+  "/root/repo/src/olap/navigator.cc" "src/olap/CMakeFiles/olapdc_olap.dir/navigator.cc.o" "gcc" "src/olap/CMakeFiles/olapdc_olap.dir/navigator.cc.o.d"
+  "/root/repo/src/olap/view_selection.cc" "src/olap/CMakeFiles/olapdc_olap.dir/view_selection.cc.o" "gcc" "src/olap/CMakeFiles/olapdc_olap.dir/view_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/olapdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dim/CMakeFiles/olapdc_dim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olapdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/olapdc_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/olapdc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

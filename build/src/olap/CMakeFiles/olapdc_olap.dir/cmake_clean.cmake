@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olapdc_olap.dir/aggregate.cc.o"
+  "CMakeFiles/olapdc_olap.dir/aggregate.cc.o.d"
+  "CMakeFiles/olapdc_olap.dir/algebraic.cc.o"
+  "CMakeFiles/olapdc_olap.dir/algebraic.cc.o.d"
+  "CMakeFiles/olapdc_olap.dir/cube_view.cc.o"
+  "CMakeFiles/olapdc_olap.dir/cube_view.cc.o.d"
+  "CMakeFiles/olapdc_olap.dir/datacube.cc.o"
+  "CMakeFiles/olapdc_olap.dir/datacube.cc.o.d"
+  "CMakeFiles/olapdc_olap.dir/fact_table.cc.o"
+  "CMakeFiles/olapdc_olap.dir/fact_table.cc.o.d"
+  "CMakeFiles/olapdc_olap.dir/navigator.cc.o"
+  "CMakeFiles/olapdc_olap.dir/navigator.cc.o.d"
+  "CMakeFiles/olapdc_olap.dir/view_selection.cc.o"
+  "CMakeFiles/olapdc_olap.dir/view_selection.cc.o.d"
+  "libolapdc_olap.a"
+  "libolapdc_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olapdc_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/dnf_transform.cc" "src/transform/CMakeFiles/olapdc_transform.dir/dnf_transform.cc.o" "gcc" "src/transform/CMakeFiles/olapdc_transform.dir/dnf_transform.cc.o.d"
+  "/root/repo/src/transform/null_padding.cc" "src/transform/CMakeFiles/olapdc_transform.dir/null_padding.cc.o" "gcc" "src/transform/CMakeFiles/olapdc_transform.dir/null_padding.cc.o.d"
+  "/root/repo/src/transform/split_constraints.cc" "src/transform/CMakeFiles/olapdc_transform.dir/split_constraints.cc.o" "gcc" "src/transform/CMakeFiles/olapdc_transform.dir/split_constraints.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dim/CMakeFiles/olapdc_dim.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/olapdc_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olapdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/olapdc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olapdc_transform.dir/dnf_transform.cc.o"
+  "CMakeFiles/olapdc_transform.dir/dnf_transform.cc.o.d"
+  "CMakeFiles/olapdc_transform.dir/null_padding.cc.o"
+  "CMakeFiles/olapdc_transform.dir/null_padding.cc.o.d"
+  "CMakeFiles/olapdc_transform.dir/split_constraints.cc.o"
+  "CMakeFiles/olapdc_transform.dir/split_constraints.cc.o.d"
+  "libolapdc_transform.a"
+  "libolapdc_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olapdc_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olapdc_workload.dir/instance_generator.cc.o"
+  "CMakeFiles/olapdc_workload.dir/instance_generator.cc.o.d"
+  "CMakeFiles/olapdc_workload.dir/realistic.cc.o"
+  "CMakeFiles/olapdc_workload.dir/realistic.cc.o.d"
+  "CMakeFiles/olapdc_workload.dir/schema_generator.cc.o"
+  "CMakeFiles/olapdc_workload.dir/schema_generator.cc.o.d"
+  "libolapdc_workload.a"
+  "libolapdc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olapdc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

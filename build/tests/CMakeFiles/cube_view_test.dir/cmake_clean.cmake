@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_view_test.dir/cube_view_test.cc.o"
+  "CMakeFiles/cube_view_test.dir/cube_view_test.cc.o.d"
+  "cube_view_test"
+  "cube_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

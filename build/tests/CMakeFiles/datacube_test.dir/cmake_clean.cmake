@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_test.dir/datacube_test.cc.o"
+  "CMakeFiles/datacube_test.dir/datacube_test.cc.o.d"
+  "datacube_test"
+  "datacube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimension_instance_test.dir/dimension_instance_test.cc.o"
+  "CMakeFiles/dimension_instance_test.dir/dimension_instance_test.cc.o.d"
+  "dimension_instance_test"
+  "dimension_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimension_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

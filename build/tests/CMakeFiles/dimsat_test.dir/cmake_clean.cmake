@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimsat_test.dir/dimsat_test.cc.o"
+  "CMakeFiles/dimsat_test.dir/dimsat_test.cc.o.d"
+  "dimsat_test"
+  "dimsat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimsat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

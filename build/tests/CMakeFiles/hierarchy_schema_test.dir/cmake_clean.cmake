@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_schema_test.dir/hierarchy_schema_test.cc.o"
+  "CMakeFiles/hierarchy_schema_test.dir/hierarchy_schema_test.cc.o.d"
+  "hierarchy_schema_test"
+  "hierarchy_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

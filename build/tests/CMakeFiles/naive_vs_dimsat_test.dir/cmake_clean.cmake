@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_vs_dimsat_test.dir/naive_vs_dimsat_test.cc.o"
+  "CMakeFiles/naive_vs_dimsat_test.dir/naive_vs_dimsat_test.cc.o.d"
+  "naive_vs_dimsat_test"
+  "naive_vs_dimsat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_vs_dimsat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigator_test.dir/navigator_test.cc.o"
+  "CMakeFiles/navigator_test.dir/navigator_test.cc.o.d"
+  "navigator_test"
+  "navigator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

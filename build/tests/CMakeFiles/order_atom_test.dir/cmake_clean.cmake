@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_atom_test.dir/order_atom_test.cc.o"
+  "CMakeFiles/order_atom_test.dir/order_atom_test.cc.o.d"
+  "order_atom_test"
+  "order_atom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_atom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_printer_test.dir/parser_printer_test.cc.o"
+  "CMakeFiles/parser_printer_test.dir/parser_printer_test.cc.o.d"
+  "parser_printer_test"
+  "parser_printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subhierarchy_test.dir/subhierarchy_test.cc.o"
+  "CMakeFiles/subhierarchy_test.dir/subhierarchy_test.cc.o.d"
+  "subhierarchy_test"
+  "subhierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subhierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_properties_test.dir/theorem_properties_test.cc.o"
+  "CMakeFiles/theorem_properties_test.dir/theorem_properties_test.cc.o.d"
+  "theorem_properties_test"
+  "theorem_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olapdc_cli.dir/olapdc_cli.cc.o"
+  "CMakeFiles/olapdc_cli.dir/olapdc_cli.cc.o.d"
+  "olapdc"
+  "olapdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olapdc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

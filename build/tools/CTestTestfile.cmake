@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_check "/root/repo/build/tools/olapdc" "check" "/root/repo/data/location.olapdc")
+set_tests_properties(cli_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_frozen "/root/repo/build/tools/olapdc" "frozen" "/root/repo/data/location.olapdc" "Store")
+set_tests_properties(cli_frozen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_implies "/root/repo/build/tools/olapdc" "implies" "/root/repo/data/location.olapdc" "Store.Country -> Store.City.Country")
+set_tests_properties(cli_implies PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_validate "/root/repo/build/tools/olapdc" "validate" "/root/repo/data/location.olapdc" "/root/repo/data/location_instance.txt")
+set_tests_properties(cli_validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/tools/olapdc" "report" "/root/repo/data/location.olapdc")
+set_tests_properties(cli_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
