@@ -1,0 +1,25 @@
+#include "common/budget.h"
+
+#include <limits>
+
+namespace olapdc {
+
+double Budget::RemainingMs() const {
+  if (!deadline_.has_value()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::chrono::duration<double, std::milli>(*deadline_ - Clock::now())
+      .count();
+}
+
+Status Budget::Check() const {
+  if (cancel_.cancelled()) {
+    return Status::Cancelled("operation cancelled by caller");
+  }
+  if (deadline_.has_value() && Clock::now() >= *deadline_) {
+    return Status::DeadlineExceeded("wall-clock deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace olapdc

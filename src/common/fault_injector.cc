@@ -1,0 +1,70 @@
+#include "common/fault_injector.h"
+
+#include <functional>
+#include <utility>
+
+namespace olapdc {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  sites_.clear();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  sites_.clear();
+}
+
+void FaultInjector::SetFault(const std::string& site, StatusCode code,
+                             double probability, std::string message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.code = code;
+  s.probability = probability;
+  s.message = message.empty()
+                  ? "injected fault at site '" + site + "'"
+                  : std::move(message);
+  // Per-site stream: deterministic under (seed, site) alone, so adding
+  // or reordering probes at *other* sites cannot shift this one.
+  s.rng.seed(seed_ ^ std::hash<std::string>{}(site));
+  s.probes = 0;
+  s.failures = 0;
+}
+
+Status FaultInjector::MaybeFail(std::string_view site) {
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return Status::OK();
+  Site& s = it->second;
+  ++s.probes;
+  if (s.probability <= 0.0) return Status::OK();
+  if (s.probability < 1.0) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    if (dist(s.rng) >= s.probability) return Status::OK();
+  }
+  ++s.failures;
+  return Status(s.code, s.message);
+}
+
+uint64_t FaultInjector::probes(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.probes;
+}
+
+uint64_t FaultInjector::failures(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.failures;
+}
+
+}  // namespace olapdc

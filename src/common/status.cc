@@ -18,6 +18,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not found";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

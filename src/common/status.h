@@ -34,6 +34,13 @@ enum class StatusCode {
   kNotFound = 5,
   /// An internal invariant failed; indicates a bug in olapdc itself.
   kInternal = 6,
+  /// A wall-clock deadline passed before the operation finished; any
+  /// partial statistics accompanying the status are a lower bound on
+  /// the work the full run would have needed.
+  kDeadlineExceeded = 7,
+  /// The caller cooperatively cancelled the operation before it
+  /// finished.
+  kCancelled = 8,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "Invalid
@@ -78,6 +85,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -102,6 +115,20 @@ class Status {
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
+}
+
+/// True for the status codes that mean "the search stopped early under a
+/// resource budget" rather than "the inputs or the library are broken":
+/// kResourceExhausted, kDeadlineExceeded and kCancelled. Results carrying
+/// such a status are *partial* — accumulated statistics are still valid,
+/// and retrying with a larger budget may produce a definitive answer.
+inline bool IsBudgetError(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled;
+}
+inline bool IsBudgetError(const Status& status) {
+  return IsBudgetError(status.code());
 }
 
 }  // namespace olapdc

@@ -31,6 +31,7 @@ Result<std::vector<size_t>> FindRedundantConstraints(
     OLAPDC_ASSIGN_OR_RETURN(
         ImplicationResult r,
         Implies(rest, ds.constraints()[i], options));
+    OLAPDC_RETURN_NOT_OK(r.status);
     if (r.implied) redundant.push_back(i);
   }
   return redundant;
@@ -48,6 +49,7 @@ Result<DimensionSchema> MinimizeConstraintSet(const DimensionSchema& ds,
     OLAPDC_ASSIGN_OR_RETURN(
         ImplicationResult r,
         Implies(rest, ds.constraints()[i], options));
+    OLAPDC_RETURN_NOT_OK(r.status);
     if (!r.implied) keep[i] = true;  // load-bearing; restore
   }
   return Restrict(ds, keep);

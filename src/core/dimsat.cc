@@ -5,11 +5,22 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "common/string_util.h"
 #include "constraint/normalize.h"
 #include "core/check_subhierarchy.h"
 
 namespace olapdc {
+
+void AccumulateStats(DimsatStats* total, const DimsatStats& delta) {
+  total->expand_calls += delta.expand_calls;
+  total->check_calls += delta.check_calls;
+  total->structural_rejections += delta.structural_rejections;
+  total->assignments_tried += delta.assignments_tried;
+  total->into_prunes += delta.into_prunes;
+  total->dead_ends += delta.dead_ends;
+  total->frozen_found += delta.frozen_found;
+}
 
 std::string DimsatTraceEvent::ToString(const HierarchySchema& schema) const {
   std::string out;
@@ -59,7 +70,8 @@ class DimsatSearch {
         schema_(ds.hierarchy()),
         root_(root),
         options_(options),
-        relevant_(std::move(relevant)) {
+        relevant_(std::move(relevant)),
+        budget_checker_(options.budget, options.budget_check_stride) {
     check_options_.assignment.require_injective =
         options.require_injective_names;
     check_options_.assignment.enumerate_all = options.enumerate_all;
@@ -134,6 +146,16 @@ class DimsatSearch {
   /// per recursive call; backtracking is implicit.
   void Expand(const Subhierarchy& g) {
     if (!ShouldContinue()) return;
+    // Wall-clock / cancellation probe, amortized by the checker so the
+    // common case is one branch per EXPAND.
+    Status budget = budget_checker_.Check();
+    if (budget.ok()) {
+      budget = FaultInjector::Global().MaybeFail("dimsat.expand");
+    }
+    if (!budget.ok()) {
+      result_.status = std::move(budget);
+      return;
+    }
     if (++result_.stats.expand_calls > options_.max_expand_calls) {
       result_.status = Status::ResourceExhausted(
           "DIMSAT exceeded max_expand_calls");
@@ -212,6 +234,7 @@ class DimsatSearch {
   const DimsatOptions& options_;
   std::vector<DimensionConstraint> relevant_;
   CheckOptions check_options_;
+  BudgetChecker budget_checker_;
   DimsatResult result_;
   std::atomic<bool>* external_stop_ = nullptr;
 };
@@ -311,13 +334,7 @@ DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
 
   DimsatResult merged;
   for (DimsatResult& partial : partials) {
-    merged.stats.expand_calls += partial.stats.expand_calls;
-    merged.stats.check_calls += partial.stats.check_calls;
-    merged.stats.structural_rejections +=
-        partial.stats.structural_rejections;
-    merged.stats.assignments_tried += partial.stats.assignments_tried;
-    merged.stats.into_prunes += partial.stats.into_prunes;
-    merged.stats.dead_ends += partial.stats.dead_ends;
+    AccumulateStats(&merged.stats, partial.stats);
     if (!partial.status.ok() && merged.status.ok()) {
       merged.status = partial.status;
     }

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "core/frozen.h"
 #include "core/schema.h"
@@ -48,6 +49,15 @@ struct DimsatOptions {
   size_t max_trace = 100000;
   /// Bound on simple paths enumerated when expanding composed atoms.
   size_t path_limit = 1 << 20;
+  /// Wall-clock / cancellation budget; not owned, may be null
+  /// (unbounded). Shared read-only across parallel workers. On
+  /// expiration the search stops with kDeadlineExceeded / kCancelled in
+  /// DimsatResult::status and the partial stats accumulated so far.
+  const Budget* budget = nullptr;
+  /// EXPAND calls between full budget probes (clock sample + flag
+  /// load); the amortization that keeps the budget check off the hot
+  /// path.
+  uint32_t budget_check_stride = 256;
 };
 
 struct DimsatStats {
@@ -61,7 +71,17 @@ struct DimsatStats {
   /// Expansions abandoned because no successor choice remained.
   uint64_t dead_ends = 0;
   uint64_t frozen_found = 0;
+
+  /// Any work recorded at all (used to tell "stopped before starting"
+  /// from "stopped mid-search" in degradation reporting).
+  bool Any() const {
+    return expand_calls != 0 || check_calls != 0 || assignments_tried != 0;
+  }
 };
+
+/// Accumulates `delta` into `total` (parallel-worker merges, the
+/// summarizability per-bottom sweep, the Reasoner retry ladder).
+void AccumulateStats(DimsatStats* total, const DimsatStats& delta);
 
 /// One step of the Figure 7 execution trace.
 struct DimsatTraceEvent {
@@ -81,8 +101,10 @@ struct DimsatResult {
   std::vector<FrozenDimension> frozen;
   DimsatStats stats;
   std::vector<DimsatTraceEvent> trace;
-  /// OK, or ResourceExhausted when a budget was hit (in which case
-  /// `satisfiable` is only a lower bound).
+  /// OK, or a budget error (kResourceExhausted for the expand-call cap,
+  /// kDeadlineExceeded / kCancelled for the wall-clock budget) when the
+  /// search stopped early — `satisfiable` is then only a lower bound
+  /// and `stats` records the partial work performed.
   Status status;
 };
 

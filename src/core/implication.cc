@@ -16,11 +16,20 @@ Result<ImplicationResult> Implies(const DimensionSchema& ds,
   DimensionSchema extended = ds.WithExtraConstraint(std::move(negated));
 
   DimsatResult search = Dimsat(extended, alpha.root, options);
-  OLAPDC_RETURN_NOT_OK(search.status);
 
   ImplicationResult result;
-  result.implied = !search.satisfiable;
   result.stats = search.stats;
+  if (!search.status.ok()) {
+    // A satisfiable early stop is already definitive ("not implied"):
+    // the witness found is a genuine counterexample no matter how much
+    // of the search space went unexplored.
+    if (!search.satisfiable || !IsBudgetError(search.status)) {
+      if (!IsBudgetError(search.status)) return search.status;
+      result.status = search.status;
+      return result;
+    }
+  }
+  result.implied = !search.satisfiable;
   if (search.satisfiable) {
     result.counterexample = std::move(search.frozen.front());
   }
@@ -31,8 +40,11 @@ Result<bool> IsCategorySatisfiable(const DimensionSchema& ds,
                                    CategoryId category,
                                    const DimsatOptions& options) {
   DimsatResult search = Dimsat(ds, category, options);
+  // A witness makes "satisfiable" definitive even if a budget expired
+  // while winding down; only a budget-truncated *negative* is unknown.
+  if (search.satisfiable) return true;
   OLAPDC_RETURN_NOT_OK(search.status);
-  return search.satisfiable;
+  return false;
 }
 
 }  // namespace olapdc

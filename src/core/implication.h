@@ -21,10 +21,18 @@ struct ImplicationResult {
   std::optional<FrozenDimension> counterexample;
   /// Statistics of the underlying DIMSAT run.
   DimsatStats stats;
+  /// OK for a definitive answer. A budget error (kResourceExhausted,
+  /// kDeadlineExceeded, kCancelled) when the underlying search stopped
+  /// early: `implied` is then meaningless, but `stats` still records
+  /// the partial work, so callers can degrade gracefully instead of
+  /// losing the whole run.
+  Status status;
 };
 
-/// Decides ds ⊨ alpha via Theorem 2 + DIMSAT. Errors only on resource
-/// exhaustion.
+/// Decides ds ⊨ alpha via Theorem 2 + DIMSAT. Budget exhaustion is
+/// reported *inside* the value (see ImplicationResult::status) with
+/// partial stats; the Result error channel carries only hard errors
+/// (malformed constraints, internal failures).
 Result<ImplicationResult> Implies(const DimensionSchema& ds,
                                   const DimensionConstraint& alpha,
                                   const DimsatOptions& options = {});

@@ -44,8 +44,16 @@ Result<DimsatResult> NaiveSat(const DimensionSchema& ds, CategoryId root,
   check_options.assignment.max_results = options.max_frozen;
 
   DimsatResult result;
+  BudgetChecker budget_checker(options.budget, options.budget_check_stride);
   const uint64_t subsets = uint64_t{1} << edges.size();
   for (uint64_t mask = 0; mask < subsets; ++mask) {
+    Status budget = budget_checker.Check();
+    if (!budget.ok()) {
+      // Partial answer: statistics (and any frozen dimensions found so
+      // far) survive, matching Dimsat()'s degradation contract.
+      result.status = std::move(budget);
+      break;
+    }
     std::vector<std::pair<CategoryId, CategoryId>> chosen;
     for (size_t i = 0; i < edges.size(); ++i) {
       if (mask & (uint64_t{1} << i)) chosen.push_back(edges[i]);

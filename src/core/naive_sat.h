@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "core/dimsat.h"
 #include "core/schema.h"
@@ -24,6 +25,12 @@ struct NaiveSatOptions {
   /// enumeration is 2^edges).
   int max_edges = 26;
   size_t path_limit = 1 << 20;
+  /// Wall-clock / cancellation budget; not owned, may be null. On
+  /// expiration the enumeration stops with the budget status and
+  /// partial stats in DimsatResult (mirroring Dimsat()).
+  const Budget* budget = nullptr;
+  /// Candidate subhierarchies between full budget probes.
+  uint32_t budget_check_stride = 64;
 };
 
 /// Decides satisfiability of `root` in `ds` by exhaustive enumeration.

@@ -3,58 +3,183 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "constraint/printer.h"
 
 namespace olapdc {
 
-Reasoner::Reasoner(DimensionSchema schema, DimsatOptions options)
-    : schema_(std::move(schema)), options_(std::move(options)) {}
+std::string_view TruthToString(Truth truth) {
+  switch (truth) {
+    case Truth::kNo:
+      return "no";
+    case Truth::kYes:
+      return "yes";
+    case Truth::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
 
-Result<bool> Reasoner::Memoized(
-    const std::string& key, const std::function<Result<bool>()>& compute) {
+Reasoner::Reasoner(DimensionSchema schema, ReasonerOptions options)
+    : schema_(std::move(schema)), options_(std::move(options)) {
+  if (options_.expand_budget_growth < 2) options_.expand_budget_growth = 2;
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+  if (options_.initial_expand_budget == 0) options_.initial_expand_budget = 1;
+}
+
+Reasoner::Reasoner(DimensionSchema schema, DimsatOptions dimsat_options)
+    : Reasoner(std::move(schema), [&] {
+        ReasonerOptions options;
+        options.dimsat = std::move(dimsat_options);
+        return options;
+      }()) {}
+
+ReasonerAnswer Reasoner::RunLadder(
+    const std::string& key, const Budget* budget,
+    const std::function<Attempt(const DimsatOptions&)>& attempt) {
   ++stats_.queries;
+  ReasonerAnswer answer;
+
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++stats_.hits;
-    return it->second;
+    answer.truth = it->second ? Truth::kYes : Truth::kNo;
+    answer.from_cache = true;
+    return answer;
   }
-  OLAPDC_ASSIGN_OR_RETURN(bool value, compute());
-  cache_.emplace(key, value);
-  return value;
+
+  // Iterative deepening: each rung widens the expand-call budget
+  // geometrically; the caller's wall-clock Budget caps the whole
+  // ladder. Restarting from scratch wastes at most a constant factor
+  // (geometric series) over running the final rung alone.
+  uint64_t rung_budget = options_.initial_expand_budget;
+  const uint64_t overall_cap = options_.dimsat.max_expand_calls;
+  for (int rung = 0; rung < options_.max_attempts; ++rung) {
+    if (rung > 0) ++stats_.retries;
+    ++answer.attempts;
+
+    Status fault = FaultInjector::Global().MaybeFail("reasoner.query");
+    if (!fault.ok()) {
+      answer.reason = std::move(fault);
+      break;
+    }
+
+    DimsatOptions rung_options = options_.dimsat;
+    rung_options.budget = budget;
+    rung_options.max_expand_calls = std::min(rung_budget, overall_cap);
+    const bool last_possible_rung =
+        rung + 1 >= options_.max_attempts || rung_options.max_expand_calls >= overall_cap;
+
+    Attempt outcome = attempt(rung_options);
+    AccumulateStats(&answer.work, outcome.stats);
+
+    if (outcome.status.ok()) {
+      answer.truth = outcome.truth;
+      answer.reason = Status::OK();
+      cache_.emplace(key, outcome.truth == Truth::kYes);
+      return answer;
+    }
+    answer.reason = outcome.status;
+
+    // Only an *expand-cap* exhaustion is retryable: growing the budget
+    // can help. A deadline, a cancellation, or a failure that made no
+    // progress (e.g. path_limit during constraint preparation) will
+    // recur identically — stop the ladder.
+    const bool expand_cap_hit =
+        outcome.status.code() == StatusCode::kResourceExhausted &&
+        outcome.stats.expand_calls >= rung_options.max_expand_calls;
+    if (!expand_cap_hit || last_possible_rung) break;
+    rung_budget *= options_.expand_budget_growth;
+  }
+
+  answer.truth = Truth::kUnknown;
+  ++stats_.unknown;
+  return answer;
 }
 
-Result<bool> Reasoner::Implies(const DimensionConstraint& alpha) {
+ReasonerAnswer Reasoner::QueryImplies(const DimensionConstraint& alpha,
+                                      const Budget* budget) {
   // Canonical key: root id + printed expression (printing is injective
   // up to re-parse, which is what semantic identity needs here).
   const std::string key = "i/" + std::to_string(alpha.root) + "/" +
                           ExprToString(schema_.hierarchy(), alpha.expr);
-  return Memoized(key, [&]() -> Result<bool> {
-    OLAPDC_ASSIGN_OR_RETURN(ImplicationResult r,
-                            olapdc::Implies(schema_, alpha, options_));
-    return r.implied;
+  return RunLadder(key, budget, [&](const DimsatOptions& options) {
+    Attempt a;
+    Result<ImplicationResult> r = olapdc::Implies(schema_, alpha, options);
+    if (!r.ok()) {
+      a.status = r.status();
+      return a;
+    }
+    a.stats = r->stats;
+    a.status = r->status;
+    if (a.status.ok()) a.truth = r->implied ? Truth::kYes : Truth::kNo;
+    return a;
   });
 }
 
-Result<bool> Reasoner::IsSatisfiable(CategoryId category) {
+ReasonerAnswer Reasoner::QuerySatisfiable(CategoryId category,
+                                          const Budget* budget) {
   const std::string key = "s/" + std::to_string(category);
-  return Memoized(key, [&]() -> Result<bool> {
-    return IsCategorySatisfiable(schema_, category, options_);
+  return RunLadder(key, budget, [&](const DimsatOptions& options) {
+    Attempt a;
+    DimsatResult r = Dimsat(schema_, category, options);
+    a.stats = r.stats;
+    // A witness is definitive regardless of an expiring budget; a
+    // truncated negative is not.
+    if (r.satisfiable) {
+      a.truth = Truth::kYes;
+    } else if (r.status.ok()) {
+      a.truth = Truth::kNo;
+    } else {
+      a.status = r.status;
+    }
+    return a;
   });
 }
 
-Result<bool> Reasoner::IsSummarizable(CategoryId target,
-                                      const std::vector<CategoryId>& sources) {
+ReasonerAnswer Reasoner::QuerySummarizable(
+    CategoryId target, const std::vector<CategoryId>& sources,
+    const Budget* budget) {
   std::vector<CategoryId> sorted = sources;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   std::string key = "m/" + std::to_string(target);
   for (CategoryId c : sorted) key += "," + std::to_string(c);
-  return Memoized(key, [&]() -> Result<bool> {
-    OLAPDC_ASSIGN_OR_RETURN(
-        SummarizabilityResult r,
-        olapdc::IsSummarizable(schema_, target, sorted, options_));
-    return r.summarizable;
+  return RunLadder(key, budget, [&](const DimsatOptions& options) {
+    Attempt a;
+    Result<SummarizabilityResult> r =
+        olapdc::IsSummarizable(schema_, target, sorted, options);
+    if (!r.ok()) {
+      a.status = r.status();
+      return a;
+    }
+    a.stats = r->stats;
+    a.status = r->status;
+    if (a.status.ok()) a.truth = r->summarizable ? Truth::kYes : Truth::kNo;
+    return a;
   });
+}
+
+Result<bool> Reasoner::TwoValued(const ReasonerAnswer& answer) {
+  if (answer.truth == Truth::kUnknown) {
+    return answer.reason.ok()
+               ? Status::Internal("unknown answer without a reason")
+               : answer.reason;
+  }
+  return answer.truth == Truth::kYes;
+}
+
+Result<bool> Reasoner::Implies(const DimensionConstraint& alpha) {
+  return TwoValued(QueryImplies(alpha));
+}
+
+Result<bool> Reasoner::IsSatisfiable(CategoryId category) {
+  return TwoValued(QuerySatisfiable(category));
+}
+
+Result<bool> Reasoner::IsSummarizable(CategoryId target,
+                                      const std::vector<CategoryId>& sources) {
+  return TwoValued(QuerySummarizable(target, sources));
 }
 
 }  // namespace olapdc

@@ -111,7 +111,10 @@ Result<std::string> HeterogeneityReport(const DimensionSchema& ds,
         OLAPDC_ASSIGN_OR_RETURN(
             SummarizabilityResult r,
             IsSummarizable(ds, target, {source}, options.dimsat));
-        std::string cell = r.summarizable ? "y" : ".";
+        // '?' marks cells whose implication test exhausted its budget:
+        // the matrix degrades instead of failing wholesale.
+        std::string cell =
+            !r.status.ok() ? "?" : (r.summarizable ? "y" : ".");
         row += " " + cell;
         row.resize(row.size() + schema.CategoryName(source)
                                         .substr(0, 4)

@@ -44,6 +44,14 @@ Result<SummarizabilityResult> IsSummarizable(
         SummarizabilityConstraint(schema, bottom, c, s));
     OLAPDC_ASSIGN_OR_RETURN(ImplicationResult implication,
                             Implies(ds, alpha, options));
+    AccumulateStats(&result.stats, implication.stats);
+    if (!implication.status.ok()) {
+      // Budget expired mid-test: stop, keep the bottoms already
+      // decided as a partial answer.
+      result.status = implication.status;
+      result.summarizable = false;
+      return result;
+    }
     SummarizabilityResult::PerBottom detail;
     detail.bottom = bottom;
     detail.implied = implication.implied;

@@ -37,6 +37,15 @@ struct SummarizabilityResult {
     std::optional<FrozenDimension> counterexample;
   };
   std::vector<PerBottom> details;
+  /// Aggregate DIMSAT work across every per-bottom implication test
+  /// (partial tests included).
+  DimsatStats stats;
+  /// OK for a definitive answer; a budget error (kResourceExhausted,
+  /// kDeadlineExceeded, kCancelled) when some per-bottom test stopped
+  /// early — `summarizable` is then meaningless, `details` covers only
+  /// the bottoms decided before the budget expired, and `stats` records
+  /// the partial work.
+  Status status;
 };
 
 /// Schema-level test: is c summarizable from S in *every* instance over

@@ -6,15 +6,29 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injector.h"
+
 namespace olapdc {
 
 namespace {
 
+/// A whitespace token plus its 1-based source column, so errors can
+/// point at the offending token rather than just the line.
+struct Token {
+  std::string text;
+  int column;
+};
+
+/// Error anchored at line:column (both 1-based).
+Status Err(int number, int column, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(number) + ":" +
+                            std::to_string(column) + ": " + message);
+}
+
 /// Splits a line into whitespace tokens, treating '...'-quoted spans as
 /// single tokens.
-Result<std::vector<std::string>> Tokenize(const std::string& line,
-                                          int number) {
-  std::vector<std::string> tokens;
+Result<std::vector<Token>> Tokenize(const std::string& line, int number) {
+  std::vector<Token> tokens;
   size_t i = 0;
   while (i < line.size()) {
     while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
@@ -24,10 +38,10 @@ Result<std::vector<std::string>> Tokenize(const std::string& line,
     if (line[i] == '\'') {
       size_t close = line.find('\'', i + 1);
       if (close == std::string::npos) {
-        return Status::ParseError("line " + std::to_string(number) +
-                                  ": unterminated quote");
+        return Err(number, static_cast<int>(i) + 1, "unterminated quote");
       }
-      tokens.push_back(line.substr(i + 1, close - i - 1));
+      tokens.push_back(
+          Token{line.substr(i + 1, close - i - 1), static_cast<int>(i) + 1});
       i = close + 1;
     } else {
       size_t end = i;
@@ -35,7 +49,7 @@ Result<std::vector<std::string>> Tokenize(const std::string& line,
              !std::isspace(static_cast<unsigned char>(line[end]))) {
         ++end;
       }
-      tokens.push_back(line.substr(i, end - i));
+      tokens.push_back(Token{line.substr(i, end - i), static_cast<int>(i) + 1});
       i = end;
     }
   }
@@ -47,6 +61,7 @@ Result<std::vector<std::string>> Tokenize(const std::string& line,
 Result<DimensionInstance> ParseInstanceText(HierarchySchemaPtr schema,
                                             std::string_view text,
                                             bool skip_validation) {
+  OLAPDC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail("instance_io.parse"));
   DimensionInstanceBuilder builder(std::move(schema));
   builder.set_skip_validation(skip_validation);
   std::istringstream stream{std::string(text)};
@@ -54,30 +69,27 @@ Result<DimensionInstance> ParseInstanceText(HierarchySchemaPtr schema,
   int number = 0;
   while (std::getline(stream, raw)) {
     ++number;
-    OLAPDC_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
-                            Tokenize(raw, number));
+    OLAPDC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(raw, number));
     if (tokens.empty()) continue;
-    const std::string& keyword = tokens[0];
+    const std::string& keyword = tokens[0].text;
     if (keyword == "member") {
       if (tokens.size() < 3 || tokens.size() > 4) {
-        return Status::ParseError(
-            "line " + std::to_string(number) +
-            ": member needs <key> <category> [<name>]");
+        return Err(number, tokens[0].column,
+                   "member needs <key> <category> [<name>]");
       }
       if (tokens.size() == 4) {
-        builder.AddMember(tokens[1], tokens[2], tokens[3]);
+        builder.AddMember(tokens[1].text, tokens[2].text, tokens[3].text);
       } else {
-        builder.AddMember(tokens[1], tokens[2]);
+        builder.AddMember(tokens[1].text, tokens[2].text);
       }
     } else if (keyword == "edge") {
       if (tokens.size() != 3) {
-        return Status::ParseError("line " + std::to_string(number) +
-                                  ": edge needs <child> <parent>");
+        return Err(number, tokens[0].column, "edge needs <child> <parent>");
       }
-      builder.AddChildParent(tokens[1], tokens[2]);
+      builder.AddChildParent(tokens[1].text, tokens[2].text);
     } else {
-      return Status::ParseError("line " + std::to_string(number) +
-                                ": unknown keyword '" + keyword + "'");
+      return Err(number, tokens[0].column,
+                 "unknown keyword '" + keyword + "'");
     }
   }
   return builder.Build();

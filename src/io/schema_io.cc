@@ -1,10 +1,12 @@
 #include "io/schema_io.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "constraint/parser.h"
 #include "constraint/printer.h"
 
@@ -16,6 +18,11 @@ struct Line {
   std::string keyword;
   std::string rest;
   int number;
+  /// 1-based column of the keyword in the raw line.
+  int column = 1;
+  /// 1-based column where `rest` starts (for relocating sub-parser
+  /// offsets); equals `column` when the line has no rest.
+  int rest_column = 1;
 };
 
 /// Splits `text` into (keyword, rest-of-line) pairs, dropping comments
@@ -32,6 +39,8 @@ std::vector<Line> SplitLines(std::string_view text) {
     size_t space = raw.find_first_of(" \t", start);
     Line line;
     line.number = number;
+    line.column = static_cast<int>(start) + 1;
+    line.rest_column = line.column;
     if (space == std::string::npos) {
       line.keyword = raw.substr(start);
     } else {
@@ -40,6 +49,7 @@ std::vector<Line> SplitLines(std::string_view text) {
       if (rest_start != std::string::npos) {
         size_t rest_end = raw.find_last_not_of(" \t\r");
         line.rest = raw.substr(rest_start, rest_end - rest_start + 1);
+        line.rest_column = static_cast<int>(rest_start) + 1;
       }
     }
     lines.push_back(std::move(line));
@@ -47,14 +57,38 @@ std::vector<Line> SplitLines(std::string_view text) {
   return lines;
 }
 
+/// Error anchored at line:column (both 1-based).
+Status Err(const Line& line, int column, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line.number) + ":" +
+                            std::to_string(column) + ": " + message);
+}
+
 Status Err(const Line& line, const std::string& message) {
-  return Status::ParseError("line " + std::to_string(line.number) + ": " +
-                            message);
+  return Err(line, line.column, message);
+}
+
+/// Rewrites a constraint-parser error ("... at offset K", K 0-based in
+/// the expression text) into a line:column position in the source file.
+Status RelocateParserError(const Line& line, const Status& status) {
+  const std::string& message = status.message();
+  const std::string marker = " at offset ";
+  size_t pos = message.rfind(marker);
+  if (pos != std::string::npos) {
+    char* end = nullptr;
+    const char* digits = message.c_str() + pos + marker.size();
+    long offset = std::strtol(digits, &end, 10);
+    if (end != digits && *end == '\0' && offset >= 0) {
+      return Err(line, line.rest_column + static_cast<int>(offset),
+                 message.substr(0, pos));
+    }
+  }
+  return Err(line, line.rest_column, message);
 }
 
 }  // namespace
 
 Result<DimensionSchema> ParseSchemaText(std::string_view text) {
+  OLAPDC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail("schema_io.parse"));
   const std::vector<Line> lines = SplitLines(text);
 
   // Pass 1: hierarchy.
@@ -110,7 +144,7 @@ Result<DimensionSchema> ParseSchemaText(std::string_view text) {
     Result<DimensionConstraint> parsed =
         ParseConstraint(*hierarchy, body, label);
     if (!parsed.ok()) {
-      return Err(line, parsed.status().message());
+      return RelocateParserError(line, parsed.status());
     }
     constraints.push_back(std::move(parsed).ValueOrDie());
   }

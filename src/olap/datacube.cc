@@ -108,6 +108,7 @@ Result<bool> Datacube::IsRollupSafe(
     OLAPDC_ASSIGN_OR_RETURN(
         SummarizabilityResult r,
         IsSummarizable(schemas[i], target[i], {source[i]}));
+    OLAPDC_RETURN_NOT_OK(r.status);
     if (!r.summarizable) return false;
   }
   return true;

@@ -15,6 +15,15 @@ Result<bool> IsUsable(const DimensionSchema& ds, const DimensionInstance& d,
   if (options.mode == NavigatorMode::kSchemaLevel) {
     OLAPDC_ASSIGN_OR_RETURN(SummarizabilityResult result,
                             IsSummarizable(ds, target, s, options.dimsat));
+    if (!result.status.ok()) {
+      // Budget exhausted mid-proof: skip this candidate (conservative —
+      // an unproved rewrite is never used) and record the degradation.
+      if (options.diagnostics != nullptr) {
+        ++options.diagnostics->unknown_rewrite_sets;
+        options.diagnostics->last_budget_status = result.status;
+      }
+      return false;
+    }
     return result.summarizable;
   }
   return IsSummarizableInInstance(d, target, s);

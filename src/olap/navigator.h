@@ -30,12 +30,30 @@ enum class NavigatorMode {
   kInstanceLevel,
 };
 
+/// Degradation accounting for budget-bounded navigation: when a
+/// schema-level summarizability probe exhausts its budget (deadline,
+/// cancellation, expand cap), the candidate rewrite set is
+/// conservatively skipped — sound, because only *proved* rewrites are
+/// ever used — and the skip is recorded here so callers can tell "no
+/// rewrite exists" from "no rewrite was provable in time".
+struct NavigatorDiagnostics {
+  /// Candidate rewrite sets skipped because their probe ran out of
+  /// budget.
+  uint64_t unknown_rewrite_sets = 0;
+  /// The last budget status that caused a skip (OK when none).
+  Status last_budget_status;
+
+  bool degraded() const { return unknown_rewrite_sets > 0; }
+};
+
 struct NavigatorOptions {
   NavigatorMode mode = NavigatorMode::kSchemaLevel;
   /// Largest rewrite set tried (subsets of the materialized categories
   /// are enumerated by increasing size).
   int max_rewrite_set = 3;
   DimsatOptions dimsat;
+  /// Optional degradation sink; not owned, may be null.
+  NavigatorDiagnostics* diagnostics = nullptr;
 };
 
 struct NavigatorAnswer {

@@ -22,10 +22,12 @@ Result<ViewSelectionResult> SelectViews(
   const int n = static_cast<int>(candidates.size());
   OLAPDC_CHECK(n < 20) << "too many candidate categories to enumerate";
 
+  NavigatorDiagnostics diagnostics;
   NavigatorOptions nav_options;
   nav_options.mode = NavigatorMode::kSchemaLevel;
   nav_options.max_rewrite_set = options.max_rewrite_set;
   nav_options.dimsat = options.dimsat;
+  nav_options.diagnostics = &diagnostics;
 
   ViewSelectionResult best;
   const int max_views = std::min(options.max_views, n);
@@ -56,6 +58,8 @@ Result<ViewSelectionResult> SelectViews(
       }
     }
   }
+  best.degraded = diagnostics.degraded();
+  best.budget_status = diagnostics.last_budget_status;
   return best;
 }
 

@@ -41,6 +41,13 @@ struct ViewSelectionResult {
   std::vector<CategoryId> selected;
   /// Per query, the rewrite set assigned from `selected`.
   std::vector<std::vector<CategoryId>> rewrite_sets;
+  /// True when at least one summarizability probe exhausted its budget
+  /// and a candidate was conservatively skipped: a `found` selection is
+  /// still valid (every kept rewrite is proved), but it may not be
+  /// minimum, and `found == false` no longer proves nonexistence.
+  bool degraded = false;
+  /// The last budget status behind `degraded` (OK when not degraded).
+  Status budget_status;
 };
 
 /// Finds a minimum-cardinality materialization set covering `queries`.

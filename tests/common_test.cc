@@ -41,9 +41,32 @@ TEST(StatusTest, EveryCodeHasName) {
        {StatusCode::kOk, StatusCode::kInvalidArgument,
         StatusCode::kInvalidModel, StatusCode::kParseError,
         StatusCode::kResourceExhausted, StatusCode::kNotFound,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled}) {
     EXPECT_NE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, BudgetCodeFactories) {
+  Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "Deadline exceeded: too slow");
+
+  Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller gave up");
+}
+
+TEST(StatusTest, IsBudgetErrorClassifiesCodes) {
+  EXPECT_TRUE(IsBudgetError(Status::ResourceExhausted("cap")));
+  EXPECT_TRUE(IsBudgetError(Status::DeadlineExceeded("clock")));
+  EXPECT_TRUE(IsBudgetError(Status::Cancelled("token")));
+  EXPECT_FALSE(IsBudgetError(Status::OK()));
+  EXPECT_FALSE(IsBudgetError(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsBudgetError(Status::ParseError("bad")));
+  EXPECT_FALSE(IsBudgetError(Status::Internal("bug")));
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -5,6 +5,9 @@
 //  F3 random single-edit mutations of a valid instance either stay
 //     valid or are rejected with an InvalidModel status naming a
 //     condition — never accepted silently as something else.
+//  F4 every byte-prefix of valid schema/instance text (truncated file,
+//     interrupted transfer) is either parsed or rejected with a
+//     positioned error — never crashes, never yields a surprise code.
 
 #include <gtest/gtest.h>
 
@@ -167,6 +170,71 @@ TEST_P(MutationFuzzTest, F3MutatedInstancesNeverValidateWrongly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest, ::testing::Range(0, 6));
+
+/// Checks that a parser over every prefix of `text` never crashes and
+/// only returns the expected class of statuses, with parse errors
+/// carrying a "line N:C:"-style position.
+template <typename ParseFn>
+void CheckAllPrefixes(const std::string& text, ParseFn parse) {
+  for (size_t cut = 0; cut <= text.size(); ++cut) {
+    Status status = parse(text.substr(0, cut));
+    if (status.ok()) continue;
+    EXPECT_TRUE(status.code() == StatusCode::kParseError ||
+                status.code() == StatusCode::kInvalidModel ||
+                status.code() == StatusCode::kInvalidArgument)
+        << "prefix of length " << cut << ": " << status.ToString();
+    if (status.code() == StatusCode::kParseError) {
+      EXPECT_NE(status.message().find("line "), std::string::npos)
+          << "parse error without a position (prefix length " << cut
+          << "): " << status.ToString();
+    }
+  }
+}
+
+TEST(TruncatedInputTest, F4SchemaPrefixesFailCleanlyWithPositions) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CheckAllPrefixes(SerializeSchema(ds), [](const std::string& prefix) {
+    return ParseSchemaText(prefix).status();
+  });
+}
+
+TEST(TruncatedInputTest, F4InstancePrefixesFailCleanlyWithPositions) {
+  auto hierarchy = LocationHierarchy();
+  ASSERT_TRUE(hierarchy.ok());
+  auto instance = LocationInstance();
+  ASSERT_TRUE(instance.ok());
+  CheckAllPrefixes(SerializeInstance(*instance),
+                   [&](const std::string& prefix) {
+                     return ParseInstanceText(*hierarchy, prefix).status();
+                   });
+}
+
+TEST(TruncatedInputTest, F4ErrorsCarryLineAndColumn) {
+  // Spot-check the positions themselves, not just their presence.
+  Result<DimensionSchema> bad_edge =
+      ParseSchemaText("category A\nedge A\n");
+  ASSERT_FALSE(bad_edge.ok());
+  EXPECT_NE(bad_edge.status().message().find("line 2:1:"),
+            std::string::npos)
+      << bad_edge.status().ToString();
+
+  // An expression error inside a constraint points at the offending
+  // token's column in the file, not at an offset into the expression.
+  Result<DimensionSchema> bad_expr =
+      ParseSchemaText("category A\nedge A All\nconstraint A.Bogus\n");
+  ASSERT_FALSE(bad_expr.ok());
+  EXPECT_NE(bad_expr.status().message().find("line 3:"), std::string::npos)
+      << bad_expr.status().ToString();
+
+  auto hierarchy = LocationHierarchy();
+  ASSERT_TRUE(hierarchy.ok());
+  Result<DimensionInstance> bad_quote = ParseInstanceText(
+      *hierarchy, "member s1 Store 'unterminated\n");
+  ASSERT_FALSE(bad_quote.ok());
+  EXPECT_NE(bad_quote.status().message().find("line 1:17:"),
+            std::string::npos)
+      << bad_quote.status().ToString();
+}
 
 }  // namespace
 }  // namespace olapdc

@@ -1,0 +1,455 @@
+// Robustness tests: every resource-exhaustion path (expand-call cap,
+// path limit, frozen cap, wall-clock deadline, cancellation) must stop
+// the procedures early with the right status code and the partial
+// statistics accumulated so far; the Reasoner ladder must degrade to
+// kUnknown instead of erroring; and each degradation path must be
+// reproducible deterministically through the fault injector.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/fault_injector.h"
+#include "core/dimsat.h"
+#include "core/implication.h"
+#include "core/location_example.h"
+#include "core/naive_sat.h"
+#include "core/reasoner.h"
+#include "core/summarizability.h"
+#include "io/instance_io.h"
+#include "io/schema_io.h"
+#include "olap/navigator.h"
+#include "olap/view_selection.h"
+#include "tests/test_util.h"
+#include "workload/schema_generator.h"
+
+namespace olapdc {
+namespace {
+
+using testing_util::MakeSchema;
+using testing_util::ParseC;
+
+Budget ExpiredBudget() {
+  return Budget::WithDeadline(std::chrono::milliseconds(-1));
+}
+
+/// A generated schema hard enough that full frozen-dimension
+/// enumeration blows any reasonable expand budget. `Hardness` verifies
+/// the premise so the deadline/cancellation tests cannot pass
+/// vacuously.
+DimensionSchema AdversarialSchema() {
+  SchemaGenOptions schema_options;
+  schema_options.num_levels = 6;
+  schema_options.categories_per_level = 4;
+  schema_options.extra_edge_prob = 0.5;
+  schema_options.max_level_jump = 3;
+  schema_options.seed = 11;
+  auto hierarchy = GenerateLayeredHierarchy(schema_options);
+  OLAPDC_CHECK(hierarchy.ok()) << hierarchy.status().ToString();
+  ConstraintGenOptions constraint_options;
+  constraint_options.into_fraction = 0.25;
+  constraint_options.num_choice_constraints = 3;
+  constraint_options.num_equality_constraints = 3;
+  constraint_options.seed = 11;
+  auto ds = GenerateConstrainedSchema(*hierarchy, constraint_options);
+  OLAPDC_CHECK(ds.ok()) << ds.status().ToString();
+  return std::move(ds).ValueOrDie();
+}
+
+DimsatOptions EnumerateAllOptions() {
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.require_injective_names = true;
+  return options;
+}
+
+class AdversarialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_.emplace(AdversarialSchema());
+    root_ = ds_->hierarchy().FindCategory("Base");
+    ASSERT_NE(root_, kNoCategory);
+    // Premise: the full enumeration needs far more than kProbeCap
+    // EXPAND calls, so a generous deadline can reliably interrupt it.
+    DimsatOptions probe = EnumerateAllOptions();
+    probe.max_expand_calls = kProbeCap;
+    DimsatResult r = Dimsat(*ds_, root_, probe);
+    ASSERT_EQ(r.status.code(), StatusCode::kResourceExhausted)
+        << "generated schema too easy to exercise budgets";
+  }
+
+  static constexpr uint64_t kProbeCap = 200000;
+  std::optional<DimensionSchema> ds_;
+  CategoryId root_ = kNoCategory;
+};
+
+TEST_F(AdversarialTest, DeadlineStopsSearchWithPartialStats) {
+  Budget budget = Budget::WithDeadlineMs(50);
+  DimsatOptions options = EnumerateAllOptions();
+  options.budget = &budget;
+  auto start = std::chrono::steady_clock::now();
+  DimsatResult r = Dimsat(*ds_, root_, options);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r.stats.Any());
+  EXPECT_GT(r.stats.expand_calls, 0u);
+  // Amortized checks must stop the search promptly; the generous bound
+  // only guards against a stuck/unchecked loop on a loaded machine.
+  EXPECT_LT(elapsed.count(), 2000);
+}
+
+TEST_F(AdversarialTest, CancellationStopsSearchWithPartialStats) {
+  CancellationSource source;
+  Budget budget;
+  budget.SetCancellation(source.token());
+  DimsatOptions options = EnumerateAllOptions();
+  options.budget = &budget;
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    source.RequestCancel();
+  });
+  DimsatResult r = Dimsat(*ds_, root_, options);
+  canceller.join();
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(r.stats.Any());
+}
+
+TEST_F(AdversarialTest, ReasonerDeadlineDegradesToUnknown) {
+  Reasoner reasoner(*ds_);
+  Budget budget = Budget::WithDeadlineMs(50);
+  // Frozen-dimension existence is quick here; force the hard direction
+  // (an implication that must close the whole search space).
+  DimensionConstraint alpha = ParseC(ds_->hierarchy(), "Base.L1C0");
+  ReasonerAnswer answer = reasoner.QueryImplies(alpha, &budget);
+  if (answer.truth == Truth::kUnknown) {
+    EXPECT_EQ(answer.reason.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_GT(answer.work.expand_calls, 0u);
+    EXPECT_EQ(reasoner.stats().unknown, 1u);
+  } else {
+    // Machine fast enough to finish under the deadline: the answer must
+    // then be definitive with no error.
+    EXPECT_OK(answer.reason);
+  }
+}
+
+TEST(ResourceExhaustionTest, ExpandCapEmbedsPartialStats) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.max_expand_calls = 2;
+  DimsatResult r = Dimsat(ds, store, options);
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(r.stats.Any());
+  EXPECT_GT(r.stats.expand_calls, 0u);
+}
+
+TEST(ResourceExhaustionTest, PathLimitFailsBeforeSearching) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatOptions options;
+  options.path_limit = 0;
+  DimsatResult r = Dimsat(ds, store, options);
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  // Exhausted during constraint preparation: no search work yet. This
+  // distinction is what stops the Reasoner ladder from retrying it.
+  EXPECT_FALSE(r.stats.Any());
+}
+
+TEST(ResourceExhaustionTest, FrozenCapTruncatesEnumerationCleanly) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.max_frozen = 2;
+  DimsatResult r = Dimsat(ds, store, options);
+  EXPECT_OK(r.status);  // a truncated enumeration is not an error
+  EXPECT_EQ(r.frozen.size(), 2u);
+}
+
+TEST(ResourceExhaustionTest, PreExpiredDeadlineTripsOnFirstCheck) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  Budget budget = ExpiredBudget();
+  DimsatOptions options;
+  options.budget = &budget;
+  DimsatResult r = Dimsat(ds, store, options);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.stats.expand_calls, 0u);
+}
+
+TEST(ResourceExhaustionTest, PreCancelledTokenStopsEverything) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  CancellationSource source;
+  source.RequestCancel();
+  Budget budget;
+  budget.SetCancellation(source.token());
+  DimsatOptions options;
+  options.budget = &budget;
+  DimsatResult r = Dimsat(ds, store, options);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+}
+
+TEST(ResourceExhaustionTest, NaiveSatHonorsTheBudget) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  NaiveSatOptions options;
+  Budget budget = ExpiredBudget();
+  options.budget = &budget;
+  options.enumerate_all = true;
+  ASSERT_OK_AND_ASSIGN(DimsatResult r, NaiveSat(ds, store, options));
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  // The up-front refusal (too many edges to ever enumerate) stays on
+  // the Result error channel — no partial result exists — unlike the
+  // in-loop budget stop above, which returns one.
+  NaiveSatOptions refusal;
+  refusal.max_edges = 0;
+  Result<DimsatResult> refused = NaiveSat(ds, store, refusal);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceExhaustionTest, ImplicationEmbedsBudgetStatus) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  Budget budget = ExpiredBudget();
+  DimsatOptions options;
+  options.budget = &budget;
+  DimensionConstraint alpha = ParseC(ds.hierarchy(), "Store.Country");
+  ASSERT_OK_AND_ASSIGN(ImplicationResult r, Implies(ds, alpha, options));
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ResourceExhaustionTest, SummarizabilityReturnsPartialDetails) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  const HierarchySchema& schema = ds.hierarchy();
+  Budget budget = ExpiredBudget();
+  DimsatOptions options;
+  options.budget = &budget;
+  ASSERT_OK_AND_ASSIGN(
+      SummarizabilityResult r,
+      IsSummarizable(ds, schema.FindCategory("Country"),
+                     {schema.FindCategory("City")}, options));
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(r.summarizable);  // conservatively not proved
+}
+
+TEST(ReasonerLadderTest, GrowsBudgetUntilTheQueryFits) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  ReasonerOptions options;
+  options.initial_expand_budget = 1;  // guaranteed too small
+  options.expand_budget_growth = 4;
+  options.max_attempts = 8;
+  Reasoner reasoner(ds, options);
+  ReasonerAnswer answer = reasoner.QuerySatisfiable(store);
+  EXPECT_EQ(answer.truth, Truth::kYes);
+  EXPECT_OK(answer.reason);
+  EXPECT_GT(answer.attempts, 1);
+  EXPECT_GT(reasoner.stats().retries, 0u);
+  // The ladder work includes the abandoned rungs.
+  EXPECT_GT(answer.work.expand_calls, 1u);
+}
+
+TEST(ReasonerLadderTest, OverallCapBoundsTheLadder) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  ReasonerOptions options;
+  options.initial_expand_budget = 1;
+  options.expand_budget_growth = 8;
+  options.max_attempts = 10;
+  options.dimsat.max_expand_calls = 2;  // overall cap below what's needed
+  Reasoner reasoner(ds, options);
+  ReasonerAnswer answer = reasoner.QuerySatisfiable(store);
+  EXPECT_EQ(answer.truth, Truth::kUnknown);
+  EXPECT_EQ(answer.reason.code(), StatusCode::kResourceExhausted);
+  // Rung 2 already reaches the overall cap; the ladder must stop there
+  // instead of burning all ten attempts on an unwinnable budget.
+  EXPECT_LE(answer.attempts, 2);
+  EXPECT_EQ(reasoner.stats().unknown, 1u);
+}
+
+TEST(ReasonerLadderTest, DeadlineFailureIsNotRetried) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  Budget budget = ExpiredBudget();
+  Reasoner reasoner(ds);
+  ReasonerAnswer answer = reasoner.QuerySatisfiable(store, &budget);
+  EXPECT_EQ(answer.truth, Truth::kUnknown);
+  EXPECT_EQ(answer.reason.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(answer.attempts, 1);  // retrying an expired clock is futile
+}
+
+TEST(ReasonerLadderTest, DefinitiveAnswersAreCachedUnknownIsNot) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  Reasoner reasoner(ds);
+
+  // Unknown (expired budget) must not be cached...
+  Budget expired = ExpiredBudget();
+  ReasonerAnswer unknown = reasoner.QuerySatisfiable(store, &expired);
+  EXPECT_EQ(unknown.truth, Truth::kUnknown);
+  // ...so the same query without the budget gets a real answer.
+  ReasonerAnswer fresh = reasoner.QuerySatisfiable(store);
+  EXPECT_EQ(fresh.truth, Truth::kYes);
+  EXPECT_FALSE(fresh.from_cache);
+  // A definitive answer is served from cache, even under a budget that
+  // would fail any new search.
+  Budget expired_again = ExpiredBudget();
+  ReasonerAnswer cached = reasoner.QuerySatisfiable(store, &expired_again);
+  EXPECT_EQ(cached.truth, Truth::kYes);
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_EQ(reasoner.stats().hits, 1u);
+}
+
+TEST(ReasonerLadderTest, LegacyFacadeSurfacesUnknownAsStatus) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  ReasonerOptions options;
+  options.initial_expand_budget = 1;
+  options.max_attempts = 1;
+  options.dimsat.max_expand_calls = 1;
+  Reasoner reasoner(ds, options);
+  Result<bool> r = reasoner.IsSatisfiable(store);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Fault-injection degradation drills. Each path is forced
+// deterministically from a fixed seed; none of them can fire in
+// production because the injector ships disarmed. ---
+
+TEST(FaultDegradationTest, ForcedBudgetExhaustionInDimsat) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  ScopedFaultInjection guard(/*seed=*/101);
+  FaultInjector::Global().SetFault("dimsat.expand",
+                                   StatusCode::kDeadlineExceeded, 1.0,
+                                   "injected deadline");
+  DimsatResult r = Dimsat(ds, store, {});
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.status.message(), "injected deadline");
+  EXPECT_GE(FaultInjector::Global().failures("dimsat.expand"), 1u);
+
+  // The Reasoner sees the forced exhaustion and degrades to kUnknown.
+  Reasoner reasoner(ds);
+  ReasonerAnswer answer = reasoner.QuerySatisfiable(store);
+  EXPECT_EQ(answer.truth, Truth::kUnknown);
+  EXPECT_EQ(answer.reason.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FaultDegradationTest, ForcedInternalErrorStaysHard) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  ScopedFaultInjection guard(/*seed=*/102);
+  FaultInjector::Global().SetFault("dimsat.expand", StatusCode::kInternal,
+                                   1.0, "injected bug");
+  // Internal errors are not budget degradations: consumers must see
+  // them on the error channel, not as a quiet "false".
+  Result<bool> r = IsCategorySatisfiable(ds, store);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(FaultDegradationTest, ForcedReasonerFaultYieldsUnknown) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  ScopedFaultInjection guard(/*seed=*/103);
+  FaultInjector::Global().SetFault("reasoner.query", StatusCode::kInternal,
+                                   1.0, "injected reasoner fault");
+  Reasoner reasoner(ds);
+  ReasonerAnswer answer = reasoner.QuerySatisfiable(store);
+  EXPECT_EQ(answer.truth, Truth::kUnknown);
+  EXPECT_EQ(answer.reason.code(), StatusCode::kInternal);
+  EXPECT_EQ(answer.work.expand_calls, 0u);  // failed before any search
+}
+
+TEST(FaultDegradationTest, ForcedParseFailures) {
+  ScopedFaultInjection guard(/*seed=*/104);
+  FaultInjector::Global().SetFault("schema_io.parse",
+                                   StatusCode::kParseError, 1.0,
+                                   "injected schema corruption");
+  FaultInjector::Global().SetFault("instance_io.parse",
+                                   StatusCode::kParseError, 1.0,
+                                   "injected instance corruption");
+  Result<DimensionSchema> ds = ParseSchemaText("category A\nedge A All\n");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ds.status().message(), "injected schema corruption");
+
+  ASSERT_OK_AND_ASSIGN(DimensionSchema good, LocationSchema());
+  Result<DimensionInstance> d = ParseInstanceText(good.hierarchy_ptr(), "");
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().message(), "injected instance corruption");
+}
+
+TEST(FaultDegradationTest, ProbabilisticFaultsAreSeedReproducible) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  auto run = [&]() {
+    ScopedFaultInjection guard(/*seed=*/105);
+    FaultInjector::Global().SetFault(
+        "dimsat.expand", StatusCode::kDeadlineExceeded, 0.05);
+    std::vector<StatusCode> codes;
+    for (int i = 0; i < 20; ++i) {
+      DimsatOptions options;
+      options.enumerate_all = true;
+      codes.push_back(Dimsat(ds, store, options).status.code());
+    }
+    return codes;
+  };
+  std::vector<StatusCode> first = run();
+  EXPECT_EQ(first, run());
+  // The 5% fault actually interleaves failures with successes.
+  EXPECT_NE(std::count(first.begin(), first.end(), StatusCode::kOk), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), StatusCode::kOk), 20);
+}
+
+// --- Conservative degradation in the OLAP consumers. ---
+
+TEST(ConsumerDegradationTest, NavigatorSkipsUnprovenRewrites) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  const HierarchySchema& schema = ds.hierarchy();
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, LocationInstance());
+
+  Budget budget = ExpiredBudget();
+  NavigatorDiagnostics diagnostics;
+  NavigatorOptions options;
+  options.mode = NavigatorMode::kSchemaLevel;
+  options.dimsat.budget = &budget;
+  options.diagnostics = &diagnostics;
+  ASSERT_OK_AND_ASSIGN(
+      auto rewrite,
+      FindRewriteSet(ds, d, {schema.FindCategory("City")},
+                     schema.FindCategory("Country"), options));
+  EXPECT_FALSE(rewrite.has_value());  // nothing provable in time
+  EXPECT_TRUE(diagnostics.degraded());
+  EXPECT_GT(diagnostics.unknown_rewrite_sets, 0u);
+  EXPECT_EQ(diagnostics.last_budget_status.code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(ConsumerDegradationTest, ViewSelectionReportsDegradation) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  const HierarchySchema& schema = ds.hierarchy();
+  ASSERT_OK_AND_ASSIGN(DimensionInstance d, LocationInstance());
+
+  Budget budget = ExpiredBudget();
+  ViewSelectionOptions options;
+  options.dimsat.budget = &budget;
+  ASSERT_OK_AND_ASSIGN(
+      ViewSelectionResult r,
+      SelectViews(ds, d, {schema.FindCategory("Country")}, options));
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.budget_status.code(), StatusCode::kDeadlineExceeded);
+  // Whatever it reports, a degraded "not found" must not be read as a
+  // proof of nonexistence — that is exactly what the flag is for.
+}
+
+}  // namespace
+}  // namespace olapdc

@@ -21,11 +21,25 @@
 //   olapdc mine <schema-file> <instance-file>
 //       Learn dimension constraints from the instance and print the
 //       resulting schema.
+//
+// Global flags:
+//   --deadline-ms <n>   Wall-clock budget for the reasoning work. On
+//                       expiration the command degrades (prints
+//                       "unknown" / partial output) and exits with the
+//                       deadline-exceeded code instead of hanging.
+//
+// Exit codes: 0 = success / affirmative answer; 1 = definitive negative
+// answer (NOT IMPLIED, UNSATISFIABLE, ...); 2 = usage error; otherwise
+// a distinct code per StatusCode (see ExitCodeFor below) so scripts can
+// tell a parse error from a timeout from a missing file.
 
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "constraint/evaluator.h"
 #include "constraint/parser.h"
 #include "constraint/printer.h"
@@ -41,15 +55,35 @@
 namespace olapdc {
 namespace {
 
+constexpr int kExitAnswerNo = 1;
+constexpr int kExitUsage = 2;
+
+/// One distinct process exit code per error class, so shell scripts and
+/// orchestration can branch on the failure mode without parsing stderr.
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 10;
+    case StatusCode::kInvalidModel: return 11;
+    case StatusCode::kParseError: return 12;
+    case StatusCode::kResourceExhausted: return 13;
+    case StatusCode::kNotFound: return 14;
+    case StatusCode::kInternal: return 15;
+    case StatusCode::kDeadlineExceeded: return 16;
+    case StatusCode::kCancelled: return 17;
+  }
+  return 15;
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCodeFor(status.code());
 }
 
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: olapdc <command> <schema-file> [args...]\n"
+      "usage: olapdc <command> <schema-file> [args...] [--deadline-ms <n>]\n"
       "  check <schema>                     satisfiability audit\n"
       "  frozen <schema> <root>             enumerate frozen dimensions\n"
       "  implies <schema> <constraint...>   decide ds |= alpha\n"
@@ -58,21 +92,51 @@ int Usage() {
       "  report <schema>                    heterogeneity report\n"
       "  dot <schema>                       Graphviz of the hierarchy\n"
       "  validate <schema> <instance>       C1-C7 + Sigma model check\n"
-      "  mine <schema> <instance>           learn constraints from data\n");
-  return 2;
+      "  mine <schema> <instance>           learn constraints from data\n"
+      "exit codes: 0 yes/ok, 1 no, 2 usage, 10-17 one per error class\n"
+      "  (16 = deadline exceeded, 17 = cancelled)\n");
+  return kExitUsage;
 }
 
-int Check(const DimensionSchema& ds) {
+/// The per-invocation resource budget, built from --deadline-ms.
+struct CliBudget {
+  Budget budget;
+  bool bounded = false;
+  const Budget* get() const { return bounded ? &budget : nullptr; }
+};
+
+void PrintPartialStats(const DimsatStats& stats) {
+  std::fprintf(stderr,
+               "partial work before the budget expired: %llu EXPAND calls, "
+               "%llu CHECK calls, %llu assignments\n",
+               static_cast<unsigned long long>(stats.expand_calls),
+               static_cast<unsigned long long>(stats.check_calls),
+               static_cast<unsigned long long>(stats.assignments_tried));
+}
+
+int Check(const DimensionSchema& ds, const CliBudget& budget) {
   const HierarchySchema& schema = ds.hierarchy();
+  DimsatOptions options;
+  options.budget = budget.get();
   bool all_ok = true;
+  Status degraded;
   for (CategoryId c = 0; c < schema.num_categories(); ++c) {
-    Result<bool> satisfiable = IsCategorySatisfiable(ds, c);
-    if (!satisfiable.ok()) return Fail(satisfiable.status());
+    Result<bool> satisfiable = IsCategorySatisfiable(ds, c, options);
+    if (!satisfiable.ok()) {
+      if (!IsBudgetError(satisfiable.status())) return Fail(satisfiable.status());
+      // Degrade: report this category as unknown and keep auditing the
+      // rest under what remains of the budget.
+      degraded = satisfiable.status();
+      std::printf("%-20s unknown (%s)\n", schema.CategoryName(c).c_str(),
+                  std::string(StatusCodeToString(satisfiable.status().code()))
+                      .c_str());
+      continue;
+    }
     std::printf("%-20s %s\n", schema.CategoryName(c).c_str(),
                 *satisfiable ? "satisfiable" : "UNSATISFIABLE");
     if (!*satisfiable) {
       all_ok = false;
-      Result<std::vector<size_t>> core = UnsatisfiableCore(ds, c);
+      Result<std::vector<size_t>> core = UnsatisfiableCore(ds, c, options);
       if (core.ok()) {
         std::printf("  conflicting constraints:\n");
         for (size_t i : *core) {
@@ -82,28 +146,45 @@ int Check(const DimensionSchema& ds) {
       }
     }
   }
-  return all_ok ? 0 : 1;
+  if (!degraded.ok()) return Fail(degraded);
+  return all_ok ? 0 : kExitAnswerNo;
 }
 
-int Frozen(const DimensionSchema& ds, const std::string& root_name) {
+int Frozen(const DimensionSchema& ds, const std::string& root_name,
+           const CliBudget& budget) {
   Result<CategoryId> root = ds.hierarchy().CategoryIdOf(root_name);
   if (!root.ok()) return Fail(root.status());
-  DimsatResult r = EnumerateFrozenDimensions(ds, *root);
-  if (!r.status.ok()) return Fail(r.status);
-  std::printf("%zu frozen dimension(s) with root %s:\n", r.frozen.size(),
-              root_name.c_str());
+  DimsatOptions options;
+  options.budget = budget.get();
+  DimsatResult r = EnumerateFrozenDimensions(ds, *root, options);
+  if (!r.status.ok() && !IsBudgetError(r.status)) return Fail(r.status);
+  std::printf("%zu frozen dimension(s) with root %s%s:\n", r.frozen.size(),
+              root_name.c_str(),
+              r.status.ok() ? "" : " (partial: budget expired)");
   for (const FrozenDimension& f : r.frozen) {
     std::printf("  %s\n", f.ToString(ds.hierarchy()).c_str());
+  }
+  if (!r.status.ok()) {
+    PrintPartialStats(r.stats);
+    return Fail(r.status);
   }
   return 0;
 }
 
-int ImpliesCmd(const DimensionSchema& ds, const std::string& text) {
+int ImpliesCmd(const DimensionSchema& ds, const std::string& text,
+               const CliBudget& budget) {
   Result<DimensionConstraint> alpha =
       ParseConstraint(ds.hierarchy(), text);
   if (!alpha.ok()) return Fail(alpha.status());
-  Result<ImplicationResult> r = Implies(ds, *alpha);
+  DimsatOptions options;
+  options.budget = budget.get();
+  Result<ImplicationResult> r = Implies(ds, *alpha, options);
   if (!r.ok()) return Fail(r.status());
+  if (!r->status.ok()) {
+    std::printf("UNKNOWN\n");
+    PrintPartialStats(r->stats);
+    return Fail(r->status);
+  }
   if (r->implied) {
     std::printf("IMPLIED\n");
     return 0;
@@ -113,11 +194,12 @@ int ImpliesCmd(const DimensionSchema& ds, const std::string& text) {
     std::printf("counterexample: %s\n",
                 r->counterexample->ToString(ds.hierarchy()).c_str());
   }
-  return 1;
+  return kExitAnswerNo;
 }
 
 int Summarizable(const DimensionSchema& ds,
-                 const std::vector<std::string>& args) {
+                 const std::vector<std::string>& args,
+                 const CliBudget& budget) {
   const HierarchySchema& schema = ds.hierarchy();
   Result<CategoryId> target = schema.CategoryIdOf(args[0]);
   if (!target.ok()) return Fail(target.status());
@@ -127,8 +209,18 @@ int Summarizable(const DimensionSchema& ds,
     if (!c.ok()) return Fail(c.status());
     sources.push_back(*c);
   }
-  Result<SummarizabilityResult> r = IsSummarizable(ds, *target, sources);
+  DimsatOptions options;
+  options.budget = budget.get();
+  Result<SummarizabilityResult> r =
+      IsSummarizable(ds, *target, sources, options);
   if (!r.ok()) return Fail(r.status());
+  if (!r->status.ok()) {
+    std::printf("UNKNOWN (%zu of %zu bottom categories decided)\n",
+                r->details.size(),
+                schema.bottom_categories().size());
+    PrintPartialStats(r->stats);
+    return Fail(r->status);
+  }
   std::printf("%s\n", r->summarizable ? "SUMMARIZABLE" : "NOT SUMMARIZABLE");
   for (const auto& detail : r->details) {
     if (!detail.implied && detail.counterexample.has_value()) {
@@ -137,11 +229,13 @@ int Summarizable(const DimensionSchema& ds,
                   detail.counterexample->ToString(schema).c_str());
     }
   }
-  return r->summarizable ? 0 : 1;
+  return r->summarizable ? 0 : kExitAnswerNo;
 }
 
-int Minimize(const DimensionSchema& ds) {
-  Result<DimensionSchema> minimized = MinimizeConstraintSet(ds);
+int Minimize(const DimensionSchema& ds, const CliBudget& budget) {
+  DimsatOptions options;
+  options.budget = budget.get();
+  Result<DimensionSchema> minimized = MinimizeConstraintSet(ds, options);
   if (!minimized.ok()) return Fail(minimized.status());
   std::printf("%s", SerializeSchema(*minimized).c_str());
   std::fprintf(stderr, "kept %zu of %zu constraints\n",
@@ -166,44 +260,73 @@ int Validate(const DimensionSchema& ds, const std::string& instance_path) {
       }
     }
   }
-  return ok ? 0 : 1;
+  return ok ? 0 : kExitAnswerNo;
 }
 
 int Run(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string command = argv[1];
-  Result<DimensionSchema> ds = LoadSchemaFile(argv[2]);
+  // Extract global flags (they may appear anywhere).
+  std::vector<std::string> args;
+  CliBudget budget;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--deadline-ms") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --deadline-ms needs a value\n");
+        return kExitUsage;
+      }
+      char* end = nullptr;
+      long ms = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || ms <= 0) {
+        std::fprintf(stderr,
+                     "error: --deadline-ms needs a positive integer, got "
+                     "'%s'\n",
+                     argv[i]);
+        return kExitUsage;
+      }
+      budget.budget = Budget::WithDeadlineMs(ms);
+      budget.bounded = true;
+      continue;
+    }
+    args.push_back(std::move(arg));
+  }
+  if (args.size() < 2) return Usage();
+  const std::string& command = args[0];
+  Result<DimensionSchema> ds = LoadSchemaFile(args[1]);
   if (!ds.ok()) return Fail(ds.status());
 
-  if (command == "check") return Check(*ds);
+  if (command == "check") return Check(*ds, budget);
   if (command == "dot") {
     std::printf("%s", ds->hierarchy().ToDot().c_str());
     return 0;
   }
-  if (command == "minimize") return Minimize(*ds);
+  if (command == "minimize") return Minimize(*ds, budget);
   if (command == "report") {
-    Result<std::string> report = HeterogeneityReport(*ds);
+    ReportOptions report_options;
+    report_options.dimsat.budget = budget.get();
+    Result<std::string> report = HeterogeneityReport(*ds, report_options);
     if (!report.ok()) return Fail(report.status());
     std::printf("%s", report->c_str());
     return 0;
   }
-  if (command == "frozen" && argc >= 4) return Frozen(*ds, argv[3]);
-  if (command == "implies" && argc >= 4) {
+  if (command == "frozen" && args.size() >= 3) {
+    return Frozen(*ds, args[2], budget);
+  }
+  if (command == "implies" && args.size() >= 3) {
     std::string text;
-    for (int i = 3; i < argc; ++i) {
-      if (i > 3) text += " ";
-      text += argv[i];
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (i > 2) text += " ";
+      text += args[i];
     }
-    return ImpliesCmd(*ds, text);
+    return ImpliesCmd(*ds, text, budget);
   }
-  if (command == "summarizable" && argc >= 5) {
-    std::vector<std::string> args(argv + 3, argv + argc);
-    return Summarizable(*ds, args);
+  if (command == "summarizable" && args.size() >= 4) {
+    std::vector<std::string> rest(args.begin() + 2, args.end());
+    return Summarizable(*ds, rest, budget);
   }
-  if (command == "validate" && argc >= 4) return Validate(*ds, argv[3]);
-  if (command == "mine" && argc >= 4) {
+  if (command == "validate" && args.size() >= 3) return Validate(*ds, args[2]);
+  if (command == "mine" && args.size() >= 3) {
     Result<DimensionInstance> d =
-        LoadInstanceFile(ds->hierarchy_ptr(), argv[3]);
+        LoadInstanceFile(ds->hierarchy_ptr(), args[2]);
     if (!d.ok()) return Fail(d.status());
     Result<DimensionSchema> mined = MineSchema(*d);
     if (!mined.ok()) return Fail(mined.status());
