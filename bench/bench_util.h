@@ -4,11 +4,18 @@
 #define OLAPDC_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <deque>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/result.h"
+#include "obs/json.h"
 
 namespace olapdc {
 namespace bench {
@@ -42,6 +49,94 @@ inline void PrintHeader(const std::string& title) {
 inline void PrintRule() {
   std::printf("--------------------------------------------------------------------------\n");
 }
+
+/// Machine-readable benchmark output. A harness creates one reporter,
+/// appends one Row per measured case, and calls WriteJson() at exit to
+/// produce `BENCH_<name>.json` next to the binary:
+///
+///   {"bench": "<name>", "rows": [{"case": ..., "ms": ...}, ...]}
+///
+/// so CI and offline tooling can diff benchmark runs without scraping
+/// the human-oriented stdout tables.
+class BenchReporter {
+ public:
+  class Row {
+   public:
+    Row& Set(std::string_view key, double value) {
+      return SetRendered(key, obs::JsonNumber(value));
+    }
+    Row& Set(std::string_view key, uint64_t value) {
+      return SetRendered(key, std::to_string(value));
+    }
+    Row& Set(std::string_view key, int64_t value) {
+      return SetRendered(key, std::to_string(value));
+    }
+    Row& Set(std::string_view key, int value) {
+      return SetRendered(key, std::to_string(value));
+    }
+    Row& Set(std::string_view key, bool value) {
+      return SetRendered(key, value ? "true" : "false");
+    }
+    Row& Set(std::string_view key, std::string_view value) {
+      return SetRendered(key, obs::JsonString(value));
+    }
+    Row& Set(std::string_view key, const char* value) {
+      return Set(key, std::string_view(value));
+    }
+
+   private:
+    friend class BenchReporter;
+    Row& SetRendered(std::string_view key, std::string rendered) {
+      fields_.emplace_back(std::string(key), std::move(rendered));
+      return *this;
+    }
+    /// Values pre-rendered as JSON, in insertion order.
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+
+  /// The reference stays valid for the reporter's lifetime (deque
+  /// storage), so a harness can keep filling a row after adding more.
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<name>.json into the current directory. Returns false
+  /// (after printing a warning) when the file cannot be written.
+  bool WriteJson() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (out) out << ToJson() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\": " + obs::JsonString(name_) + ", \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{";
+      for (size_t j = 0; j < rows_[i].fields_.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += obs::JsonString(rows_[i].fields_[j].first) + ": " +
+               rows_[i].fields_[j].second;
+      }
+      out += "}";
+    }
+    out += "]}";
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::deque<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace olapdc

@@ -24,6 +24,7 @@ void Run() {
               "dimsat ms", "checks", "naive ms", "candidates", "speedup",
               "agree");
   bench::PrintRule();
+  bench::BenchReporter reporter("dimsat");
   for (int levels : {2, 3, 4}) {
     for (int width : {2, 3}) {
       SchemaGenOptions schema_options;
@@ -49,6 +50,19 @@ void Run() {
       double dimsat_ms = dimsat_timer.ElapsedMs();
       OLAPDC_CHECK(dimsat.status.ok());
 
+      bench::BenchReporter::Row& row =
+          reporter.AddRow()
+              .Set("levels", levels)
+              .Set("width", width)
+              .Set("categories",
+                   static_cast<int>(ds.hierarchy().num_categories()))
+              .Set("edges",
+                   static_cast<int>(ds.hierarchy().graph().num_edges()))
+              .Set("dimsat_ms", dimsat_ms)
+              .Set("dimsat_expand_calls", dimsat.stats.expand_calls)
+              .Set("dimsat_check_calls", dimsat.stats.check_calls)
+              .Set("dimsat_frozen", static_cast<uint64_t>(dimsat.frozen.size()));
+
       NaiveSatOptions naive_options;
       naive_options.enumerate_all = true;
       naive_options.max_edges = 24;
@@ -60,11 +74,16 @@ void Run() {
                     ds.hierarchy().num_categories(),
                     ds.hierarchy().graph().num_edges(), dimsat_ms,
                     static_cast<unsigned long long>(dimsat.stats.check_calls));
+        row.Set("naive_skipped", true);
         continue;
       }
       double naive_ms = naive_timer.ElapsedMs();
       bool agree = naive->frozen.size() == dimsat.frozen.size() &&
                    naive->satisfiable == dimsat.satisfiable;
+      row.Set("naive_ms", naive_ms)
+          .Set("naive_candidates", naive->stats.check_calls)
+          .Set("speedup", naive_ms / (dimsat_ms > 0 ? dimsat_ms : 0.001))
+          .Set("agree", agree);
       std::printf("%4d %6d | %10.2f %10llu | %10.2f %12llu | %8.1fx %7s\n",
                   ds.hierarchy().num_categories(),
                   ds.hierarchy().graph().num_edges(), dimsat_ms,
@@ -75,6 +94,7 @@ void Run() {
                   agree ? "yes" : "NO");
     }
   }
+  reporter.WriteJson();
   std::printf(
       "\nExpected shape: DIMSAT wins by a factor growing exponentially in "
       "the edge count (the naive candidate count is 2^edges).\n");

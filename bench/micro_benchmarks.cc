@@ -12,6 +12,7 @@
 #include "core/dimsat.h"
 #include "core/location_example.h"
 #include "graph/algorithms.h"
+#include "obs/metrics.h"
 #include "olap/cube_view.h"
 #include "workload/instance_generator.h"
 #include "workload/schema_generator.h"
@@ -116,6 +117,38 @@ void BM_DimsatLocation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DimsatLocation)->Arg(0)->Arg(1);
+
+// Same run with the metrics registry enabled: the delta against
+// BM_DimsatLocation is the *enabled* instrumentation cost (one batched
+// flush per run). BM_DimsatLocation itself measures the disabled cost,
+// which must stay within noise of the pre-instrumentation baseline
+// (docs/observability.md records both).
+void BM_DimsatLocationMetricsOn(benchmark::State& state) {
+  const DimensionSchema& ds = Location();
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatOptions options;
+  options.enumerate_all = state.range(0) != 0;
+  obs::MetricsRegistry::Global().Enable();
+  for (auto _ : state) {
+    DimsatResult r = Dimsat(ds, store, options);
+    benchmark::DoNotOptimize(r);
+  }
+  obs::MetricsRegistry::Global().Disable();
+  obs::MetricsRegistry::Global().Reset();
+}
+BENCHMARK(BM_DimsatLocationMetricsOn)->Arg(0)->Arg(1);
+
+// The raw recording entry point, disabled vs enabled: the disabled
+// path must stay a relaxed load + branch (sub-nanosecond).
+void BM_MetricsCount(benchmark::State& state) {
+  if (state.range(0) != 0) obs::MetricsRegistry::Global().Enable();
+  for (auto _ : state) {
+    obs::Count("olapdc.bench.counter");
+  }
+  obs::MetricsRegistry::Global().Disable();
+  obs::MetricsRegistry::Global().Reset();
+}
+BENCHMARK(BM_MetricsCount)->Arg(0)->Arg(1);
 
 void BM_InstanceBuild(benchmark::State& state) {
   const DimensionSchema& ds = Location();

@@ -24,9 +24,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace olapdc {
 
@@ -133,10 +136,17 @@ class BudgetChecker {
 
   /// `budget` may be null (every Check() returns OK) and must outlive
   /// the checker. A zero `stride` is treated as 1 (probe every call).
+  /// A non-empty `site` names the probing loop for observability: when
+  /// the budget trips, `olapdc.budget.expired.<site>` (plus a
+  /// deadline/cancelled classification counter) is incremented in the
+  /// metrics registry — per-site expiry accounting costs nothing on the
+  /// non-tripping path.
   explicit BudgetChecker(const Budget* budget,
-                         uint32_t stride = kDefaultStride)
+                         uint32_t stride = kDefaultStride,
+                         std::string_view site = {})
       : budget_(budget != nullptr && !budget->unbounded() ? budget : nullptr),
-        stride_(stride == 0 ? 1 : stride) {}
+        stride_(stride == 0 ? 1 : stride),
+        site_(site) {}
 
   Status Check() {
     if (budget_ == nullptr || tripped_) return status_;
@@ -144,6 +154,7 @@ class BudgetChecker {
     status_ = budget_->Check();
     tripped_ = !status_.ok();
     ++probes_;
+    if (tripped_) CountExpiry();
     return status_;
   }
 
@@ -151,8 +162,17 @@ class BudgetChecker {
   uint64_t probes() const { return probes_; }
 
  private:
+  void CountExpiry() const {
+    if (!obs::MetricsEnabled()) return;
+    obs::Count(status_.code() == StatusCode::kCancelled
+                   ? "olapdc.budget.cancelled"
+                   : "olapdc.budget.deadline_exceeded");
+    if (!site_.empty()) obs::Count("olapdc.budget.expired." + site_);
+  }
+
   const Budget* budget_;
   uint32_t stride_;
+  std::string site_;
   uint64_t calls_ = 0;
   uint64_t probes_ = 0;
   bool tripped_ = false;

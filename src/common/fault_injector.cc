@@ -3,6 +3,8 @@
 #include <functional>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace olapdc {
 
 FaultInjector& FaultInjector::Global() {
@@ -52,6 +54,7 @@ Status FaultInjector::MaybeFail(std::string_view site) {
     if (dist(s.rng) >= s.probability) return Status::OK();
   }
   ++s.failures;
+  obs::Count("olapdc.fault.injected." + std::string(site));
   return Status(s.code, s.message);
 }
 

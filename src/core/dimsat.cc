@@ -1,6 +1,7 @@
 #include "core/dimsat.h"
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <utility>
@@ -9,6 +10,8 @@
 #include "common/string_util.h"
 #include "constraint/normalize.h"
 #include "core/check_subhierarchy.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace olapdc {
 
@@ -18,8 +21,30 @@ void AccumulateStats(DimsatStats* total, const DimsatStats& delta) {
   total->structural_rejections += delta.structural_rejections;
   total->assignments_tried += delta.assignments_tried;
   total->into_prunes += delta.into_prunes;
+  total->shortcut_prunes += delta.shortcut_prunes;
+  total->cycle_prunes += delta.cycle_prunes;
   total->dead_ends += delta.dead_ends;
   total->frozen_found += delta.frozen_found;
+}
+
+void FlushDimsatMetrics(const DimsatStats& stats, const Status& status,
+                        double elapsed_us) {
+  if (!obs::MetricsEnabled()) return;
+  // Zero deltas still register the name, so the exported inventory is
+  // complete even for rules that never fired on this workload.
+  obs::Count("olapdc.dimsat.runs");
+  obs::Count("olapdc.dimsat.nodes_expanded", stats.expand_calls);
+  obs::Count("olapdc.dimsat.check_calls", stats.check_calls);
+  obs::Count("olapdc.dimsat.structural_rejections",
+             stats.structural_rejections);
+  obs::Count("olapdc.dimsat.assignments_tried", stats.assignments_tried);
+  obs::Count("olapdc.dimsat.prune.into", stats.into_prunes);
+  obs::Count("olapdc.dimsat.prune.shortcut", stats.shortcut_prunes);
+  obs::Count("olapdc.dimsat.prune.cycle", stats.cycle_prunes);
+  obs::Count("olapdc.dimsat.dead_ends", stats.dead_ends);
+  obs::Count("olapdc.dimsat.frozen_found", stats.frozen_found);
+  obs::Count("olapdc.dimsat.budget_stops", IsBudgetError(status) ? 1 : 0);
+  obs::LatencyUs("olapdc.dimsat.latency_us", elapsed_us);
 }
 
 std::string DimsatTraceEvent::ToString(const HierarchySchema& schema) const {
@@ -71,7 +96,8 @@ class DimsatSearch {
         root_(root),
         options_(options),
         relevant_(std::move(relevant)),
-        budget_checker_(options.budget, options.budget_check_stride) {
+        budget_checker_(options.budget, options.budget_check_stride,
+                        "dimsat.expand") {
     check_options_.assignment.require_injective =
         options.require_injective_names;
     check_options_.assignment.enumerate_all = options.enumerate_all;
@@ -184,9 +210,13 @@ class DimsatSearch {
       // shortcut once ctop -> c completes the longer path.
       if (options_.prune_shortcuts && g.In(c).Intersects(below)) {
         blocked = true;
+        ++result_.stats.shortcut_prunes;
       }
       // Sc: c already reaches ctop; the edge would close a cycle.
-      if (options_.prune_cycles && below.test(c)) blocked = true;
+      if (options_.prune_cycles && below.test(c)) {
+        blocked = true;
+        ++result_.stats.cycle_prunes;
+      }
       if (!blocked) allowed.set(c);
       if (ds_.IntoTargets(ctop).test(c)) into.set(c);
     }
@@ -277,9 +307,54 @@ std::vector<Subhierarchy> FirstLevelSeeds(const DimensionSchema& ds,
 
 }  // namespace
 
+namespace {
+
+/// Wall-clock sampled only when someone is listening (metrics or a
+/// trace sink); otherwise the run pays one branch.
+class ObservedRun {
+ public:
+  ObservedRun() : observed_(obs::MetricsEnabled() ||
+                            obs::TraceSink::Global().enabled()) {
+    if (observed_) start_ = std::chrono::steady_clock::now();
+  }
+  double ElapsedUs() const {
+    if (!observed_) return 0;
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  bool observed() const { return observed_; }
+
+ private:
+  bool observed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Attaches the per-run search statistics to a trace span.
+void AnnotateSpan(obs::ObsSpan& span, const HierarchySchema& schema,
+                  CategoryId root, const DimsatResult& result) {
+  if (!span.active()) return;
+  span.AddStat("root", schema.CategoryName(root));
+  span.AddStat("satisfiable", result.satisfiable);
+  span.AddStat("expand_calls", result.stats.expand_calls);
+  span.AddStat("check_calls", result.stats.check_calls);
+  span.AddStat("prune_into", result.stats.into_prunes);
+  span.AddStat("prune_shortcut", result.stats.shortcut_prunes);
+  span.AddStat("prune_cycle", result.stats.cycle_prunes);
+  span.AddStat("dead_ends", result.stats.dead_ends);
+  span.AddStat("frozen_found", result.stats.frozen_found);
+  if (!result.status.ok()) {
+    span.AddStat("status", StatusCodeToString(result.status.code()));
+  }
+}
+
+}  // namespace
+
 DimsatResult Dimsat(const DimensionSchema& ds, CategoryId root,
                     const DimsatOptions& options) {
   OLAPDC_CHECK(0 <= root && root < ds.hierarchy().num_categories());
+  obs::ObsSpan span("dimsat.run");
+  ObservedRun run;
   Result<std::vector<DimensionConstraint>> relevant =
       PrepareRelevantConstraints(ds, root, options.path_limit);
   if (!relevant.ok()) {
@@ -287,8 +362,14 @@ DimsatResult Dimsat(const DimensionSchema& ds, CategoryId root,
     result.status = relevant.status();
     return result;
   }
-  return DimsatSearch(ds, root, options, std::move(relevant).ValueOrDie())
-      .Run();
+  DimsatResult result =
+      DimsatSearch(ds, root, options, std::move(relevant).ValueOrDie())
+          .Run();
+  if (run.observed()) {
+    FlushDimsatMetrics(result.stats, result.status, run.ElapsedUs());
+    AnnotateSpan(span, ds.hierarchy(), root, result);
+  }
+  return result;
 }
 
 DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
@@ -298,6 +379,8 @@ DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
       << "tracing is inherently sequential; use Dimsat()";
   if (num_threads <= 1) return Dimsat(ds, root, options);
 
+  obs::ObsSpan span("dimsat.parallel_run");
+  ObservedRun run;
   Result<std::vector<DimensionConstraint>> relevant =
       PrepareRelevantConstraints(ds, root, options.path_limit);
   if (!relevant.ok()) {
@@ -350,6 +433,11 @@ DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
   }
   merged.satisfiable = !merged.frozen.empty();
   merged.stats.frozen_found = merged.frozen.size();
+  if (run.observed()) {
+    FlushDimsatMetrics(merged.stats, merged.status, run.ElapsedUs());
+    span.AddStat("threads", n);
+    AnnotateSpan(span, ds.hierarchy(), root, merged);
+  }
   return merged;
 }
 

@@ -68,6 +68,10 @@ struct DimsatStats {
   uint64_t assignments_tried = 0;
   /// Branches cut because a blocked into-target made expansion futile.
   uint64_t into_prunes = 0;
+  /// Successor choices blocked by the shortcut rule Ss.
+  uint64_t shortcut_prunes = 0;
+  /// Successor choices blocked by the cycle rule Sc.
+  uint64_t cycle_prunes = 0;
   /// Expansions abandoned because no successor choice remained.
   uint64_t dead_ends = 0;
   uint64_t frozen_found = 0;
@@ -82,6 +86,14 @@ struct DimsatStats {
 /// Accumulates `delta` into `total` (parallel-worker merges, the
 /// summarizability per-bottom sweep, the Reasoner retry ladder).
 void AccumulateStats(DimsatStats* total, const DimsatStats& delta);
+
+/// Publishes one finished run's statistics into the global metrics
+/// registry under `olapdc.dimsat.*` (docs/observability.md has the
+/// inventory) and records the run latency. No-op when metrics are
+/// disabled. Called once per Dimsat()/DimsatParallel() run — batching
+/// the flush here keeps the EXPAND hot loop free of registry traffic.
+void FlushDimsatMetrics(const DimsatStats& stats, const Status& status,
+                        double elapsed_us);
 
 /// One step of the Figure 7 execution trace.
 struct DimsatTraceEvent {

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace olapdc {
 
 Result<ImplicationResult> Implies(const DimensionSchema& ds,
@@ -10,6 +13,8 @@ Result<ImplicationResult> Implies(const DimensionSchema& ds,
   OLAPDC_CHECK(alpha.expr != nullptr);
   OLAPDC_CHECK(alpha.root != ds.hierarchy().all())
       << "constraints cannot be rooted at All";
+  obs::ObsSpan span("implication.query");
+  obs::Count("olapdc.implication.queries");
 
   DimensionConstraint negated{alpha.root, MakeNot(alpha.expr),
                               alpha.label.empty() ? "" : "!" + alpha.label};
@@ -25,6 +30,8 @@ Result<ImplicationResult> Implies(const DimensionSchema& ds,
     // of the search space went unexplored.
     if (!search.satisfiable || !IsBudgetError(search.status)) {
       if (!IsBudgetError(search.status)) return search.status;
+      obs::Count("olapdc.implication.unknown");
+      if (span.active()) span.AddStat("outcome", "unknown");
       result.status = search.status;
       return result;
     }
@@ -32,6 +39,13 @@ Result<ImplicationResult> Implies(const DimensionSchema& ds,
   result.implied = !search.satisfiable;
   if (search.satisfiable) {
     result.counterexample = std::move(search.frozen.front());
+    obs::Count("olapdc.implication.counterexamples");
+  }
+  obs::Count(result.implied ? "olapdc.implication.implied"
+                            : "olapdc.implication.not_implied");
+  if (span.active()) {
+    span.AddStat("outcome", result.implied ? "implied" : "not_implied");
+    span.AddStat("expand_calls", result.stats.expand_calls);
   }
   return result;
 }

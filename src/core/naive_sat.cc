@@ -6,13 +6,36 @@
 #include "constraint/normalize.h"
 #include "core/check_subhierarchy.h"
 #include "core/subhierarchy.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace olapdc {
+
+namespace {
+
+/// Batched per-run metrics flush (olapdc.naive_sat.*), mirroring
+/// FlushDimsatMetrics: the 2^edges enumeration loop itself stays free
+/// of registry traffic.
+void FlushNaiveSatMetrics(const DimsatResult& result) {
+  if (!obs::MetricsEnabled()) return;
+  obs::Count("olapdc.naive_sat.runs");
+  obs::Count("olapdc.naive_sat.candidates_checked", result.stats.check_calls);
+  obs::Count("olapdc.naive_sat.assignments_tried",
+             result.stats.assignments_tried);
+  obs::Count("olapdc.naive_sat.structural_rejections",
+             result.stats.structural_rejections);
+  obs::Count("olapdc.naive_sat.frozen_found", result.stats.frozen_found);
+  obs::Count("olapdc.naive_sat.budget_stops",
+             IsBudgetError(result.status) ? 1 : 0);
+}
+
+}  // namespace
 
 Result<DimsatResult> NaiveSat(const DimensionSchema& ds, CategoryId root,
                               const NaiveSatOptions& options) {
   const HierarchySchema& schema = ds.hierarchy();
   OLAPDC_CHECK(0 <= root && root < schema.num_categories());
+  obs::ObsSpan span("naive_sat.run");
 
   // Only edges among categories reachable from the root can appear in a
   // subhierarchy rooted there.
@@ -44,7 +67,8 @@ Result<DimsatResult> NaiveSat(const DimensionSchema& ds, CategoryId root,
   check_options.assignment.max_results = options.max_frozen;
 
   DimsatResult result;
-  BudgetChecker budget_checker(options.budget, options.budget_check_stride);
+  BudgetChecker budget_checker(options.budget, options.budget_check_stride,
+                               "naive_sat.enumerate");
   const uint64_t subsets = uint64_t{1} << edges.size();
   for (uint64_t mask = 0; mask < subsets; ++mask) {
     Status budget = budget_checker.Check();
@@ -75,6 +99,12 @@ Result<DimsatResult> NaiveSat(const DimensionSchema& ds, CategoryId root,
   }
   result.satisfiable = !result.frozen.empty();
   result.stats.frozen_found = result.frozen.size();
+  FlushNaiveSatMetrics(result);
+  if (span.active()) {
+    span.AddStat("root", schema.CategoryName(root));
+    span.AddStat("candidates_checked", result.stats.check_calls);
+    span.AddStat("satisfiable", result.satisfiable);
+  }
   return result;
 }
 

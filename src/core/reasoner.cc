@@ -1,10 +1,13 @@
 #include "core/reasoner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/fault_injector.h"
 #include "constraint/printer.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace olapdc {
 
@@ -34,17 +37,59 @@ Reasoner::Reasoner(DimensionSchema schema, DimsatOptions dimsat_options)
         return options;
       }()) {}
 
+namespace {
+
+/// Publishes one finished query into the registry (olapdc.reasoner.*)
+/// and annotates its trace span. The ladder's per-rung DIMSAT runs
+/// already flush their own olapdc.dimsat.* metrics.
+void ObserveQuery(obs::ObsSpan& span, const std::string& key,
+                  const ReasonerAnswer& answer, double elapsed_us) {
+  if (obs::MetricsEnabled()) {
+    obs::Count("olapdc.reasoner.queries");
+    obs::Count("olapdc.reasoner.cache_hits", answer.from_cache ? 1 : 0);
+    obs::Count("olapdc.reasoner.cache_misses", answer.from_cache ? 0 : 1);
+    obs::Count("olapdc.reasoner.ladder_rungs",
+               static_cast<uint64_t>(answer.attempts));
+    obs::Count("olapdc.reasoner.unknown",
+               answer.truth == Truth::kUnknown ? 1 : 0);
+    obs::LatencyUs("olapdc.reasoner.latency_us", elapsed_us);
+  }
+  if (span.active()) {
+    span.AddStat("key", key);
+    span.AddStat("truth", TruthToString(answer.truth));
+    span.AddStat("from_cache", answer.from_cache);
+    span.AddStat("attempts", answer.attempts);
+    span.AddStat("expand_calls", answer.work.expand_calls);
+  }
+}
+
+}  // namespace
+
 ReasonerAnswer Reasoner::RunLadder(
     const std::string& key, const Budget* budget,
     const std::function<Attempt(const DimsatOptions&)>& attempt) {
   ++stats_.queries;
   ReasonerAnswer answer;
 
+  obs::ObsSpan span("reasoner.query");
+  const bool observed = obs::MetricsEnabled() || span.active();
+  const auto start = observed ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point();
+  auto finish = [&]() {
+    if (!observed) return;
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    ObserveQuery(span, key, answer, elapsed_us);
+  };
+
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++stats_.hits;
     answer.truth = it->second ? Truth::kYes : Truth::kNo;
     answer.from_cache = true;
+    finish();
     return answer;
   }
 
@@ -77,6 +122,7 @@ ReasonerAnswer Reasoner::RunLadder(
       answer.truth = outcome.truth;
       answer.reason = Status::OK();
       cache_.emplace(key, outcome.truth == Truth::kYes);
+      finish();
       return answer;
     }
     answer.reason = outcome.status;
@@ -94,6 +140,7 @@ ReasonerAnswer Reasoner::RunLadder(
 
   answer.truth = Truth::kUnknown;
   ++stats_.unknown;
+  finish();
   return answer;
 }
 

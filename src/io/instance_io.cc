@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "io/parse_observer.h"
 
 namespace olapdc {
 
@@ -56,11 +57,9 @@ Result<std::vector<Token>> Tokenize(const std::string& line, int number) {
   return tokens;
 }
 
-}  // namespace
-
-Result<DimensionInstance> ParseInstanceText(HierarchySchemaPtr schema,
-                                            std::string_view text,
-                                            bool skip_validation) {
+Result<DimensionInstance> ParseInstanceTextImpl(HierarchySchemaPtr schema,
+                                                std::string_view text,
+                                                bool skip_validation) {
   OLAPDC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail("instance_io.parse"));
   DimensionInstanceBuilder builder(std::move(schema));
   builder.set_skip_validation(skip_validation);
@@ -93,6 +92,19 @@ Result<DimensionInstance> ParseInstanceText(HierarchySchemaPtr schema,
     }
   }
   return builder.Build();
+}
+
+}  // namespace
+
+Result<DimensionInstance> ParseInstanceText(HierarchySchemaPtr schema,
+                                            std::string_view text,
+                                            bool skip_validation) {
+  io_internal::ParseObserver observer("io.parse_instance",
+                                      "olapdc.io.instance");
+  Result<DimensionInstance> result =
+      ParseInstanceTextImpl(std::move(schema), text, skip_validation);
+  observer.Finish(result.status());
+  return result;
 }
 
 std::string SerializeInstance(const DimensionInstance& d) {

@@ -1,0 +1,56 @@
+// ParseObserver: shared instrumentation for the I/O boundary parsers.
+// Each ParseSchemaText / ParseInstanceText call is one trace span plus
+// three metrics — `olapdc.io.<kind>.parses`, `.parse_errors`, and the
+// `.parse_latency_us` histogram — so malformed-input storms and parse
+// latency regressions show up in --metrics-json like any other
+// subsystem. Internal to `src/io`.
+
+#ifndef OLAPDC_IO_PARSE_OBSERVER_H_
+#define OLAPDC_IO_PARSE_OBSERVER_H_
+
+#include <chrono>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace olapdc {
+namespace io_internal {
+
+class ParseObserver {
+ public:
+  /// `prefix` is the metric-family prefix, e.g. "olapdc.io.schema".
+  ParseObserver(const char* span_name, const char* prefix)
+      : span_(span_name),
+        prefix_(prefix),
+        observed_(obs::MetricsEnabled() || span_.active()) {
+    if (observed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Call exactly once with the parse outcome before returning it.
+  void Finish(const Status& status) {
+    if (!observed_) return;
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    obs::Count(std::string(prefix_) + ".parses");
+    obs::Count(std::string(prefix_) + ".parse_errors", status.ok() ? 0 : 1);
+    obs::LatencyUs(std::string(prefix_) + ".parse_latency_us", elapsed_us);
+    if (span_.active() && !status.ok()) {
+      span_.AddStat("error", status.ToString());
+    }
+  }
+
+ private:
+  obs::ObsSpan span_;
+  const char* prefix_;
+  bool observed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace io_internal
+}  // namespace olapdc
+
+#endif  // OLAPDC_IO_PARSE_OBSERVER_H_

@@ -9,6 +9,7 @@
 #include "common/fault_injector.h"
 #include "constraint/parser.h"
 #include "constraint/printer.h"
+#include "io/parse_observer.h"
 
 namespace olapdc {
 
@@ -85,9 +86,7 @@ Status RelocateParserError(const Line& line, const Status& status) {
   return Err(line, line.rest_column, message);
 }
 
-}  // namespace
-
-Result<DimensionSchema> ParseSchemaText(std::string_view text) {
+Result<DimensionSchema> ParseSchemaTextImpl(std::string_view text) {
   OLAPDC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail("schema_io.parse"));
   const std::vector<Line> lines = SplitLines(text);
 
@@ -149,6 +148,15 @@ Result<DimensionSchema> ParseSchemaText(std::string_view text) {
     constraints.push_back(std::move(parsed).ValueOrDie());
   }
   return DimensionSchema(std::move(hierarchy), std::move(constraints));
+}
+
+}  // namespace
+
+Result<DimensionSchema> ParseSchemaText(std::string_view text) {
+  io_internal::ParseObserver observer("io.parse_schema", "olapdc.io.schema");
+  Result<DimensionSchema> result = ParseSchemaTextImpl(text);
+  observer.Finish(result.status());
+  return result;
 }
 
 std::string SerializeSchema(const DimensionSchema& ds) {

@@ -1,0 +1,68 @@
+// Minimal JSON rendering helpers shared by the observability layer
+// (metrics snapshots, trace spans) and the bench reporters. This is a
+// *writer* only — olapdc never parses JSON — and deliberately tiny so
+// `src/obs` stays dependency-free (it sits below `src/common` in the
+// layering: common's Budget/FaultInjector count into the registry).
+
+#ifndef OLAPDC_OBS_JSON_H_
+#define OLAPDC_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace olapdc {
+namespace obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// added). Control characters become \u00XX.
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `"escaped"` — a complete JSON string literal.
+inline std::string JsonString(std::string_view s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+/// Renders a double with enough precision to round-trip, using "%g" so
+/// integral values stay readable ("12" not "12.000000"). NaN/inf (not
+/// representable in JSON) render as 0.
+inline std::string JsonNumber(double value) {
+  if (!(value == value) || value > 1.7e308 || value < -1.7e308) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest %g that still reads back exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    double parsed = 0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == value) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace olapdc
+
+#endif  // OLAPDC_OBS_JSON_H_

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace olapdc {
+namespace obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
+  // The thread_local shared_ptr keeps the shard alive past Reset();
+  // the registry's copy keeps the data visible after the thread exits.
+  thread_local std::shared_ptr<Shard> local;
+  if (local == nullptr) {
+    local = std::make_shared<Shard>();
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(local);
+  }
+  return *local;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::shared_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->counters.clear();
+    shard->histograms.clear();
+  }
+  gauges_.clear();
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+void MetricsRegistry::RecordLatencyUs(std::string_view name, double us) {
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Histogram& h = shard.histograms[std::string(name)];
+  ++h.count;
+  h.sum_us += us;
+  size_t bucket = 0;
+  while (bucket < kLatencyBucketBoundsUs.size() &&
+         us > kLatencyBucketBoundsUs[bucket]) {
+    ++bucket;
+  }
+  ++h.buckets[bucket];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.gauges = gauges_;
+  for (const std::shared_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, value] : shard->counters) {
+      snapshot.counters[name] += value;
+    }
+    for (const auto& [name, h] : shard->histograms) {
+      HistogramSnapshot& merged = snapshot.histograms[name];
+      merged.count += h.count;
+      merged.sum_us += h.sum_us;
+      for (size_t i = 0; i < kNumLatencyBuckets; ++i) {
+        merged.buckets[i] += h.buckets[i];
+      }
+    }
+  }
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": {\"count\": " +
+           std::to_string(h.count) + ", \"sum_us\": " + JsonNumber(h.sum_us) +
+           ", \"buckets\": [";
+    for (size_t i = 0; i < kNumLatencyBuckets; ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le_us\": ";
+      out += i < kLatencyBucketBoundsUs.size()
+                 ? JsonNumber(kLatencyBucketBoundsUs[i])
+                 : "\"inf\"";
+      out += ", \"count\": " + std::to_string(h.buckets[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace olapdc

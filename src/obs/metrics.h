@@ -1,0 +1,155 @@
+// MetricsRegistry: the process-wide observability substrate — named
+// counters, gauges, and fixed-bucket latency histograms.
+//
+// DIMSAT's worst case is exponential (Proposition 4), so "where did the
+// search effort go" is a first-class production question: node
+// expansions, per-rule pruning hits, cache hits, budget expiries and
+// injected faults are all counted here under the `olapdc.<subsystem>.
+// <name>` naming scheme (inventory: docs/observability.md).
+//
+// Design constraints, in order:
+//  1. Near-zero cost when disabled (the default). Every recording
+//     entry point first tests one relaxed atomic bool and returns; the
+//     hot decision procedures additionally batch their per-run
+//     statistics into a single flush instead of counting per node.
+//  2. Thread-safe without cross-thread contention when enabled.
+//     Counters and histograms live in per-thread shards (registered
+//     once per thread under the registry mutex; incremented under the
+//     shard's own uncontended mutex, which also keeps TSan happy).
+//     Snapshot() merges all shards. Gauges are last-write-wins and
+//     rare, so they live registry-global.
+//  3. No dependencies: `src/obs` sits *below* `src/common`, so the
+//     Budget checker and the FaultInjector can count into it.
+//
+// The registry is process-global (like the FaultInjector) so
+// instrumentation sites buried deep in the call graph need no handle
+// threading. Tests that enable it must Reset()+Disable() when done.
+
+#ifndef OLAPDC_OBS_METRICS_H_
+#define OLAPDC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace olapdc {
+namespace obs {
+
+/// Upper bounds (microseconds, inclusive) of the fixed latency-histogram
+/// buckets; one implicit overflow bucket follows. Spanning 1us..10s in
+/// a 1-2-5 ladder covers everything from a single CHECK call to a
+/// deadline-bounded full enumeration.
+inline constexpr std::array<double, 15> kLatencyBucketBoundsUs = {
+    1,    2,    5,     10,    20,     50,     100,   200,
+    500,  1000, 2000,  5000,  10000,  100000, 1000000};
+inline constexpr size_t kNumLatencyBuckets = kLatencyBucketBoundsUs.size() + 1;
+
+/// Aggregated view of one histogram: per-bucket counts plus count/sum
+/// (so mean latency is recoverable without the raw samples).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum_us = 0;
+  std::array<uint64_t, kNumLatencyBuckets> buckets{};
+};
+
+/// A point-in-time merge of every shard, with deterministically ordered
+/// (std::map) names so JSON output is diffable.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  uint64_t counter(std::string_view name) const {
+    auto it = counters.find(std::string(name));
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  /// Renders the snapshot as the docs/observability.md JSON schema.
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Clears every counter, gauge, and histogram (shard registrations
+  /// survive). Does not change enabled().
+  void Reset();
+
+  /// Adds `delta` to the named counter. A delta of 0 still creates the
+  /// counter, so inventories stay complete even for events that never
+  /// fired. No-op when disabled.
+  void AddCounter(std::string_view name, uint64_t delta = 1);
+
+  /// Sets the named gauge (last write wins across threads).
+  void SetGauge(std::string_view name, int64_t value);
+
+  /// Records one latency sample into the named histogram.
+  void RecordLatencyUs(std::string_view name, double us);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Snapshot().ToJson() — the --metrics-json payload.
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+ private:
+  struct Histogram {
+    uint64_t count = 0;
+    double sum_us = 0;
+    std::array<uint64_t, kNumLatencyBuckets> buckets{};
+  };
+  /// One thread's slice of the registry. The owning thread locks `mu`
+  /// for every write; Snapshot() locks it briefly for the merge. The
+  /// mutex is uncontended in steady state (one writer), so the cost is
+  /// an atomic exchange, not a syscall.
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, uint64_t> counters;
+    std::unordered_map<std::string, Histogram> histograms;
+  };
+
+  MetricsRegistry() = default;
+  Shard& LocalShard();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards shards_ (the vector) and gauges_
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::map<std::string, int64_t> gauges_;
+};
+
+// Free-function recording façade: the instrumentation sites call these;
+// each is one relaxed load + branch when metrics are off.
+
+inline void Count(std::string_view name, uint64_t delta = 1) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (registry.enabled()) registry.AddCounter(name, delta);
+}
+
+inline void Gauge(std::string_view name, int64_t value) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (registry.enabled()) registry.SetGauge(name, value);
+}
+
+inline void LatencyUs(std::string_view name, double us) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (registry.enabled()) registry.RecordLatencyUs(name, us);
+}
+
+inline bool MetricsEnabled() { return MetricsRegistry::Global().enabled(); }
+
+}  // namespace obs
+}  // namespace olapdc
+
+#endif  // OLAPDC_OBS_METRICS_H_

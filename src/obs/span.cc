@@ -1,0 +1,123 @@
+#include "obs/span.h"
+
+#include <thread>
+
+#include "obs/json.h"
+
+namespace olapdc {
+namespace obs {
+
+namespace {
+
+thread_local int tls_span_depth = 0;
+
+/// Small stable per-thread id for span attribution (std::thread::id is
+/// opaque and verbose in JSON).
+int ThreadOrdinal() {
+  static std::atomic<int> next{0};
+  thread_local int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+bool TraceSink::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void TraceSink::Close() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+double TraceSink::NowUs() const {
+  if (!enabled()) return 0;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceSink::EmitLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;  // closed between the check and the emit
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+}
+
+ObsSpan::ObsSpan(std::string_view name)
+    : active_(TraceSink::Global().enabled()) {
+  if (!active_) return;
+  name_ = std::string(name);
+  depth_ = tls_span_depth++;
+  start_us_ = TraceSink::Global().NowUs();
+}
+
+ObsSpan::~ObsSpan() {
+  if (!active_) return;
+  --tls_span_depth;
+  TraceSink& sink = TraceSink::Global();
+  const double end_us = sink.NowUs();
+  std::string line = "{\"name\": " + JsonString(name_) +
+                     ", \"thread\": " + std::to_string(ThreadOrdinal()) +
+                     ", \"depth\": " + std::to_string(depth_) +
+                     ", \"start_us\": " + JsonNumber(start_us_) +
+                     ", \"dur_us\": " + JsonNumber(end_us - start_us_);
+  if (!stats_.empty()) {
+    line += ", \"stats\": {";
+    bool first = true;
+    for (const auto& [key, value] : stats_) {
+      if (!first) line += ", ";
+      first = false;
+      line += JsonString(key) + ": " + value;
+    }
+    line += "}";
+  }
+  line += "}";
+  sink.EmitLine(line);
+}
+
+void ObsSpan::AddStat(std::string_view key, uint64_t value) {
+  if (active_) stats_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ObsSpan::AddStat(std::string_view key, int64_t value) {
+  if (active_) stats_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ObsSpan::AddStat(std::string_view key, double value) {
+  if (active_) stats_.emplace_back(std::string(key), JsonNumber(value));
+}
+
+void ObsSpan::AddStat(std::string_view key, std::string_view value) {
+  if (active_) stats_.emplace_back(std::string(key), JsonString(value));
+}
+
+void ObsSpan::AddStat(std::string_view key, bool value) {
+  if (active_) {
+    stats_.emplace_back(std::string(key), value ? "true" : "false");
+  }
+}
+
+}  // namespace obs
+}  // namespace olapdc

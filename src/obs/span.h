@@ -1,0 +1,107 @@
+// ObsSpan: structured trace spans for the search procedures.
+//
+// A span brackets one logical operation (a DIMSAT run, a Reasoner
+// query, a parse) and records its wall-clock extent, its nesting depth
+// within the thread (a Reasoner query *contains* the DIMSAT runs of its
+// ladder rungs), and a small set of key/value stats attached by the
+// operation (expand calls, cache hit, root category, ...). Completed
+// spans are appended to the global TraceSink as one JSON object per
+// line (JSONL) — the `--trace=<path>` CLI output — so search behavior
+// can be replayed and diffed offline without a tracing dependency.
+//
+// Cost model: when the sink is closed (the default) constructing a span
+// is one relaxed atomic load and a branch; no clock is sampled and
+// AddStat() is a no-op. Spans are stack-only RAII values; nesting depth
+// is tracked per thread.
+
+#ifndef OLAPDC_OBS_SPAN_H_
+#define OLAPDC_OBS_SPAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace olapdc {
+namespace obs {
+
+/// The process-wide JSONL span writer. Thread-safe: spans from
+/// concurrent threads interleave at line granularity.
+class TraceSink {
+ public:
+  static TraceSink& Global();
+
+  /// Starts writing spans to `path` (truncates). Returns false when the
+  /// file cannot be opened. Timestamps are relative to this call.
+  bool Open(const std::string& path);
+
+  /// Flushes and stops. Idempotent.
+  void Close();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since Open() (0 when closed).
+  double NowUs() const;
+
+  /// Appends one pre-rendered JSONL line (no trailing newline).
+  void EmitLine(const std::string& line);
+
+ private:
+  TraceSink() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+class ObsSpan {
+ public:
+  /// Opens a span named `name` (use the metric naming scheme, e.g.
+  /// "dimsat.run"). Inactive — free of clock samples — when the global
+  /// sink is closed.
+  explicit ObsSpan(std::string_view name);
+
+  /// Closing emits the span to the sink.
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Attaches a key/value stat rendered into the span's "stats" object.
+  void AddStat(std::string_view key, uint64_t value);
+  void AddStat(std::string_view key, int64_t value);
+  void AddStat(std::string_view key, int value) {
+    AddStat(key, static_cast<int64_t>(value));
+  }
+  void AddStat(std::string_view key, double value);
+  void AddStat(std::string_view key, std::string_view value);
+  /// Without this overload a string literal would bind to `bool` via
+  /// the pointer conversion instead of to string_view.
+  void AddStat(std::string_view key, const char* value) {
+    AddStat(key, std::string_view(value));
+  }
+  void AddStat(std::string_view key, bool value);
+
+  bool active() const { return active_; }
+  /// Nesting depth within this thread (0 = outermost), fixed at open.
+  int depth() const { return depth_; }
+
+ private:
+  bool active_;
+  int depth_ = 0;
+  double start_us_ = 0;
+  std::string name_;
+  /// Values pre-rendered as JSON (numbers bare, strings quoted).
+  std::vector<std::pair<std::string, std::string>> stats_;
+};
+
+}  // namespace obs
+}  // namespace olapdc
+
+#endif  // OLAPDC_OBS_SPAN_H_

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Documentation lint, run by the CI `docs` job and locally via
+#   tools/check_docs.sh
+# from the repository root. Two checks:
+#   1. Every relative markdown link in README.md, DESIGN.md,
+#      EXPERIMENTS.md and docs/*.md resolves to a file in the repo.
+#   2. Every src/<subsystem>/ directory is mentioned in DESIGN.md's
+#      repository-layout section, so the architecture docs cannot
+#      silently fall behind the tree.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+fail=0
+
+# --- 1. Relative links resolve -------------------------------------------
+# Matches [text](target) and keeps targets that are not URLs/anchors.
+doc_files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+for doc in "${doc_files[@]}"; do
+  [ -f "$doc" ] || continue
+  doc_dir="$(dirname "$doc")"
+  # One target per line; strip #fragments.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*|"") continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$doc_dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//')
+done
+
+# --- 2. Every src subsystem is documented in DESIGN.md -------------------
+for dir in src/*/; do
+  subsystem="${dir%/}"
+  if ! grep -q "$subsystem/" DESIGN.md; then
+    echo "UNDOCUMENTED SUBSYSTEM: $subsystem/ is not mentioned in DESIGN.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK"

@@ -27,6 +27,12 @@
 //                       expiration the command degrades (prints
 //                       "unknown" / partial output) and exits with the
 //                       deadline-exceeded code instead of hanging.
+//   --metrics-json <path>  Enable the metrics registry and write the
+//                       final snapshot (olapdc.* counters, gauges,
+//                       latency histograms) to <path> as JSON.
+//   --trace <path>      Stream structured trace spans (one JSON object
+//                       per line) to <path> while the command runs.
+//   Both also accept the --flag=value spelling.
 //
 // Exit codes: 0 = success / affirmative answer; 1 = definitive negative
 // answer (NOT IMPLIED, UNSATISFIABLE, ...); 2 = usage error; otherwise
@@ -35,11 +41,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/budget.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "constraint/evaluator.h"
 #include "constraint/parser.h"
 #include "constraint/printer.h"
@@ -93,6 +102,8 @@ int Usage() {
       "  dot <schema>                       Graphviz of the hierarchy\n"
       "  validate <schema> <instance>       C1-C7 + Sigma model check\n"
       "  mine <schema> <instance>           learn constraints from data\n"
+      "global flags: --deadline-ms <n>, --metrics-json <path>, "
+      "--trace <path>\n"
       "exit codes: 0 yes/ok, 1 no, 2 usage, 10-17 one per error class\n"
       "  (16 = deadline exceeded, 17 = cancelled)\n");
   return kExitUsage;
@@ -263,33 +274,77 @@ int Validate(const DimensionSchema& ds, const std::string& instance_path) {
   return ok ? 0 : kExitAnswerNo;
 }
 
-int Run(int argc, char** argv) {
-  // Extract global flags (they may appear anywhere).
+/// Parsed global flags; `args` is everything else, in order.
+struct CliFlags {
   std::vector<std::string> args;
   CliBudget budget;
+  std::string metrics_json_path;
+  std::string trace_path;
+  bool usage_error = false;
+};
+
+/// Extracts `--flag value` / `--flag=value`. Returns true when `arg`
+/// consumed the flag (then `*value` holds its value or is empty with
+/// `flags->usage_error` set).
+bool TakeFlagValue(const std::string& flag, const std::string& arg, int argc,
+                   char** argv, int* i, std::string* value, CliFlags* flags) {
+  if (arg == flag) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", flag.c_str());
+      flags->usage_error = true;
+      return true;
+    }
+    *value = argv[++*i];
+    return true;
+  }
+  if (arg.rfind(flag + "=", 0) == 0) {
+    *value = arg.substr(flag.size() + 1);
+    if (value->empty()) {
+      std::fprintf(stderr, "error: %s needs a value\n", flag.c_str());
+      flags->usage_error = true;
+    }
+    return true;
+  }
+  return false;
+}
+
+CliFlags ParseFlags(int argc, char** argv) {
+  CliFlags flags;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--deadline-ms") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --deadline-ms needs a value\n");
-        return kExitUsage;
-      }
+    std::string value;
+    if (TakeFlagValue("--deadline-ms", arg, argc, argv, &i, &value, &flags)) {
+      if (flags.usage_error) return flags;
       char* end = nullptr;
-      long ms = std::strtol(argv[++i], &end, 10);
+      long ms = std::strtol(value.c_str(), &end, 10);
       if (end == nullptr || *end != '\0' || ms <= 0) {
         std::fprintf(stderr,
                      "error: --deadline-ms needs a positive integer, got "
                      "'%s'\n",
-                     argv[i]);
-        return kExitUsage;
+                     value.c_str());
+        flags.usage_error = true;
+        return flags;
       }
-      budget.budget = Budget::WithDeadlineMs(ms);
-      budget.bounded = true;
+      flags.budget.budget = Budget::WithDeadlineMs(ms);
+      flags.budget.bounded = true;
       continue;
     }
-    args.push_back(std::move(arg));
+    if (TakeFlagValue("--metrics-json", arg, argc, argv, &i, &value, &flags)) {
+      if (flags.usage_error) return flags;
+      flags.metrics_json_path = value;
+      continue;
+    }
+    if (TakeFlagValue("--trace", arg, argc, argv, &i, &value, &flags)) {
+      if (flags.usage_error) return flags;
+      flags.trace_path = value;
+      continue;
+    }
+    flags.args.push_back(std::move(arg));
   }
-  if (args.size() < 2) return Usage();
+  return flags;
+}
+
+int RunCommand(const std::vector<std::string>& args, const CliBudget& budget) {
   const std::string& command = args[0];
   Result<DimensionSchema> ds = LoadSchemaFile(args[1]);
   if (!ds.ok()) return Fail(ds.status());
@@ -334,6 +389,39 @@ int Run(int argc, char** argv) {
     return 0;
   }
   return Usage();
+}
+
+/// Writes the final metrics snapshot; failure to write is reported but
+/// does not change the command's exit code.
+void DumpMetrics(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << obs::MetricsRegistry::Global().ToJson() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write metrics to '%s'\n",
+                 path.c_str());
+  }
+}
+
+int Run(int argc, char** argv) {
+  CliFlags flags = ParseFlags(argc, argv);
+  if (flags.usage_error) return kExitUsage;
+  if (flags.args.size() < 2) return Usage();
+
+  if (!flags.metrics_json_path.empty()) {
+    obs::MetricsRegistry::Global().Enable();
+  }
+  if (!flags.trace_path.empty() &&
+      !obs::TraceSink::Global().Open(flags.trace_path)) {
+    std::fprintf(stderr, "error: cannot open trace file '%s'\n",
+                 flags.trace_path.c_str());
+    return kExitUsage;
+  }
+
+  const int code = RunCommand(flags.args, flags.budget);
+
+  if (!flags.metrics_json_path.empty()) DumpMetrics(flags.metrics_json_path);
+  obs::TraceSink::Global().Close();
+  return code;
 }
 
 }  // namespace
