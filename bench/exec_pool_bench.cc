@@ -1,0 +1,103 @@
+// Micro-benchmarks for the work-stealing execution layer itself,
+// independent of DIMSAT: per-task scheduling overhead (spawn + execute
+// + join of no-op tasks) and throughput under a producer-consumer
+// imbalance that forces stealing. Reported per pool size so the cost
+// of waking/parking workers is visible.
+
+#include <atomic>
+#include <cstdio>
+#include <string_view>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "exec/work_stealing_pool.h"
+
+namespace olapdc {
+namespace {
+
+using bench::BenchReporter;
+using bench::PrintHeader;
+using bench::WallTimer;
+
+constexpr int kTasks = 100000;
+
+// All tasks submitted from the external thread via the injector.
+double InjectedThroughput(exec::WorkStealingPool& pool) {
+  std::atomic<int64_t> sink{0};
+  WallTimer timer;
+  {
+    exec::TaskGroup group(&pool);
+    for (int i = 0; i < kTasks; ++i) {
+      group.Spawn([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.Wait();
+  }
+  const double ms = timer.ElapsedMs();
+  OLAPDC_CHECK(sink.load() == kTasks);
+  return ms;
+}
+
+// One pool task fans out every child into its own deque, so the other
+// workers only make progress by stealing.
+double StealThroughput(exec::WorkStealingPool& pool) {
+  std::atomic<int64_t> sink{0};
+  WallTimer timer;
+  {
+    exec::TaskGroup group(&pool);
+    group.Spawn([&group, &sink] {
+      for (int i = 0; i < kTasks; ++i) {
+        group.Spawn(
+            [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+    group.Wait();
+  }
+  const double ms = timer.ElapsedMs();
+  OLAPDC_CHECK(sink.load() == kTasks);
+  return ms;
+}
+
+void Run() {
+  PrintHeader("Eexec: work-stealing pool scheduling overhead");
+  BenchReporter reporter("exec");
+  std::printf("%8s %12s %14s %14s %10s %10s\n", "threads", "mode", "ms",
+              "ns/task", "steals", "fails");
+  bench::PrintRule();
+  for (int threads : {1, 2, 4, 8}) {
+    for (const char* mode : {"injected", "stealing"}) {
+      exec::WorkStealingPool pool(threads);
+      const bool stealing = std::string_view(mode) == "stealing";
+      const double ms =
+          stealing ? StealThroughput(pool) : InjectedThroughput(pool);
+      const exec::WorkStealingPool::StatsSnapshot stats = pool.Stats();
+      const double ns_per_task = ms * 1e6 / kTasks;
+      std::printf("%8d %12s %14.2f %14.1f %10llu %10llu\n", threads, mode,
+                  ms, ns_per_task,
+                  static_cast<unsigned long long>(stats.steals),
+                  static_cast<unsigned long long>(stats.steal_failures));
+      reporter.AddRow()
+          .Set("threads", threads)
+          .Set("mode", mode)
+          .Set("tasks", uint64_t{kTasks})
+          .Set("ms", ms)
+          .Set("ns_per_task", ns_per_task)
+          .Set("tasks_executed", stats.tasks_executed)
+          .Set("steals", stats.steals)
+          .Set("steal_failures", stats.steal_failures);
+    }
+  }
+  std::printf(
+      "\nno-op tasks: the numbers are pure scheduling cost (allocate, "
+      "enqueue, wake, run, join). This host reports %u hardware "
+      "threads.\n",
+      std::thread::hardware_concurrency());
+  reporter.WriteJson();
+}
+
+}  // namespace
+}  // namespace olapdc
+
+int main() {
+  olapdc::Run();
+  return 0;
+}

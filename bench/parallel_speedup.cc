@@ -1,24 +1,49 @@
-// E16 (supplementary): parallel DIMSAT. The EXPAND search space
-// partitions along the root category's first-level choices, so the
-// enumeration parallelizes with no coordination beyond a stop flag.
-// Speedup is bounded by the skew of subtree sizes (seeds are uneven).
+// E16 (supplementary): parallel DIMSAT. Compares three drivers on two
+// workloads:
+//   sequential — the single-threaded reference search;
+//   static     — one thread per first-level seed subtree, no rebalance;
+//   worksteal  — the src/exec pool, EXPAND nodes below the split depth
+//                become stealable tasks.
+// The uniform workload has evenly sized seed subtrees, so both
+// parallel drivers should track each other. The skewed workload puts
+// nearly all the search under one seed: the static partition degrades
+// towards sequential while work stealing keeps every worker busy.
+// Every run's frozen-dimension set is checked equal (as a canonical
+// sorted serialization) to the sequential baseline.
 
 #include <cstdio>
+#include <algorithm>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/dimsat.h"
+#include "core/schema.h"
+#include "dim/hierarchy_schema.h"
+#include "exec/work_stealing_pool.h"
 #include "workload/schema_generator.h"
 
 namespace olapdc {
 namespace {
 
+using bench::BenchReporter;
 using bench::PrintHeader;
 using bench::Unwrap;
 using bench::WallTimer;
 
-void Run() {
-  // One reasonably large heterogeneous workload.
+std::vector<std::string> Canonical(const std::vector<FrozenDimension>& fs,
+                                   const HierarchySchema& schema) {
+  std::vector<std::string> out;
+  out.reserve(fs.size());
+  for (const FrozenDimension& f : fs) out.push_back(f.ToString(schema));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Evenly balanced seed subtrees: a generated layered hierarchy whose
+// first-level choices cover categories of comparable weight.
+DimensionSchema UniformWorkload() {
   SchemaGenOptions schema_options;
   schema_options.num_levels = 5;
   schema_options.categories_per_level = 3;
@@ -31,44 +56,146 @@ void Run() {
   constraint_options.num_choice_constraints = 2;
   constraint_options.num_equality_constraints = 2;
   constraint_options.seed = 29;
-  DimensionSchema ds =
-      Unwrap(GenerateConstrainedSchema(hierarchy, constraint_options));
-  CategoryId base = ds.hierarchy().FindCategory("Base");
+  return Unwrap(GenerateConstrainedSchema(hierarchy, constraint_options));
+}
 
+// Adversarial for a static partition: Base has two parents, a light
+// one going straight to All and a heavy one opening into a dense
+// layered subgraph. The three first-level seeds ({L}, {H}, {L,H}) are
+// wildly uneven — almost all EXPAND work sits under the seeds that
+// include H — so a seed-per-thread split leaves most threads idle.
+DimensionSchema SkewedWorkload() {
+  HierarchySchemaBuilder builder;
+  builder.AddEdge("Base", "Light");
+  builder.AddEdge("Light", "All");
+  builder.AddEdge("Base", "Heavy");
+  // Sized so the full enumeration finishes well under max_frozen: the
+  // set-equality check needs every driver to see the complete set.
+  constexpr int kLevels = 3;
+  constexpr int kWidth = 3;
+  for (int w = 0; w < kWidth; ++w) {
+    builder.AddEdge("Heavy", "H1_" + std::to_string(w));
+  }
+  for (int level = 1; level < kLevels; ++level) {
+    for (int from = 0; from < kWidth; ++from) {
+      for (int to = 0; to < kWidth; ++to) {
+        builder.AddEdge("H" + std::to_string(level) + "_" +
+                            std::to_string(from),
+                        "H" + std::to_string(level + 1) + "_" +
+                            std::to_string(to));
+      }
+    }
+  }
+  for (int w = 0; w < kWidth; ++w) {
+    builder.AddEdge("H" + std::to_string(kLevels) + "_" + std::to_string(w),
+                    "All");
+  }
+  HierarchySchemaPtr hierarchy = Unwrap(builder.BuildShared());
+  return DimensionSchema(std::move(hierarchy), {});
+}
+
+struct WorkloadCase {
+  const char* name;
+  DimensionSchema ds;
+  CategoryId base;
+};
+
+void RunWorkload(BenchReporter& reporter, const WorkloadCase& workload,
+                 const DimsatOptions& base_options) {
+  PrintHeader(std::string("E16: parallel DIMSAT — ") + workload.name +
+              " workload");
+
+  WallTimer seq_timer;
+  DimsatResult sequential =
+      Dimsat(workload.ds, workload.base, base_options);
+  const double seq_ms = seq_timer.ElapsedMs();
+  OLAPDC_CHECK(sequential.status.ok()) << sequential.status.ToString();
+  const std::vector<std::string> golden =
+      Canonical(sequential.frozen, workload.ds.hierarchy());
+
+  std::printf("%10s %8s %12s %10s %10s %8s %8s\n", "mode", "threads", "ms",
+              "frozen", "expands", "steals", "speedup");
+  bench::PrintRule();
+  std::printf("%10s %8d %12.2f %10zu %10llu %8s %8s\n", "sequential", 1,
+              seq_ms, sequential.frozen.size(),
+              static_cast<unsigned long long>(sequential.stats.expand_calls),
+              "-", "1.0x");
+  reporter.AddRow()
+      .Set("workload", workload.name)
+      .Set("mode", "sequential")
+      .Set("threads", 1)
+      .Set("ms", seq_ms)
+      .Set("frozen", static_cast<uint64_t>(sequential.frozen.size()))
+      .Set("expand_calls", sequential.stats.expand_calls)
+      .Set("tasks", uint64_t{0})
+      .Set("steals", uint64_t{0})
+      .Set("speedup", 1.0);
+
+  for (const char* mode : {"static", "worksteal"}) {
+    for (int threads : {2, 4, 8}) {
+      WallTimer timer;
+      DimsatResult parallel;
+      if (std::string(mode) == "static") {
+        parallel = DimsatParallelStatic(workload.ds, workload.base,
+                                        base_options, threads);
+      } else {
+        exec::WorkStealingPool pool(threads);
+        DimsatOptions options = base_options;
+        options.pool = &pool;
+        parallel =
+            DimsatParallel(workload.ds, workload.base, options, threads);
+      }
+      const double ms = timer.ElapsedMs();
+      OLAPDC_CHECK(parallel.status.ok()) << parallel.status.ToString();
+      OLAPDC_CHECK(Canonical(parallel.frozen, workload.ds.hierarchy()) ==
+                   golden)
+          << mode << "@" << threads
+          << ": parallel enumeration must match the sequential set";
+      const double speedup = seq_ms / (ms > 0 ? ms : 1e-3);
+      std::printf("%10s %8d %12.2f %10zu %10llu %8llu %7.2fx\n", mode,
+                  threads, ms, parallel.frozen.size(),
+                  static_cast<unsigned long long>(
+                      parallel.stats.expand_calls),
+                  static_cast<unsigned long long>(
+                      parallel.stats.parallel_steals),
+                  speedup);
+      reporter.AddRow()
+          .Set("workload", workload.name)
+          .Set("mode", mode)
+          .Set("threads", threads)
+          .Set("ms", ms)
+          .Set("frozen", static_cast<uint64_t>(parallel.frozen.size()))
+          .Set("expand_calls", parallel.stats.expand_calls)
+          .Set("tasks", parallel.stats.parallel_tasks)
+          .Set("steals", parallel.stats.parallel_steals)
+          .Set("speedup", speedup);
+    }
+  }
+}
+
+void Run() {
   DimsatOptions options;
   options.enumerate_all = true;
-  options.max_frozen = 1 << 16;
+  options.max_frozen = 1 << 20;
 
-  PrintHeader("E16: parallel DIMSAT full enumeration (17 categories)");
-  WallTimer seq_timer;
-  DimsatResult sequential = Dimsat(ds, base, options);
-  double seq_ms = seq_timer.ElapsedMs();
-  OLAPDC_CHECK(sequential.status.ok());
-  std::printf("%8s %12s %12s %10s %8s\n", "threads", "ms", "frozen",
-              "expands", "speedup");
-  bench::PrintRule();
-  std::printf("%8d %12.2f %12zu %10llu %8s\n", 1, seq_ms,
-              sequential.frozen.size(),
-              static_cast<unsigned long long>(sequential.stats.expand_calls),
-              "1.0x");
-  for (int threads : {2, 4, 8}) {
-    WallTimer timer;
-    DimsatResult parallel = DimsatParallel(ds, base, options, threads);
-    double ms = timer.ElapsedMs();
-    OLAPDC_CHECK(parallel.status.ok());
-    OLAPDC_CHECK(parallel.frozen.size() == sequential.frozen.size())
-        << "parallel enumeration must match";
-    std::printf("%8d %12.2f %12zu %10llu %7.1fx\n", threads, ms,
-                parallel.frozen.size(),
-                static_cast<unsigned long long>(parallel.stats.expand_calls),
-                seq_ms / (ms > 0 ? ms : 1e-3));
-  }
+  BenchReporter reporter("parallel");
+  WorkloadCase uniform{"uniform", UniformWorkload(), kNoCategory};
+  uniform.base = uniform.ds.hierarchy().FindCategory("Base");
+  RunWorkload(reporter, uniform, options);
+
+  WorkloadCase skewed{"skewed", SkewedWorkload(), kNoCategory};
+  skewed.base = skewed.ds.hierarchy().FindCategory("Base");
+  RunWorkload(reporter, skewed, options);
+
   std::printf(
-      "\nExpected shape: near-linear speedup on multi-core hosts until "
-      "the seed-subtree skew dominates (this host reports %u hardware "
-      "threads — on a single core only the correctness claim is "
-      "observable); identical frozen sets at every thread count.\n",
+      "\nExpected shape: on multi-core hosts the work-stealing driver "
+      "tracks the static partition on the uniform workload and beats it "
+      "decisively on the skewed one (the static split pins the heavy "
+      "seed to one thread). This host reports %u hardware threads — on "
+      "a single core only the correctness claim and the scheduling "
+      "overhead are observable.\n",
       std::thread::hardware_concurrency());
+  reporter.WriteJson();
 }
 
 }  // namespace

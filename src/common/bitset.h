@@ -1,13 +1,18 @@
 // DynamicBitset: a fixed-capacity, heap-compact bitset sized at run
-// time. Category sets inside the DIMSAT search (subhierarchy node sets,
-// In*/ancestor sets, frontier sets) are DynamicBitsets: copying a whole
-// subhierarchy on recursion is then a handful of memcpys, which is what
-// makes copy-on-recurse backtracking cheap.
+// time, with small-buffer optimization. Category sets inside the DIMSAT
+// search (subhierarchy node sets, In*/ancestor sets, frontier sets) are
+// DynamicBitsets; schemas are at most a few hundred categories, so the
+// words live in an inline array (kInlineWords * 64 bits) and copying or
+// constructing a set on the EXPAND hot path touches no allocator at
+// all. Larger universes transparently spill to a heap vector — nothing
+// caps the schema size, only the fast path assumes it is small.
 
 #ifndef OLAPDC_COMMON_BITSET_H_
 #define OLAPDC_COMMON_BITSET_H_
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/check.h"
@@ -16,15 +21,22 @@ namespace olapdc {
 
 /// A set of small non-negative integers (node ids) backed by 64-bit
 /// words. Size is fixed at construction; all binary operations require
-/// operands of equal size.
+/// operands of equal size. Universes up to kInlineWords * 64 elements
+/// are stored inline (no heap allocation, copies are plain memcpy).
 class DynamicBitset {
  public:
-  DynamicBitset() : size_(0) {}
+  /// Inline capacity in words: 384 elements cover every schema the
+  /// paper's workloads (and our generators) produce with room to spare.
+  static constexpr int kInlineWords = 6;
+  static constexpr int kInlineBits = kInlineWords * 64;
+
+  DynamicBitset() = default;
 
   /// Creates an empty set over the universe {0, ..., size-1}.
   explicit DynamicBitset(int size)
-      : size_(size), words_((size + 63) / 64, 0) {
+      : size_(size), num_words_((size + 63) / 64) {
     OLAPDC_CHECK(size >= 0);
+    if (num_words_ > kInlineWords) heap_.assign(num_words_, 0);
   }
 
   DynamicBitset(const DynamicBitset&) = default;
@@ -36,55 +48,64 @@ class DynamicBitset {
 
   bool test(int i) const {
     OLAPDC_DCHECK(0 <= i && i < size_);
-    return (words_[i >> 6] >> (i & 63)) & 1;
+    return (data()[i >> 6] >> (i & 63)) & 1;
   }
 
   void set(int i) {
     OLAPDC_DCHECK(0 <= i && i < size_);
-    words_[i >> 6] |= uint64_t{1} << (i & 63);
+    data()[i >> 6] |= uint64_t{1} << (i & 63);
   }
 
   void reset(int i) {
     OLAPDC_DCHECK(0 <= i && i < size_);
-    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    data()[i >> 6] &= ~(uint64_t{1} << (i & 63));
   }
 
   void clear() {
-    for (auto& w : words_) w = 0;
+    uint64_t* w = data();
+    for (int i = 0; i < num_words_; ++i) w[i] = 0;
   }
 
   bool any() const {
-    for (auto w : words_)
-      if (w) return true;
+    const uint64_t* w = data();
+    for (int i = 0; i < num_words_; ++i)
+      if (w[i]) return true;
     return false;
   }
 
   bool none() const { return !any(); }
 
   int count() const {
+    const uint64_t* w = data();
     int n = 0;
-    for (auto w : words_) n += __builtin_popcountll(w);
+    for (int i = 0; i < num_words_; ++i) n += __builtin_popcountll(w[i]);
     return n;
   }
 
   /// In-place union.
   DynamicBitset& operator|=(const DynamicBitset& o) {
     OLAPDC_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    uint64_t* w = data();
+    const uint64_t* v = o.data();
+    for (int i = 0; i < num_words_; ++i) w[i] |= v[i];
     return *this;
   }
 
   /// In-place intersection.
   DynamicBitset& operator&=(const DynamicBitset& o) {
     OLAPDC_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    uint64_t* w = data();
+    const uint64_t* v = o.data();
+    for (int i = 0; i < num_words_; ++i) w[i] &= v[i];
     return *this;
   }
 
   /// In-place difference (this \ o).
   DynamicBitset& operator-=(const DynamicBitset& o) {
     OLAPDC_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    uint64_t* w = data();
+    const uint64_t* v = o.data();
+    for (int i = 0; i < num_words_; ++i) w[i] &= ~v[i];
     return *this;
   }
 
@@ -102,30 +123,40 @@ class DynamicBitset {
   }
 
   bool operator==(const DynamicBitset& o) const {
-    return size_ == o.size_ && words_ == o.words_;
+    if (size_ != o.size_) return false;
+    const uint64_t* w = data();
+    const uint64_t* v = o.data();
+    for (int i = 0; i < num_words_; ++i)
+      if (w[i] != v[i]) return false;
+    return true;
   }
   bool operator!=(const DynamicBitset& o) const { return !(*this == o); }
 
   /// True if this and o share at least one element.
   bool Intersects(const DynamicBitset& o) const {
     OLAPDC_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i)
-      if (words_[i] & o.words_[i]) return true;
+    const uint64_t* w = data();
+    const uint64_t* v = o.data();
+    for (int i = 0; i < num_words_; ++i)
+      if (w[i] & v[i]) return true;
     return false;
   }
 
   /// True if every element of this is in o.
   bool IsSubsetOf(const DynamicBitset& o) const {
     OLAPDC_DCHECK(size_ == o.size_);
-    for (size_t i = 0; i < words_.size(); ++i)
-      if (words_[i] & ~o.words_[i]) return false;
+    const uint64_t* w = data();
+    const uint64_t* v = o.data();
+    for (int i = 0; i < num_words_; ++i)
+      if (w[i] & ~v[i]) return false;
     return true;
   }
 
   /// The smallest element, or -1 if empty.
   int First() const {
-    for (size_t i = 0; i < words_.size(); ++i)
-      if (words_[i]) return static_cast<int>(i * 64 + __builtin_ctzll(words_[i]));
+    const uint64_t* w = data();
+    for (int i = 0; i < num_words_; ++i)
+      if (w[i]) return i * 64 + __builtin_ctzll(w[i]);
     return -1;
   }
 
@@ -133,12 +164,13 @@ class DynamicBitset {
   int Next(int i) const {
     ++i;
     if (i >= size_) return -1;
-    size_t wi = i >> 6;
-    uint64_t w = words_[wi] & (~uint64_t{0} << (i & 63));
+    const uint64_t* words = data();
+    int wi = i >> 6;
+    uint64_t w = words[wi] & (~uint64_t{0} << (i & 63));
     while (true) {
-      if (w) return static_cast<int>(wi * 64 + __builtin_ctzll(w));
-      if (++wi >= words_.size()) return -1;
-      w = words_[wi];
+      if (w) return wi * 64 + __builtin_ctzll(w);
+      if (++wi >= num_words_) return -1;
+      w = words[wi];
     }
   }
 
@@ -158,14 +190,25 @@ class DynamicBitset {
 
   /// Hash over contents (for use as an unordered_map key).
   size_t Hash() const {
+    const uint64_t* w = data();
     size_t h = static_cast<size_t>(size_);
-    for (auto w : words_) h = h * 1099511628211ULL + static_cast<size_t>(w);
+    for (int i = 0; i < num_words_; ++i)
+      h = h * 1099511628211ULL + static_cast<size_t>(w[i]);
     return h;
   }
 
  private:
-  int size_;
-  std::vector<uint64_t> words_;
+  const uint64_t* data() const {
+    return num_words_ <= kInlineWords ? inline_.data() : heap_.data();
+  }
+  uint64_t* data() {
+    return num_words_ <= kInlineWords ? inline_.data() : heap_.data();
+  }
+
+  int size_ = 0;
+  int num_words_ = 0;
+  std::array<uint64_t, kInlineWords> inline_{};
+  std::vector<uint64_t> heap_;
 };
 
 }  // namespace olapdc

@@ -1,7 +1,11 @@
 #include "core/dimsat.h"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -10,6 +14,7 @@
 #include "common/string_util.h"
 #include "constraint/normalize.h"
 #include "core/check_subhierarchy.h"
+#include "exec/work_stealing_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -25,6 +30,8 @@ void AccumulateStats(DimsatStats* total, const DimsatStats& delta) {
   total->cycle_prunes += delta.cycle_prunes;
   total->dead_ends += delta.dead_ends;
   total->frozen_found += delta.frozen_found;
+  total->parallel_tasks += delta.parallel_tasks;
+  total->parallel_steals += delta.parallel_steals;
 }
 
 void FlushDimsatMetrics(const DimsatStats& stats, const Status& status,
@@ -43,6 +50,8 @@ void FlushDimsatMetrics(const DimsatStats& stats, const Status& status,
   obs::Count("olapdc.dimsat.prune.cycle", stats.cycle_prunes);
   obs::Count("olapdc.dimsat.dead_ends", stats.dead_ends);
   obs::Count("olapdc.dimsat.frozen_found", stats.frozen_found);
+  obs::Count("olapdc.dimsat.parallel.tasks", stats.parallel_tasks);
+  obs::Count("olapdc.dimsat.parallel.steals", stats.parallel_steals);
   obs::Count("olapdc.dimsat.budget_stops", IsBudgetError(status) ? 1 : 0);
   obs::LatencyUs("olapdc.dimsat.latency_us", elapsed_us);
 }
@@ -88,16 +97,19 @@ Result<std::vector<DimensionConstraint>> PrepareRelevantConstraints(
 
 class DimsatSearch {
  public:
+  /// `relevant` is borrowed: the caller keeps it alive for the lifetime
+  /// of the search (parallel tasks share one prepared vector).
   DimsatSearch(const DimensionSchema& ds, CategoryId root,
                const DimsatOptions& options,
-               std::vector<DimensionConstraint> relevant)
+               const std::vector<DimensionConstraint>& relevant)
       : ds_(ds),
         schema_(ds.hierarchy()),
         root_(root),
         options_(options),
-        relevant_(std::move(relevant)),
+        relevant_(relevant),
         budget_checker_(options.budget, options.budget_check_stride,
-                        "dimsat.expand") {
+                        "dimsat.expand"),
+        g_(schema_.num_categories(), root) {
     check_options_.assignment.require_injective =
         options.require_injective_names;
     check_options_.assignment.enumerate_all = options.enumerate_all;
@@ -105,15 +117,14 @@ class DimsatSearch {
   }
 
   DimsatResult Run() {
-    Subhierarchy g(schema_.num_categories(), root_);
-    return RunFrom(g);
+    return RunFrom(Subhierarchy(schema_.num_categories(), root_), 0);
   }
 
-  /// Continues the search from a partially built subhierarchy (used by
-  /// the parallel driver, which seeds one worker per first-level
-  /// expansion choice).
-  DimsatResult RunFrom(const Subhierarchy& seed) {
-    Expand(seed);
+  /// Continues the search from a partially built subhierarchy at the
+  /// given recursion depth (the parallel drivers seed tasks this way).
+  DimsatResult RunFrom(Subhierarchy seed, int depth) {
+    g_ = std::move(seed);
+    Expand(depth);
     result_.satisfiable = !result_.frozen.empty();
     result_.stats.frozen_found = result_.frozen.size();
     return std::move(result_);
@@ -122,6 +133,15 @@ class DimsatSearch {
   /// Shared early-stop flag for parallel runs: once any worker decides
   /// the global answer, the others abandon their subtrees.
   void set_external_stop(std::atomic<bool>* stop) { external_stop_ = stop; }
+
+  /// Work-stealing hook: while the recursion depth is below
+  /// `split_depth`, child subhierarchies are handed to `spawner`
+  /// (becoming stealable tasks) instead of being expanded in-place.
+  void set_spawner(std::function<void(Subhierarchy&&, int)> spawner,
+                   int split_depth) {
+    spawner_ = std::move(spawner);
+    split_depth_ = split_depth;
+  }
 
  private:
   void Trace(DimsatTraceEvent::Kind kind, const Subhierarchy& g) {
@@ -168,9 +188,13 @@ class DimsatSearch {
   }
 
   /// The EXPAND procedure (Figure 6), with the subset loop corrected to
-  /// admit R = Into (DESIGN.md deviation 2). The subhierarchy is copied
-  /// per recursive call; backtracking is implicit.
-  void Expand(const Subhierarchy& g) {
+  /// admit R = Into (DESIGN.md deviation 2). Backtracking is mutation +
+  /// rollback on the member subhierarchy (the undo log journals each
+  /// expansion), so the hot path allocates nothing: the working sets
+  /// are small-buffer bitsets and a stack array. Below the split depth
+  /// (work-stealing runs only) children are copied out and spawned as
+  /// pool tasks instead of recursed into.
+  void Expand(int depth) {
     if (!ShouldContinue()) return;
     // Wall-clock / cancellation probe, amortized by the checker so the
     // common case is one branch per EXPAND.
@@ -187,19 +211,19 @@ class DimsatSearch {
           "DIMSAT exceeded max_expand_calls");
       return;
     }
-    Trace(DimsatTraceEvent::Kind::kExpand, g);
+    Trace(DimsatTraceEvent::Kind::kExpand, g_);
 
     // Line (6): g complete once only All awaits expansion.
-    DynamicBitset pending = g.top();
+    DynamicBitset pending = g_.top();
     pending.reset(schema_.all());
     if (pending.none()) {
-      RunCheck(g);
+      RunCheck(g_);
       return;
     }
 
     // Line (10): pick a pending top category (lowest id: deterministic).
     const CategoryId ctop = pending.First();
-    const DynamicBitset& below = g.Below(ctop);
+    const DynamicBitset& below = g_.Below(ctop);
 
     // Lines (11)-(13): successor choices that are structurally allowed.
     DynamicBitset allowed(schema_.num_categories());
@@ -208,7 +232,7 @@ class DimsatSearch {
       bool blocked = false;
       // Ss: an existing edge from below ctop into c would become a
       // shortcut once ctop -> c completes the longer path.
-      if (options_.prune_shortcuts && g.In(c).Intersects(below)) {
+      if (options_.prune_shortcuts && g_.In(c).Intersects(below)) {
         blocked = true;
         ++result_.stats.shortcut_prunes;
       }
@@ -225,7 +249,7 @@ class DimsatSearch {
       // Line (15): a blocked into-target dooms every choice at ctop.
       if (!into.IsSubsetOf(allowed)) {
         ++result_.stats.into_prunes;
-        Trace(DimsatTraceEvent::Kind::kPruned, g);
+        Trace(DimsatTraceEvent::Kind::kPruned, g_);
         return;
       }
     } else {
@@ -234,27 +258,37 @@ class DimsatSearch {
 
     if (allowed.none()) {
       ++result_.stats.dead_ends;
-      Trace(DimsatTraceEvent::Kind::kDeadEnd, g);
+      Trace(DimsatTraceEvent::Kind::kDeadEnd, g_);
       return;
     }
 
     // Line (16), corrected: iterate S' over all subsets of the free
     // choices (including the empty set) and recurse on R = S' ∪ Into
     // whenever R is non-empty.
-    std::vector<CategoryId> free;
-    (allowed - into).ForEach([&](int c) { free.push_back(c); });
-    OLAPDC_CHECK(free.size() < 31) << "category out-degree too large";
-    const uint32_t subsets = uint32_t{1} << free.size();
+    std::array<CategoryId, 31> free;
+    int num_free = 0;
+    (allowed - into).ForEach([&](int c) {
+      OLAPDC_CHECK(num_free < 31) << "category out-degree too large";
+      free[num_free++] = c;
+    });
+    const bool split = spawner_ && depth < split_depth_;
+    const uint32_t subsets = uint32_t{1} << num_free;
     for (uint32_t mask = 0; mask < subsets; ++mask) {
       if (!ShouldContinue()) return;
       DynamicBitset r = into;
-      for (size_t i = 0; i < free.size(); ++i) {
+      for (int i = 0; i < num_free; ++i) {
         if (mask & (uint32_t{1} << i)) r.set(free[i]);
       }
       if (r.none()) continue;
-      Subhierarchy child = g;
-      child.Expand(ctop, r);
-      Expand(child);
+      if (split) {
+        Subhierarchy child = g_;
+        child.Expand(ctop, r);
+        spawner_(std::move(child), depth + 1);
+      } else {
+        g_.ExpandLogged(ctop, r, &undo_);
+        Expand(depth + 1);
+        g_.Rollback(&undo_);
+      }
     }
   }
 
@@ -262,16 +296,20 @@ class DimsatSearch {
   const HierarchySchema& schema_;
   const CategoryId root_;
   const DimsatOptions& options_;
-  std::vector<DimensionConstraint> relevant_;
+  const std::vector<DimensionConstraint>& relevant_;
   CheckOptions check_options_;
   BudgetChecker budget_checker_;
+  Subhierarchy g_;
+  SubhierarchyUndoLog undo_;
   DimsatResult result_;
   std::atomic<bool>* external_stop_ = nullptr;
+  std::function<void(Subhierarchy&&, int)> spawner_;
+  int split_depth_ = 0;
 };
 
 /// First-level expansion choices of `root` under the schema+options —
-/// the parallel work items. Mirrors one EXPAND step (the seeds are
-/// exactly the subhierarchies the sequential search would recurse
+/// the static driver's work items. Mirrors one EXPAND step (the seeds
+/// are exactly the subhierarchies the sequential search would recurse
 /// into).
 std::vector<Subhierarchy> FirstLevelSeeds(const DimensionSchema& ds,
                                           CategoryId root,
@@ -348,6 +386,79 @@ void AnnotateSpan(obs::ObsSpan& span, const HierarchySchema& schema,
   }
 }
 
+/// Everything the work-stealing tasks share. Lives on the caller's
+/// stack; the TaskGroup drains before it dies.
+struct ParallelShared {
+  ParallelShared(const DimensionSchema& ds, CategoryId root,
+                 const DimsatOptions& options,
+                 const std::vector<DimensionConstraint>& relevant,
+                 exec::WorkStealingPool* pool)
+      : ds(ds),
+        root(root),
+        options(options),
+        relevant(relevant),
+        group(pool) {}
+
+  const DimensionSchema& ds;
+  const CategoryId root;
+  const DimsatOptions& options;
+  const std::vector<DimensionConstraint>& relevant;
+  exec::TaskGroup group;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> tasks{0};
+  std::atomic<uint64_t> stolen{0};
+  std::mutex mu;
+  DimsatResult merged;  // frozen/stats/status guarded by mu
+};
+
+void RunSubtreeTask(ParallelShared* shared, Subhierarchy seed, int depth);
+
+void SpawnSubtree(ParallelShared* shared, Subhierarchy&& child, int depth) {
+  shared->group.Spawn(
+      [shared, seed = std::move(child), depth]() mutable {
+        RunSubtreeTask(shared, std::move(seed), depth);
+      });
+}
+
+void RunSubtreeTask(ParallelShared* shared, Subhierarchy seed, int depth) {
+  shared->tasks.fetch_add(1, std::memory_order_relaxed);
+  // depth 0 is the externally injected root task; "stolen" only makes
+  // sense for worker-spawned children.
+  if (depth > 0 && exec::WorkStealingPool::CurrentTaskStolen()) {
+    shared->stolen.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (shared->stop.load(std::memory_order_acquire)) return;
+
+  DimsatSearch search(shared->ds, shared->root, shared->options,
+                      shared->relevant);
+  search.set_external_stop(&shared->stop);
+  search.set_spawner(
+      [shared](Subhierarchy&& child, int child_depth) {
+        SpawnSubtree(shared, std::move(child), child_depth);
+      },
+      shared->options.parallel_split_depth);
+  DimsatResult partial = search.RunFrom(std::move(seed), depth);
+
+  std::lock_guard<std::mutex> lock(shared->mu);
+  AccumulateStats(&shared->merged.stats, partial.stats);
+  if (!partial.status.ok()) {
+    // First budget expiry / cap overrun wins and stops every worker —
+    // this is what bounds wall-clock after a Cancel().
+    if (shared->merged.status.ok()) shared->merged.status = partial.status;
+    shared->stop.store(true, std::memory_order_release);
+  }
+  for (FrozenDimension& f : partial.frozen) {
+    if (shared->merged.frozen.size() >= shared->options.max_frozen) break;
+    shared->merged.frozen.push_back(std::move(f));
+  }
+  if (!shared->merged.frozen.empty() && !shared->options.enumerate_all) {
+    shared->stop.store(true, std::memory_order_release);
+  }
+  if (shared->merged.frozen.size() >= shared->options.max_frozen) {
+    shared->stop.store(true, std::memory_order_release);
+  }
+}
+
 }  // namespace
 
 DimsatResult Dimsat(const DimensionSchema& ds, CategoryId root,
@@ -355,16 +466,16 @@ DimsatResult Dimsat(const DimensionSchema& ds, CategoryId root,
   OLAPDC_CHECK(0 <= root && root < ds.hierarchy().num_categories());
   obs::ObsSpan span("dimsat.run");
   ObservedRun run;
-  Result<std::vector<DimensionConstraint>> relevant =
+  Result<std::vector<DimensionConstraint>> prepared =
       PrepareRelevantConstraints(ds, root, options.path_limit);
-  if (!relevant.ok()) {
+  if (!prepared.ok()) {
     DimsatResult result;
-    result.status = relevant.status();
+    result.status = prepared.status();
     return result;
   }
-  DimsatResult result =
-      DimsatSearch(ds, root, options, std::move(relevant).ValueOrDie())
-          .Run();
+  const std::vector<DimensionConstraint> relevant =
+      std::move(prepared).ValueOrDie();
+  DimsatResult result = DimsatSearch(ds, root, options, relevant).Run();
   if (run.observed()) {
     FlushDimsatMetrics(result.stats, result.status, run.ElapsedUs());
     AnnotateSpan(span, ds.hierarchy(), root, result);
@@ -381,13 +492,64 @@ DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
 
   obs::ObsSpan span("dimsat.parallel_run");
   ObservedRun run;
-  Result<std::vector<DimensionConstraint>> relevant =
+  Result<std::vector<DimensionConstraint>> prepared =
       PrepareRelevantConstraints(ds, root, options.path_limit);
-  if (!relevant.ok()) {
+  if (!prepared.ok()) {
     DimsatResult result;
-    result.status = relevant.status();
+    result.status = prepared.status();
     return result;
   }
+  const std::vector<DimensionConstraint> relevant =
+      std::move(prepared).ValueOrDie();
+
+  exec::WorkStealingPool& pool =
+      options.pool != nullptr ? *options.pool : exec::ProcessPool();
+  ParallelShared shared(ds, root, options, relevant, &pool);
+  SpawnSubtree(&shared,
+               Subhierarchy(ds.hierarchy().num_categories(), root), 0);
+  shared.group.Wait();
+
+  DimsatResult merged = std::move(shared.merged);
+  // A budget error from a worker that was merely told to stop early is
+  // not an error of the whole run.
+  if (shared.stop.load() && !options.enumerate_all &&
+      !merged.frozen.empty()) {
+    merged.status = Status::OK();
+  }
+  merged.satisfiable = !merged.frozen.empty();
+  merged.stats.frozen_found = merged.frozen.size();
+  merged.stats.parallel_tasks = shared.tasks.load();
+  merged.stats.parallel_steals = shared.stolen.load();
+  if (run.observed()) {
+    pool.PublishMetricNames();
+    FlushDimsatMetrics(merged.stats, merged.status, run.ElapsedUs());
+    span.AddStat("threads", pool.num_threads());
+    span.AddStat("tasks", merged.stats.parallel_tasks);
+    span.AddStat("steals", merged.stats.parallel_steals);
+    AnnotateSpan(span, ds.hierarchy(), root, merged);
+  }
+  return merged;
+}
+
+DimsatResult DimsatParallelStatic(const DimensionSchema& ds, CategoryId root,
+                                  const DimsatOptions& options,
+                                  int num_threads) {
+  OLAPDC_CHECK(0 <= root && root < ds.hierarchy().num_categories());
+  OLAPDC_CHECK(!options.collect_trace)
+      << "tracing is inherently sequential; use Dimsat()";
+  if (num_threads <= 1) return Dimsat(ds, root, options);
+
+  obs::ObsSpan span("dimsat.parallel_run");
+  ObservedRun run;
+  Result<std::vector<DimensionConstraint>> prepared =
+      PrepareRelevantConstraints(ds, root, options.path_limit);
+  if (!prepared.ok()) {
+    DimsatResult result;
+    result.status = prepared.status();
+    return result;
+  }
+  const std::vector<DimensionConstraint> relevant =
+      std::move(prepared).ValueOrDie();
   std::vector<Subhierarchy> seeds = FirstLevelSeeds(ds, root, options);
   if (seeds.empty()) return Dimsat(ds, root, options);
 
@@ -401,9 +563,9 @@ DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
     while (!stop.load(std::memory_order_relaxed)) {
       size_t index = next.fetch_add(1);
       if (index >= seeds.size()) return;
-      DimsatSearch search(ds, root, options, relevant.ValueOrDie());
+      DimsatSearch search(ds, root, options, relevant);
       search.set_external_stop(&stop);
-      partials[index] = search.RunFrom(seeds[index]);
+      partials[index] = search.RunFrom(std::move(seeds[index]), 1);
       if (partials[index].satisfiable && !options.enumerate_all) {
         stop.store(true, std::memory_order_relaxed);
       }
@@ -441,11 +603,19 @@ DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
   return merged;
 }
 
+DimsatResult RunDimsat(const DimensionSchema& ds, CategoryId root,
+                       const DimsatOptions& options) {
+  if (options.num_threads <= 1 || options.collect_trace) {
+    return Dimsat(ds, root, options);
+  }
+  return DimsatParallel(ds, root, options, options.num_threads);
+}
+
 DimsatResult EnumerateFrozenDimensions(const DimensionSchema& ds,
                                        CategoryId root,
                                        DimsatOptions options) {
   options.enumerate_all = true;
-  return Dimsat(ds, root, options);
+  return RunDimsat(ds, root, options);
 }
 
 }  // namespace olapdc

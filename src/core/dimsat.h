@@ -27,6 +27,10 @@
 
 namespace olapdc {
 
+namespace exec {
+class WorkStealingPool;
+}  // namespace exec
+
 struct DimsatOptions {
   /// Prune successor choices that would complete a shortcut (Ss).
   bool prune_shortcuts = true;
@@ -58,6 +62,18 @@ struct DimsatOptions {
   /// load); the amortization that keeps the budget check off the hot
   /// path.
   uint32_t budget_check_stride = 256;
+  /// Worker parallelism for callers that dispatch through RunDimsat():
+  /// <= 1 runs the sequential engine, > 1 the work-stealing driver.
+  int num_threads = 1;
+  /// Work-stealing driver: EXPAND nodes at recursion depth below this
+  /// become stealable pool tasks; at or beyond it the search recurses
+  /// in-place (mutation + rollback). Depth 0 is the root. Small values
+  /// under-split skewed trees; large ones drown the pool in tiny tasks
+  /// (DESIGN.md §8 discusses the trade-off).
+  int parallel_split_depth = 3;
+  /// Pool override for the work-stealing driver (benches and tests pin
+  /// exact worker counts); null uses the shared process pool.
+  exec::WorkStealingPool* pool = nullptr;
 };
 
 struct DimsatStats {
@@ -75,6 +91,11 @@ struct DimsatStats {
   /// Expansions abandoned because no successor choice remained.
   uint64_t dead_ends = 0;
   uint64_t frozen_found = 0;
+  /// Work-stealing driver only: pool tasks run for this search, and how
+  /// many of them a worker other than the submitter executed (load
+  /// actually rebalanced, not just parallelizable).
+  uint64_t parallel_tasks = 0;
+  uint64_t parallel_steals = 0;
 
   /// Any work recorded at all (used to tell "stopped before starting"
   /// from "stopped mid-search" in degradation reporting).
@@ -129,16 +150,36 @@ DimsatResult EnumerateFrozenDimensions(const DimensionSchema& ds,
                                        CategoryId root,
                                        DimsatOptions options = {});
 
-/// Multi-threaded DIMSAT: the first-level expansion choices of the root
-/// category partition the search space, so workers explore disjoint
-/// subtrees and merge their results; a shared stop flag propagates the
-/// first witness in decision mode. Semantically identical to Dimsat()
-/// (the frozen-dimension *set* is equal; enumeration order may differ,
-/// and in decision mode a different — equally valid — witness may be
-/// returned). Tracing is unsupported. num_threads <= 1 falls back to
-/// the sequential search.
+/// Multi-threaded DIMSAT on the work-stealing pool: EXPAND nodes above
+/// options.parallel_split_depth become stealable tasks, so skewed
+/// subtrees rebalance dynamically instead of serializing on whichever
+/// worker drew them. Semantically identical to Dimsat() (the
+/// frozen-dimension *set* is equal; enumeration order may differ, and
+/// in decision mode a different — equally valid — witness may be
+/// returned). The shared stop flag propagates the first witness in
+/// decision mode and the first budget expiry in every mode, so a
+/// cancelled Budget stops all workers promptly. Tracing is unsupported.
+/// num_threads <= 1 falls back to the sequential search; otherwise the
+/// run executes on options.pool if set, else the shared process pool
+/// (whose size — not num_threads — bounds the parallelism).
 DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
                             const DimsatOptions& options, int num_threads);
+
+/// The pre-work-stealing parallel driver, kept as the comparison
+/// baseline for the scheduling benchmarks: the first-level expansion
+/// choices of the root statically partition the search space over
+/// `num_threads` fresh threads, so speedup is bounded by the skew of
+/// first-level subtree sizes. Same semantics as DimsatParallel().
+DimsatResult DimsatParallelStatic(const DimensionSchema& ds, CategoryId root,
+                                  const DimsatOptions& options,
+                                  int num_threads);
+
+/// Dispatch helper used by every higher layer (implication,
+/// summarizability, Reasoner, CLI): runs Dimsat() when
+/// options.num_threads <= 1 or a trace is requested, else
+/// DimsatParallel() with options.num_threads.
+DimsatResult RunDimsat(const DimensionSchema& ds, CategoryId root,
+                       const DimsatOptions& options = {});
 
 }  // namespace olapdc
 

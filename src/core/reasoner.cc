@@ -169,7 +169,7 @@ ReasonerAnswer Reasoner::QuerySatisfiable(CategoryId category,
   const std::string key = "s/" + std::to_string(category);
   return RunLadder(key, budget, [&](const DimsatOptions& options) {
     Attempt a;
-    DimsatResult r = Dimsat(schema_, category, options);
+    DimsatResult r = RunDimsat(schema_, category, options);
     a.stats = r.stats;
     // A witness is definitive regardless of an expiring budget; a
     // truncated negative is not.

@@ -18,7 +18,10 @@
 // The cache is sound because a DimensionSchema is immutable: answers
 // never need invalidation. Only definitive answers are cached; kUnknown
 // is retried from scratch on the next ask. A Reasoner is
-// single-threaded (like the rest of the library's mutable objects).
+// single-threaded (like the rest of the library's mutable objects), but
+// with options.dimsat.num_threads > 1 each ladder rung's search runs on
+// the shared work-stealing pool (src/exec), so one Reasoner query can
+// still saturate every core.
 
 #ifndef OLAPDC_CORE_REASONER_H_
 #define OLAPDC_CORE_REASONER_H_

@@ -62,6 +62,91 @@ void Subhierarchy::Expand(CategoryId ctop, const DynamicBitset& r) {
   }
 }
 
+void Subhierarchy::ExpandLogged(CategoryId ctop, const DynamicBitset& r,
+                                SubhierarchyUndoLog* log) {
+  OLAPDC_DCHECK(top_.test(ctop)) << "Expand target must be a top category";
+  OLAPDC_DCHECK(r.any());
+  OLAPDC_DCHECK(out_[ctop].none()) << "top category cannot have edges yet";
+  SubhierarchyUndoLog::Frame frame;
+  frame.ctop = ctop;
+  frame.cats_start = static_cast<uint32_t>(log->new_cats_.size());
+  frame.below_start = static_cast<uint32_t>(log->below_used_);
+  top_.reset(ctop);
+
+  if (log->scratch_delta_.size() != n_) {
+    log->scratch_delta_ = DynamicBitset(n_);
+    log->scratch_visit_ = DynamicBitset(n_);
+    log->scratch_visited_ = DynamicBitset(n_);
+  }
+  DynamicBitset& delta = log->scratch_delta_;
+  delta = below_[ctop];
+  delta.set(ctop);
+
+  r.ForEach([&](int c) {
+    if (!cats_.test(c)) {
+      cats_.set(c);
+      top_.set(c);
+      log->new_cats_.push_back(c);
+    }
+    out_[ctop].set(c);
+    in_[c].set(ctop);
+  });
+
+  // Propagate delta to every category reachable from r (inclusive),
+  // saving each touched Below so Rollback can restore it bit-exactly
+  // (|= may re-set bits that were already present, so a shared delta
+  // alone cannot be subtracted back out).
+  DynamicBitset& to_visit = log->scratch_visit_;
+  DynamicBitset& visited = log->scratch_visited_;
+  to_visit = r;
+  visited.clear();
+  for (int x = to_visit.First(); x >= 0; x = to_visit.First()) {
+    to_visit.reset(x);
+    visited.set(x);
+    if (log->below_used_ == log->saved_below_.size()) {
+      log->saved_below_.push_back({x, below_[x]});
+    } else {
+      SubhierarchyUndoLog::SavedBelow& slot =
+          log->saved_below_[log->below_used_];
+      slot.cat = x;
+      slot.old_below = below_[x];
+    }
+    ++log->below_used_;
+    below_[x] |= delta;
+    to_visit |= out_[x];
+    to_visit -= visited;
+  }
+  log->frames_.push_back(frame);
+}
+
+void Subhierarchy::Rollback(SubhierarchyUndoLog* log) {
+  OLAPDC_DCHECK(!log->frames_.empty());
+  const SubhierarchyUndoLog::Frame frame = log->frames_.back();
+  log->frames_.pop_back();
+
+  // Restore the journalled Below snapshots (disjoint categories within
+  // a frame, so order is irrelevant).
+  for (size_t i = frame.below_start; i < log->below_used_; ++i) {
+    SubhierarchyUndoLog::SavedBelow& saved = log->saved_below_[i];
+    below_[saved.cat] = saved.old_below;
+  }
+  log->below_used_ = frame.below_start;
+
+  // Deeper frames have already been rolled back, so out_[ctop] is again
+  // exactly the R of this frame's expansion.
+  out_[frame.ctop].ForEach([&](int c) { in_[c].reset(frame.ctop); });
+  out_[frame.ctop].clear();
+
+  // Drop the categories this frame introduced.
+  for (size_t i = frame.cats_start; i < log->new_cats_.size(); ++i) {
+    const CategoryId c = log->new_cats_[i];
+    cats_.reset(c);
+    top_.reset(c);
+  }
+  log->new_cats_.resize(frame.cats_start);
+  top_.set(frame.ctop);
+}
+
 bool Subhierarchy::IsPath(const std::vector<CategoryId>& path) const {
   if (path.empty()) return false;
   if (!cats_.test(path[0])) return false;

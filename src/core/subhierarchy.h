@@ -3,10 +3,14 @@
 // (C', E') of G with c, All in C', every category reachable from c, and
 // every category reaching All.
 //
-// The representation packs node and edge sets into DynamicBitsets so
-// that the backtracking search can copy the whole structure on each
-// recursive call (copy-on-recurse) instead of maintaining an undo log.
-// It maintains exactly the bookkeeping of the paper's EXPAND procedure:
+// The representation packs node and edge sets into DynamicBitsets (with
+// inline small-buffer storage, so copies touch no allocator for
+// realistic schema sizes). The backtracking search mutates one shared
+// subhierarchy through ExpandLogged()/Rollback() with an undo log —
+// copy-on-recurse (plain Expand() on a copy) remains available for
+// callers that need persistent snapshots, e.g. the parallel driver's
+// task seeds. It maintains exactly the bookkeeping of the paper's
+// EXPAND procedure:
 //   g.C      -> categories()
 //   g.Out(c) -> Out(c)
 //   g.Top    -> top()          (categories with no outgoing edge yet)
@@ -26,6 +30,47 @@
 #include "graph/digraph.h"
 
 namespace olapdc {
+
+class Subhierarchy;
+
+/// Rollback journal for mutation-based EXPAND backtracking. One log
+/// accompanies one subhierarchy through a depth-first search:
+/// ExpandLogged() pushes a frame, Rollback() pops the most recent one
+/// (strict LIFO). Frame storage — including the saved Below snapshots —
+/// is recycled across push/pop cycles, so steady-state search depth
+/// oscillation performs no allocation at all.
+class SubhierarchyUndoLog {
+ public:
+  bool empty() const { return frames_.empty(); }
+  size_t depth() const { return frames_.size(); }
+
+ private:
+  friend class Subhierarchy;
+
+  struct Frame {
+    CategoryId ctop;
+    /// Start of this frame's slice of new_cats_ / saved_below_.
+    uint32_t cats_start;
+    uint32_t below_start;
+  };
+  struct SavedBelow {
+    CategoryId cat;
+    DynamicBitset old_below;
+  };
+
+  std::vector<Frame> frames_;
+  /// Categories first added by some live frame, frames concatenated.
+  std::vector<CategoryId> new_cats_;
+  /// Below snapshots of every category a live frame touched. Slots are
+  /// reused below below_used_ high-water style (the bitsets keep their
+  /// storage when overwritten with equal-sized values).
+  std::vector<SavedBelow> saved_below_;
+  size_t below_used_ = 0;
+  /// Scratch sets reused by every ExpandLogged call.
+  DynamicBitset scratch_delta_;
+  DynamicBitset scratch_visit_;
+  DynamicBitset scratch_visited_;
+};
 
 /// A growing subhierarchy over categories {0..n-1} with a fixed root.
 class Subhierarchy {
@@ -68,6 +113,18 @@ class Subhierarchy {
   /// top()) the outgoing edges R. New categories enter top(); Below is
   /// propagated exactly.
   void Expand(CategoryId ctop, const DynamicBitset& r);
+
+  /// Expand() that additionally journals everything it changes into
+  /// `log`, so Rollback() can restore the pre-call state exactly. The
+  /// DIMSAT hot path uses this pair to backtrack by mutation instead of
+  /// copying the subhierarchy per recursive call.
+  void ExpandLogged(CategoryId ctop, const DynamicBitset& r,
+                    SubhierarchyUndoLog* log);
+
+  /// Undoes the most recent un-rolled-back ExpandLogged() recorded in
+  /// `log`. Calls must nest LIFO with ExpandLogged (the usual
+  /// recursion structure guarantees this).
+  void Rollback(SubhierarchyUndoLog* log);
 
   /// True iff `path` (category sequence) is a path of g.
   bool IsPath(const std::vector<CategoryId>& path) const;

@@ -1,8 +1,10 @@
 #include "core/summarizability.h"
 
+#include <optional>
 #include <utility>
 
 #include "constraint/evaluator.h"
+#include "exec/work_stealing_pool.h"
 
 namespace olapdc {
 
@@ -37,8 +39,59 @@ Result<SummarizabilityResult> IsSummarizable(
 
   SummarizabilityResult result;
   result.summarizable = true;
+
+  std::vector<CategoryId> bottoms;
   for (CategoryId bottom : schema.bottom_categories()) {
     if (bottom == schema.all()) continue;  // degenerate one-node schema
+    bottoms.push_back(bottom);
+  }
+
+  if (options.num_threads > 1 && bottoms.size() > 1) {
+    // Parallel sweep: every per-bottom test becomes a pool task (and
+    // its DIMSAT search parallelizes further on the same pool). The
+    // constraints are built up front so construction errors stay
+    // deterministic; results merge in bottom order below.
+    std::vector<DimensionConstraint> alphas;
+    alphas.reserve(bottoms.size());
+    for (CategoryId bottom : bottoms) {
+      OLAPDC_ASSIGN_OR_RETURN(
+          DimensionConstraint alpha,
+          SummarizabilityConstraint(schema, bottom, c, s));
+      alphas.push_back(std::move(alpha));
+    }
+    exec::WorkStealingPool& pool =
+        options.pool != nullptr ? *options.pool : exec::ProcessPool();
+    std::vector<std::optional<Result<ImplicationResult>>> slots(
+        bottoms.size());
+    {
+      exec::TaskGroup group(&pool);
+      for (size_t i = 0; i < bottoms.size(); ++i) {
+        group.Spawn(
+            [&, i] { slots[i].emplace(Implies(ds, alphas[i], options)); });
+      }
+      group.Wait();
+    }
+    for (size_t i = 0; i < bottoms.size(); ++i) {
+      Result<ImplicationResult>& slot = *slots[i];
+      OLAPDC_RETURN_NOT_OK(slot.status());
+      ImplicationResult implication = std::move(slot).ValueOrDie();
+      AccumulateStats(&result.stats, implication.stats);
+      if (!implication.status.ok()) {
+        result.status = implication.status;
+        result.summarizable = false;
+        return result;
+      }
+      SummarizabilityResult::PerBottom detail;
+      detail.bottom = bottoms[i];
+      detail.implied = implication.implied;
+      detail.counterexample = std::move(implication.counterexample);
+      result.summarizable &= implication.implied;
+      result.details.push_back(std::move(detail));
+    }
+    return result;
+  }
+
+  for (CategoryId bottom : bottoms) {
     OLAPDC_ASSIGN_OR_RETURN(
         DimensionConstraint alpha,
         SummarizabilityConstraint(schema, bottom, c, s));

@@ -49,7 +49,13 @@ struct SummarizabilityResult {
 };
 
 /// Schema-level test: is c summarizable from S in *every* instance over
-/// ds? (Theorem 1 + Theorem 2 + DIMSAT.)
+/// ds? (Theorem 1 + Theorem 2 + DIMSAT.) With options.num_threads > 1
+/// the per-bottom implication tests run as work-stealing pool tasks
+/// (and each test's own DIMSAT search parallelizes on the same pool);
+/// `details` stays in bottom-category order either way. One behavioral
+/// difference from the sequential sweep: on a budget error the parallel
+/// sweep may already have decided — and therefore reports stats for —
+/// bottoms *after* the first failing one.
 Result<SummarizabilityResult> IsSummarizable(
     const DimensionSchema& ds, CategoryId c,
     const std::vector<CategoryId>& s, const DimsatOptions& options = {});

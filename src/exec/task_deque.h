@@ -1,0 +1,146 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005, in the
+// C11-style formulation of Lê et al., PPoPP 2013). Each pool worker
+// owns one deque of raw task pointers: the owner pushes and pops at the
+// bottom (LIFO, so the search descends depth-first and stays cache
+// warm), thieves steal from the top (FIFO, so they take the largest
+// remaining subtrees).
+//
+// Memory-order notes. The published algorithm uses standalone
+// atomic_thread_fence, which ThreadSanitizer does not model; this
+// implementation instead puts the ordering on the atomic accesses
+// themselves (seq_cst on the top/bottom races, release on publication),
+// which TSan reasons about exactly. Slot accesses are relaxed atomics:
+// a thief may read a slot concurrently with the owner recycling it, but
+// the value is only used after the top CAS confirms ownership. Every
+// store to bottom_ is at least release so that a thief reading any
+// bottom value observes the task contents published before it (C++20
+// release sequences do not extend over same-thread relaxed stores).
+
+#ifndef OLAPDC_EXEC_TASK_DEQUE_H_
+#define OLAPDC_EXEC_TASK_DEQUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace olapdc::exec {
+
+/// Single-owner, multi-thief deque of T*. Push/Pop may be called only
+/// by the owning thread; Steal by any thread. Does not own the pointed
+/// tasks; the caller frees whatever it pops or steals.
+template <typename T>
+class TaskDeque {
+ public:
+  explicit TaskDeque(int64_t initial_capacity = 64) {
+    OLAPDC_CHECK(initial_capacity > 0 &&
+                 (initial_capacity & (initial_capacity - 1)) == 0)
+        << "capacity must be a power of two";
+    auto initial = std::make_unique<Array>(initial_capacity);
+    array_.store(initial.get(), std::memory_order_relaxed);
+    arrays_.push_back(std::move(initial));
+  }
+
+  TaskDeque(const TaskDeque&) = delete;
+  TaskDeque& operator=(const TaskDeque&) = delete;
+
+  /// Owner only.
+  void Push(T* item) {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= a->capacity) a = Grow(a, b, t);
+    a->Put(b, item);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. Returns nullptr when the deque is empty (or a thief
+  /// won the race for the last element).
+  T* Pop() {
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    // Claim the bottom slot before examining top; the seq_cst store /
+    // load pair is what makes the owner and a thief agree on who takes
+    // the last element.
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Deque was already empty; undo the claim.
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return nullptr;
+    }
+    T* item = a->Get(b);
+    if (t == b) {
+      // Last element: race the thieves via top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief got it
+      }
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+    return item;
+  }
+
+  /// Any thread. Returns nullptr when empty or when another thread won
+  /// the race (callers treat both as "try elsewhere").
+  T* Steal() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Array* a = array_.load(std::memory_order_acquire);
+    T* item = a->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Approximate (racy) size; only a scheduling hint.
+  int64_t SizeHint() const {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct Array {
+    explicit Array(int64_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<T*>[]>(cap)) {}
+    T* Get(int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void Put(int64_t i, T* v) {
+      slots[i & mask].store(v, std::memory_order_relaxed);
+    }
+    const int64_t capacity;
+    const int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  /// Owner only. Doubles the array; the old one stays alive (in
+  /// arrays_) because a thief may still hold a stale pointer to it —
+  /// its [t, b) entries remain valid until the deque dies.
+  Array* Grow(Array* old, int64_t b, int64_t t) {
+    auto bigger = std::make_unique<Array>(old->capacity * 2);
+    for (int64_t i = t; i < b; ++i) bigger->Put(i, old->Get(i));
+    Array* raw = bigger.get();
+    array_.store(raw, std::memory_order_release);
+    arrays_.push_back(std::move(bigger));
+    return raw;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Array*> array_{nullptr};
+  /// All arrays ever allocated, newest last; mutated by the owner only.
+  std::vector<std::unique_ptr<Array>> arrays_;
+};
+
+}  // namespace olapdc::exec
+
+#endif  // OLAPDC_EXEC_TASK_DEQUE_H_

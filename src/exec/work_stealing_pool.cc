@@ -1,0 +1,280 @@
+#include "exec/work_stealing_pool.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace olapdc::exec {
+
+namespace {
+
+/// Worker identity of the current thread: which pool it belongs to (so
+/// SubmitTask can tell "one of mine" from an external thread) and its
+/// index there.
+thread_local WorkStealingPool* tls_pool = nullptr;
+thread_local int tls_worker_id = -1;
+/// Set around each task invocation: did a worker other than the
+/// submitter execute it?
+thread_local bool tls_task_stolen = false;
+
+/// xorshift64* — cheap per-worker victim selection.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+
+TaskGroup::TaskGroup(WorkStealingPool* pool) : pool_(pool) {
+  OLAPDC_CHECK(pool != nullptr);
+}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  auto* task = new WorkStealingPool::Task{
+      std::move(fn), this,
+      tls_pool == pool_ ? tls_worker_id : -1};
+  pool_->SubmitTask(task);
+}
+
+void TaskGroup::OnTaskDone() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task out: wake any blocked waiter. The lock orders the
+    // notify after the waiter's predicate check.
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+}
+
+void TaskGroup::Wait() {
+  if (tls_pool == pool_ && tls_worker_id >= 0) {
+    // On a pool worker: help instead of blocking, otherwise a task
+    // waiting on a nested group would deadlock the worker it occupies.
+    while (pending_.load(std::memory_order_acquire) > 0) {
+      if (!pool_->RunOneTask()) std::this_thread::yield();
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock,
+           [&] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// WorkStealingPool
+
+WorkStealingPool::WorkStealingPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->rng_state = 0x9E3779B97F4A7C15ULL * (i + 1) + 1;
+  }
+  // Threads start only after every Worker slot exists: workers index
+  // into workers_ freely.
+  for (int i = 0; i < num_threads; ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_.store(true, std::memory_order_seq_cst);
+    idle_cv_.notify_all();
+  }
+  for (auto& w : workers_) w->thread.join();
+  // Free tasks nobody ran (misuse — groups should have been waited —
+  // but do not leak).
+  for (auto& w : workers_) {
+    while (Task* t = w->deque.Pop()) delete t;
+  }
+  for (Task* t : injector_) delete t;
+}
+
+int WorkStealingPool::CurrentWorkerId() { return tls_worker_id; }
+
+bool WorkStealingPool::CurrentTaskStolen() { return tls_task_stolen; }
+
+WorkStealingPool::StatsSnapshot WorkStealingPool::Stats() const {
+  StatsSnapshot s;
+  for (const auto& w : workers_) {
+    s.tasks_executed += w->tasks_executed.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.steal_failures += w->steal_failures.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void WorkStealingPool::PublishMetricNames() const {
+  if (!obs::MetricsEnabled()) return;
+  obs::Count("olapdc.exec.tasks_executed", 0);
+  obs::Count("olapdc.exec.steals", 0);
+  obs::Count("olapdc.exec.steal_failures", 0);
+  obs::Gauge("olapdc.exec.pool_size", num_threads());
+}
+
+void WorkStealingPool::SubmitTask(Task* task) {
+  if (tls_pool == this && tls_worker_id >= 0) {
+    workers_[tls_worker_id]->deque.Push(task);
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    injector_.push_back(task);
+  }
+  work_hint_.fetch_add(1, std::memory_order_seq_cst);
+  NotifyOne();
+}
+
+void WorkStealingPool::NotifyOne() {
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_one();
+  }
+}
+
+WorkStealingPool::Task* WorkStealingPool::PopInjector() {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  if (injector_.empty()) return nullptr;
+  Task* t = injector_.front();
+  injector_.pop_front();
+  return t;
+}
+
+WorkStealingPool::Task* WorkStealingPool::StealFrom(int self) {
+  const int n = num_threads();
+  if (n <= 1) return nullptr;
+  Worker& me = *workers_[self];
+  // Two randomized sweeps over the victims before giving up.
+  uint64_t failures = 0;
+  for (int round = 0; round < 2 * n; ++round) {
+    int victim =
+        static_cast<int>(NextRandom(&me.rng_state) % static_cast<uint64_t>(n));
+    if (victim == self) continue;
+    if (Task* t = workers_[victim]->deque.Steal()) {
+      me.steals.fetch_add(1, std::memory_order_relaxed);
+      obs::Count("olapdc.exec.steals");
+      if (failures) {
+        me.steal_failures.fetch_add(failures, std::memory_order_relaxed);
+        obs::Count("olapdc.exec.steal_failures", failures);
+      }
+      return t;
+    }
+    ++failures;
+  }
+  if (failures) {
+    me.steal_failures.fetch_add(failures, std::memory_order_relaxed);
+    obs::Count("olapdc.exec.steal_failures", failures);
+  }
+  return nullptr;
+}
+
+WorkStealingPool::Task* WorkStealingPool::FindTask(int self) {
+  if (Task* t = workers_[self]->deque.Pop()) return t;
+  if (Task* t = StealFrom(self)) return t;
+  return PopInjector();
+}
+
+bool WorkStealingPool::RunOneTask() {
+  Task* t = nullptr;
+  if (tls_pool == this && tls_worker_id >= 0) {
+    t = FindTask(tls_worker_id);
+  } else {
+    t = PopInjector();
+  }
+  if (t == nullptr) return false;
+  work_hint_.fetch_sub(1, std::memory_order_seq_cst);
+  Execute(t, tls_pool == this ? tls_worker_id : -1);
+  return true;
+}
+
+void WorkStealingPool::Execute(Task* task, int self) {
+  const bool was_stolen = tls_task_stolen;
+  tls_task_stolen = task->submitter != self;
+  task->fn();
+  tls_task_stolen = was_stolen;
+  TaskGroup* group = task->group;
+  delete task;
+  if (self >= 0) {
+    workers_[self]->tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  }
+  obs::Count("olapdc.exec.tasks_executed");
+  // Completion is signalled after the task is destroyed, so a waiter
+  // returning from Wait() can safely tear everything down.
+  group->OnTaskDone();
+}
+
+void WorkStealingPool::WorkerLoop(int id) {
+  tls_pool = this;
+  tls_worker_id = id;
+  while (!stop_.load(std::memory_order_seq_cst)) {
+    if (Task* t = FindTask(id)) {
+      work_hint_.fetch_sub(1, std::memory_order_seq_cst);
+      Execute(t, id);
+      continue;
+    }
+    // Park. The sleepers increment happens before the hint re-check;
+    // SubmitTask increments the hint before reading sleepers — under
+    // seq_cst one of the two sides always sees the other, so no wakeup
+    // is lost. The timed wait is belt-and-braces, not load-bearing.
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (work_hint_.load(std::memory_order_seq_cst) == 0 &&
+        !stop_.load(std::memory_order_seq_cst)) {
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  tls_pool = nullptr;
+  tls_worker_id = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide pool
+
+namespace {
+std::atomic<int> process_pool_threads{0};
+}  // namespace
+
+int EnvThreadCount() {
+  const char* env = std::getenv("OLAPDC_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  long value = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || value <= 0) return 0;
+  return static_cast<int>(value);
+}
+
+int DefaultThreadCount() {
+  if (int env = EnvThreadCount(); env > 0) return env;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void SetProcessPoolThreads(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  process_pool_threads.store(num_threads, std::memory_order_relaxed);
+}
+
+WorkStealingPool& ProcessPool() {
+  // Intentionally leaked: workers park when idle and joining at static
+  // destruction time would race other exit-time teardown.
+  static WorkStealingPool* pool = [] {
+    int n = process_pool_threads.load(std::memory_order_relaxed);
+    if (n <= 0) n = DefaultThreadCount();
+    return new WorkStealingPool(n);
+  }();
+  return *pool;
+}
+
+}  // namespace olapdc::exec

@@ -1,0 +1,198 @@
+// Tests for the parallel DIMSAT driver: semantic equivalence with the
+// sequential search across thread counts, workloads, and modes, plus
+// prompt propagation of Budget cancellation to every worker.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/budget.h"
+#include "core/dimsat.h"
+#include "core/location_example.h"
+#include "exec/work_stealing_pool.h"
+#include "tests/test_util.h"
+#include "workload/schema_generator.h"
+
+namespace olapdc {
+namespace {
+
+// Canonical serialization of a frozen-dimension set: sorted rendered
+// strings, so two enumerations compare as sets regardless of the order
+// workers happened to discover them in.
+std::vector<std::string> Canonical(const std::vector<FrozenDimension>& fs,
+                                   const HierarchySchema& schema) {
+  std::vector<std::string> out;
+  out.reserve(fs.size());
+  for (const FrozenDimension& f : fs) out.push_back(f.ToString(schema));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ParallelDimsatTest, LocationEnumerationMatchesSequential) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatOptions options;
+  options.enumerate_all = true;
+  DimsatResult sequential = Dimsat(ds, store, options);
+  for (int threads : {1, 2, 4, 8}) {
+    DimsatResult parallel = DimsatParallel(ds, store, options, threads);
+    ASSERT_OK(parallel.status);
+    EXPECT_EQ(Canonical(parallel.frozen, ds.hierarchy()),
+              Canonical(sequential.frozen, ds.hierarchy()))
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelDimsatTest, ExplicitPoolIsUsed) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  exec::WorkStealingPool pool(3);
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.pool = &pool;
+  DimsatResult sequential = Dimsat(ds, store, options);
+  DimsatResult parallel = DimsatParallel(ds, store, options, 3);
+  ASSERT_OK(parallel.status);
+  EXPECT_EQ(Canonical(parallel.frozen, ds.hierarchy()),
+            Canonical(sequential.frozen, ds.hierarchy()));
+  // The search ran as pool tasks, and the pool saw them.
+  EXPECT_GT(parallel.stats.parallel_tasks, 0u);
+  EXPECT_GT(pool.Stats().tasks_executed, 0u);
+}
+
+TEST(ParallelDimsatTest, DecisionModeFindsAWitness) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatResult r = DimsatParallel(ds, store, {}, 4);
+  ASSERT_OK(r.status);
+  EXPECT_TRUE(r.satisfiable);
+  ASSERT_FALSE(r.frozen.empty());
+  // Whatever witness a worker found, it is a genuine frozen dimension.
+  ASSERT_OK(r.frozen.front().ToInstance(ds).status());
+}
+
+TEST(ParallelDimsatTest, UnsatisfiableStaysUnsatisfiable) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  DimensionSchema extended = ds.WithExtraConstraint(
+      testing_util::ParseC(ds.hierarchy(), "!SaleRegion/Country"));
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  for (int threads : {2, 4}) {
+    DimsatResult r = DimsatParallel(extended, store, {}, threads);
+    ASSERT_OK(r.status);
+    EXPECT_FALSE(r.satisfiable);
+  }
+}
+
+TEST(ParallelDimsatTest, AllRootFallsBackToSequential) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  DimsatResult r = DimsatParallel(ds, ds.hierarchy().all(), {}, 4);
+  EXPECT_TRUE(r.satisfiable);
+}
+
+TEST(ParallelDimsatTest, StaticPartitionMatchesSequential) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+  DimsatOptions options;
+  options.enumerate_all = true;
+  DimsatResult sequential = Dimsat(ds, store, options);
+  for (int threads : {2, 4}) {
+    DimsatResult parallel = DimsatParallelStatic(ds, store, options, threads);
+    ASSERT_OK(parallel.status);
+    EXPECT_EQ(Canonical(parallel.frozen, ds.hierarchy()),
+              Canonical(sequential.frozen, ds.hierarchy()))
+        << threads << " threads (static partition)";
+  }
+}
+
+// A cancelled Budget must stop every worker promptly: cancellation is
+// polled through per-worker BudgetCheckers and fanned out via the
+// shared stop flag, so the whole pool drains in bounded time even when
+// the search space is astronomically larger than any deadline allows.
+TEST(ParallelDimsatTest, CancelStopsAllWorkersPromptly) {
+  SchemaGenOptions schema_options;
+  schema_options.num_levels = 7;
+  schema_options.categories_per_level = 3;
+  schema_options.extra_edge_prob = 0.35;
+  schema_options.seed = 99;
+  ASSERT_OK_AND_ASSIGN(HierarchySchemaPtr hierarchy,
+                       GenerateLayeredHierarchy(schema_options));
+  ConstraintGenOptions constraint_options;
+  constraint_options.into_fraction = 0.3;
+  constraint_options.num_choice_constraints = 1;
+  constraint_options.num_equality_constraints = 1;
+  constraint_options.seed = 99;
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, GenerateConstrainedSchema(
+                                               hierarchy, constraint_options));
+  CategoryId base = ds.hierarchy().FindCategory("Base");
+
+  CancellationSource source;
+  Budget budget = Budget::Unbounded();
+  budget.SetCancellation(source.token());
+
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.max_frozen = 1u << 20;
+  options.max_expand_calls = ~0ull;
+  options.budget = &budget;
+
+  DimsatResult result;
+  std::thread runner([&] { result = DimsatParallel(ds, base, options, 4); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto cancel_time = std::chrono::steady_clock::now();
+  source.RequestCancel();
+  runner.join();
+  const double drain_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - cancel_time)
+          .count();
+
+  // Generous bound (sanitizer builds are slow), but far below what the
+  // full enumeration would take: each worker notices the cancellation
+  // within one BudgetChecker stride.
+  EXPECT_LT(drain_ms, 10000.0) << "workers did not stop promptly";
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled)
+      << result.status.ToString();
+}
+
+class ParallelRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRandomTest, MatchesSequentialOnRandomSchemas) {
+  const int seed = GetParam();
+  SchemaGenOptions schema_options;
+  schema_options.num_levels = 3;
+  schema_options.categories_per_level = 2;
+  schema_options.extra_edge_prob = 0.3;
+  schema_options.seed = static_cast<uint64_t>(seed) * 911 + 3;
+  auto hierarchy = GenerateLayeredHierarchy(schema_options);
+  ASSERT_TRUE(hierarchy.ok());
+  ConstraintGenOptions constraint_options;
+  constraint_options.into_fraction = 0.4;
+  constraint_options.num_choice_constraints = 1;
+  constraint_options.num_equality_constraints = 1;
+  constraint_options.seed = seed;
+  auto ds = GenerateConstrainedSchema(*hierarchy, constraint_options);
+  ASSERT_TRUE(ds.ok());
+  CategoryId base = ds->hierarchy().FindCategory("Base");
+
+  DimsatOptions options;
+  options.enumerate_all = true;
+  DimsatResult sequential = Dimsat(*ds, base, options);
+  ASSERT_OK(sequential.status);
+  DimsatResult parallel = DimsatParallel(*ds, base, options, 4);
+  ASSERT_OK(parallel.status);
+  EXPECT_EQ(Canonical(parallel.frozen, ds->hierarchy()),
+            Canonical(sequential.frozen, ds->hierarchy()))
+      << "seed " << seed;
+  // Decision mode agrees on satisfiability.
+  DimsatResult decision = DimsatParallel(*ds, base, {}, 4);
+  EXPECT_EQ(decision.satisfiable, sequential.satisfiable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRandomTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace olapdc

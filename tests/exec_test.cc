@@ -1,0 +1,202 @@
+// Tests for the work-stealing execution layer: task-execution
+// guarantees of WorkStealingPool/TaskGroup (every spawned task runs
+// exactly once, nested groups make progress even on a one-worker pool)
+// and the Chase-Lev TaskDeque's owner/thief protocol under concurrency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/task_deque.h"
+#include "exec/work_stealing_pool.h"
+
+namespace olapdc {
+namespace exec {
+namespace {
+
+TEST(WorkStealingPoolTest, RunsEveryTaskExactlyOnce) {
+  WorkStealingPool pool(4);
+  constexpr int kTasks = 2000;
+  std::vector<std::atomic<int>> runs(kTasks);
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < kTasks; ++i) {
+      group.Spawn([&runs, i] { runs[i].fetch_add(1); });
+    }
+    group.Wait();
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+  EXPECT_GE(pool.Stats().tasks_executed, static_cast<uint64_t>(kTasks));
+}
+
+TEST(WorkStealingPoolTest, WaitFromExternalThreadBlocksUntilDone) {
+  WorkStealingPool pool(2);
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Spawn([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      done.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), 64);
+}
+
+// A task that spawns a child group and waits on it must not deadlock,
+// even when the pool has a single worker: Wait() on a worker thread
+// helps run queued tasks instead of blocking.
+TEST(WorkStealingPoolTest, NestedGroupOnOneWorkerPoolDoesNotDeadlock) {
+  WorkStealingPool pool(1);
+  std::atomic<int> inner_runs{0};
+  {
+    TaskGroup outer(&pool);
+    for (int i = 0; i < 8; ++i) {
+      outer.Spawn([&pool, &inner_runs] {
+        TaskGroup inner(&pool);
+        for (int j = 0; j < 4; ++j) {
+          inner.Spawn([&inner_runs] { inner_runs.fetch_add(1); });
+        }
+        inner.Wait();
+      });
+    }
+    outer.Wait();
+  }
+  EXPECT_EQ(inner_runs.load(), 32);
+}
+
+TEST(WorkStealingPoolTest, CurrentWorkerIdOnlyInsideTasks) {
+  EXPECT_EQ(WorkStealingPool::CurrentWorkerId(), -1);
+  WorkStealingPool pool(2);
+  std::atomic<int> in_range{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) {
+    group.Spawn([&] {
+      int id = WorkStealingPool::CurrentWorkerId();
+      if (id >= 0 && id < pool.num_threads()) in_range.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(in_range.load(), 32);
+}
+
+// Slow tasks spawned from inside the pool land in one worker's deque;
+// with more sleepers than producers, the other workers must steal to
+// stay busy.
+TEST(WorkStealingPoolTest, StealsHappenUnderImbalance) {
+  WorkStealingPool pool(4);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(&pool);
+    group.Spawn([&] {
+      // All 128 children go into this worker's own deque.
+      for (int i = 0; i < 128; ++i) {
+        group.Spawn([&done] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          done.fetch_add(1);
+        });
+      }
+    });
+    group.Wait();
+  }
+  EXPECT_EQ(done.load(), 128);
+  EXPECT_GT(pool.Stats().steals, 0u);
+}
+
+TEST(WorkStealingPoolTest, ProcessPoolIsSharedAndSized) {
+  WorkStealingPool& a = ProcessPool();
+  WorkStealingPool& b = ProcessPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1);
+}
+
+TEST(WorkStealingPoolTest, EnvThreadCountParsesPositiveIntegers) {
+  // No env mutation here (other tests may run concurrently); just
+  // check the current value is sane.
+  EXPECT_GE(EnvThreadCount(), 0);
+}
+
+// Deque protocol: one owner pushes/pops while thieves steal; every
+// pushed item must be consumed exactly once, none twice, none lost.
+TEST(TaskDequeTest, ConservationUnderConcurrentSteals) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  TaskDeque<int> deque;
+  std::vector<std::unique_ptr<int>> items;
+  items.reserve(kItems);
+  for (int i = 0; i < kItems; ++i) items.push_back(std::make_unique<int>(i));
+
+  std::vector<std::atomic<int>> seen(kItems);
+  std::atomic<bool> owner_done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (true) {
+        int* item = deque.Steal();
+        if (item != nullptr) {
+          seen[*item].fetch_add(1);
+          continue;
+        }
+        if (owner_done.load()) {
+          // Re-check once after observing the owner finish: anything
+          // still in the deque is now stable.
+          item = deque.Steal();
+          if (item == nullptr) break;
+          seen[*item].fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Owner: push in batches, pop some back (LIFO), leave the rest to
+  // the thieves.
+  int pushed = 0;
+  while (pushed < kItems) {
+    const int batch = std::min(64, kItems - pushed);
+    for (int i = 0; i < batch; ++i) deque.Push(items[pushed + i].get());
+    pushed += batch;
+    for (int i = 0; i < batch / 2; ++i) {
+      int* item = deque.Pop();
+      if (item == nullptr) break;
+      seen[*item].fetch_add(1);
+    }
+  }
+  while (int* item = deque.Pop()) seen[*item].fetch_add(1);
+  owner_done.store(true);
+  for (std::thread& t : thieves) t.join();
+  while (int* item = deque.Steal()) seen[*item].fetch_add(1);
+
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(TaskDequeTest, GrowsPastInitialCapacity) {
+  TaskDeque<int> deque;
+  std::vector<std::unique_ptr<int>> items;
+  constexpr int kItems = 500;  // > initial capacity of 64
+  for (int i = 0; i < kItems; ++i) {
+    items.push_back(std::make_unique<int>(i));
+    deque.Push(items.back().get());
+  }
+  // LIFO for the owner.
+  for (int i = kItems - 1; i >= 0; --i) {
+    int* item = deque.Pop();
+    ASSERT_NE(item, nullptr);
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(deque.Pop(), nullptr);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace olapdc

@@ -13,6 +13,7 @@
 #include "core/implication.h"
 #include "core/location_example.h"
 #include "core/reasoner.h"
+#include "exec/work_stealing_pool.h"
 #include "obs/metrics.h"
 #include "tests/test_util.h"
 
@@ -89,6 +90,39 @@ TEST_F(MetricsGoldenTest, PruningRulesFireOnTheLocationEnumeration) {
                 snapshot.counter("olapdc.dimsat.prune.cycle") +
                 snapshot.counter("olapdc.dimsat.structural_rejections"),
             0u);
+}
+
+TEST_F(MetricsGoldenTest, ParallelDimsatAndExecCountersFlow) {
+  exec::WorkStealingPool pool(3);
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.pool = &pool;
+  DimsatResult r = DimsatParallel(*ds_, store_, options, 3);
+  ASSERT_OK(r.status);
+  ASSERT_EQ(r.frozen.size(), 4u);
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  // The per-run worker stats exported to the registry agree with the
+  // stats the run returned.
+  EXPECT_GT(r.stats.parallel_tasks, 0u);
+  EXPECT_EQ(snapshot.counter("olapdc.dimsat.parallel.tasks"),
+            r.stats.parallel_tasks);
+  EXPECT_EQ(snapshot.counter("olapdc.dimsat.parallel.steals"),
+            r.stats.parallel_steals);
+  // DIMSAT work counters still flow from the worker searches.
+  EXPECT_EQ(snapshot.counter("olapdc.dimsat.nodes_expanded"),
+            r.stats.expand_calls);
+
+  // The olapdc.exec.* inventory is stable: all pool counters exist as
+  // keys (zero or not) whenever an observed parallel run used the pool.
+  for (const char* name :
+       {"olapdc.exec.tasks_executed", "olapdc.exec.steals",
+        "olapdc.exec.steal_failures"}) {
+    EXPECT_EQ(snapshot.counters.count(name), 1u) << name;
+  }
+  EXPECT_GT(snapshot.counter("olapdc.exec.tasks_executed"), 0u);
+  ASSERT_EQ(snapshot.gauges.count("olapdc.exec.pool_size"), 1u);
+  EXPECT_EQ(snapshot.gauges.at("olapdc.exec.pool_size"), 3);
 }
 
 TEST_F(MetricsGoldenTest, ImplicationAndReasonerCountersFlow) {

@@ -107,6 +107,40 @@ TEST_F(SummarizabilityTest, ViolatorsPinpointWashingtonStores) {
   EXPECT_EQ(doubled.size(), 7u);
 }
 
+// The parallel per-bottom sweep (options.num_threads > 1) must agree
+// with the sequential loop bottom-for-bottom; the location schema has
+// a single bottom, so build a two-bottom schema where the sweep
+// actually fans out.
+TEST_F(SummarizabilityTest, ParallelSweepMatchesSequential) {
+  HierarchySchemaBuilder b;
+  b.AddEdge("Store", "City").AddEdge("Warehouse", "City");
+  b.AddEdge("Warehouse", "Region").AddEdge("City", "Region");
+  b.AddEdge("Region", "All");
+  ASSERT_OK_AND_ASSIGN(HierarchySchemaPtr g, b.BuildShared());
+  DimensionSchema ds(g, {});
+  const CategoryId region = g->FindCategory("Region");
+  const CategoryId city = g->FindCategory("City");
+
+  DimsatOptions sequential_options;
+  DimsatOptions parallel_options;
+  parallel_options.num_threads = 4;
+  for (const std::vector<CategoryId>& sources :
+       {std::vector<CategoryId>{city}, std::vector<CategoryId>{region}}) {
+    ASSERT_OK_AND_ASSIGN(SummarizabilityResult seq,
+                         IsSummarizable(ds, region, sources,
+                                        sequential_options));
+    ASSERT_OK_AND_ASSIGN(SummarizabilityResult par,
+                         IsSummarizable(ds, region, sources,
+                                        parallel_options));
+    EXPECT_EQ(par.summarizable, seq.summarizable);
+    ASSERT_EQ(par.details.size(), seq.details.size());
+    for (size_t i = 0; i < seq.details.size(); ++i) {
+      EXPECT_EQ(par.details[i].bottom, seq.details[i].bottom);
+      EXPECT_EQ(par.details[i].implied, seq.details[i].implied);
+    }
+  }
+}
+
 TEST_F(SummarizabilityTest, InstanceMoreSummarizableThanSchema) {
   // Drop the Washington store: in the remaining instance Country IS
   // summarizable from {State, Province, City-direct}: actually from

@@ -27,6 +27,9 @@
 //                       expiration the command degrades (prints
 //                       "unknown" / partial output) and exits with the
 //                       deadline-exceeded code instead of hanging.
+//   --threads <n>       Worker parallelism for the DIMSAT searches
+//                       (work-stealing pool; src/exec). Defaults to
+//                       OLAPDC_THREADS when set, else 1.
 //   --metrics-json <path>  Enable the metrics registry and write the
 //                       final snapshot (olapdc.* counters, gauges,
 //                       latency histograms) to <path> as JSON.
@@ -58,6 +61,7 @@
 #include "core/mining.h"
 #include "core/report.h"
 #include "core/summarizability.h"
+#include "exec/work_stealing_pool.h"
 #include "io/instance_io.h"
 #include "io/schema_io.h"
 
@@ -102,18 +106,25 @@ int Usage() {
       "  dot <schema>                       Graphviz of the hierarchy\n"
       "  validate <schema> <instance>       C1-C7 + Sigma model check\n"
       "  mine <schema> <instance>           learn constraints from data\n"
-      "global flags: --deadline-ms <n>, --metrics-json <path>, "
-      "--trace <path>\n"
+      "global flags: --deadline-ms <n>, --threads <n>, "
+      "--metrics-json <path>, --trace <path>\n"
       "exit codes: 0 yes/ok, 1 no, 2 usage, 10-17 one per error class\n"
       "  (16 = deadline exceeded, 17 = cancelled)\n");
   return kExitUsage;
 }
 
-/// The per-invocation resource budget, built from --deadline-ms.
+/// The per-invocation resource envelope: the --deadline-ms wall-clock
+/// budget plus the --threads / OLAPDC_THREADS worker parallelism.
 struct CliBudget {
   Budget budget;
   bool bounded = false;
+  int threads = 1;
   const Budget* get() const { return bounded ? &budget : nullptr; }
+  /// Stamps this envelope onto one command's DimsatOptions.
+  void Apply(DimsatOptions* options) const {
+    options->budget = get();
+    options->num_threads = threads;
+  }
 };
 
 void PrintPartialStats(const DimsatStats& stats) {
@@ -128,7 +139,7 @@ void PrintPartialStats(const DimsatStats& stats) {
 int Check(const DimensionSchema& ds, const CliBudget& budget) {
   const HierarchySchema& schema = ds.hierarchy();
   DimsatOptions options;
-  options.budget = budget.get();
+  budget.Apply(&options);
   bool all_ok = true;
   Status degraded;
   for (CategoryId c = 0; c < schema.num_categories(); ++c) {
@@ -166,7 +177,7 @@ int Frozen(const DimensionSchema& ds, const std::string& root_name,
   Result<CategoryId> root = ds.hierarchy().CategoryIdOf(root_name);
   if (!root.ok()) return Fail(root.status());
   DimsatOptions options;
-  options.budget = budget.get();
+  budget.Apply(&options);
   DimsatResult r = EnumerateFrozenDimensions(ds, *root, options);
   if (!r.status.ok() && !IsBudgetError(r.status)) return Fail(r.status);
   std::printf("%zu frozen dimension(s) with root %s%s:\n", r.frozen.size(),
@@ -188,7 +199,7 @@ int ImpliesCmd(const DimensionSchema& ds, const std::string& text,
       ParseConstraint(ds.hierarchy(), text);
   if (!alpha.ok()) return Fail(alpha.status());
   DimsatOptions options;
-  options.budget = budget.get();
+  budget.Apply(&options);
   Result<ImplicationResult> r = Implies(ds, *alpha, options);
   if (!r.ok()) return Fail(r.status());
   if (!r->status.ok()) {
@@ -221,7 +232,7 @@ int Summarizable(const DimensionSchema& ds,
     sources.push_back(*c);
   }
   DimsatOptions options;
-  options.budget = budget.get();
+  budget.Apply(&options);
   Result<SummarizabilityResult> r =
       IsSummarizable(ds, *target, sources, options);
   if (!r.ok()) return Fail(r.status());
@@ -245,7 +256,7 @@ int Summarizable(const DimensionSchema& ds,
 
 int Minimize(const DimensionSchema& ds, const CliBudget& budget) {
   DimsatOptions options;
-  options.budget = budget.get();
+  budget.Apply(&options);
   Result<DimensionSchema> minimized = MinimizeConstraintSet(ds, options);
   if (!minimized.ok()) return Fail(minimized.status());
   std::printf("%s", SerializeSchema(*minimized).c_str());
@@ -310,6 +321,9 @@ bool TakeFlagValue(const std::string& flag, const std::string& arg, int argc,
 
 CliFlags ParseFlags(int argc, char** argv) {
   CliFlags flags;
+  if (int env = exec::EnvThreadCount(); env > 0) {
+    flags.budget.threads = env;
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string value;
@@ -327,6 +341,20 @@ CliFlags ParseFlags(int argc, char** argv) {
       }
       flags.budget.budget = Budget::WithDeadlineMs(ms);
       flags.budget.bounded = true;
+      continue;
+    }
+    if (TakeFlagValue("--threads", arg, argc, argv, &i, &value, &flags)) {
+      if (flags.usage_error) return flags;
+      char* end = nullptr;
+      long n = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n <= 0) {
+        std::fprintf(stderr,
+                     "error: --threads needs a positive integer, got '%s'\n",
+                     value.c_str());
+        flags.usage_error = true;
+        return flags;
+      }
+      flags.budget.threads = static_cast<int>(n);
       continue;
     }
     if (TakeFlagValue("--metrics-json", arg, argc, argv, &i, &value, &flags)) {
@@ -357,7 +385,7 @@ int RunCommand(const std::vector<std::string>& args, const CliBudget& budget) {
   if (command == "minimize") return Minimize(*ds, budget);
   if (command == "report") {
     ReportOptions report_options;
-    report_options.dimsat.budget = budget.get();
+    budget.Apply(&report_options.dimsat);
     Result<std::string> report = HeterogeneityReport(*ds, report_options);
     if (!report.ok()) return Fail(report.status());
     std::printf("%s", report->c_str());
@@ -406,6 +434,12 @@ int Run(int argc, char** argv) {
   CliFlags flags = ParseFlags(argc, argv);
   if (flags.usage_error) return kExitUsage;
   if (flags.args.size() < 2) return Usage();
+
+  // Size the shared pool to the requested parallelism before anything
+  // instantiates it.
+  if (flags.budget.threads > 1) {
+    exec::SetProcessPoolThreads(flags.budget.threads);
+  }
 
   if (!flags.metrics_json_path.empty()) {
     obs::MetricsRegistry::Global().Enable();
