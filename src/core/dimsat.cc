@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -502,8 +503,21 @@ DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
   const std::vector<DimensionConstraint> relevant =
       std::move(prepared).ValueOrDie();
 
-  exec::WorkStealingPool& pool =
-      options.pool != nullptr ? *options.pool : exec::ProcessPool();
+  // An explicit options.pool wins. Otherwise use the shared process
+  // pool — unless it is smaller than the requested num_threads, in
+  // which case a run-local pool honors the caller's explicit request
+  // (e.g. num_threads=8 on a host whose process pool was sized 1)
+  // rather than silently degrading to the smaller pool.
+  std::unique_ptr<exec::WorkStealingPool> local_pool;
+  exec::WorkStealingPool* pool_ptr = options.pool;
+  if (pool_ptr == nullptr) {
+    pool_ptr = &exec::ProcessPool();
+    if (pool_ptr->num_threads() < num_threads) {
+      local_pool = std::make_unique<exec::WorkStealingPool>(num_threads);
+      pool_ptr = local_pool.get();
+    }
+  }
+  exec::WorkStealingPool& pool = *pool_ptr;
   ParallelShared shared(ds, root, options, relevant, &pool);
   SpawnSubtree(&shared,
                Subhierarchy(ds.hierarchy().num_categories(), root), 0);

@@ -159,9 +159,12 @@ DimsatResult EnumerateFrozenDimensions(const DimensionSchema& ds,
 /// returned). The shared stop flag propagates the first witness in
 /// decision mode and the first budget expiry in every mode, so a
 /// cancelled Budget stops all workers promptly. Tracing is unsupported.
-/// num_threads <= 1 falls back to the sequential search; otherwise the
-/// run executes on options.pool if set, else the shared process pool
-/// (whose size — not num_threads — bounds the parallelism).
+/// num_threads <= 1 falls back to the sequential search. Otherwise the
+/// run executes on options.pool if set (its size then bounds the
+/// parallelism); with no pool override it uses the shared process
+/// pool, or a run-local pool of num_threads workers when the process
+/// pool is smaller — an explicit num_threads is honored, never
+/// silently degraded.
 DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
                             const DimsatOptions& options, int num_threads);
 

@@ -1,5 +1,6 @@
 #include "exec/work_stealing_pool.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <string>
@@ -49,10 +50,12 @@ void TaskGroup::Spawn(std::function<void()> fn) {
 }
 
 void TaskGroup::OnTaskDone() {
+  // The decrement happens under mu_ so that any waiter that observes
+  // pending_ == 0 can acquire mu_ once and thereby prove this critical
+  // section — the last thing a finisher does that touches the group —
+  // has completed before the group is destroyed.
+  std::lock_guard<std::mutex> lock(mu_);
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Last task out: wake any blocked waiter. The lock orders the
-    // notify after the waiter's predicate check.
-    std::lock_guard<std::mutex> lock(mu_);
     cv_.notify_all();
   }
 }
@@ -61,9 +64,30 @@ void TaskGroup::Wait() {
   if (tls_pool == pool_ && tls_worker_id >= 0) {
     // On a pool worker: help instead of blocking, otherwise a task
     // waiting on a nested group would deadlock the worker it occupies.
+    // After a run of fruitless steal attempts, park briefly on the
+    // group's condvar instead of burning the core while the group's
+    // remaining tasks run elsewhere with nothing stealable.
+    constexpr int kSpinRounds = 64;
+    int idle_rounds = 0;
     while (pending_.load(std::memory_order_acquire) > 0) {
-      if (!pool_->RunOneTask()) std::this_thread::yield();
+      if (pool_->RunOneTask()) {
+        idle_rounds = 0;
+        continue;
+      }
+      if (++idle_rounds < kSpinRounds) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+      idle_rounds = 0;
     }
+    // pending_ hit zero via a bare load: take mu_ once so the last
+    // finisher has provably left OnTaskDone (it decrements under mu_)
+    // before the caller may destroy this group.
+    std::lock_guard<std::mutex> lock(mu_);
     return;
   }
   std::unique_lock<std::mutex> lock(mu_);
@@ -250,8 +274,14 @@ int EnvThreadCount() {
   const char* env = std::getenv("OLAPDC_THREADS");
   if (env == nullptr || *env == '\0') return 0;
   char* end = nullptr;
+  errno = 0;
   long value = std::strtol(env, &end, 10);
-  if (end == nullptr || *end != '\0' || value <= 0) return 0;
+  // Out-of-range values (errno == ERANGE clamps to LONG_MAX/LONG_MIN)
+  // must be rejected before the int cast truncates them.
+  if (end == nullptr || *end != '\0' || errno == ERANGE || value <= 0 ||
+      value > kMaxThreads) {
+    return 0;
+  }
   return static_cast<int>(value);
 }
 
@@ -263,6 +293,7 @@ int DefaultThreadCount() {
 
 void SetProcessPoolThreads(int num_threads) {
   if (num_threads < 1) num_threads = 1;
+  if (num_threads > kMaxThreads) num_threads = kMaxThreads;
   process_pool_threads.store(num_threads, std::memory_order_relaxed);
 }
 

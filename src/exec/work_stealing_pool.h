@@ -151,7 +151,14 @@ WorkStealingPool& ProcessPool();
 /// ProcessPool() use (later calls are ignored).
 void SetProcessPoolThreads(int num_threads);
 
-/// OLAPDC_THREADS if set to a positive integer, else 0.
+/// Upper bound accepted for any thread-count input (OLAPDC_THREADS,
+/// CLI --threads, SetProcessPoolThreads): generous for real hardware,
+/// small enough to reject overflowed/garbage parses before they
+/// truncate into a nonsense pool size.
+inline constexpr int kMaxThreads = 4096;
+
+/// OLAPDC_THREADS if set to a positive integer (at most kMaxThreads),
+/// else 0.
 int EnvThreadCount();
 
 /// The default parallelism: OLAPDC_THREADS if set, else

@@ -42,6 +42,7 @@
 // a distinct code per StatusCode (see ExitCodeFor below) so scripts can
 // tell a parse error from a timeout from a missing file.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -330,8 +331,9 @@ CliFlags ParseFlags(int argc, char** argv) {
     if (TakeFlagValue("--deadline-ms", arg, argc, argv, &i, &value, &flags)) {
       if (flags.usage_error) return flags;
       char* end = nullptr;
+      errno = 0;
       long ms = std::strtol(value.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || ms <= 0) {
+      if (end == nullptr || *end != '\0' || errno == ERANGE || ms <= 0) {
         std::fprintf(stderr,
                      "error: --deadline-ms needs a positive integer, got "
                      "'%s'\n",
@@ -346,11 +348,16 @@ CliFlags ParseFlags(int argc, char** argv) {
     if (TakeFlagValue("--threads", arg, argc, argv, &i, &value, &flags)) {
       if (flags.usage_error) return flags;
       char* end = nullptr;
+      errno = 0;
       long n = std::strtol(value.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || n <= 0) {
+      // ERANGE/bound check first: an overflowed parse must be a usage
+      // error, not an int truncation into an arbitrary thread count.
+      if (end == nullptr || *end != '\0' || errno == ERANGE || n <= 0 ||
+          n > exec::kMaxThreads) {
         std::fprintf(stderr,
-                     "error: --threads needs a positive integer, got '%s'\n",
-                     value.c_str());
+                     "error: --threads needs a positive integer <= %d, "
+                     "got '%s'\n",
+                     exec::kMaxThreads, value.c_str());
         flags.usage_error = true;
         return flags;
       }
