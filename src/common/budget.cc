@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/memory_budget.h"
+
 namespace olapdc {
 
 double Budget::RemainingMs() const {
@@ -15,6 +17,9 @@ double Budget::RemainingMs() const {
 Status Budget::Check() const {
   if (cancel_.cancelled()) {
     return Status::Cancelled("operation cancelled by caller");
+  }
+  if (memory_ != nullptr && memory_->exhausted()) {
+    return memory_->ExhaustedStatus();
   }
   if (deadline_.has_value() && Clock::now() >= *deadline_) {
     return Status::DeadlineExceeded("wall-clock deadline exceeded");

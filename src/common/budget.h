@@ -33,6 +33,8 @@
 
 namespace olapdc {
 
+class MemoryBudget;
+
 /// Read side of a cancellation flag. Default-constructed tokens are
 /// "null": never cancelled, and cost one pointer test to probe.
 class CancellationToken {
@@ -74,8 +76,10 @@ class CancellationSource {
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 
-/// A wall-clock deadline plus a cancellation token. Default-constructed
-/// Budgets are unbounded (Check() always returns OK).
+/// A wall-clock deadline, a cancellation token, and (optionally) a
+/// memory budget — the full resource envelope of one request behind a
+/// single Check(). Default-constructed Budgets are unbounded (Check()
+/// always returns OK).
 class Budget {
  public:
   using Clock = std::chrono::steady_clock;
@@ -102,24 +106,37 @@ class Budget {
     cancel_ = std::move(token);
     return *this;
   }
+  /// Attaches a memory budget; not owned, must outlive the Budget, may
+  /// be null. Once `memory->exhausted()` trips (any worker's failed
+  /// Reserve), Check() returns its kResourceExhausted status — the trip
+  /// propagates through the same amortized probes as a deadline, so
+  /// partial-result degradation needs no extra plumbing.
+  Budget& SetMemory(MemoryBudget* memory) {
+    memory_ = memory;
+    return *this;
+  }
 
   bool has_deadline() const { return deadline_.has_value(); }
+  MemoryBudget* memory() const { return memory_; }
   bool unbounded() const {
-    return !deadline_.has_value() && !cancel_.cancellable();
+    return !deadline_.has_value() && !cancel_.cancellable() &&
+           memory_ == nullptr;
   }
 
   /// Milliseconds until the deadline (negative once past); +infinity
   /// when no deadline is set.
   double RemainingMs() const;
 
-  /// Full probe: samples the cancellation flag, then the clock. Returns
-  /// OK, kCancelled, or kDeadlineExceeded. Cancellation wins when both
-  /// apply (the caller asked first).
+  /// Full probe: samples the cancellation flag, then the memory
+  /// exhausted flag, then the clock. Returns OK, kCancelled,
+  /// kResourceExhausted (memory), or kDeadlineExceeded. Cancellation
+  /// wins when several apply (the caller asked first).
   Status Check() const;
 
  private:
   std::optional<Clock::time_point> deadline_;
   CancellationToken cancel_;
+  MemoryBudget* memory_ = nullptr;
 };
 
 /// Amortizes Budget::Check() for hot loops: only every `stride`-th call
@@ -164,9 +181,17 @@ class BudgetChecker {
  private:
   void CountExpiry() const {
     if (!obs::MetricsEnabled()) return;
-    obs::Count(status_.code() == StatusCode::kCancelled
-                   ? "olapdc.budget.cancelled"
-                   : "olapdc.budget.deadline_exceeded");
+    switch (status_.code()) {
+      case StatusCode::kCancelled:
+        obs::Count("olapdc.budget.cancelled");
+        break;
+      case StatusCode::kResourceExhausted:
+        obs::Count("olapdc.budget.memory_exhausted");
+        break;
+      default:
+        obs::Count("olapdc.budget.deadline_exceeded");
+        break;
+    }
     if (!site_.empty()) obs::Count("olapdc.budget.expired." + site_);
   }
 

@@ -1,11 +1,41 @@
 #include "common/fault_injector.h"
 
+#include <algorithm>
 #include <functional>
+#include <set>
 #include <utility>
 
 #include "obs/metrics.h"
 
 namespace olapdc {
+
+namespace {
+
+/// Function-local so registration from namespace-scope initializers in
+/// other translation units is safe regardless of construction order.
+std::set<std::string>& SiteRegistry() {
+  static std::set<std::string>* registry = new std::set<std::string>();
+  return *registry;
+}
+
+std::mutex& SiteRegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+}  // namespace
+
+bool RegisterFaultSite(std::string_view site) {
+  std::lock_guard<std::mutex> lock(SiteRegistryMutex());
+  SiteRegistry().emplace(site);
+  return true;
+}
+
+std::vector<std::string> RegisteredFaultSites() {
+  std::lock_guard<std::mutex> lock(SiteRegistryMutex());
+  return std::vector<std::string>(SiteRegistry().begin(),
+                                  SiteRegistry().end());
+}
 
 FaultInjector& FaultInjector::Global() {
   static FaultInjector* injector = new FaultInjector();

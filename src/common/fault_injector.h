@@ -26,10 +26,24 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 
 namespace olapdc {
+
+/// Adds `site` to the process-wide fault-site inventory (idempotent).
+/// Every module that probes MaybeFail("x.y") registers "x.y" from a
+/// namespace-scope initializer, so sweep harnesses (tools/chaos_campaign)
+/// can enumerate the full injectable surface without hand-maintaining a
+/// list that drifts from the code. Returns true so it can initialize a
+/// constant.
+bool RegisterFaultSite(std::string_view site);
+
+/// The inventory, sorted. Only sites whose translation unit is linked
+/// into the binary appear — which is exactly the set whose probes can
+/// fire there.
+std::vector<std::string> RegisteredFaultSites();
 
 class FaultInjector {
  public:

@@ -1,0 +1,67 @@
+#include "common/memory_budget.h"
+
+#include "common/fault_injector.h"
+#include "obs/metrics.h"
+
+namespace olapdc {
+
+namespace {
+const bool kSiteRegistered = RegisterFaultSite("mem.reserve");
+}  // namespace
+
+Status MemoryBudget::Reserve(uint64_t bytes, std::string_view site) {
+  (void)kSiteRegistered;
+  Status injected = FaultInjector::Global().MaybeFail("mem.reserve");
+  if (!injected.ok()) {
+    // An injected allocation failure is sticky like a real one: memory
+    // pressure does not un-happen between probes of one request.
+    exhausted_.store(true, std::memory_order_relaxed);
+    return injected;
+  }
+  if (exhausted_.load(std::memory_order_relaxed)) return ExhaustedStatus();
+  const uint64_t now =
+      reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != 0 && now > limit_) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    exhausted_.store(true, std::memory_order_relaxed);
+    if (obs::MetricsEnabled()) {
+      obs::Count("olapdc.mem.exhausted");
+      PublishGauges();
+    }
+    return Status::ResourceExhausted(
+        "memory budget exhausted at " + std::string(site) + ": reserving " +
+        std::to_string(bytes) + " bytes would exceed the " +
+        std::to_string(limit_) + "-byte limit (" + std::to_string(now - bytes) +
+        " reserved)");
+  }
+  // Monotone peak; races only lose a slightly stale maximum.
+  uint64_t seen = peak_.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+  if (obs::MetricsEnabled()) obs::Count("olapdc.mem.reserved_bytes", bytes);
+  return Status::OK();
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) obs::Count("olapdc.mem.released_bytes", bytes);
+}
+
+Status MemoryBudget::ExhaustedStatus() const {
+  return Status::ResourceExhausted(
+      "memory budget exhausted (" + std::to_string(limit_) + "-byte limit, " +
+      std::to_string(peak()) + " bytes at peak)");
+}
+
+void MemoryBudget::PublishGauges() const {
+  if (!obs::MetricsEnabled()) return;
+  obs::Gauge("olapdc.mem.reserved_bytes_now",
+             static_cast<int64_t>(reserved()));
+  obs::Gauge("olapdc.mem.peak_bytes", static_cast<int64_t>(peak()));
+  // Zero-delta: a cap that never tripped exports `exhausted: 0`, not a
+  // missing key (the complete-inventory rule, docs/observability.md).
+  obs::Count("olapdc.mem.exhausted", 0);
+}
+
+}  // namespace olapdc

@@ -1,0 +1,50 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace olapdc {
+
+namespace {
+
+/// xorshift64* (same generator family as the work-stealing pool's
+/// victim selection): enough for jitter, no <random> state to carry.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
+
+double RetryPolicy::BackoffMs(int attempt, uint64_t salt) const {
+  if (initial_backoff_ms <= 0.0) return 0.0;
+  double backoff = initial_backoff_ms;
+  for (int i = 0; i < attempt; ++i) backoff *= backoff_multiplier;
+  const double jitter = std::clamp(jitter_fraction, 0.0, 1.0);
+  if (jitter > 0.0) {
+    const uint64_t draw =
+        Mix(seed ^ Mix(salt + 1) ^ (static_cast<uint64_t>(attempt) + 1));
+    // Uniform in [1 - jitter, 1 + jitter].
+    const double unit = static_cast<double>(draw >> 11) / (1ULL << 53);
+    backoff *= 1.0 - jitter + 2.0 * jitter * unit;
+  }
+  return backoff;
+}
+
+double RetryPolicy::SleepBackoff(int attempt, const Budget* budget,
+                                 uint64_t salt) const {
+  double ms = BackoffMs(attempt, salt);
+  if (budget != nullptr) {
+    // Leave a margin of the remaining deadline for the retry itself.
+    const double remaining = budget->RemainingMs();
+    ms = std::min(ms, remaining / 2);
+  }
+  if (ms <= 0.0) return 0.0;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  return ms;
+}
+
+}  // namespace olapdc

@@ -1,0 +1,58 @@
+// RetryPolicy: exponential backoff with deterministic jitter for the
+// transient failure classes (IsRetryableError: budget expiries and
+// kUnavailable overload sheds). Checkpoint/resume (core/checkpoint.h)
+// turns "deadline exceeded" from start-over into continue-where-you-
+// stopped, which makes retrying cheap enough to be the default — the
+// Reasoner ladder backs off between rungs with this policy so a shed or
+// exhausted rung does not hammer the pool it just overloaded.
+//
+// Jitter is deterministic under (seed, salt, attempt): two retries of
+// the same request desynchronize (different salts) while any single
+// schedule is reproducible in tests — the same discipline as the
+// FaultInjector's per-site streams.
+
+#ifndef OLAPDC_COMMON_RETRY_H_
+#define OLAPDC_COMMON_RETRY_H_
+
+#include <cstdint>
+
+#include "common/budget.h"
+#include "common/status.h"
+
+namespace olapdc {
+
+struct RetryPolicy {
+  /// Retries after the first attempt; 0 disables retrying.
+  int max_retries = 4;
+  /// Backoff before retry 1; doubles (see multiplier) per retry. 0
+  /// disables sleeping (retry immediately — unit-test friendly).
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  /// Backoff is scaled by a factor drawn uniformly from
+  /// [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_fraction = 0.25;
+  /// Seed of the deterministic jitter stream.
+  uint64_t seed = 0x9E3779B97F4A7C15ULL;
+
+  /// True when `status` is worth retrying and `attempt` (0-based count
+  /// of retries already performed) is below max_retries.
+  bool ShouldRetry(const Status& status, int attempt) const {
+    return attempt < max_retries && IsRetryableError(status);
+  }
+
+  /// Jittered backoff before retry number `attempt` (0-based);
+  /// deterministic under (seed, salt, attempt). `salt` distinguishes
+  /// concurrent retry schedules (e.g. a hash of the request key).
+  double BackoffMs(int attempt, uint64_t salt = 0) const;
+
+  /// Sleeps BackoffMs(attempt, salt), clamped so the sleep never
+  /// outlives `budget`'s deadline (no point waiting past the point
+  /// where the retry could not run); null budget = full backoff.
+  /// Returns the milliseconds actually slept.
+  double SleepBackoff(int attempt, const Budget* budget = nullptr,
+                      uint64_t salt = 0) const;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_COMMON_RETRY_H_

@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -41,6 +41,11 @@ enum class StatusCode {
   /// The caller cooperatively cancelled the operation before it
   /// finished.
   kCancelled = 8,
+  /// The service is overloaded and shed the request before doing any
+  /// work (admission control). Unlike the budget errors, no partial
+  /// result exists; the message carries a retry-after-ms hint and the
+  /// request is safe to retry verbatim after backing off.
+  kUnavailable = 9,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "Invalid
@@ -91,6 +96,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -129,6 +137,21 @@ inline bool IsBudgetError(StatusCode code) {
 }
 inline bool IsBudgetError(const Status& status) {
   return IsBudgetError(status.code());
+}
+
+/// True for statuses a client may sensibly retry after backing off: the
+/// budget errors (a larger budget may succeed) plus kUnavailable (the
+/// overload that shed the request is transient by definition).
+/// kCancelled is formally a budget error but retrying a request the
+/// caller abandoned is rarely wanted — callers that cancel know they
+/// did.
+inline bool IsRetryableError(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kUnavailable;
+}
+inline bool IsRetryableError(const Status& status) {
+  return IsRetryableError(status.code());
 }
 
 }  // namespace olapdc

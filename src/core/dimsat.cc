@@ -12,14 +12,22 @@
 #include <utility>
 
 #include "common/fault_injector.h"
+#include "common/memory_budget.h"
 #include "common/string_util.h"
 #include "constraint/normalize.h"
 #include "core/check_subhierarchy.h"
+#include "exec/admission.h"
 #include "exec/work_stealing_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace olapdc {
+
+namespace {
+/// Inventory registration for the chaos campaign's site sweep.
+[[maybe_unused]] const bool kExpandSite = RegisterFaultSite("dimsat.expand");
+[[maybe_unused]] const bool kSubmitSite = RegisterFaultSite("exec.submit");
+}  // namespace
 
 void AccumulateStats(DimsatStats* total, const DimsatStats& delta) {
   total->expand_calls += delta.expand_calls;
@@ -96,6 +104,17 @@ Result<std::vector<DimensionConstraint>> PrepareRelevantConstraints(
   return prepared;
 }
 
+/// Heap-byte estimate of one Subhierarchy over n categories (three
+/// n-vectors of n-bit sets plus the top-level sets) — the unit of the
+/// memory-budget accounting for search state, parallel task seeds, and
+/// collected frozen dimensions. A governor estimate, not an rlimit
+/// (see common/memory_budget.h).
+uint64_t ApproxSubhierarchyBytes(int num_categories) {
+  const uint64_t n = static_cast<uint64_t>(num_categories);
+  const uint64_t bitset_bytes = 16 + ((n + 63) / 64) * 8;
+  return 3 * n * bitset_bytes + 3 * bitset_bytes + 128;
+}
+
 class DimsatSearch {
  public:
   /// `relevant` is borrowed: the caller keeps it alive for the lifetime
@@ -110,11 +129,21 @@ class DimsatSearch {
         relevant_(relevant),
         budget_checker_(options.budget, options.budget_check_stride,
                         "dimsat.expand"),
+        checkpoint_(options.checkpoint),
+        mem_(options.budget != nullptr ? options.budget->memory() : nullptr),
         g_(schema_.num_categories(), root) {
     check_options_.assignment.require_injective =
         options.require_injective_names;
     check_options_.assignment.enumerate_all = options.enumerate_all;
     check_options_.assignment.max_results = options.max_frozen;
+    const uint64_t n = static_cast<uint64_t>(schema_.num_categories());
+    const uint64_t bitset_bytes = 16 + ((n + 63) / 64) * 8;
+    subhierarchy_bytes_ = ApproxSubhierarchyBytes(schema_.num_categories());
+    // One undo frame journals the expanded category's Below snapshots —
+    // a handful of bitsets in the common case.
+    frame_bytes_ = 4 * bitset_bytes + 96;
+    // A frozen dimension is a subhierarchy plus its name assignment.
+    frozen_bytes_ = subhierarchy_bytes_ + n * 24;
   }
 
   DimsatResult Run() {
@@ -125,9 +154,43 @@ class DimsatSearch {
   /// given recursion depth (the parallel drivers seed tasks this way).
   DimsatResult RunFrom(Subhierarchy seed, int depth) {
     g_ = std::move(seed);
-    Expand(depth);
-    result_.satisfiable = !result_.frozen.empty();
-    result_.stats.frozen_found = result_.frozen.size();
+    Status base = mem_.Reserve(subhierarchy_bytes_, "dimsat.search");
+    if (!base.ok()) {
+      // Too exhausted even for the working set: the whole subtree is
+      // captured unprocessed and nothing is counted.
+      result_.status = std::move(base);
+      MaybeCapture(depth, 0);
+    } else {
+      Expand(depth);
+    }
+    Finish();
+    return std::move(result_);
+  }
+
+  /// Replays an interrupted run's frontier, deepest frame first (the
+  /// original depth-first order). Reports only fresh work; if this run
+  /// is interrupted too, the not-yet-replayed frames carry over into
+  /// the new checkpoint after whatever Expand() itself captured —
+  /// which preserves deepest-first order, since Expand's captures all
+  /// lie inside the currently replayed (deepest remaining) frame.
+  DimsatResult RunResume(DimsatCheckpoint&& from) {
+    Status base = mem_.Reserve(subhierarchy_bytes_, "dimsat.search");
+    if (!base.ok()) {
+      result_.status = std::move(base);
+      AppendRemaining(&from, 0);
+      Finish();
+      return std::move(result_);
+    }
+    for (size_t i = 0; i < from.frames.size(); ++i) {
+      if (!ShouldContinue()) {
+        if (IsBudgetError(result_.status)) AppendRemaining(&from, i);
+        break;
+      }
+      DimsatCheckpointFrame& frame = from.frames[i];
+      g_ = std::move(frame.g);
+      Expand(frame.depth, frame.next_mask);
+    }
+    Finish();
     return std::move(result_);
   }
 
@@ -150,11 +213,62 @@ class DimsatSearch {
         result_.trace.size() >= options_.max_trace) {
       return;
     }
+    // Under a memory budget the trace degrades by silent truncation —
+    // the same contract as the max_trace cap — rather than tripping
+    // the whole search over an advisory artifact.
+    MemoryBudget* mb = mem_.budget();
+    if (mb != nullptr) {
+      const uint64_t est =
+          96 + 16 * (static_cast<uint64_t>(g.num_edges()) + g.top().count());
+      if (mb->limit() > 0 && mb->reserved() + est > mb->limit()) return;
+      if (!mem_.Reserve(est, "dimsat.trace").ok()) return;
+    }
     DimsatTraceEvent event;
     event.kind = kind;
     event.edges = g.Edges();
     g.top().ForEach([&](int c) { event.top.push_back(c); });
     result_.trace.push_back(std::move(event));
+  }
+
+  /// Reserves undo-log headroom up to recursion level `depth` (a
+  /// high-water charge: backtracking reuses frame storage, so the
+  /// estimate only ever grows). Charged at EXPAND entry — before the
+  /// node does anything — so a trip captures the node whole.
+  Status ChargeDepth(int depth) {
+    if (mem_.budget() == nullptr) return Status::OK();
+    const uint64_t target = static_cast<uint64_t>(depth) + 1;
+    if (target <= undo_charged_depth_) return Status::OK();
+    OLAPDC_RETURN_NOT_OK(mem_.Reserve(
+        (target - undo_charged_depth_) * frame_bytes_, "dimsat.undo"));
+    undo_charged_depth_ = target;
+    return Status::OK();
+  }
+
+  void Finish() {
+    result_.satisfiable = !result_.frozen.empty();
+    result_.stats.frozen_found = result_.frozen.size();
+  }
+
+  /// Captures the current node as a checkpoint frame iff a checkpoint
+  /// sink is attached and the search stopped on a budget error (the
+  /// only stops a resume can continue from). `next_mask` is the first
+  /// unprocessed successor subset; 0 means the node is redone in full.
+  void MaybeCapture(int depth, uint32_t next_mask) {
+    if (checkpoint_ == nullptr || !IsBudgetError(result_.status)) return;
+    checkpoint_->root = root_;
+    checkpoint_->num_categories = schema_.num_categories();
+    checkpoint_->frames.push_back(DimsatCheckpointFrame{g_, next_mask, depth});
+  }
+
+  /// Hands frames[start..] of an interrupted resume back to the new
+  /// checkpoint (they were never replayed).
+  void AppendRemaining(DimsatCheckpoint* from, size_t start) {
+    if (checkpoint_ == nullptr) return;
+    checkpoint_->root = root_;
+    checkpoint_->num_categories = schema_.num_categories();
+    for (size_t j = start; j < from->frames.size(); ++j) {
+      checkpoint_->frames.push_back(std::move(from->frames[j]));
+    }
   }
 
   /// True while the search should continue; false aborts every open
@@ -170,22 +284,37 @@ class DimsatSearch {
     return result_.frozen.size() < options_.max_frozen;
   }
 
-  void RunCheck(const Subhierarchy& g) {
-    ++result_.stats.check_calls;
+  /// Returns false when the memory budget could not cover the CHECK's
+  /// outcome: result_.status is set and *nothing* is recorded — no
+  /// stats, no frozen — so the resumed run redoes the node wholesale
+  /// and the combined counts stay exact (in particular, no frozen
+  /// dimension is ever emitted twice across an interrupt/resume pair).
+  bool RunCheck(const Subhierarchy& g) {
     CheckOutcome outcome = CheckSubhierarchy(relevant_, g, check_options_);
+    if (!outcome.frozen.empty()) {
+      Status reserve = mem_.Reserve(
+          static_cast<uint64_t>(outcome.frozen.size()) * frozen_bytes_,
+          "dimsat.frozen");
+      if (!reserve.ok()) {
+        result_.status = std::move(reserve);
+        return false;
+      }
+    }
+    ++result_.stats.check_calls;
     result_.stats.assignments_tried += outcome.assignments_tried;
     if (outcome.structurally_rejected) {
       ++result_.stats.structural_rejections;
     }
     if (outcome.frozen.empty()) {
       Trace(DimsatTraceEvent::Kind::kCheckFail, g);
-      return;
+      return true;
     }
     Trace(DimsatTraceEvent::Kind::kCheckSuccess, g);
     for (FrozenDimension& f : outcome.frozen) {
       if (result_.frozen.size() >= options_.max_frozen) break;
       result_.frozen.push_back(std::move(f));
     }
+    return true;
   }
 
   /// The EXPAND procedure (Figure 6), with the subset loop corrected to
@@ -195,30 +324,55 @@ class DimsatSearch {
   /// are small-buffer bitsets and a stack array. Below the split depth
   /// (work-stealing runs only) children are copied out and spawned as
   /// pool tasks instead of recursed into.
-  void Expand(int depth) {
+  ///
+  /// `start_mask` > 0 replays a checkpointed node from its first
+  /// unprocessed successor subset. Such a node is *not fresh*: its
+  /// entry-side accounting (the expand_calls increment, the trace
+  /// event, the prune counters of the deterministic successor scan)
+  /// already happened in the interrupted run, so the replay recomputes
+  /// the derived state silently — that is what keeps interrupted +
+  /// resumed statistics exactly equal to an uninterrupted run's.
+  void Expand(int depth, uint32_t start_mask = 0) {
+    const bool fresh = (start_mask == 0);
     if (!ShouldContinue()) return;
-    // Wall-clock / cancellation probe, amortized by the checker so the
-    // common case is one branch per EXPAND.
+    // Wall-clock / cancellation / memory probe, amortized by the
+    // checker so the common case is one branch per EXPAND.
     Status budget = budget_checker_.Check();
     if (budget.ok()) {
       budget = FaultInjector::Global().MaybeFail("dimsat.expand");
     }
+    if (budget.ok()) {
+      budget = ChargeDepth(depth);
+    }
     if (!budget.ok()) {
       result_.status = std::move(budget);
+      MaybeCapture(depth, start_mask);
       return;
     }
-    if (++result_.stats.expand_calls > options_.max_expand_calls) {
-      result_.status = Status::ResourceExhausted(
-          "DIMSAT exceeded max_expand_calls");
-      return;
+    if (fresh) {
+      if (++result_.stats.expand_calls > options_.max_expand_calls) {
+        // Uncount the node: it is captured unprocessed (next_mask 0),
+        // so the resumed run counts it when it actually expands it.
+        --result_.stats.expand_calls;
+        result_.status = Status::ResourceExhausted(
+            "DIMSAT exceeded max_expand_calls");
+        MaybeCapture(depth, 0);
+        return;
+      }
+      Trace(DimsatTraceEvent::Kind::kExpand, g_);
     }
-    Trace(DimsatTraceEvent::Kind::kExpand, g_);
 
     // Line (6): g complete once only All awaits expansion.
     DynamicBitset pending = g_.top();
     pending.reset(schema_.all());
     if (pending.none()) {
-      RunCheck(g_);
+      if (!RunCheck(g_)) {
+        // The CHECK could not afford its outcome: uncount the node and
+        // capture it whole so the resume redoes it (frozen dimensions
+        // are emitted exactly once across the interrupt/resume pair).
+        if (fresh) --result_.stats.expand_calls;
+        MaybeCapture(depth, 0);
+      }
       return;
     }
 
@@ -235,12 +389,12 @@ class DimsatSearch {
       // shortcut once ctop -> c completes the longer path.
       if (options_.prune_shortcuts && g_.In(c).Intersects(below)) {
         blocked = true;
-        ++result_.stats.shortcut_prunes;
+        if (fresh) ++result_.stats.shortcut_prunes;
       }
       // Sc: c already reaches ctop; the edge would close a cycle.
       if (options_.prune_cycles && below.test(c)) {
         blocked = true;
-        ++result_.stats.cycle_prunes;
+        if (fresh) ++result_.stats.cycle_prunes;
       }
       if (!blocked) allowed.set(c);
       if (ds_.IntoTargets(ctop).test(c)) into.set(c);
@@ -249,8 +403,10 @@ class DimsatSearch {
     if (options_.prune_into) {
       // Line (15): a blocked into-target dooms every choice at ctop.
       if (!into.IsSubsetOf(allowed)) {
-        ++result_.stats.into_prunes;
-        Trace(DimsatTraceEvent::Kind::kPruned, g_);
+        if (fresh) {
+          ++result_.stats.into_prunes;
+          Trace(DimsatTraceEvent::Kind::kPruned, g_);
+        }
         return;
       }
     } else {
@@ -258,8 +414,10 @@ class DimsatSearch {
     }
 
     if (allowed.none()) {
-      ++result_.stats.dead_ends;
-      Trace(DimsatTraceEvent::Kind::kDeadEnd, g_);
+      if (fresh) {
+        ++result_.stats.dead_ends;
+        Trace(DimsatTraceEvent::Kind::kDeadEnd, g_);
+      }
       return;
     }
 
@@ -274,8 +432,15 @@ class DimsatSearch {
     });
     const bool split = spawner_ && depth < split_depth_;
     const uint32_t subsets = uint32_t{1} << num_free;
-    for (uint32_t mask = 0; mask < subsets; ++mask) {
-      if (!ShouldContinue()) return;
+    for (uint32_t mask = start_mask; mask < subsets; ++mask) {
+      if (!ShouldContinue()) {
+        // A budget stop mid-loop captures this node's continuation
+        // (subsets [mask, end)); any deeper frame was captured by the
+        // child before unwinding, keeping frames deepest-first. On
+        // non-budget stops (witness found) MaybeCapture is a no-op.
+        MaybeCapture(depth, mask);
+        return;
+      }
       DynamicBitset r = into;
       for (int i = 0; i < num_free; ++i) {
         if (mask & (uint32_t{1} << i)) r.set(free[i]);
@@ -300,6 +465,15 @@ class DimsatSearch {
   const std::vector<DimensionConstraint>& relevant_;
   CheckOptions check_options_;
   BudgetChecker budget_checker_;
+  /// Checkpoint sink (null = no capture); sequential runs only.
+  DimsatCheckpoint* checkpoint_;
+  /// Memory-budget accounting scoped to this search; every byte is
+  /// returned when the search dies, on every exit path.
+  MemoryReservation mem_;
+  uint64_t undo_charged_depth_ = 0;
+  uint64_t subhierarchy_bytes_ = 0;
+  uint64_t frame_bytes_ = 0;
+  uint64_t frozen_bytes_ = 0;
   Subhierarchy g_;
   SubhierarchyUndoLog undo_;
   DimsatResult result_;
@@ -398,12 +572,19 @@ struct ParallelShared {
         root(root),
         options(options),
         relevant(relevant),
+        mem(options.budget != nullptr ? options.budget->memory() : nullptr),
+        seed_bytes(ApproxSubhierarchyBytes(ds.hierarchy().num_categories())),
         group(pool) {}
 
   const DimensionSchema& ds;
   const CategoryId root;
   const DimsatOptions& options;
   const std::vector<DimensionConstraint>& relevant;
+  /// Queued task seeds are charged against the request's memory budget
+  /// while they sit in the pool (reserved at spawn, released when the
+  /// task starts and the seed is consumed).
+  MemoryBudget* const mem;
+  const uint64_t seed_bytes;
   exec::TaskGroup group;
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> tasks{0};
@@ -415,8 +596,26 @@ struct ParallelShared {
 void RunSubtreeTask(ParallelShared* shared, Subhierarchy seed, int depth);
 
 void SpawnSubtree(ParallelShared* shared, Subhierarchy&& child, int depth) {
+  // Chaos site: a failed submission degrades to inline execution on
+  // the calling thread — slower, never lost (degraded-but-correct).
+  if (!FaultInjector::Global().MaybeFail("exec.submit").ok()) {
+    RunSubtreeTask(shared, std::move(child), depth);
+    return;
+  }
+  bool charged = false;
+  if (shared->mem != nullptr) {
+    charged = shared->mem->Reserve(shared->seed_bytes, "dimsat.seed").ok();
+    if (!charged) {
+      // Exhausted: skip the queued copy and run inline; the search
+      // trips on its first budget probe and degrades with partial
+      // stats instead of piling more seeds into a full request.
+      RunSubtreeTask(shared, std::move(child), depth);
+      return;
+    }
+  }
   shared->group.Spawn(
-      [shared, seed = std::move(child), depth]() mutable {
+      [shared, seed = std::move(child), depth, charged]() mutable {
+        if (charged) shared->mem->Release(shared->seed_bytes);
         RunSubtreeTask(shared, std::move(seed), depth);
       });
 }
@@ -476,7 +675,56 @@ DimsatResult Dimsat(const DimensionSchema& ds, CategoryId root,
   }
   const std::vector<DimensionConstraint> relevant =
       std::move(prepared).ValueOrDie();
+  if (options.checkpoint != nullptr) options.checkpoint->frames.clear();
   DimsatResult result = DimsatSearch(ds, root, options, relevant).Run();
+  if (options.checkpoint != nullptr && !options.checkpoint->empty() &&
+      obs::MetricsEnabled()) {
+    obs::Count("olapdc.dimsat.checkpoints");
+  }
+  if (run.observed()) {
+    FlushDimsatMetrics(result.stats, result.status, run.ElapsedUs());
+    AnnotateSpan(span, ds.hierarchy(), root, result);
+  }
+  return result;
+}
+
+DimsatResult ResumeDimsat(const DimensionSchema& ds, CategoryId root,
+                          const DimsatOptions& options,
+                          DimsatCheckpoint checkpoint) {
+  OLAPDC_CHECK(0 <= root && root < ds.hierarchy().num_categories());
+  DimsatResult result;
+  if (checkpoint.empty()) {
+    // The interrupted run already covered the whole tree.
+    return result;
+  }
+  if (checkpoint.root != root ||
+      checkpoint.num_categories != ds.hierarchy().num_categories()) {
+    result.status = Status::InvalidArgument(
+        "checkpoint does not match this schema/root (root " +
+        std::to_string(checkpoint.root) + "/" + std::to_string(root) +
+        ", categories " + std::to_string(checkpoint.num_categories) + "/" +
+        std::to_string(ds.hierarchy().num_categories()) + ")");
+    return result;
+  }
+  obs::ObsSpan span("dimsat.resume");
+  ObservedRun run;
+  Result<std::vector<DimensionConstraint>> prepared =
+      PrepareRelevantConstraints(ds, root, options.path_limit);
+  if (!prepared.ok()) {
+    result.status = prepared.status();
+    return result;
+  }
+  const std::vector<DimensionConstraint> relevant =
+      std::move(prepared).ValueOrDie();
+  if (options.checkpoint != nullptr) options.checkpoint->frames.clear();
+  result = DimsatSearch(ds, root, options, relevant)
+               .RunResume(std::move(checkpoint));
+  if (obs::MetricsEnabled()) {
+    obs::Count("olapdc.dimsat.resumes");
+    if (options.checkpoint != nullptr && !options.checkpoint->empty()) {
+      obs::Count("olapdc.dimsat.checkpoints");
+    }
+  }
   if (run.observed()) {
     FlushDimsatMetrics(result.stats, result.status, run.ElapsedUs());
     AnnotateSpan(span, ds.hierarchy(), root, result);
@@ -489,7 +737,18 @@ DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
   OLAPDC_CHECK(0 <= root && root < ds.hierarchy().num_categories());
   OLAPDC_CHECK(!options.collect_trace)
       << "tracing is inherently sequential; use Dimsat()";
+  OLAPDC_CHECK(options.checkpoint == nullptr)
+      << "checkpoint capture is sequential; use RunDimsat()/Dimsat()";
   if (num_threads <= 1) return Dimsat(ds, root, options);
+
+  // Overload shedding happens before any other work: a shed request
+  // costs microseconds, holds nothing, and is safe to retry verbatim.
+  exec::AdmissionGate::Ticket ticket(options.admission);
+  if (!ticket.admitted()) {
+    DimsatResult result;
+    result.status = ticket.status();
+    return result;
+  }
 
   obs::ObsSpan span("dimsat.parallel_run");
   ObservedRun run;
@@ -551,6 +810,8 @@ DimsatResult DimsatParallelStatic(const DimensionSchema& ds, CategoryId root,
   OLAPDC_CHECK(0 <= root && root < ds.hierarchy().num_categories());
   OLAPDC_CHECK(!options.collect_trace)
       << "tracing is inherently sequential; use Dimsat()";
+  OLAPDC_CHECK(options.checkpoint == nullptr)
+      << "checkpoint capture is sequential; use RunDimsat()/Dimsat()";
   if (num_threads <= 1) return Dimsat(ds, root, options);
 
   obs::ObsSpan span("dimsat.parallel_run");
@@ -619,7 +880,8 @@ DimsatResult DimsatParallelStatic(const DimensionSchema& ds, CategoryId root,
 
 DimsatResult RunDimsat(const DimensionSchema& ds, CategoryId root,
                        const DimsatOptions& options) {
-  if (options.num_threads <= 1 || options.collect_trace) {
+  if (options.num_threads <= 1 || options.collect_trace ||
+      options.checkpoint != nullptr) {
     return Dimsat(ds, root, options);
   }
   return DimsatParallel(ds, root, options, options.num_threads);

@@ -21,6 +21,7 @@
 
 #include "common/budget.h"
 #include "common/status.h"
+#include "core/checkpoint.h"
 #include "core/frozen.h"
 #include "core/schema.h"
 #include "core/subhierarchy.h"
@@ -28,6 +29,7 @@
 namespace olapdc {
 
 namespace exec {
+class AdmissionGate;
 class WorkStealingPool;
 }  // namespace exec
 
@@ -74,6 +76,23 @@ struct DimsatOptions {
   /// Pool override for the work-stealing driver (benches and tests pin
   /// exact worker counts); null uses the shared process pool.
   exec::WorkStealingPool* pool = nullptr;
+  /// Out-parameter for checkpoint/resume: when non-null and the run
+  /// stops on a budget error (deadline, cancellation, memory pressure,
+  /// or the expand-call cap), the live search frontier is captured here
+  /// so ResumeDimsat() can continue the search instead of restarting
+  /// it. Cleared at the start of each run; forces the sequential engine
+  /// (RunDimsat() dispatches accordingly — frontier capture is
+  /// inherently a property of one depth-first traversal). The
+  /// interrupted and resumed runs partition the search tree, so their
+  /// combined verdict, frozen set, and statistics equal an
+  /// uninterrupted run's.
+  DimsatCheckpoint* checkpoint = nullptr;
+  /// Overload shedding for the parallel driver: when non-null,
+  /// DimsatParallel() asks the gate *before doing any work* and returns
+  /// kUnavailable (no partial result; retry-after-ms hint in the
+  /// message) when shed. Ignored by the sequential engine, which holds
+  /// no pool resources.
+  exec::AdmissionGate* admission = nullptr;
 };
 
 struct DimsatStats {
@@ -177,10 +196,27 @@ DimsatResult DimsatParallelStatic(const DimensionSchema& ds, CategoryId root,
                                   const DimsatOptions& options,
                                   int num_threads);
 
+/// Continues an interrupted search from `checkpoint` (captured by a
+/// previous run through DimsatOptions::checkpoint). Runs sequentially.
+/// The result reports only the *fresh* work performed after the
+/// interruption — callers accumulate it onto the interrupted run's
+/// partial result (AccumulateStats + appending frozen), which then
+/// exactly equals an uninterrupted run when the options match. If the
+/// resumed run is itself interrupted and options.checkpoint is set, a
+/// new checkpoint covering every still-unexplored frame is captured, so
+/// resume chains compose. An empty checkpoint returns immediately
+/// (the interrupted run had already covered the whole tree); a
+/// checkpoint whose root / num_categories disagree with (ds, root)
+/// yields kInvalidArgument.
+DimsatResult ResumeDimsat(const DimensionSchema& ds, CategoryId root,
+                          const DimsatOptions& options,
+                          DimsatCheckpoint checkpoint);
+
 /// Dispatch helper used by every higher layer (implication,
 /// summarizability, Reasoner, CLI): runs Dimsat() when
-/// options.num_threads <= 1 or a trace is requested, else
-/// DimsatParallel() with options.num_threads.
+/// options.num_threads <= 1, a trace is requested, or a checkpoint
+/// capture is requested, else DimsatParallel() with
+/// options.num_threads.
 DimsatResult RunDimsat(const DimensionSchema& ds, CategoryId root,
                        const DimsatOptions& options = {});
 

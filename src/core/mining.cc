@@ -44,6 +44,8 @@ Result<std::vector<DimensionConstraint>> MineConstraints(
     const DimensionInstance& d, const MiningOptions& options) {
   const HierarchySchema& schema = d.hierarchy();
   std::vector<DimensionConstraint> mined;
+  BudgetChecker budget_checker(options.budget, options.budget_check_stride,
+                               "mining.scan");
 
   for (CategoryId c = 0; c < schema.num_categories(); ++c) {
     if (c == schema.all() || d.MembersOf(c).empty()) continue;
@@ -51,6 +53,7 @@ Result<std::vector<DimensionConstraint>> MineConstraints(
     // Observed direct-parent-category alternatives.
     std::map<std::vector<CategoryId>, std::vector<MemberId>> by_alternative;
     for (MemberId m : d.MembersOf(c)) {
+      OLAPDC_RETURN_NOT_OK(budget_checker.Check());
       by_alternative[ParentCategories(d, m)].push_back(m);
     }
 
@@ -71,8 +74,14 @@ Result<std::vector<DimensionConstraint>> MineConstraints(
     }
 
     // Equality-conditioned refinements: does some ancestor category's
-    // name determine the alternative?
+    // name determine the alternative? (The lambda can't early-return a
+    // Status, so budget trips latch into `budget_status` and short out
+    // the remaining conditioning categories.)
+    Status budget_status;
     schema.UpSet(c).ForEach([&](int t) {
+      if (!budget_status.ok()) return;
+      budget_status = budget_checker.Check();
+      if (!budget_status.ok()) return;
       if (t == c || t == schema.all()) return;
       // Name of the t-ancestor per member (skip members without one).
       std::map<std::string, std::set<const std::vector<CategoryId>*>>
@@ -99,6 +108,7 @@ Result<std::vector<DimensionConstraint>> MineConstraints(
         mined.push_back(std::move(refined).ValueOrDie());
       }
     });
+    if (!budget_status.ok()) return budget_status;
   }
 
 #ifndef NDEBUG

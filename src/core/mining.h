@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "constraint/expr.h"
 #include "core/schema.h"
@@ -38,6 +39,14 @@ struct MiningOptions {
   /// distinct ancestor names (larger name domains rarely condition
   /// structure).
   size_t max_condition_names = 8;
+  /// Wall-clock / cancellation / memory budget; not owned, may be
+  /// null (unbounded). On expiration mining aborts with the budget
+  /// status through the Result error channel — the mined set is
+  /// all-or-nothing, because a silently truncated set would *describe
+  /// less than the instance exhibits* rather than degrade gracefully.
+  const Budget* budget = nullptr;
+  /// Members scanned between full budget probes.
+  uint32_t budget_check_stride = 64;
 };
 
 /// Mines constraints from `d`. Every returned constraint holds on `d`.

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/fault_injector.h"
 #include "constraint/printer.h"
+#include "exec/admission.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -39,6 +41,9 @@ Reasoner::Reasoner(DimensionSchema schema, DimsatOptions dimsat_options)
 
 namespace {
 
+/// Inventory registration for the chaos campaign's site sweep.
+[[maybe_unused]] const bool kQuerySite = RegisterFaultSite("reasoner.query");
+
 /// Publishes one finished query into the registry (olapdc.reasoner.*)
 /// and annotates its trace span. The ladder's per-rung DIMSAT runs
 /// already flush their own olapdc.dimsat.* metrics.
@@ -67,7 +72,8 @@ void ObserveQuery(obs::ObsSpan& span, const std::string& key,
 
 ReasonerAnswer Reasoner::RunLadder(
     const std::string& key, const Budget* budget,
-    const std::function<Attempt(const DimsatOptions&)>& attempt) {
+    const std::function<Attempt(const DimsatOptions&, DimsatCheckpoint*)>&
+        attempt) {
   ++stats_.queries;
   ReasonerAnswer answer;
 
@@ -95,10 +101,17 @@ ReasonerAnswer Reasoner::RunLadder(
 
   // Iterative deepening: each rung widens the expand-call budget
   // geometrically; the caller's wall-clock Budget caps the whole
-  // ladder. Restarting from scratch wastes at most a constant factor
-  // (geometric series) over running the final rung alone.
+  // ladder. With checkpoint resume the rungs *continue* one another,
+  // so the ladder explores each search node at most once; without it,
+  // restarting wastes at most a constant factor (geometric series)
+  // over running the final rung alone.
   uint64_t rung_budget = options_.initial_expand_budget;
   const uint64_t overall_cap = options_.dimsat.max_expand_calls;
+  // Frontier carried between rungs; jitter salt desynchronizes
+  // concurrent retriers of different queries.
+  DimsatCheckpoint resume;
+  const uint64_t salt = std::hash<std::string>{}(key);
+  int shed_retries = 0;
   for (int rung = 0; rung < options_.max_attempts; ++rung) {
     if (rung > 0) ++stats_.retries;
     ++answer.attempts;
@@ -115,7 +128,8 @@ ReasonerAnswer Reasoner::RunLadder(
     const bool last_possible_rung =
         rung + 1 >= options_.max_attempts || rung_options.max_expand_calls >= overall_cap;
 
-    Attempt outcome = attempt(rung_options);
+    Attempt outcome = attempt(
+        rung_options, options_.resume_from_checkpoint ? &resume : nullptr);
     AccumulateStats(&answer.work, outcome.stats);
 
     if (outcome.status.ok()) {
@@ -127,10 +141,37 @@ ReasonerAnswer Reasoner::RunLadder(
     }
     answer.reason = outcome.status;
 
-    // Only an *expand-cap* exhaustion is retryable: growing the budget
-    // can help. A deadline, a cancellation, or a failure that made no
-    // progress (e.g. path_limit during constraint preparation) will
-    // recur identically — stop the ladder.
+    // An overload shed ran no search at all: back off (honoring the
+    // admission gate's retry-after hint) and retry the *same* rung —
+    // there is nothing to deepen, the pool was just full.
+    if (outcome.status.code() == StatusCode::kUnavailable &&
+        options_.retry.ShouldRetry(outcome.status, shed_retries)) {
+      ++stats_.shed_backoffs;
+      if (obs::MetricsEnabled()) obs::Count("olapdc.reasoner.backoffs");
+      const double hint_ms = static_cast<double>(
+          exec::RetryAfterMsFromStatus(outcome.status));
+      if (options_.retry.BackoffMs(shed_retries, salt) < hint_ms &&
+          (budget == nullptr || budget->RemainingMs() > hint_ms)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(hint_ms));
+      } else {
+        options_.retry.SleepBackoff(shed_retries, budget, salt);
+      }
+      ++shed_retries;
+      if (budget != nullptr && !budget->Check().ok()) {
+        answer.reason = budget->Check();
+        break;
+      }
+      --rung;  // the rung neither ran nor deepened
+      continue;
+    }
+
+    // Only an *expand-cap* exhaustion is retryable by deepening:
+    // growing the budget can help (and with a carried checkpoint the
+    // next rung continues instead of restarting). A deadline, a
+    // cancellation, or a failure that made no progress (e.g.
+    // path_limit during constraint preparation) will recur identically
+    // — stop the ladder.
     const bool expand_cap_hit =
         outcome.status.code() == StatusCode::kResourceExhausted &&
         outcome.stats.expand_calls >= rung_options.max_expand_calls;
@@ -150,7 +191,8 @@ ReasonerAnswer Reasoner::QueryImplies(const DimensionConstraint& alpha,
   // up to re-parse, which is what semantic identity needs here).
   const std::string key = "i/" + std::to_string(alpha.root) + "/" +
                           ExprToString(schema_.hierarchy(), alpha.expr);
-  return RunLadder(key, budget, [&](const DimsatOptions& options) {
+  return RunLadder(key, budget, [&](const DimsatOptions& options,
+                                    DimsatCheckpoint*) {
     Attempt a;
     Result<ImplicationResult> r = olapdc::Implies(schema_, alpha, options);
     if (!r.ok()) {
@@ -167,9 +209,27 @@ ReasonerAnswer Reasoner::QueryImplies(const DimensionConstraint& alpha,
 ReasonerAnswer Reasoner::QuerySatisfiable(CategoryId category,
                                           const Budget* budget) {
   const std::string key = "s/" + std::to_string(category);
-  return RunLadder(key, budget, [&](const DimsatOptions& options) {
+  return RunLadder(key, budget, [&](const DimsatOptions& options,
+                                    DimsatCheckpoint* resume) {
     Attempt a;
-    DimsatResult r = RunDimsat(schema_, category, options);
+    DimsatResult r;
+    // Single sequential search: the one query shape whose rungs can
+    // continue one another through a checkpoint instead of restarting.
+    if (resume != nullptr && options.num_threads <= 1 &&
+        !options.collect_trace) {
+      DimsatOptions opts = options;
+      opts.checkpoint = resume;
+      if (!resume->empty()) {
+        ++stats_.checkpoint_resumes;
+        DimsatCheckpoint from = std::move(*resume);
+        resume->frames.clear();
+        r = ResumeDimsat(schema_, category, opts, std::move(from));
+      } else {
+        r = RunDimsat(schema_, category, opts);
+      }
+    } else {
+      r = RunDimsat(schema_, category, options);
+    }
     a.stats = r.stats;
     // A witness is definitive regardless of an expiring budget; a
     // truncated negative is not.
@@ -192,7 +252,8 @@ ReasonerAnswer Reasoner::QuerySummarizable(
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   std::string key = "m/" + std::to_string(target);
   for (CategoryId c : sorted) key += "," + std::to_string(c);
-  return RunLadder(key, budget, [&](const DimsatOptions& options) {
+  return RunLadder(key, budget, [&](const DimsatOptions& options,
+                                    DimsatCheckpoint*) {
     Attempt a;
     Result<SummarizabilityResult> r =
         olapdc::IsSummarizable(schema_, target, sorted, options);

@@ -35,6 +35,7 @@
 
 #include "common/budget.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "core/dimsat.h"
 #include "core/implication.h"
 #include "core/schema.h"
@@ -80,8 +81,22 @@ struct ReasonerOptions {
   uint64_t initial_expand_budget = 1 << 12;
   /// Geometric growth factor between rungs (>= 2).
   uint64_t expand_budget_growth = 8;
-  /// Maximum ladder rungs per query.
+  /// Maximum ladder rungs per query (shed retries, which run no
+  /// search, are bounded separately by `retry.max_retries`).
   int max_attempts = 5;
+  /// Backoff policy for overload sheds (kUnavailable from an
+  /// admission-gated pool): the rung is retried *without* growing its
+  /// expand budget after an exponential, jittered backoff that honors
+  /// the gate's retry-after-ms hint and never outlives the query's
+  /// wall-clock Budget.
+  RetryPolicy retry;
+  /// Carry a DIMSAT checkpoint across satisfiability rungs: a rung
+  /// interrupted by its expand cap leaves its live search frontier
+  /// behind, and the next rung *continues* from it instead of
+  /// re-exploring the tree. Effective for sequential searches
+  /// (dimsat.num_threads <= 1, no trace); other query shapes restart
+  /// each rung as before.
+  bool resume_from_checkpoint = true;
 };
 
 class Reasoner {
@@ -118,6 +133,11 @@ class Reasoner {
     uint64_t unknown = 0;
     /// Ladder rungs beyond the first, across all queries.
     uint64_t retries = 0;
+    /// Overload sheds the ladder backed off from and retried.
+    uint64_t shed_backoffs = 0;
+    /// Rungs that continued from a previous rung's checkpoint instead
+    /// of restarting the search.
+    uint64_t checkpoint_resumes = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -129,9 +149,15 @@ class Reasoner {
     DimsatStats stats;  // work done by this rung
   };
 
+  /// `attempt` runs one rung. `resume` (null when checkpoint resume is
+  /// disabled) is the in/out frontier carried between rungs: non-empty
+  /// on entry means "continue from here", and an attempt that is
+  /// interrupted again writes the new frontier back. Query shapes that
+  /// cannot resume simply ignore it.
   ReasonerAnswer RunLadder(
       const std::string& key, const Budget* budget,
-      const std::function<Attempt(const DimsatOptions&)>& attempt);
+      const std::function<Attempt(const DimsatOptions&, DimsatCheckpoint*)>&
+          attempt);
 
   Result<bool> TwoValued(const ReasonerAnswer& answer);
 

@@ -207,6 +207,71 @@ bool Subhierarchy::HasShortcut() const {
   return found;
 }
 
+std::optional<Subhierarchy> Subhierarchy::FromPartialEdges(
+    int num_categories, CategoryId root,
+    const std::vector<std::pair<CategoryId, CategoryId>>& edges) {
+  if (root < 0 || root >= num_categories) return std::nullopt;
+  Subhierarchy g(num_categories, root);
+  g.top_.clear();
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= num_categories || v < 0 || v >= num_categories ||
+        u == v) {
+      return std::nullopt;
+    }
+    g.cats_.set(u);
+    g.cats_.set(v);
+    g.out_[u].set(v);
+    g.in_[v].set(u);
+  }
+
+  // Every category of g must be reachable from root (invariant of each
+  // EXPAND step, so of every checkpointed frontier).
+  {
+    DynamicBitset seen(num_categories);
+    std::vector<CategoryId> frontier{root};
+    seen.set(root);
+    while (!frontier.empty()) {
+      CategoryId u = frontier.back();
+      frontier.pop_back();
+      g.out_[u].ForEach([&](int v) {
+        if (!seen.test(v)) {
+          seen.set(v);
+          frontier.push_back(v);
+        }
+      });
+    }
+    if (!g.cats_.IsSubsetOf(seen)) return std::nullopt;
+  }
+
+  // In a search state, top() is exactly the not-yet-expanded categories
+  // — the ones with no outgoing edge (the search removes a category
+  // from top() precisely when it gains its edges).
+  g.cats_.ForEach([&](int u) {
+    if (g.out_[u].none()) g.top_.set(u);
+  });
+
+  // Rebuild Below by relaxation to a fixpoint (partial graphs may be
+  // cyclic when pruning is disabled; the fixpoint handles both).
+  std::vector<DynamicBitset> reach(num_categories,
+                                   DynamicBitset(num_categories));
+  bool changed = true;
+  g.cats_.ForEach([&](int u) { reach[u].set(u); });
+  while (changed) {
+    changed = false;
+    g.cats_.ForEach([&](int u) {
+      DynamicBitset before = reach[u];
+      g.out_[u].ForEach([&](int v) { reach[u] |= reach[v]; });
+      if (reach[u] != before) changed = true;
+    });
+  }
+  g.cats_.ForEach([&](int v) {
+    g.cats_.ForEach([&](int u) {
+      if (u != v && reach[u].test(v)) g.below_[v].set(u);
+    });
+  });
+  return g;
+}
+
 std::optional<Subhierarchy> Subhierarchy::FromEdges(
     int num_categories, CategoryId root, CategoryId all,
     const std::vector<std::pair<CategoryId, CategoryId>>& edges) {

@@ -89,6 +89,15 @@ class Subhierarchy {
       int num_categories, CategoryId root, CategoryId all,
       const std::vector<std::pair<CategoryId, CategoryId>>& edges);
 
+  /// Rebuilds a *mid-search* subhierarchy from an edge list — the
+  /// deserialization path of DIMSAT checkpoints. Unlike FromEdges() it
+  /// accepts incomplete frontiers: categories without outgoing edges
+  /// are simply the pending top() set (All need not be present). Only
+  /// root-reachability is validated; Below is recomputed exactly.
+  static std::optional<Subhierarchy> FromPartialEdges(
+      int num_categories, CategoryId root,
+      const std::vector<std::pair<CategoryId, CategoryId>>& edges);
+
   int num_categories() const { return n_; }
   CategoryId root() const { return root_; }
 

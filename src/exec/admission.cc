@@ -1,0 +1,50 @@
+#include "exec/admission.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace olapdc::exec {
+
+Status AdmissionGate::TryAdmit() {
+  const int64_t now = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (now >= options_.high_water) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsEnabled()) {
+      obs::Count("olapdc.exec.shed");
+      obs::Gauge("olapdc.exec.in_flight", in_flight());
+    }
+    return Status::Unavailable(
+        "admission gate at high-water (" + std::to_string(now) + "/" +
+        std::to_string(options_.high_water) +
+        " in flight); retry-after-ms=" +
+        std::to_string(options_.retry_after_ms));
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    obs::Count("olapdc.exec.admitted");
+    obs::Gauge("olapdc.exec.in_flight", now + 1);
+  }
+  return Status::OK();
+}
+
+void AdmissionGate::Release() {
+  const int64_t now = in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if (obs::MetricsEnabled()) {
+    obs::Gauge("olapdc.exec.in_flight", now);
+  }
+}
+
+int64_t RetryAfterMsFromStatus(const Status& status) {
+  if (status.code() != StatusCode::kUnavailable) return 0;
+  static constexpr char kKey[] = "retry-after-ms=";
+  const std::string& msg = status.message();
+  const size_t pos = msg.find(kKey);
+  if (pos == std::string::npos) return 0;
+  const int64_t ms = std::atoll(msg.c_str() + pos + sizeof(kKey) - 1);
+  return ms > 0 ? ms : 0;
+}
+
+}  // namespace olapdc::exec

@@ -1,0 +1,93 @@
+// AdmissionGate: overload shedding in front of the work-stealing pool.
+//
+// A saturated pool does not fail — it queues, and queued work holds
+// memory and pushes every in-flight request past its deadline. The gate
+// bounds concurrent admitted requests at a high-water mark; beyond it,
+// new requests are *shed immediately* with kUnavailable and a
+// retry-after-ms hint instead of degrading everyone. kUnavailable is
+// deliberately distinct from the budget errors: a shed request has done
+// no work, carries no partial result, and is safe to retry verbatim
+// after backing off (RetryPolicy parses the hint).
+//
+// The gate is intentionally a counter, not a queue: admission control
+// that *waits* is just a second queue with extra steps. Callers that
+// can tolerate latency retry with backoff; callers that cannot get an
+// honest "not now" in microseconds.
+
+#ifndef OLAPDC_EXEC_ADMISSION_H_
+#define OLAPDC_EXEC_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace olapdc::exec {
+
+class AdmissionGate {
+ public:
+  struct Options {
+    /// Concurrent admitted requests beyond which new ones are shed.
+    int64_t high_water = 64;
+    /// Backoff hint embedded in the kUnavailable message as
+    /// "retry-after-ms=<n>" (RetryAfterMsFromStatus parses it back).
+    int64_t retry_after_ms = 50;
+  };
+
+  explicit AdmissionGate(const Options& options) : options_(options) {}
+  AdmissionGate() : AdmissionGate(Options{}) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Admits the request (counting it in-flight until Release()) or
+  /// sheds it with kUnavailable. Lock-free; safe from any thread.
+  Status TryAdmit();
+
+  /// Returns one admitted request's slot. Must pair 1:1 with a
+  /// successful TryAdmit().
+  void Release();
+
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  const Options& options() const { return options_; }
+
+  /// RAII admission: releases on destruction iff TryAdmit succeeded.
+  class Ticket {
+   public:
+    explicit Ticket(AdmissionGate* gate)
+        : gate_(gate), status_(gate == nullptr ? Status::OK()
+                                               : gate->TryAdmit()) {}
+    ~Ticket() {
+      if (gate_ != nullptr && status_.ok()) gate_->Release();
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    const Status& status() const { return status_; }
+    bool admitted() const { return status_.ok(); }
+
+   private:
+    AdmissionGate* gate_;
+    Status status_;
+  };
+
+ private:
+  const Options options_;
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+};
+
+/// Parses the "retry-after-ms=<n>" hint out of a kUnavailable status
+/// message; 0 when absent or not kUnavailable.
+int64_t RetryAfterMsFromStatus(const Status& status);
+
+}  // namespace olapdc::exec
+
+#endif  // OLAPDC_EXEC_ADMISSION_H_

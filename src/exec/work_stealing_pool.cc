@@ -5,11 +5,19 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/fault_injector.h"
 #include "obs/metrics.h"
 
 namespace olapdc::exec {
 
 namespace {
+
+/// Inventory registration so the chaos campaign finds these sites via
+/// RegisteredFaultSites(). Probed on cold paths only (steal sweeps and
+/// fruitless helping rounds), never per task.
+[[maybe_unused]] const bool kStealSite = RegisterFaultSite("exec.steal");
+[[maybe_unused]] const bool kGroupWaitSite =
+    RegisterFaultSite("exec.group_wait");
 
 /// Worker identity of the current thread: which pool it belongs to (so
 /// SubmitTask can tell "one of mine" from an external thread) and its
@@ -70,7 +78,10 @@ void TaskGroup::Wait() {
     constexpr int kSpinRounds = 64;
     int idle_rounds = 0;
     while (pending_.load(std::memory_order_acquire) > 0) {
-      if (pool_->RunOneTask()) {
+      // Chaos site: a failed helping round degrades to the yield/park
+      // path below — the group still drains via the other workers.
+      if (FaultInjector::Global().MaybeFail("exec.group_wait").ok() &&
+          pool_->RunOneTask()) {
         idle_rounds = 0;
         continue;
       }
@@ -178,6 +189,9 @@ WorkStealingPool::Task* WorkStealingPool::PopInjector() {
 WorkStealingPool::Task* WorkStealingPool::StealFrom(int self) {
   const int n = num_threads();
   if (n <= 1) return nullptr;
+  // Chaos site: a failed steal sweep is indistinguishable from an
+  // all-victims-empty round; the task stays queued for someone else.
+  if (!FaultInjector::Global().MaybeFail("exec.steal").ok()) return nullptr;
   Worker& me = *workers_[self];
   // Two randomized sweeps over the victims before giving up.
   uint64_t failures = 0;

@@ -7,11 +7,17 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/memory_budget.h"
 #include "io/parse_observer.h"
 
 namespace olapdc {
 
 namespace {
+
+/// Inventory registration for the chaos campaign's site sweep (the
+/// probe itself sits at the top of ParseInstanceTextImpl).
+[[maybe_unused]] const bool kParseSite =
+    RegisterFaultSite("instance_io.parse");
 
 /// A whitespace token plus its 1-based source column, so errors can
 /// point at the offending token rather than just the line.
@@ -59,8 +65,18 @@ Result<std::vector<Token>> Tokenize(const std::string& line, int number) {
 
 Result<DimensionInstance> ParseInstanceTextImpl(HierarchySchemaPtr schema,
                                                 std::string_view text,
-                                                bool skip_validation) {
+                                                bool skip_validation,
+                                                const Budget* budget) {
   OLAPDC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail("instance_io.parse"));
+  // The parse materializes roughly two copies of the input (the stream
+  // copy plus the builder's members/edges); charge them before any
+  // allocation so an oversized request is refused up front.
+  MemoryReservation mem(budget != nullptr ? budget->memory() : nullptr);
+  OLAPDC_RETURN_NOT_OK(
+      mem.Reserve(2 * static_cast<uint64_t>(text.size()) + 256,
+                  "instance_io.text"));
+  BudgetChecker budget_checker(budget, BudgetChecker::kDefaultStride,
+                               "instance_io.parse");
   DimensionInstanceBuilder builder(std::move(schema));
   builder.set_skip_validation(skip_validation);
   std::istringstream stream{std::string(text)};
@@ -68,6 +84,7 @@ Result<DimensionInstance> ParseInstanceTextImpl(HierarchySchemaPtr schema,
   int number = 0;
   while (std::getline(stream, raw)) {
     ++number;
+    OLAPDC_RETURN_NOT_OK(budget_checker.Check());
     OLAPDC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(raw, number));
     if (tokens.empty()) continue;
     const std::string& keyword = tokens[0].text;
@@ -98,11 +115,12 @@ Result<DimensionInstance> ParseInstanceTextImpl(HierarchySchemaPtr schema,
 
 Result<DimensionInstance> ParseInstanceText(HierarchySchemaPtr schema,
                                             std::string_view text,
-                                            bool skip_validation) {
+                                            bool skip_validation,
+                                            const Budget* budget) {
   io_internal::ParseObserver observer("io.parse_instance",
                                       "olapdc.io.instance");
   Result<DimensionInstance> result =
-      ParseInstanceTextImpl(std::move(schema), text, skip_validation);
+      ParseInstanceTextImpl(std::move(schema), text, skip_validation, budget);
   observer.Finish(result.status());
   return result;
 }

@@ -14,16 +14,21 @@
 #include <string>
 #include <string_view>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "dim/dimension_instance.h"
 
 namespace olapdc {
 
 /// Parses the instance text format over `schema`. Build()'s full C1-C7
-/// validation runs unless `skip_validation`.
+/// validation runs unless `skip_validation`. `budget` (not owned, may
+/// be null) bounds the parse: its memory budget is charged for the
+/// working copy of `text` up front, and deadline/cancellation are
+/// probed per line.
 Result<DimensionInstance> ParseInstanceText(HierarchySchemaPtr schema,
                                             std::string_view text,
-                                            bool skip_validation = false);
+                                            bool skip_validation = false,
+                                            const Budget* budget = nullptr);
 
 /// Renders d in the instance text format (members grouped by category;
 /// the auto-created `all` member is included).

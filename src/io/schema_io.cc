@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/memory_budget.h"
 #include "constraint/parser.h"
 #include "constraint/printer.h"
 #include "io/parse_observer.h"
@@ -14,6 +15,10 @@
 namespace olapdc {
 
 namespace {
+
+/// Inventory registration for the chaos campaign's site sweep (the
+/// probe itself sits at the top of ParseSchemaTextImpl).
+[[maybe_unused]] const bool kParseSite = RegisterFaultSite("schema_io.parse");
 
 struct Line {
   std::string keyword;
@@ -86,13 +91,24 @@ Status RelocateParserError(const Line& line, const Status& status) {
   return Err(line, line.rest_column, message);
 }
 
-Result<DimensionSchema> ParseSchemaTextImpl(std::string_view text) {
+Result<DimensionSchema> ParseSchemaTextImpl(std::string_view text,
+                                            const Budget* budget) {
   OLAPDC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail("schema_io.parse"));
+  // The parse materializes roughly two copies of the input (the line
+  // split plus the builders); charge them before splitting so an
+  // oversized request is refused before any allocation.
+  MemoryReservation mem(budget != nullptr ? budget->memory() : nullptr);
+  OLAPDC_RETURN_NOT_OK(
+      mem.Reserve(2 * static_cast<uint64_t>(text.size()) + 256,
+                  "schema_io.text"));
+  BudgetChecker budget_checker(budget, BudgetChecker::kDefaultStride,
+                               "schema_io.parse");
   const std::vector<Line> lines = SplitLines(text);
 
   // Pass 1: hierarchy.
   HierarchySchemaBuilder builder;
   for (const Line& line : lines) {
+    OLAPDC_RETURN_NOT_OK(budget_checker.Check());
     if (line.keyword == "category") {
       if (line.rest.empty()) return Err(line, "category needs a name");
       builder.AddCategory(line.rest);
@@ -114,6 +130,7 @@ Result<DimensionSchema> ParseSchemaTextImpl(std::string_view text) {
   // Pass 2: constraints.
   std::vector<DimensionConstraint> constraints;
   for (const Line& line : lines) {
+    OLAPDC_RETURN_NOT_OK(budget_checker.Check());
     if (line.keyword != "constraint") continue;
     if (line.rest.empty()) return Err(line, "constraint needs an expression");
 
@@ -152,9 +169,10 @@ Result<DimensionSchema> ParseSchemaTextImpl(std::string_view text) {
 
 }  // namespace
 
-Result<DimensionSchema> ParseSchemaText(std::string_view text) {
+Result<DimensionSchema> ParseSchemaText(std::string_view text,
+                                        const Budget* budget) {
   io_internal::ParseObserver observer("io.parse_schema", "olapdc.io.schema");
-  Result<DimensionSchema> result = ParseSchemaTextImpl(text);
+  Result<DimensionSchema> result = ParseSchemaTextImpl(text, budget);
   observer.Finish(result.status());
   return result;
 }

@@ -17,13 +17,19 @@
 #include <string>
 #include <string_view>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "core/schema.h"
 
 namespace olapdc {
 
-/// Parses the schema text format.
-Result<DimensionSchema> ParseSchemaText(std::string_view text);
+/// Parses the schema text format. `budget` (not owned, may be null)
+/// bounds the parse: its memory budget is charged for the working copy
+/// of `text` up front, and deadline/cancellation are probed per line —
+/// ingesting an oversized or adversarial schema degrades with a budget
+/// status instead of holding a request slot indefinitely.
+Result<DimensionSchema> ParseSchemaText(std::string_view text,
+                                        const Budget* budget = nullptr);
 
 /// Renders ds in the schema text format.
 std::string SerializeSchema(const DimensionSchema& ds);

@@ -49,9 +49,24 @@ Result<std::optional<std::vector<CategoryId>>> FindRewriteSet(
   const int n = static_cast<int>(materialized.size());
   OLAPDC_CHECK(n < 20) << "too many materialized views to enumerate";
   const int max_size = std::min(options.max_rewrite_set, n);
+  // Each candidate probe is a full summarizability proof, so the
+  // enumeration itself re-probes the budget per mask (stride 1):
+  // once the request's budget trips, the remaining candidates would
+  // each launch a DIMSAT run doomed to the same expiry.
+  BudgetChecker budget_checker(options.dimsat.budget, 1, "navigator.search");
   for (int size = 1; size <= max_size; ++size) {
     for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
       if (__builtin_popcount(mask) != size) continue;
+      Status budget = budget_checker.Check();
+      if (!budget.ok()) {
+        // Degraded, not failed: "no rewrite provable in time" — callers
+        // fall back to base facts, diagnostics tell the difference.
+        if (options.diagnostics != nullptr) {
+          ++options.diagnostics->unknown_rewrite_sets;
+          options.diagnostics->last_budget_status = std::move(budget);
+        }
+        return std::optional<std::vector<CategoryId>>(std::nullopt);
+      }
       std::vector<CategoryId> s;
       for (int i = 0; i < n; ++i) {
         if (mask & (uint32_t{1} << i)) s.push_back(materialized[i]);

@@ -31,9 +31,24 @@ Result<ViewSelectionResult> SelectViews(
 
   ViewSelectionResult best;
   const int max_views = std::min(options.max_views, n);
-  for (int size = 0; size <= max_views && !best.found; ++size) {
+  // Candidate sets are exponential and each cover test runs DIMSAT
+  // proofs: once the request budget trips, stop enumerating and return
+  // the (possibly absent) result as degraded rather than grinding
+  // through the rest of the lattice shedding every probe.
+  BudgetChecker budget_checker(options.dimsat.budget, 1,
+                               "view_selection.search");
+  bool budget_tripped = false;
+  for (int size = 0; size <= max_views && !best.found && !budget_tripped;
+       ++size) {
     for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
       if (__builtin_popcount(mask) != size) continue;
+      Status budget = budget_checker.Check();
+      if (!budget.ok()) {
+        ++diagnostics.unknown_rewrite_sets;
+        diagnostics.last_budget_status = std::move(budget);
+        budget_tripped = true;
+        break;
+      }
       std::vector<CategoryId> selected;
       for (int i = 0; i < n; ++i) {
         if (mask & (uint32_t{1} << i)) selected.push_back(candidates[i]);

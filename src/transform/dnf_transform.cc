@@ -5,9 +5,12 @@
 
 namespace olapdc {
 
-Result<DnfResult> ToDimensionalNormalForm(const DimensionInstance& d) {
+Result<DnfResult> ToDimensionalNormalForm(const DimensionInstance& d,
+                                          const Budget* budget) {
   const HierarchySchema& schema = d.hierarchy();
   const int num_categories = schema.num_categories();
+  BudgetChecker budget_checker(budget, BudgetChecker::kDefaultStride,
+                               "transform.dnf");
 
   // A category is kept iff every base member (member of a bottom
   // category) rolls up to it. Bottom categories and All are always
@@ -20,6 +23,7 @@ Result<DnfResult> ToDimensionalNormalForm(const DimensionInstance& d) {
     bool universal = true;
     for (CategoryId b : schema.bottom_categories()) {
       for (MemberId x : d.MembersOf(b)) {
+        OLAPDC_RETURN_NOT_OK(budget_checker.Check());
         universal &= d.RollsUpToCategory(x, c);
         if (!universal) break;
       }
@@ -41,6 +45,7 @@ Result<DnfResult> ToDimensionalNormalForm(const DimensionInstance& d) {
     auto& table = attributes[c];
     for (CategoryId b : schema.bottom_categories()) {
       for (MemberId x : d.MembersOf(b)) {
+        OLAPDC_RETURN_NOT_OK(budget_checker.Check());
         MemberId ancestor = d.RollUpMember(x, c);
         if (ancestor != kNoMember) {
           table[d.member(x).key] = d.member(ancestor).name;
@@ -63,6 +68,7 @@ Result<DnfResult> ToDimensionalNormalForm(const DimensionInstance& d) {
     if (!kept.test(c)) continue;
     for (MemberId x : d.MembersOf(c)) {
       if (x == d.all_member()) continue;
+      OLAPDC_RETURN_NOT_OK(budget_checker.Check());
       std::vector<MemberId> targets;
       kept.ForEach([&](int kc) {
         if (kc == c) return;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "dim/dimension_instance.h"
 
@@ -42,8 +43,12 @@ struct DnfResult {
 /// Computes the DNF transform of `d`: a category is kept iff every
 /// member of every bottom category rolls up to it; demoted categories
 /// are spliced out of the child/parent relation (children re-linked to
-/// the nearest kept ancestors) and recorded as attributes.
-Result<DnfResult> ToDimensionalNormalForm(const DimensionInstance& d);
+/// the nearest kept ancestors) and recorded as attributes. `budget`
+/// (not owned, may be null) bounds the member scans: on expiry the
+/// transform aborts with the budget status — a partially spliced
+/// instance would be silently wrong, so there is no partial result.
+Result<DnfResult> ToDimensionalNormalForm(const DimensionInstance& d,
+                                          const Budget* budget = nullptr);
 
 }  // namespace olapdc
 

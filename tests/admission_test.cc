@@ -1,0 +1,128 @@
+// AdmissionGate: shed-don't-queue semantics (kUnavailable with a
+// retry-after-ms hint, no partial work), the Ticket RAII, the hint
+// parser RetryPolicy consumes, and the end-to-end property — a
+// DimsatParallel request arriving beyond the gate's high-water mark is
+// shed before doing any work, and runs normally once the gate drains.
+
+#include <gtest/gtest.h>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "core/dimsat.h"
+#include "core/location_example.h"
+#include "exec/admission.h"
+#include "exec/work_stealing_pool.h"
+#include "tests/test_util.h"
+
+namespace olapdc {
+namespace {
+
+TEST(AdmissionGateTest, AdmitsUpToHighWaterThenSheds) {
+  exec::AdmissionGate gate(
+      exec::AdmissionGate::Options{/*high_water=*/2, /*retry_after_ms=*/50});
+  ASSERT_OK(gate.TryAdmit());
+  ASSERT_OK(gate.TryAdmit());
+  EXPECT_EQ(gate.in_flight(), 2);
+
+  Status shed = gate.TryAdmit();
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(gate.in_flight(), 2);  // the shed request holds no slot
+  EXPECT_EQ(gate.admitted(), 2u);
+  EXPECT_EQ(gate.shed(), 1u);
+
+  gate.Release();
+  ASSERT_OK(gate.TryAdmit());  // a drained slot admits again
+  gate.Release();
+  gate.Release();
+  EXPECT_EQ(gate.in_flight(), 0);
+}
+
+TEST(AdmissionGateTest, TicketReleasesOnlyWhenAdmitted) {
+  exec::AdmissionGate gate(
+      exec::AdmissionGate::Options{/*high_water=*/1, /*retry_after_ms=*/50});
+  {
+    exec::AdmissionGate::Ticket first(&gate);
+    ASSERT_TRUE(first.admitted());
+    exec::AdmissionGate::Ticket second(&gate);
+    EXPECT_FALSE(second.admitted());
+    EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(gate.in_flight(), 1);
+  }
+  // Only the admitted ticket released; the shed one had nothing to
+  // release and must not drive in_flight negative.
+  EXPECT_EQ(gate.in_flight(), 0);
+}
+
+TEST(AdmissionGateTest, NullGateTicketAdmitsEverything) {
+  exec::AdmissionGate::Ticket ticket(nullptr);
+  EXPECT_TRUE(ticket.admitted());
+}
+
+TEST(AdmissionGateTest, RetryAfterHintRoundTrips) {
+  exec::AdmissionGate gate(
+      exec::AdmissionGate::Options{/*high_water=*/0, /*retry_after_ms=*/123});
+  Status shed = gate.TryAdmit();
+  ASSERT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(exec::RetryAfterMsFromStatus(shed), 123);
+
+  EXPECT_EQ(exec::RetryAfterMsFromStatus(Status::OK()), 0);
+  EXPECT_EQ(exec::RetryAfterMsFromStatus(Status::Unavailable("no hint")), 0);
+  // A shed is transient by design: the retry policy classifies it as
+  // retryable, unlike a hard error.
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.ShouldRetry(shed, 0));
+  EXPECT_FALSE(policy.ShouldRetry(Status::Internal("boom"), 0));
+}
+
+TEST(AdmissionGateTest, ParallelDimsatIsShedBeforeDoingAnyWork) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+
+  exec::WorkStealingPool pool(1);
+  exec::AdmissionGate gate(
+      exec::AdmissionGate::Options{/*high_water=*/1, /*retry_after_ms=*/25});
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.pool = &pool;
+  options.admission = &gate;
+
+  // The saturated pool's slot is taken; the next request must be shed
+  // immediately — kUnavailable, retry hint, and zero work performed.
+  ASSERT_OK(gate.TryAdmit());
+  DimsatResult shed = DimsatParallel(ds, store, options, 2);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(exec::RetryAfterMsFromStatus(shed.status), 25);
+  EXPECT_FALSE(shed.satisfiable);
+  EXPECT_TRUE(shed.frozen.empty());
+  EXPECT_FALSE(shed.stats.Any());
+  EXPECT_EQ(gate.in_flight(), 1);  // only the slot we took by hand
+
+  // Once the gate drains the identical request runs to completion.
+  gate.Release();
+  DimsatResult admitted = DimsatParallel(ds, store, options, 2);
+  ASSERT_OK(admitted.status);
+  EXPECT_EQ(admitted.frozen.size(), 4u);
+  EXPECT_EQ(gate.in_flight(), 0);
+  EXPECT_EQ(gate.shed(), 1u);
+}
+
+TEST(AdmissionGateTest, SequentialFallbackIgnoresTheGate) {
+  ASSERT_OK_AND_ASSIGN(DimensionSchema ds, LocationSchema());
+  CategoryId store = ds.hierarchy().FindCategory("Store");
+
+  exec::AdmissionGate gate(
+      exec::AdmissionGate::Options{/*high_water=*/0, /*retry_after_ms=*/50});
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.admission = &gate;
+  options.num_threads = 1;
+  // The sequential engine holds no pool resources, so a full gate must
+  // not block it (RunDimsat dispatches it past the gate).
+  DimsatResult r = RunDimsat(ds, store, options);
+  ASSERT_OK(r.status);
+  EXPECT_EQ(r.frozen.size(), 4u);
+  EXPECT_EQ(gate.shed(), 0u);
+}
+
+}  // namespace
+}  // namespace olapdc

@@ -9,10 +9,13 @@
 
 #include <string>
 
+#include "common/budget.h"
+#include "common/memory_budget.h"
 #include "core/dimsat.h"
 #include "core/implication.h"
 #include "core/location_example.h"
 #include "core/reasoner.h"
+#include "exec/admission.h"
 #include "exec/work_stealing_pool.h"
 #include "obs/metrics.h"
 #include "tests/test_util.h"
@@ -123,6 +126,97 @@ TEST_F(MetricsGoldenTest, ParallelDimsatAndExecCountersFlow) {
   EXPECT_GT(snapshot.counter("olapdc.exec.tasks_executed"), 0u);
   ASSERT_EQ(snapshot.gauges.count("olapdc.exec.pool_size"), 1u);
   EXPECT_EQ(snapshot.gauges.at("olapdc.exec.pool_size"), 3);
+}
+
+TEST_F(MetricsGoldenTest, MemoryAccountingCountersBalance) {
+  MemoryBudget memory(1 << 20);
+  Budget budget;
+  budget.SetMemory(&memory);
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.budget = &budget;
+  DimsatResult r = Dimsat(*ds_, store_, options);
+  ASSERT_OK(r.status);
+  memory.PublishGauges();
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  // Every reserved byte of the finished request was released — the
+  // quiescence invariant the chaos campaign asserts fleet-wide.
+  EXPECT_GT(snapshot.counter("olapdc.mem.reserved_bytes"), 0u);
+  EXPECT_EQ(snapshot.counter("olapdc.mem.reserved_bytes"),
+            snapshot.counter("olapdc.mem.released_bytes"));
+  EXPECT_EQ(snapshot.counter("olapdc.mem.exhausted"), 0u);
+  ASSERT_EQ(snapshot.gauges.count("olapdc.mem.reserved_bytes_now"), 1u);
+  EXPECT_EQ(snapshot.gauges.at("olapdc.mem.reserved_bytes_now"), 0);
+  ASSERT_EQ(snapshot.gauges.count("olapdc.mem.peak_bytes"), 1u);
+  EXPECT_EQ(snapshot.gauges.at("olapdc.mem.peak_bytes"),
+            static_cast<int64_t>(memory.peak()));
+}
+
+TEST_F(MetricsGoldenTest, MemoryExhaustionCountsOnceAndClassifies) {
+  MemoryBudget memory(512);
+  Budget budget;
+  budget.SetMemory(&memory);
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.budget = &budget;
+  options.budget_check_stride = 1;
+  DimsatResult r = Dimsat(*ds_, store_, options);
+  ASSERT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+
+  // Any checker probing the shared Budget now classifies the trip as
+  // memory pressure (with its per-site expiry counter), not a deadline.
+  BudgetChecker checker(&budget, 1, "golden.site");
+  EXPECT_EQ(checker.Check().code(), StatusCode::kResourceExhausted);
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter("olapdc.mem.exhausted"), 1u);
+  EXPECT_GE(snapshot.counter("olapdc.budget.memory_exhausted"), 1u);
+  EXPECT_EQ(snapshot.counter("olapdc.budget.expired.golden.site"), 1u);
+  EXPECT_EQ(snapshot.counter("olapdc.budget.deadline_exceeded"), 0u);
+  EXPECT_EQ(snapshot.counter("olapdc.dimsat.budget_stops"), 1u);
+}
+
+TEST_F(MetricsGoldenTest, CheckpointAndResumeCountersFlow) {
+  DimsatCheckpoint cp;
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.max_expand_calls = 3;
+  options.checkpoint = &cp;
+  DimsatResult interrupted = Dimsat(*ds_, store_, options);
+  ASSERT_EQ(interrupted.status.code(), StatusCode::kResourceExhausted);
+  ASSERT_FALSE(cp.empty());
+  options.max_expand_calls = UINT64_MAX;
+  DimsatResult resumed =
+      ResumeDimsat(*ds_, store_, options, std::move(cp));
+  ASSERT_OK(resumed.status);
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter("olapdc.dimsat.checkpoints"), 1u);
+  EXPECT_EQ(snapshot.counter("olapdc.dimsat.resumes"), 1u);
+}
+
+TEST_F(MetricsGoldenTest, AdmissionCountersMatchGateState) {
+  exec::WorkStealingPool pool(2);
+  exec::AdmissionGate gate(
+      exec::AdmissionGate::Options{/*high_water=*/1, /*retry_after_ms=*/10});
+  DimsatOptions options;
+  options.enumerate_all = true;
+  options.pool = &pool;
+  options.admission = &gate;
+
+  DimsatResult admitted = DimsatParallel(*ds_, store_, options, 2);
+  ASSERT_OK(admitted.status);
+  ASSERT_OK(gate.TryAdmit());  // saturate by hand
+  DimsatResult shed = DimsatParallel(*ds_, store_, options, 2);
+  ASSERT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  gate.Release();
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter("olapdc.exec.admitted"), gate.admitted());
+  EXPECT_EQ(snapshot.counter("olapdc.exec.shed"), 1u);
+  ASSERT_EQ(snapshot.gauges.count("olapdc.exec.in_flight"), 1u);
+  EXPECT_EQ(snapshot.gauges.at("olapdc.exec.in_flight"), 0);
 }
 
 TEST_F(MetricsGoldenTest, ImplicationAndReasonerCountersFlow) {

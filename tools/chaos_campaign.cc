@@ -1,0 +1,535 @@
+// chaos_campaign — the robustness sweep harness (docs/robustness.md).
+//
+// Sweeps every registered fault-injection site × a probability grid ×
+// the budget configurations over generated workloads, driving the
+// request shapes a deployment actually runs (sequential DIMSAT with
+// checkpoint/resume, admission-gated parallel DIMSAT, the Reasoner
+// ladder, the parse boundary) and asserting the crash-proof-lifecycle
+// invariants on every run:
+//
+//   1. no crash / no hang (the harness itself finishing is the check;
+//      ASan/UBSan builds add memory-safety teeth);
+//   2. taxonomy-only failures: a run's status is OK, the injected
+//      code, or a budget/overload code — never an unclassified error;
+//   3. no wrong witness: a SATISFIABLE verdict always carries a frozen
+//      dimension that passes full C1-C7 + Sigma validation
+//      (FrozenDimension::ToInstance), faults or not;
+//   4. no phantom result: a faulted run that reports SATISFIABLE is
+//      confirmed by the unfaulted baseline;
+//   5. the pool drains: every run returns with no in-flight admission
+//      and the per-request memory accounting back at zero;
+//   6. metrics stay consistent: at campaign quiescence, reserved ==
+//      released bytes, and armed cells actually injected.
+//
+// Exit code 0 = every invariant held on every run; 1 = violations
+// (detailed in the JSON report and on stderr).
+//
+// Flags:
+//   --runs-per-cell <n>   workload runs per (site, prob, budget) cell
+//   --seeds <n>           distinct workload seeds (cycled over runs)
+//   --out <path>          JSON report path (default BENCH_robustness.json)
+//   --quick               CI smoke grid: prob 0.5 only, two budget
+//                         configs, two runs per cell
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/fault_injector.h"
+#include "common/memory_budget.h"
+#include "core/dimsat.h"
+#include "core/reasoner.h"
+#include "exec/admission.h"
+#include "exec/work_stealing_pool.h"
+#include "io/instance_io.h"
+#include "io/schema_io.h"
+#include "obs/metrics.h"
+#include "workload/schema_generator.h"
+
+namespace olapdc {
+namespace {
+
+struct Workload {
+  DimensionSchema ds;
+  CategoryId root = 0;
+  bool satisfiable = false;
+  std::string schema_text;
+  /// Serialized witness instance (only when satisfiable).
+  std::string instance_text;
+};
+
+/// Generates workload `seed` and computes its unfaulted ground truth.
+/// Must be called with the injector disarmed.
+Result<Workload> MakeWorkload(int seed) {
+  // Large enough that parallel runs actually keep the pool busy (the
+  // exec.steal / exec.group_wait sites only probe when workers contend
+  // for work), small enough that the full grid stays in seconds.
+  SchemaGenOptions schema_options;
+  schema_options.num_levels = 4;
+  schema_options.categories_per_level = 3;
+  schema_options.extra_edge_prob = 0.35;
+  schema_options.seed = static_cast<uint64_t>(seed) * 7919 + 5;
+  OLAPDC_ASSIGN_OR_RETURN(HierarchySchemaPtr hierarchy,
+                          GenerateLayeredHierarchy(schema_options));
+  ConstraintGenOptions constraint_options;
+  constraint_options.into_fraction = 0.4;
+  constraint_options.num_choice_constraints = 1;
+  constraint_options.num_equality_constraints = 1;
+  constraint_options.seed = static_cast<uint64_t>(seed);
+  OLAPDC_ASSIGN_OR_RETURN(
+      DimensionSchema ds,
+      GenerateConstrainedSchema(hierarchy, constraint_options));
+
+  Workload w{std::move(ds), /*root=*/0, /*satisfiable=*/false, {}, {}};
+  OLAPDC_ASSIGN_OR_RETURN(w.root, w.ds.hierarchy().CategoryIdOf("Base"));
+  DimsatResult truth = Dimsat(w.ds, w.root, {});
+  OLAPDC_RETURN_NOT_OK(truth.status);
+  w.satisfiable = truth.satisfiable;
+  w.schema_text = SerializeSchema(w.ds);
+  if (truth.satisfiable) {
+    OLAPDC_ASSIGN_OR_RETURN(DimensionInstance instance,
+                            truth.frozen.front().ToInstance(w.ds));
+    w.instance_text = SerializeInstance(instance);
+  }
+  return w;
+}
+
+/// One budget configuration of the sweep.
+struct BudgetConfig {
+  const char* name;
+  int64_t deadline_ms = -1;        // <0: none
+  uint64_t max_expand_calls = 0;   // 0: unlimited
+  uint64_t memory_bytes = 0;       // 0: none
+};
+
+constexpr BudgetConfig kBudgetConfigs[] = {
+    {"unbounded"},
+    {"deadline-5ms", 5},
+    {"expand-cap-64", -1, 64},
+    {"memory-32k", -1, 0, 32 * 1024},
+};
+
+constexpr double kProbabilities[] = {0.01, 0.1, 0.5};
+
+bool IsParseSite(const std::string& site) {
+  return site == "schema_io.parse" || site == "instance_io.parse";
+}
+
+/// Outcome of one request run under injection.
+struct RunOutcome {
+  Status status;
+  bool reported_satisfiable = false;
+  /// Every frozen dimension the run reported (validated by the caller).
+  std::vector<FrozenDimension> frozen;
+};
+
+/// The request shapes, rotated per run. Each receives a fully
+/// configured budget (deadline / expand cap / memory) and must return
+/// whatever status the public API surfaced.
+RunOutcome RunSequentialWithResume(const Workload& w,
+                                   DimsatOptions options) {
+  RunOutcome out;
+  DimsatCheckpoint cp;
+  options.num_threads = 1;
+  options.checkpoint = &cp;
+  DimsatResult r = Dimsat(w.ds, w.root, options);
+  out.status = r.status;
+  out.reported_satisfiable = r.satisfiable;
+  for (FrozenDimension& f : r.frozen) out.frozen.push_back(std::move(f));
+  // Bounded resume chain: under injected faults progress is
+  // probabilistic, so the chain is capped — robustness invariants are
+  // the claim here, exact resume equivalence is checkpoint_test's.
+  for (int link = 0; link < 8 && !cp.empty(); ++link) {
+    DimsatCheckpoint from = std::move(cp);
+    cp.frames.clear();
+    DimsatResult next = ResumeDimsat(w.ds, w.root, options, std::move(from));
+    out.status = next.status;
+    out.reported_satisfiable |= next.satisfiable;
+    for (FrozenDimension& f : next.frozen) out.frozen.push_back(std::move(f));
+  }
+  return out;
+}
+
+RunOutcome RunParallelAdmitted(const Workload& w, DimsatOptions options,
+                               exec::WorkStealingPool* pool,
+                               exec::AdmissionGate* gate) {
+  RunOutcome out;
+  options.num_threads = pool->num_threads();
+  options.pool = pool;
+  options.admission = gate;
+  DimsatResult r = DimsatParallel(w.ds, w.root, options, pool->num_threads());
+  out.status = r.status;
+  out.reported_satisfiable = r.satisfiable;
+  for (FrozenDimension& f : r.frozen) out.frozen.push_back(std::move(f));
+  return out;
+}
+
+RunOutcome RunReasonerLadder(const Workload& w, const DimsatOptions& base,
+                             const Budget* budget) {
+  RunOutcome out;
+  ReasonerOptions options;
+  options.dimsat = base;
+  options.dimsat.num_threads = 1;
+  options.initial_expand_budget = 16;
+  options.max_attempts = 6;
+  options.retry.max_retries = 2;
+  options.retry.initial_backoff_ms = 0.1;
+  Reasoner reasoner(w.ds, options);
+  ReasonerAnswer answer = reasoner.QuerySatisfiable(w.root, budget);
+  out.status = answer.reason;
+  out.reported_satisfiable = answer.truth == Truth::kYes;
+  return out;
+}
+
+/// Nested parallel request: a pool task that itself runs DimsatParallel
+/// on the same pool (the shape of a parallel summarizability sweep,
+/// where per-bottom tasks fan out further). The inner search's
+/// TaskGroup::Wait then runs on a pool *worker*, driving the
+/// worker-thread helping path — the exec.group_wait site.
+RunOutcome RunNestedParallel(const Workload& w, DimsatOptions options,
+                             exec::WorkStealingPool* pool) {
+  RunOutcome out;
+  options.num_threads = pool->num_threads();
+  options.pool = pool;
+  {
+    exec::TaskGroup group(pool);
+    group.Spawn([&] {
+      DimsatResult r =
+          DimsatParallel(w.ds, w.root, options, options.num_threads);
+      out.status = std::move(r.status);
+      out.reported_satisfiable = r.satisfiable;
+      for (FrozenDimension& f : r.frozen) out.frozen.push_back(std::move(f));
+    });
+    group.Wait();
+  }
+  return out;
+}
+
+RunOutcome RunParseBoundary(const Workload& w, const Budget* budget) {
+  RunOutcome out;
+  Result<DimensionSchema> schema = ParseSchemaText(w.schema_text, budget);
+  if (!schema.ok()) {
+    out.status = schema.status();
+    return out;
+  }
+  if (!w.instance_text.empty()) {
+    Result<DimensionInstance> instance = ParseInstanceText(
+        schema->hierarchy_ptr(), w.instance_text, false, budget);
+    if (!instance.ok()) out.status = instance.status();
+  }
+  return out;
+}
+
+struct Violation {
+  std::string site;
+  double probability;
+  std::string budget;
+  int run;
+  std::string what;
+};
+
+struct Campaign {
+  uint64_t total_runs = 0;
+  uint64_t total_cells = 0;
+  uint64_t injected_failures = 0;
+  uint64_t reported_sat = 0;
+  uint64_t degraded = 0;  // non-OK statuses (taxonomy-conforming)
+  std::vector<Violation> violations;
+  std::map<std::string, uint64_t> runs_per_site;
+  std::map<std::string, uint64_t> failures_per_site;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool WriteReport(const std::string& path, const Campaign& c, bool quick,
+                 int runs_per_cell, int seeds) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmark\": \"chaos_campaign\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"runs_per_cell\": %d,\n  \"workload_seeds\": %d,\n",
+               runs_per_cell, seeds);
+  std::fprintf(f, "  \"cells\": %llu,\n  \"total_runs\": %llu,\n",
+               static_cast<unsigned long long>(c.total_cells),
+               static_cast<unsigned long long>(c.total_runs));
+  std::fprintf(f, "  \"injected_failures\": %llu,\n",
+               static_cast<unsigned long long>(c.injected_failures));
+  std::fprintf(f, "  \"reported_satisfiable\": %llu,\n",
+               static_cast<unsigned long long>(c.reported_sat));
+  std::fprintf(f, "  \"degraded_runs\": %llu,\n",
+               static_cast<unsigned long long>(c.degraded));
+  std::fprintf(f, "  \"sites\": {\n");
+  bool first = true;
+  for (const auto& [site, runs] : c.runs_per_site) {
+    std::fprintf(f, "%s    \"%s\": {\"runs\": %llu, \"injected\": %llu}",
+                 first ? "" : ",\n", JsonEscape(site).c_str(),
+                 static_cast<unsigned long long>(runs),
+                 static_cast<unsigned long long>(
+                     c.failures_per_site.count(site)
+                         ? c.failures_per_site.at(site)
+                         : 0));
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+  std::fprintf(f, "  \"violations\": [");
+  for (size_t i = 0; i < c.violations.size(); ++i) {
+    const Violation& v = c.violations[i];
+    std::fprintf(f,
+                 "%s\n    {\"site\": \"%s\", \"probability\": %g, "
+                 "\"budget\": \"%s\", \"run\": %d, \"what\": \"%s\"}",
+                 i == 0 ? "" : ",", JsonEscape(v.site).c_str(), v.probability,
+                 JsonEscape(v.budget).c_str(), v.run,
+                 JsonEscape(v.what).c_str());
+  }
+  std::fprintf(f, "%s],\n", c.violations.empty() ? "" : "\n  ");
+  std::fprintf(f, "  \"invariants_held\": %s\n}\n",
+               c.violations.empty() ? "true" : "false");
+  std::fclose(f);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  int runs_per_cell = 11;
+  int seeds = 6;
+  bool quick = false;
+  std::string out_path = "BENCH_robustness.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--runs-per-cell") {
+      runs_per_cell = std::atoi(value());
+    } else if (arg == "--seeds") {
+      seeds = std::atoi(value());
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_campaign [--runs-per-cell n] [--seeds n] "
+                   "[--out path] [--quick]\n");
+      return 2;
+    }
+  }
+  if (quick) {
+    runs_per_cell = 5;  // one run of every request shape
+    seeds = 2;
+  }
+  if (runs_per_cell < 1 || seeds < 1) {
+    std::fprintf(stderr, "error: --runs-per-cell and --seeds must be >= 1\n");
+    return 2;
+  }
+
+  obs::MetricsRegistry::Global().Enable();
+
+  // Ground truth first, with the injector disarmed.
+  std::vector<Workload> workloads;
+  for (int s = 0; s < seeds; ++s) {
+    Result<Workload> w = MakeWorkload(s);
+    if (!w.ok()) {
+      std::fprintf(stderr, "workload %d generation failed: %s\n", s,
+                   w.status().ToString().c_str());
+      return 2;
+    }
+    workloads.push_back(std::move(w).ValueOrDie());
+  }
+
+  const std::vector<std::string> sites = RegisteredFaultSites();
+  std::vector<double> probabilities(std::begin(kProbabilities),
+                                    std::end(kProbabilities));
+  std::vector<BudgetConfig> budgets(std::begin(kBudgetConfigs),
+                                    std::end(kBudgetConfigs));
+  if (quick) {
+    probabilities = {0.5};
+    budgets = {kBudgetConfigs[0], kBudgetConfigs[2]};
+  }
+
+  std::fprintf(stderr,
+               "chaos campaign: %zu sites x %zu probabilities x %zu budgets "
+               "x %d runs\n",
+               sites.size(), probabilities.size(), budgets.size(),
+               runs_per_cell);
+
+  exec::WorkStealingPool pool(2);
+  Campaign campaign;
+  const StatusCode rotation[] = {StatusCode::kInternal,
+                                 StatusCode::kResourceExhausted,
+                                 StatusCode::kDeadlineExceeded};
+
+  for (const std::string& site : sites) {
+    for (double prob : probabilities) {
+      for (const BudgetConfig& bc : budgets) {
+        ++campaign.total_cells;
+        FaultInjector& injector = FaultInjector::Global();
+        const uint64_t cell_seed = campaign.total_cells * 2654435761ull;
+        injector.Arm(cell_seed);
+
+        uint64_t cell_probes = 0;
+        uint64_t cell_failures = 0;
+        for (int run = 0; run < runs_per_cell; ++run) {
+          const Workload& w = workloads[run % workloads.size()];
+          const StatusCode injected =
+              IsParseSite(site) ? StatusCode::kParseError
+                                : rotation[run % 3];
+          // SetFault resets the site's counters, so per-run deltas are
+          // accumulated before the next run reconfigures it.
+          injector.SetFault(site, injected, prob, "chaos");
+
+          // Per-run budget; memory budgets are sticky-once-exhausted,
+          // so each run gets a fresh one.
+          std::optional<MemoryBudget> mem;
+          Budget budget = Budget::Unbounded();
+          if (bc.deadline_ms >= 0) {
+            budget.SetDeadline(Budget::Clock::now() +
+                               std::chrono::milliseconds(bc.deadline_ms));
+          }
+          if (bc.memory_bytes > 0) {
+            mem.emplace(bc.memory_bytes);
+            budget.SetMemory(&*mem);
+          }
+          DimsatOptions options;
+          options.enumerate_all = true;
+          options.max_frozen = 64;
+          options.budget_check_stride = 16;
+          if (!budget.unbounded()) options.budget = &budget;
+          if (bc.max_expand_calls > 0) {
+            options.max_expand_calls = bc.max_expand_calls;
+          }
+
+          exec::AdmissionGate gate;
+          RunOutcome outcome;
+          switch (run % 5) {
+            case 0:
+              outcome = RunSequentialWithResume(w, options);
+              break;
+            case 1:
+              outcome = RunParallelAdmitted(w, options, &pool, &gate);
+              break;
+            case 2:
+              outcome = RunReasonerLadder(w, options, options.budget);
+              break;
+            case 3:
+              outcome = RunNestedParallel(w, options, &pool);
+              break;
+            default:
+              outcome = RunParseBoundary(w, options.budget);
+              break;
+          }
+          ++campaign.total_runs;
+          ++campaign.runs_per_site[site];
+
+          auto violate = [&](const std::string& what) {
+            campaign.violations.push_back(
+                Violation{site, prob, bc.name, run, what});
+            std::fprintf(stderr, "VIOLATION [%s p=%g %s run %d]: %s\n",
+                         site.c_str(), prob, bc.name, run, what.c_str());
+          };
+
+          // Invariant 2: taxonomy-only failure codes.
+          const StatusCode code = outcome.status.code();
+          const bool taxonomy_ok =
+              code == StatusCode::kOk || code == injected ||
+              code == StatusCode::kResourceExhausted ||
+              code == StatusCode::kDeadlineExceeded ||
+              code == StatusCode::kCancelled ||
+              code == StatusCode::kUnavailable;
+          if (!taxonomy_ok) {
+            violate("unclassified status: " + outcome.status.ToString());
+          }
+          if (!outcome.status.ok()) ++campaign.degraded;
+
+          // Invariants 3+4: witnesses are genuine and confirmed by the
+          // unfaulted baseline.
+          if (outcome.reported_satisfiable) {
+            ++campaign.reported_sat;
+            if (!w.satisfiable) {
+              violate("faulted run reported SATISFIABLE on an " +
+                      std::string("unsatisfiable workload"));
+            }
+          }
+          for (const FrozenDimension& f : outcome.frozen) {
+            Status valid = f.ToInstance(w.ds).status();
+            if (!valid.ok()) {
+              violate("invalid witness: " + valid.ToString());
+              break;
+            }
+          }
+
+          // Invariant 5: the request released everything it held.
+          if (gate.in_flight() != 0) {
+            violate("admission gate left in-flight work behind");
+          }
+          if (mem.has_value() && mem->reserved() != 0) {
+            violate("memory accounting leaked " +
+                    std::to_string(mem->reserved()) + " bytes");
+          }
+          cell_probes += injector.probes(site);
+          cell_failures += injector.failures(site);
+        }
+
+        campaign.injected_failures += cell_failures;
+        campaign.failures_per_site[site] += cell_failures;
+        // High-probability cells over real probe traffic must actually
+        // inject — a silent dead site means the sweep isn't sweeping.
+        if (prob >= 0.5 && cell_probes >= 8 && cell_failures == 0) {
+          campaign.violations.push_back(Violation{
+              site, prob, bc.name, -1,
+              "site probed " + std::to_string(cell_probes) +
+                  " times but injected nothing"});
+        }
+        injector.Disarm();
+      }
+    }
+  }
+
+  // Invariant 6: campaign-wide metrics consistency at quiescence.
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const uint64_t reserved = snapshot.counter("olapdc.mem.reserved_bytes");
+  const uint64_t released = snapshot.counter("olapdc.mem.released_bytes");
+  if (reserved != released) {
+    campaign.violations.push_back(
+        Violation{"<metrics>", 0, "<all>", -1,
+                  "reserved_bytes (" + std::to_string(reserved) +
+                      ") != released_bytes (" + std::to_string(released) +
+                      ") at quiescence"});
+  }
+
+  if (!WriteReport(out_path, campaign, quick, runs_per_cell, seeds)) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 out_path.c_str());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "chaos campaign done: %llu runs, %llu injected failures, "
+               "%zu violations -> %s\n",
+               static_cast<unsigned long long>(campaign.total_runs),
+               static_cast<unsigned long long>(campaign.injected_failures),
+               campaign.violations.size(), out_path.c_str());
+  return campaign.violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace olapdc
+
+int main(int argc, char** argv) { return olapdc::Main(argc, argv); }

@@ -27,6 +27,11 @@
 //                       expiration the command degrades (prints
 //                       "unknown" / partial output) and exits with the
 //                       deadline-exceeded code instead of hanging.
+//   --memory-budget-mb <n>  Byte cap (in MiB) on the reasoning working
+//                       set (estimate-based governor; see
+//                       docs/robustness.md). On exhaustion the command
+//                       degrades with kResourceExhausted the same way a
+//                       deadline does.
 //   --threads <n>       Worker parallelism for the DIMSAT searches
 //                       (work-stealing pool; src/exec). Defaults to
 //                       OLAPDC_THREADS when set, else 1.
@@ -46,11 +51,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/budget.h"
+#include "common/memory_budget.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "constraint/evaluator.h"
@@ -85,6 +92,7 @@ int ExitCodeFor(StatusCode code) {
     case StatusCode::kInternal: return 15;
     case StatusCode::kDeadlineExceeded: return 16;
     case StatusCode::kCancelled: return 17;
+    case StatusCode::kUnavailable: return 18;
   }
   return 15;
 }
@@ -107,17 +115,21 @@ int Usage() {
       "  dot <schema>                       Graphviz of the hierarchy\n"
       "  validate <schema> <instance>       C1-C7 + Sigma model check\n"
       "  mine <schema> <instance>           learn constraints from data\n"
-      "global flags: --deadline-ms <n>, --threads <n>, "
-      "--metrics-json <path>, --trace <path>\n"
-      "exit codes: 0 yes/ok, 1 no, 2 usage, 10-17 one per error class\n"
-      "  (16 = deadline exceeded, 17 = cancelled)\n");
+      "global flags: --deadline-ms <n>, --memory-budget-mb <n>, "
+      "--threads <n>, --metrics-json <path>, --trace <path>\n"
+      "exit codes: 0 yes/ok, 1 no, 2 usage, 10-18 one per error class\n"
+      "  (16 = deadline exceeded, 17 = cancelled, 18 = overloaded)\n");
   return kExitUsage;
 }
 
 /// The per-invocation resource envelope: the --deadline-ms wall-clock
-/// budget plus the --threads / OLAPDC_THREADS worker parallelism.
+/// budget, the --memory-budget-mb byte cap, and the --threads /
+/// OLAPDC_THREADS worker parallelism.
 struct CliBudget {
   Budget budget;
+  /// Owns the MemoryBudget the Budget points at (shared so the struct
+  /// stays copyable; the CLI never mutates it after flag parsing).
+  std::shared_ptr<MemoryBudget> memory;
   bool bounded = false;
   int threads = 1;
   const Budget* get() const { return bounded ? &budget : nullptr; }
@@ -341,7 +353,29 @@ CliFlags ParseFlags(int argc, char** argv) {
         flags.usage_error = true;
         return flags;
       }
-      flags.budget.budget = Budget::WithDeadlineMs(ms);
+      flags.budget.budget.SetDeadline(Budget::Clock::now() +
+                                      std::chrono::milliseconds(ms));
+      flags.budget.bounded = true;
+      continue;
+    }
+    if (TakeFlagValue("--memory-budget-mb", arg, argc, argv, &i, &value,
+                      &flags)) {
+      if (flags.usage_error) return flags;
+      char* end = nullptr;
+      errno = 0;
+      long mb = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || errno == ERANGE || mb <= 0 ||
+          mb > (1 << 20)) {
+        std::fprintf(stderr,
+                     "error: --memory-budget-mb needs a positive integer "
+                     "<= %d, got '%s'\n",
+                     1 << 20, value.c_str());
+        flags.usage_error = true;
+        return flags;
+      }
+      flags.budget.memory = std::make_shared<MemoryBudget>(
+          static_cast<uint64_t>(mb) * 1024 * 1024);
+      flags.budget.budget.SetMemory(flags.budget.memory.get());
       flags.budget.bounded = true;
       continue;
     }
@@ -418,7 +452,9 @@ int RunCommand(const std::vector<std::string>& args, const CliBudget& budget) {
     Result<DimensionInstance> d =
         LoadInstanceFile(ds->hierarchy_ptr(), args[2]);
     if (!d.ok()) return Fail(d.status());
-    Result<DimensionSchema> mined = MineSchema(*d);
+    MiningOptions mining_options;
+    mining_options.budget = budget.get();
+    Result<DimensionSchema> mined = MineSchema(*d, mining_options);
     if (!mined.ok()) return Fail(mined.status());
     std::printf("%s", SerializeSchema(*mined).c_str());
     return 0;
@@ -460,7 +496,12 @@ int Run(int argc, char** argv) {
 
   const int code = RunCommand(flags.args, flags.budget);
 
-  if (!flags.metrics_json_path.empty()) DumpMetrics(flags.metrics_json_path);
+  if (!flags.metrics_json_path.empty()) {
+    // Final gauge refresh so the export carries the quiescent memory
+    // picture (reserved_bytes_now back to 0, peak_bytes at high water).
+    if (flags.budget.memory) flags.budget.memory->PublishGauges();
+    DumpMetrics(flags.metrics_json_path);
+  }
   obs::TraceSink::Global().Close();
   return code;
 }
