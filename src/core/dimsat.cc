@@ -19,6 +19,7 @@
 #include "exec/admission.h"
 #include "exec/work_stealing_pool.h"
 #include "obs/metrics.h"
+#include "obs/search_tree.h"
 #include "obs/span.h"
 
 namespace olapdc {
@@ -115,6 +116,41 @@ uint64_t ApproxSubhierarchyBytes(int num_categories) {
   return 3 * n * bitset_bytes + 3 * bitset_bytes + 128;
 }
 
+/// Emits the EXPAND begin/end pair of one search-tree node into the
+/// explain recorder (RAII so every exit path — prune, dead end,
+/// budget stop mid-loop — closes the node). A null recorder (explain
+/// off, or a checkpoint-replayed node whose entry accounting already
+/// happened) records nothing.
+class ExplainExpandScope {
+ public:
+  ExplainExpandScope(obs::SearchTreeRecorder* recorder, int depth,
+                     int category, uint64_t expand_calls)
+      : recorder_(recorder), depth_(depth), category_(category) {
+    if (recorder_ == nullptr) return;
+    obs::ExplainEvent event;
+    event.kind = obs::ExplainEvent::Kind::kExpandBegin;
+    event.depth = depth_;
+    event.category = category_;
+    event.aux = expand_calls;
+    recorder_->Record(event);
+  }
+  ~ExplainExpandScope() {
+    if (recorder_ == nullptr) return;
+    obs::ExplainEvent event;
+    event.kind = obs::ExplainEvent::Kind::kExpandEnd;
+    event.depth = depth_;
+    event.category = category_;
+    recorder_->Record(event);
+  }
+  ExplainExpandScope(const ExplainExpandScope&) = delete;
+  ExplainExpandScope& operator=(const ExplainExpandScope&) = delete;
+
+ private:
+  obs::SearchTreeRecorder* const recorder_;
+  const int depth_;
+  const int category_;
+};
+
 class DimsatSearch {
  public:
   /// `relevant` is borrowed: the caller keeps it alive for the lifetime
@@ -144,6 +180,11 @@ class DimsatSearch {
     frame_bytes_ = 4 * bitset_bytes + 96;
     // A frozen dimension is a subhierarchy plus its name assignment.
     frozen_bytes_ = subhierarchy_bytes_ + n * 24;
+    // The explain gate is cached once per search (like the metrics
+    // enabled bit) so the disabled hot path pays one pointer test.
+    if (obs::SearchTreeRecorder::Global().enabled()) {
+      recorder_ = &obs::SearchTreeRecorder::Global();
+    }
   }
 
   DimsatResult Run() {
@@ -284,12 +325,27 @@ class DimsatSearch {
     return result_.frozen.size() < options_.max_frozen;
   }
 
+  /// Records one explain decision (no-op when --explain is off).
+  void RecordExplain(obs::ExplainEvent::Kind kind, int depth,
+                     int category = -1, int edge_from = -1, int edge_to = -1,
+                     uint64_t aux = 0) {
+    if (recorder_ == nullptr) return;
+    obs::ExplainEvent event;
+    event.kind = kind;
+    event.depth = depth;
+    event.category = category;
+    event.edge_from = edge_from;
+    event.edge_to = edge_to;
+    event.aux = aux;
+    recorder_->Record(event);
+  }
+
   /// Returns false when the memory budget could not cover the CHECK's
   /// outcome: result_.status is set and *nothing* is recorded — no
   /// stats, no frozen — so the resumed run redoes the node wholesale
   /// and the combined counts stay exact (in particular, no frozen
   /// dimension is ever emitted twice across an interrupt/resume pair).
-  bool RunCheck(const Subhierarchy& g) {
+  bool RunCheck(const Subhierarchy& g, int depth) {
     CheckOutcome outcome = CheckSubhierarchy(relevant_, g, check_options_);
     if (!outcome.frozen.empty()) {
       Status reserve = mem_.Reserve(
@@ -307,9 +363,12 @@ class DimsatSearch {
     }
     if (outcome.frozen.empty()) {
       Trace(DimsatTraceEvent::Kind::kCheckFail, g);
+      RecordExplain(obs::ExplainEvent::Kind::kCheckFail, depth);
       return true;
     }
     Trace(DimsatTraceEvent::Kind::kCheckSuccess, g);
+    RecordExplain(obs::ExplainEvent::Kind::kCheckOk, depth, -1, -1, -1,
+                  outcome.frozen.size());
     for (FrozenDimension& f : outcome.frozen) {
       if (result_.frozen.size() >= options_.max_frozen) break;
       result_.frozen.push_back(std::move(f));
@@ -346,6 +405,8 @@ class DimsatSearch {
     }
     if (!budget.ok()) {
       result_.status = std::move(budget);
+      RecordExplain(obs::ExplainEvent::Kind::kBudgetStop, depth, -1, -1, -1,
+                    result_.stats.expand_calls);
       MaybeCapture(depth, start_mask);
       return;
     }
@@ -356,6 +417,8 @@ class DimsatSearch {
         --result_.stats.expand_calls;
         result_.status = Status::ResourceExhausted(
             "DIMSAT exceeded max_expand_calls");
+        RecordExplain(obs::ExplainEvent::Kind::kBudgetStop, depth, -1, -1, -1,
+                      result_.stats.expand_calls);
         MaybeCapture(depth, 0);
         return;
       }
@@ -366,7 +429,7 @@ class DimsatSearch {
     DynamicBitset pending = g_.top();
     pending.reset(schema_.all());
     if (pending.none()) {
-      if (!RunCheck(g_)) {
+      if (!RunCheck(g_, depth)) {
         // The CHECK could not afford its outcome: uncount the node and
         // capture it whole so the resume redoes it (frozen dimensions
         // are emitted exactly once across the interrupt/resume pair).
@@ -380,6 +443,12 @@ class DimsatSearch {
     const CategoryId ctop = pending.First();
     const DynamicBitset& below = g_.Below(ctop);
 
+    // Explain: bracket this node (fresh only — a checkpoint replay's
+    // entry was already recorded by the interrupted run, matching the
+    // stats contract above).
+    ExplainExpandScope explain_scope(fresh ? recorder_ : nullptr, depth, ctop,
+                                     result_.stats.expand_calls);
+
     // Lines (11)-(13): successor choices that are structurally allowed.
     DynamicBitset allowed(schema_.num_categories());
     DynamicBitset into(schema_.num_categories());
@@ -389,12 +458,20 @@ class DimsatSearch {
       // shortcut once ctop -> c completes the longer path.
       if (options_.prune_shortcuts && g_.In(c).Intersects(below)) {
         blocked = true;
-        if (fresh) ++result_.stats.shortcut_prunes;
+        if (fresh) {
+          ++result_.stats.shortcut_prunes;
+          RecordExplain(obs::ExplainEvent::Kind::kPruneShortcut, depth, ctop,
+                        ctop, c);
+        }
       }
       // Sc: c already reaches ctop; the edge would close a cycle.
       if (options_.prune_cycles && below.test(c)) {
         blocked = true;
-        if (fresh) ++result_.stats.cycle_prunes;
+        if (fresh) {
+          ++result_.stats.cycle_prunes;
+          RecordExplain(obs::ExplainEvent::Kind::kPruneCycle, depth, ctop,
+                        ctop, c);
+        }
       }
       if (!blocked) allowed.set(c);
       if (ds_.IntoTargets(ctop).test(c)) into.set(c);
@@ -406,6 +483,14 @@ class DimsatSearch {
         if (fresh) {
           ++result_.stats.into_prunes;
           Trace(DimsatTraceEvent::Kind::kPruned, g_);
+          if (recorder_ != nullptr) {
+            // Name every blocked into-target: each is an edge the
+            // constraint forces but a structural rule forbids.
+            (into - allowed).ForEach([&](int c) {
+              RecordExplain(obs::ExplainEvent::Kind::kPruneInto, depth, ctop,
+                            ctop, c);
+            });
+          }
         }
         return;
       }
@@ -417,6 +502,7 @@ class DimsatSearch {
       if (fresh) {
         ++result_.stats.dead_ends;
         Trace(DimsatTraceEvent::Kind::kDeadEnd, g_);
+        RecordExplain(obs::ExplainEvent::Kind::kDeadEnd, depth, ctop);
       }
       return;
     }
@@ -476,6 +562,8 @@ class DimsatSearch {
   uint64_t frozen_bytes_ = 0;
   Subhierarchy g_;
   SubhierarchyUndoLog undo_;
+  /// Explain recorder, cached at construction (null = --explain off).
+  obs::SearchTreeRecorder* recorder_ = nullptr;
   DimsatResult result_;
   std::atomic<bool>* external_stop_ = nullptr;
   std::function<void(Subhierarchy&&, int)> spawner_;

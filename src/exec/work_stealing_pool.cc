@@ -53,7 +53,8 @@ void TaskGroup::Spawn(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
   auto* task = new WorkStealingPool::Task{
       std::move(fn), this,
-      tls_pool == pool_ ? tls_worker_id : -1};
+      tls_pool == pool_ ? tls_worker_id : -1,
+      obs::CurrentTraceContext()};
   pool_->SubmitTask(task);
 }
 
@@ -157,6 +158,7 @@ void WorkStealingPool::PublishMetricNames() const {
   obs::Count("olapdc.exec.tasks_executed", 0);
   obs::Count("olapdc.exec.steals", 0);
   obs::Count("olapdc.exec.steal_failures", 0);
+  obs::Count("olapdc.exec.ctx_restores", 0);
   obs::Gauge("olapdc.exec.pool_size", num_threads());
 }
 
@@ -239,7 +241,13 @@ bool WorkStealingPool::RunOneTask() {
 void WorkStealingPool::Execute(Task* task, int self) {
   const bool was_stolen = tls_task_stolen;
   tls_task_stolen = task->submitter != self;
-  task->fn();
+  {
+    // Reinstall the spawner's trace context so spans opened by the
+    // task parent correctly whether or not the task migrated.
+    obs::ScopedTraceContext context(task->context);
+    if (task->context.span_id != 0) obs::Count("olapdc.exec.ctx_restores");
+    task->fn();
+  }
   tls_task_stolen = was_stolen;
   TaskGroup* group = task->group;
   delete task;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "exec/task_deque.h"
+#include "obs/span.h"
 
 namespace olapdc::exec {
 
@@ -101,6 +102,11 @@ class WorkStealingPool {
     std::function<void()> fn;
     TaskGroup* group;
     int submitter;  // worker id of the spawning thread, -1 if external
+    /// Span-parentage context captured at Spawn() and reinstalled
+    /// around fn() on whichever worker executes it, so trace spans
+    /// opened inside the task parent to the spawner's open span even
+    /// after a steal (obs/span.h has the contract).
+    obs::TraceContext context;
   };
 
   struct Worker {

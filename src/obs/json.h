@@ -11,6 +11,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.h"
+
 namespace olapdc {
 namespace obs {
 
@@ -45,10 +47,15 @@ inline std::string JsonString(std::string_view s) {
 }
 
 /// Renders a double with enough precision to round-trip, using "%g" so
-/// integral values stay readable ("12" not "12.000000"). NaN/inf (not
-/// representable in JSON) render as 0.
+/// integral values stay readable ("12" not "12.000000"). NaN/inf are
+/// not representable in JSON; rendering them as a fake finite value
+/// would mask a poisoned histogram, so they render as `null` and count
+/// under olapdc.obs.json_nonfinite.
 inline std::string JsonNumber(double value) {
-  if (!(value == value) || value > 1.7e308 || value < -1.7e308) return "0";
+  if (!(value == value) || value > 1.7e308 || value < -1.7e308) {
+    Count("olapdc.obs.json_nonfinite");
+    return "null";
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   // Trim to the shortest %g that still reads back exactly.

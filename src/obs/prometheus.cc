@@ -1,0 +1,90 @@
+#include "obs/prometheus.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace olapdc {
+namespace obs {
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':' || (c >= '0' && c <= '9');
+    if (c >= '0' && c <= '9' && i == 0) out += '_';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusLabelEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusValue(double value) {
+  if (!(value == value)) return "NaN";
+  if (value > 1.7e308) return "+Inf";
+  if (value < -1.7e308) return "-Inf";
+  // Integral values (bucket bounds, integral sums) stay plain decimals
+  // instead of %g's exponent form ("10", not "1e+01").
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value >= -1e15 && value <= 1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    double parsed = 0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == value) return shorter;
+  }
+  return buf;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Internal buckets are per-bucket counts; Prometheus buckets are
+    // cumulative and must end with le="+Inf" equal to _count.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kLatencyBucketBoundsUs.size(); ++i) {
+      cumulative += histogram.buckets[i];
+      out += prom + "_bucket{le=\"" + PrometheusValue(kLatencyBucketBoundsUs[i]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += histogram.buckets[kNumLatencyBuckets - 1];
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += prom + "_sum " + PrometheusValue(histogram.sum_us) + "\n";
+    out += prom + "_count " + std::to_string(histogram.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace olapdc

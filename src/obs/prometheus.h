@@ -1,0 +1,52 @@
+// Prometheus text-exposition rendering of a MetricsSnapshot.
+//
+// The telemetry server's /metrics endpoint serves this format
+// (https://prometheus.io/docs/instrumenting/exposition_formats/,
+// version 0.0.4) so any stock Prometheus scraper can pull the live
+// registry without an SDK. The mapping from the internal inventory is
+// 1:1 and lossless in the name: every character outside
+// [a-zA-Z0-9_:] becomes '_', so `olapdc.dimsat.expand_calls` exposes
+// as `olapdc_dimsat_expand_calls`. Latency histograms (internal names
+// ending `_us`) render as Prometheus histograms with *cumulative*
+// `_bucket{le="..."}` series ending at `le="+Inf"`, plus `_sum` and
+// `_count`; the unit stays microseconds, as the `_us` suffix says.
+//
+// Unlike JSON (see JsonNumber), Prometheus text can represent
+// non-finite values — they render as NaN / +Inf / -Inf rather than
+// being masked.
+
+#ifndef OLAPDC_OBS_PROMETHEUS_H_
+#define OLAPDC_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace olapdc {
+namespace obs {
+
+/// Maps an internal metric name to a valid Prometheus metric name:
+/// every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+/// digit is prefixed with '_'.
+std::string PrometheusName(std::string_view name);
+
+/// Escapes a label value for inclusion inside `label="..."`:
+/// backslash, double-quote, and newline get backslash-escaped.
+std::string PrometheusLabelEscape(std::string_view value);
+
+/// Renders a value the way Prometheus text exposition expects:
+/// shortest round-tripping decimal for finite doubles, `NaN`, `+Inf`,
+/// or `-Inf` otherwise.
+std::string PrometheusValue(double value);
+
+/// Renders the full snapshot as Prometheus text exposition format
+/// (one `# TYPE` line per metric family; counters, gauges, then
+/// histograms; deterministic order because the snapshot maps are
+/// ordered). The result ends with a newline.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace olapdc
+
+#endif  // OLAPDC_OBS_PROMETHEUS_H_

@@ -9,7 +9,11 @@ namespace obs {
 
 namespace {
 
-thread_local int tls_span_depth = 0;
+/// The thread's current span-parentage context. Spans install/restore
+/// it RAII-style; the execution layer overwrites it for the duration of
+/// a task with the context captured at spawn (ScopedTraceContext), so
+/// parentage follows the logical strand of work, not the OS thread.
+thread_local TraceContext tls_context;
 
 /// Small stable per-thread id for span attribution (std::thread::id is
 /// opaque and verbose in JSON).
@@ -19,7 +23,21 @@ int ThreadOrdinal() {
   return ordinal;
 }
 
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
+
+TraceContext CurrentTraceContext() { return tls_context; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : saved_(tls_context) {
+  tls_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_context = saved_; }
 
 TraceSink& TraceSink::Global() {
   static TraceSink* sink = new TraceSink();
@@ -34,12 +52,32 @@ bool TraceSink::Open(const std::string& path) {
   }
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) {
-    enabled_.store(false, std::memory_order_relaxed);
+    enabled_.store(ring_capacity_ > 0, std::memory_order_relaxed);
     return false;
   }
-  epoch_ = std::chrono::steady_clock::now();
+  if (!have_epoch_) {
+    epoch_ = std::chrono::steady_clock::now();
+    have_epoch_ = true;
+  }
   enabled_.store(true, std::memory_order_relaxed);
   return true;
+}
+
+void TraceSink::EnableRing(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = capacity;
+  while (ring_.size() > ring_capacity_) ring_.pop_front();
+  if (capacity > 0 && !have_epoch_) {
+    epoch_ = std::chrono::steady_clock::now();
+    have_epoch_ = true;
+  }
+  enabled_.store(file_ != nullptr || ring_capacity_ > 0,
+                 std::memory_order_relaxed);
+}
+
+std::vector<std::string> TraceSink::RecentLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(ring_.begin(), ring_.end());
 }
 
 void TraceSink::Close() {
@@ -49,6 +87,9 @@ void TraceSink::Close() {
     std::fclose(file_);
     file_ = nullptr;
   }
+  ring_capacity_ = 0;
+  ring_.clear();
+  have_epoch_ = false;
 }
 
 double TraceSink::NowUs() const {
@@ -60,25 +101,36 @@ double TraceSink::NowUs() const {
 
 void TraceSink::EmitLine(const std::string& line) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ == nullptr) return;  // closed between the check and the emit
-  std::fputs(line.c_str(), file_);
-  std::fputc('\n', file_);
+  if (file_ != nullptr) {
+    std::fputs(line.c_str(), file_);
+    std::fputc('\n', file_);
+  }
+  if (ring_capacity_ > 0) {
+    ring_.push_back(line);
+    while (ring_.size() > ring_capacity_) ring_.pop_front();
+  }
 }
 
 ObsSpan::ObsSpan(std::string_view name)
     : active_(TraceSink::Global().enabled()) {
   if (!active_) return;
   name_ = std::string(name);
-  depth_ = tls_span_depth++;
+  saved_context_ = tls_context;
+  parent_ = saved_context_.span_id;
+  depth_ = saved_context_.depth;
+  id_ = NextSpanId();
+  tls_context = TraceContext{id_, depth_ + 1};
   start_us_ = TraceSink::Global().NowUs();
 }
 
 ObsSpan::~ObsSpan() {
   if (!active_) return;
-  --tls_span_depth;
+  tls_context = saved_context_;
   TraceSink& sink = TraceSink::Global();
   const double end_us = sink.NowUs();
   std::string line = "{\"name\": " + JsonString(name_) +
+                     ", \"id\": " + std::to_string(id_) +
+                     ", \"parent\": " + std::to_string(parent_) +
                      ", \"thread\": " + std::to_string(ThreadOrdinal()) +
                      ", \"depth\": " + std::to_string(depth_) +
                      ", \"start_us\": " + JsonNumber(start_us_) +

@@ -1,0 +1,102 @@
+// TelemetryServer: the live exposition plane — a dependency-free
+// blocking HTTP/1.1 server (POSIX sockets + poll, no third-party
+// libs) that serves the process observability state while a request
+// is running, instead of only at exit:
+//
+//   /metrics  Prometheus text exposition of MetricsRegistry::Snapshot()
+//   /varz     the same snapshot as the --metrics-json JSON schema
+//   /healthz  200 "ok" / 503 "degraded" from the injected health probe
+//   /tracez   recent completed spans (TraceSink ring) as JSON
+//
+// Scope: an operator/scrape endpoint, deliberately minimal — GET only,
+// one connection served at a time (a Prometheus scrape every 15s is
+// the design load), bound to the loopback interface. The accept loop
+// runs on a dedicated thread and polls with a short timeout so Stop()
+// is prompt.
+//
+// Layering: `src/obs` sits below `src/common`, so the server reports
+// errors as bool + last_error() rather than Status, and the health
+// state (AdmissionGate shedding, MemoryBudget quiescence — which live
+// above) is injected as a callback built by the CLI/tests.
+//
+// Self-observation: every request counts olapdc.http.requests and
+// records olapdc.http.scrape_latency_us.
+
+#ifndef OLAPDC_OBS_TELEMETRY_SERVER_H_
+#define OLAPDC_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace olapdc {
+namespace obs {
+
+/// What /healthz reports. `ok == false` renders as 503 so a load
+/// balancer or orchestrator stops routing to a shedding/exhausted
+/// process; `detail` lines are appended to the body either way.
+struct HealthReport {
+  bool ok = true;
+  std::string detail;
+};
+
+class TelemetryServer {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port
+    /// (read it back with port() — tests and --serve-port=0 use this).
+    int port = 0;
+    /// Health probe for /healthz; null means unconditionally healthy.
+    std::function<HealthReport()> health;
+  };
+
+  /// One pre-rendered HTTP response (Handle() is the transport-free
+  /// core, exercised directly by unit tests).
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  TelemetryServer() = default;
+  ~TelemetryServer() { Stop(); }
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds, listens, and starts the serving thread. Returns false with
+  /// last_error() set when the socket setup fails (port in use, ...).
+  bool Start(const Options& options);
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the actual one when Options::port was 0), or 0
+  /// when not running.
+  int port() const { return port_; }
+
+  const std::string& last_error() const { return last_error_; }
+
+  /// Routes one request path to its response (no socket involved).
+  Response Handle(const std::string& path) const;
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string last_error_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace olapdc
+
+#endif  // OLAPDC_OBS_TELEMETRY_SERVER_H_

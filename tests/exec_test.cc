@@ -14,6 +14,8 @@
 
 #include "exec/task_deque.h"
 #include "exec/work_stealing_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace olapdc {
 namespace exec {
@@ -121,6 +123,146 @@ TEST(WorkStealingPoolTest, EnvThreadCountParsesPositiveIntegers) {
   // No env mutation here (other tests may run concurrently); just
   // check the current value is sane.
   EXPECT_GE(EnvThreadCount(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Steal-safe trace propagation (obs/span.h contract): the TraceContext
+// captured at Spawn() must be reinstalled on whichever thread executes
+// the task, so a span opened inside the task parents to the spawner's
+// open span — identically whether the task ran in place, was helped,
+// drained from the injector, or was stolen.
+
+class TracePropagationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::TraceSink::Global().EnableRing(64); }
+  void TearDown() override { obs::TraceSink::Global().Close(); }
+};
+
+// External-thread submit goes through the injector; the worker that
+// drains it is by definition not the submitter.
+TEST_F(TracePropagationTest, ParentageSurvivesInjectorMigration) {
+  WorkStealingPool pool(2);
+  uint64_t outer_id = 0;
+  uint64_t child_parent = 0;
+  bool child_stolen = false;
+  {
+    obs::ObsSpan outer("test.injector_outer");
+    outer_id = outer.id();
+    ASSERT_NE(outer_id, 0u);
+    TaskGroup group(&pool);
+    group.Spawn([&] {
+      child_stolen = WorkStealingPool::CurrentTaskStolen();
+      obs::ObsSpan child("test.injector_child");
+      child_parent = child.parent();
+    });
+    group.Wait();
+  }
+  EXPECT_TRUE(child_stolen);  // injector drain counts as a migration
+  EXPECT_EQ(child_parent, outer_id);
+}
+
+// Deterministic forced steal: on a two-worker pool the spawning worker
+// pushes the child into its own deque and then spin-waits *without
+// helping*, so the only way the child can run is a steal by the other
+// worker. A naive per-thread nesting stack would give the child no
+// parent here; explicit TraceContext propagation keeps outer -> child.
+TEST_F(TracePropagationTest, ParentageSurvivesForcedSteal) {
+  WorkStealingPool pool(2);
+  std::atomic<bool> child_done{false};
+  std::atomic<uint64_t> outer_id{0};
+  std::atomic<uint64_t> child_parent{0};
+  std::atomic<bool> child_stolen{false};
+  {
+    TaskGroup group(&pool);
+    group.Spawn([&] {
+      obs::ObsSpan outer("test.steal_outer");
+      outer_id.store(outer.id());
+      group.Spawn([&] {
+        child_stolen.store(WorkStealingPool::CurrentTaskStolen());
+        obs::ObsSpan child("test.steal_child");
+        child_parent.store(child.parent());
+        child_done.store(true);
+      });
+      // Busy-wait without running queued tasks: forces the other worker
+      // to steal the child. Bounded only by the test timeout.
+      while (!child_done.load()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+    group.Wait();
+  }
+  EXPECT_TRUE(child_stolen.load());
+  EXPECT_NE(outer_id.load(), 0u);
+  EXPECT_EQ(child_parent.load(), outer_id.load());
+}
+
+// The unstolen control for the test above: a one-worker pool cannot
+// steal, so the child runs on the spawning worker via help-while-
+// waiting — and the parentage must come out the same.
+TEST_F(TracePropagationTest, ParentageIdenticalWhenNotStolen) {
+  WorkStealingPool pool(1);
+  std::atomic<uint64_t> outer_id{0};
+  std::atomic<uint64_t> child_parent{0};
+  std::atomic<bool> child_stolen{true};
+  {
+    TaskGroup group(&pool);
+    group.Spawn([&] {
+      obs::ObsSpan outer("test.local_outer");
+      outer_id.store(outer.id());
+      TaskGroup inner(&pool);
+      inner.Spawn([&] {
+        child_stolen.store(WorkStealingPool::CurrentTaskStolen());
+        obs::ObsSpan child("test.local_child");
+        child_parent.store(child.parent());
+      });
+      inner.Wait();
+    });
+    group.Wait();
+  }
+  EXPECT_FALSE(child_stolen.load());
+  EXPECT_NE(outer_id.load(), 0u);
+  EXPECT_EQ(child_parent.load(), outer_id.load());
+}
+
+// After a task closes, its spans must not leak into whatever the worker
+// runs next: the pool restores the worker's previous (empty) context.
+TEST_F(TracePropagationTest, ContextDoesNotLeakAcrossTasks) {
+  WorkStealingPool pool(1);
+  std::atomic<uint64_t> second_parent{1};  // sentinel: must become 0
+  {
+    TaskGroup group(&pool);
+    group.Spawn([&] { obs::ObsSpan span("test.first"); });
+    group.Wait();
+  }
+  {
+    TaskGroup group(&pool);
+    group.Spawn([&] { second_parent.store(obs::CurrentTraceContext().span_id); });
+    group.Wait();
+  }
+  EXPECT_EQ(second_parent.load(), 0u);
+}
+
+// Context reinstalls with a live parent span are counted under
+// olapdc.exec.ctx_restores; tasks spawned with no open span are not.
+TEST_F(TracePropagationTest, ContextRestoresAreCounted) {
+  obs::MetricsRegistry::Global().Reset();
+  obs::MetricsRegistry::Global().Enable();
+  WorkStealingPool pool(2);
+  {
+    TaskGroup group(&pool);
+    group.Spawn([] {});  // no open span at spawn: not a restore
+    group.Wait();
+  }
+  {
+    obs::ObsSpan outer("test.counted_outer");
+    TaskGroup group(&pool);
+    for (int i = 0; i < 4; ++i) group.Spawn([] {});
+    group.Wait();
+  }
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  obs::MetricsRegistry::Global().Disable();
+  obs::MetricsRegistry::Global().Reset();
+  EXPECT_EQ(snapshot.counter("olapdc.exec.ctx_restores"), 4u);
 }
 
 // Deque protocol: one owner pushes/pops while thieves steal; every

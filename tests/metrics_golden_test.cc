@@ -18,6 +18,9 @@
 #include "exec/admission.h"
 #include "exec/work_stealing_pool.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/search_tree.h"
+#include "obs/telemetry_server.h"
 #include "tests/test_util.h"
 
 namespace olapdc {
@@ -217,6 +220,65 @@ TEST_F(MetricsGoldenTest, AdmissionCountersMatchGateState) {
   EXPECT_EQ(snapshot.counter("olapdc.exec.shed"), 1u);
   ASSERT_EQ(snapshot.gauges.count("olapdc.exec.in_flight"), 1u);
   EXPECT_EQ(snapshot.gauges.at("olapdc.exec.in_flight"), 0);
+}
+
+TEST_F(MetricsGoldenTest, TelemetryPlaneInventoryIsStable) {
+  // The PR-5 metric families: the exposition server registers its
+  // inventory on Start(), the pool registers ctx_restores with its
+  // other names, and the explain recorder publishes on Drain().
+  obs::TelemetryServer server;
+  obs::TelemetryServer::Options server_options;
+  server_options.port = 0;
+  ASSERT_TRUE(server.Start(server_options)) << server.last_error();
+  server.Stop();
+
+  exec::WorkStealingPool pool(1);
+  pool.PublishMetricNames();
+
+  obs::SearchTreeRecorder::Global().Enable();
+  (void)obs::SearchTreeRecorder::Global().Drain();
+  obs::SearchTreeRecorder::Global().Disable();
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  for (const char* name :
+       {"olapdc.http.requests", "olapdc.exec.ctx_restores",
+        "olapdc.explain.events", "olapdc.explain.dropped"}) {
+    EXPECT_EQ(snapshot.counters.count(name), 1u) << name;
+  }
+}
+
+TEST_F(MetricsGoldenTest, PrometheusExpositionCoversEveryFamily) {
+  // Every counter, gauge, and histogram in a real run's snapshot must
+  // appear in the rendered exposition with its # TYPE line, and every
+  // histogram family must close with le="+Inf" == _count.
+  DimsatResult r = EnumerateFrozenDimensions(*ds_, store_);
+  ASSERT_OK(r.status);
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const std::string text = obs::RenderPrometheusText(snapshot);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = obs::PrometheusName(name);
+    EXPECT_NE(text.find("# TYPE " + prom + " counter\n"), std::string::npos)
+        << name;
+    EXPECT_NE(text.find(prom + " " + std::to_string(value) + "\n"),
+              std::string::npos)
+        << name;
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string prom = obs::PrometheusName(name);
+    EXPECT_NE(text.find("# TYPE " + prom + " histogram\n"), std::string::npos)
+        << name;
+    EXPECT_NE(text.find(prom + "_bucket{le=\"+Inf\"} " +
+                        std::to_string(histogram.count) + "\n"),
+              std::string::npos)
+        << name;
+    EXPECT_NE(text.find(prom + "_count " + std::to_string(histogram.count) +
+                        "\n"),
+              std::string::npos)
+        << name;
+  }
+  // The dot-to-underscore mapping is 1:1: the internal names never
+  // collide after sanitization, so no family is silently merged.
+  EXPECT_NE(text.find("olapdc_dimsat_prune_shortcut"), std::string::npos);
 }
 
 TEST_F(MetricsGoldenTest, ImplicationAndReasonerCountersFlow) {

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -140,7 +141,19 @@ TEST(JsonTest, EscapesAndNumbers) {
   EXPECT_EQ(JsonString("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
   EXPECT_EQ(JsonNumber(12), "12");
   EXPECT_EQ(JsonNumber(0.5), "0.5");
-  EXPECT_EQ(JsonNumber(std::nan("")), "0");
+  // Non-finite values are not representable in JSON; masking them as a
+  // finite value would hide a poisoned histogram, so they render null.
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST_F(ObsTest, NonFiniteJsonNumbersAreCounted) {
+  (void)JsonNumber(std::nan(""));
+  (void)JsonNumber(std::numeric_limits<double>::infinity());
+  (void)JsonNumber(1.0);  // finite: not counted
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter("olapdc.obs.json_nonfinite"), 2u);
 }
 
 TEST_F(ObsTest, SpanInactiveWhenSinkClosed) {
@@ -187,6 +200,81 @@ TEST_F(ObsTest, SpansEmitJsonlWithNestingDepth) {
 
 TEST_F(ObsTest, SinkOpenFailsOnBadPath) {
   EXPECT_FALSE(TraceSink::Global().Open("/nonexistent-dir/x/y/trace.jsonl"));
+  EXPECT_FALSE(TraceSink::Global().enabled());
+}
+
+TEST_F(ObsTest, SpanIdsAndParentageFollowNesting) {
+  const std::string path = ::testing::TempDir() + "/obs_test_ids.jsonl";
+  ASSERT_TRUE(TraceSink::Global().Open(path));
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  uint64_t inner_parent = 0;
+  {
+    ObsSpan outer("test.outer");
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    EXPECT_EQ(outer.parent(), 0u);  // root of its strand
+    EXPECT_EQ(CurrentTraceContext().span_id, outer_id);
+    EXPECT_EQ(CurrentTraceContext().depth, 1);
+    {
+      ObsSpan inner("test.inner");
+      inner_id = inner.id();
+      inner_parent = inner.parent();
+    }
+    // Closing the inner span restores the outer context.
+    EXPECT_EQ(CurrentTraceContext().span_id, outer_id);
+  }
+  EXPECT_EQ(CurrentTraceContext().span_id, 0u);
+  EXPECT_EQ(inner_parent, outer_id);
+  EXPECT_NE(inner_id, outer_id);
+  TraceSink::Global().Close();
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"id\": " + std::to_string(inner_id)),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"parent\": " + std::to_string(outer_id)),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"parent\": 0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, ScopedTraceContextInstallsAndRestores) {
+  const std::string path = ::testing::TempDir() + "/obs_test_ctx.jsonl";
+  ASSERT_TRUE(TraceSink::Global().Open(path));
+  TraceContext captured;
+  {
+    ObsSpan outer("test.outer");
+    captured = CurrentTraceContext();
+  }
+  // The outer span is closed; reinstalling its captured context makes a
+  // new span parent to it anyway (what the pool does after a steal).
+  {
+    ScopedTraceContext restore(captured);
+    ObsSpan child("test.child");
+    EXPECT_EQ(child.parent(), captured.span_id);
+    EXPECT_EQ(child.depth(), captured.depth);
+  }
+  EXPECT_EQ(CurrentTraceContext().span_id, 0u);
+  TraceSink::Global().Close();
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, RingKeepsMostRecentLines) {
+  TraceSink::Global().EnableRing(3);
+  EXPECT_TRUE(TraceSink::Global().enabled());
+  for (int i = 0; i < 5; ++i) {
+    ObsSpan span("test.ring" + std::to_string(i));
+  }
+  std::vector<std::string> lines = TraceSink::Global().RecentLines();
+  ASSERT_EQ(lines.size(), 3u);  // bounded: oldest two evicted
+  EXPECT_NE(lines[0].find("test.ring2"), std::string::npos);
+  EXPECT_NE(lines[2].find("test.ring4"), std::string::npos);
+  TraceSink::Global().Close();
+  EXPECT_TRUE(TraceSink::Global().RecentLines().empty());
   EXPECT_FALSE(TraceSink::Global().enabled());
 }
 

@@ -1,0 +1,219 @@
+// bench_gate — regression gate over the committed BENCH_*.json
+// baselines (bench/bench_util.h reporters).
+//
+//   bench_gate --baseline BENCH_exec.json --current fresh.json \
+//              [--default-threshold-pct 25] [--threshold ms=50] ...
+//
+// Rows are matched by index (the reporters emit a fixed grid in a
+// deterministic order). Within a row, *latency-like* numeric fields —
+// "ms", "us", "ns_per_task", or any field ending in _ms/_us/_ns —
+// are gated lower-is-better: the gate fails when
+//   current > baseline * (1 + threshold_pct / 100).
+// Every other shared numeric field is reported informationally only
+// (counters like expand_calls legitimately change with the workload,
+// and throughput-like fields would need a higher-is-better gate —
+// add a --threshold entry the day one matters).
+//
+// Exit codes: 0 = within thresholds, 1 = regression, 2 = usage or
+// unreadable/ill-formed input. CI wires this as a non-blocking report
+// step first (docs/performance.md); flipping it to blocking is a
+// one-line workflow change once the baselines have soaked.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/mini_json.h"
+
+namespace olapdc::tools {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitUsage = 2;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_gate --baseline <BENCH.json> --current <BENCH.json>\n"
+      "                  [--default-threshold-pct <p>] "
+      "[--threshold <field>=<p>]...\n"
+      "gates latency-like fields (ms/us/ns_per_task/*_ms/*_us/*_ns) at\n"
+      "current <= baseline * (1 + p/100); other numeric fields are\n"
+      "reported but not gated.\n"
+      "exit codes: 0 within thresholds, 1 regression, 2 usage/parse\n");
+  return kExitUsage;
+}
+
+bool LatencyLike(const std::string& field) {
+  if (field == "ms" || field == "us" || field == "ns_per_task") return true;
+  auto ends_with = [&](const char* suffix) {
+    const size_t n = std::char_traits<char>::length(suffix);
+    return field.size() >= n &&
+           field.compare(field.size() - n, n, suffix) == 0;
+  };
+  return ends_with("_ms") || ends_with("_us") || ends_with("_ns");
+}
+
+/// A short row label from the row's string/integer identity fields
+/// (mode, workload, threads, ...), so a report line names the grid
+/// point, not just "row 7".
+std::string RowLabel(const JsonValue& row) {
+  std::string label;
+  for (const auto& [key, value] : row.object) {
+    if (value.is_string()) {
+      if (!label.empty()) label += " ";
+      label += key + "=" + value.string_value;
+    } else if (value.is_number() && !LatencyLike(key) &&
+               (key == "threads" || key == "seed" || key == "size")) {
+      if (!label.empty()) label += " ";
+      std::ostringstream num;
+      num << value.number_value;
+      label += key + "=" + num.str();
+    }
+  }
+  return label;
+}
+
+bool LoadBench(const std::string& path, JsonValue* out, std::string* bench,
+               const JsonValue** rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_gate: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!ParseJson(buffer.str(), out, &error)) {
+    std::fprintf(stderr, "bench_gate: '%s': %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  const JsonValue* name = out->Find("bench");
+  *bench = (name != nullptr && name->is_string()) ? name->string_value : "?";
+  *rows = out->Find("rows");
+  if (*rows == nullptr || !(*rows)->is_array()) {
+    std::fprintf(stderr, "bench_gate: '%s' has no \"rows\" array\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  double default_threshold_pct = 25;
+  std::map<std::string, double> per_field_pct;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      baseline_path = v;
+    } else if (arg == "--current") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      current_path = v;
+    } else if (arg == "--default-threshold-pct") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      char* end = nullptr;
+      default_threshold_pct = std::strtod(v, &end);
+      if (end == v || *end != '\0' || default_threshold_pct < 0) {
+        return Usage();
+      }
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      const std::string spec = v;
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) return Usage();
+      char* end = nullptr;
+      const double pct = std::strtod(spec.c_str() + eq + 1, &end);
+      if (*end != '\0' || pct < 0) return Usage();
+      per_field_pct[spec.substr(0, eq)] = pct;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return Usage();
+
+  JsonValue baseline_doc, current_doc;
+  std::string baseline_bench, current_bench;
+  const JsonValue* baseline_rows = nullptr;
+  const JsonValue* current_rows = nullptr;
+  if (!LoadBench(baseline_path, &baseline_doc, &baseline_bench,
+                 &baseline_rows) ||
+      !LoadBench(current_path, &current_doc, &current_bench, &current_rows)) {
+    return kExitUsage;
+  }
+  if (baseline_bench != current_bench) {
+    std::fprintf(stderr,
+                 "bench_gate: bench mismatch: baseline '%s' vs current "
+                 "'%s'\n",
+                 baseline_bench.c_str(), current_bench.c_str());
+    return kExitUsage;
+  }
+  if (baseline_rows->array.size() != current_rows->array.size()) {
+    std::fprintf(stderr,
+                 "bench_gate: row count mismatch: baseline %zu vs current "
+                 "%zu (grid changed — recommit the baseline)\n",
+                 baseline_rows->array.size(), current_rows->array.size());
+    return kExitUsage;
+  }
+
+  int regressions = 0;
+  int gated_fields = 0;
+  for (size_t i = 0; i < baseline_rows->array.size(); ++i) {
+    const JsonValue& base_row = baseline_rows->array[i];
+    const JsonValue& curr_row = current_rows->array[i];
+    const std::string label = RowLabel(base_row);
+    for (const auto& [field, base_value] : base_row.object) {
+      if (!base_value.is_number()) continue;
+      const JsonValue* curr_value = curr_row.Find(field);
+      if (curr_value == nullptr || !curr_value->is_number()) continue;
+      const double base = base_value.number_value;
+      const double curr = curr_value->number_value;
+      if (!LatencyLike(field)) {
+        if (base != curr) {
+          std::printf("  info  %s[%zu] %s: %s %g -> %g (not gated)\n",
+                      baseline_bench.c_str(), i, label.c_str(), field.c_str(),
+                      base, curr);
+        }
+        continue;
+      }
+      ++gated_fields;
+      const auto it = per_field_pct.find(field);
+      const double pct =
+          it != per_field_pct.end() ? it->second : default_threshold_pct;
+      if (base > 0 && curr > base * (1 + pct / 100)) {
+        ++regressions;
+        std::printf("  FAIL  %s[%zu] %s: %s %g -> %g (+%.1f%% > %.1f%%)\n",
+                    baseline_bench.c_str(), i, label.c_str(), field.c_str(),
+                    base, curr, (curr / base - 1) * 100, pct);
+      } else {
+        std::printf("  ok    %s[%zu] %s: %s %g -> %g\n",
+                    baseline_bench.c_str(), i, label.c_str(), field.c_str(),
+                    base, curr);
+      }
+    }
+  }
+  std::printf("bench_gate: %s: %d gated field(s), %d regression(s)\n",
+              baseline_bench.c_str(), gated_fields, regressions);
+  return regressions > 0 ? kExitRegression : kExitOk;
+}
+
+}  // namespace
+}  // namespace olapdc::tools
+
+int main(int argc, char** argv) { return olapdc::tools::Run(argc, argv); }

@@ -7,6 +7,8 @@
 #   2. Every src/<subsystem>/ directory is mentioned in DESIGN.md's
 #      repository-layout section, so the architecture docs cannot
 #      silently fall behind the tree.
+#   3. Every tool binary declared in tools/CMakeLists.txt is mentioned
+#      in README.md or docs/, so shipped tools cannot go undocumented.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -42,6 +44,17 @@ for dir in src/*/; do
     fail=1
   fi
 done
+
+# --- 3. Every tools/ binary is documented ---------------------------------
+while IFS= read -r tool; do
+  # The CLI target is olapdc_cli but ships as `olapdc`.
+  [ "$tool" = "olapdc_cli" ] && tool=olapdc
+  if ! grep -q "$tool" README.md docs/*.md; then
+    echo "UNDOCUMENTED TOOL: $tool is not mentioned in README.md or docs/"
+    fail=1
+  fi
+done < <(grep -oE '^add_executable\([a-z0-9_]+' tools/CMakeLists.txt |
+         sed 's/^add_executable(//')
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"

@@ -1,0 +1,226 @@
+// Minimal recursive-descent JSON parser for the *tools* (bench_gate,
+// trace2perfetto). The olapdc library itself only ever writes JSON
+// (src/obs/json.h); the tools consume what the library and the bench
+// reporters emitted, so they carry their own parser rather than
+// dragging a dependency into the library layering.
+//
+// Scope: strict enough for our own output — objects, arrays, strings
+// with the escapes JsonEscape produces (\" \\ \n \r \t \u00XX),
+// numbers via strtod, true/false/null. Not a general-purpose
+// validating parser (no surrogate pairs, no depth limit beyond the
+// call stack).
+
+#ifndef OLAPDC_TOOLS_MINI_JSON_H_
+#define OLAPDC_TOOLS_MINI_JSON_H_
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace olapdc::tools {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered so reports list fields the way the reporter
+  /// wrote them.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace mini_json_internal {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos >= text.size()) return Fail("dangling escape");
+      char esc = text[pos++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Our writer only emits \u00XX control characters; encode
+          // anything in the BMP as UTF-8 anyway.
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    if (pos >= text.size()) return Fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out->type = JsonValue::Type::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return Fail("expected ':'");
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace_back(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        if (Consume('}')) return true;
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->type = JsonValue::Type::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        if (Consume(']')) return true;
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      out->type = JsonValue::Type::kNull;
+      pos += 4;
+      return true;
+    }
+    // Number.
+    const char* start = text.data() + pos;
+    char* end = nullptr;
+    double value = std::strtod(start, &end);
+    if (end == start) return Fail("unexpected token");
+    out->type = JsonValue::Type::kNumber;
+    out->number_value = value;
+    pos += static_cast<size_t>(end - start);
+    return true;
+  }
+};
+
+}  // namespace mini_json_internal
+
+/// Parses `text` into `*out`. On failure returns false with a
+/// position-annotated message in `*error` (when non-null).
+inline bool ParseJson(std::string_view text, JsonValue* out,
+                      std::string* error = nullptr) {
+  mini_json_internal::Parser parser{text, 0, {}};
+  if (!parser.ParseValue(out)) {
+    if (error != nullptr) *error = parser.error;
+    return false;
+  }
+  parser.SkipSpace();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(parser.pos);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace olapdc::tools
+
+#endif  // OLAPDC_TOOLS_MINI_JSON_H_

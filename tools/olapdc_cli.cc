@@ -40,7 +40,23 @@
 //                       latency histograms) to <path> as JSON.
 //   --trace <path>      Stream structured trace spans (one JSON object
 //                       per line) to <path> while the command runs.
-//   Both also accept the --flag=value spelling.
+//   --serve-port <n>    Start the telemetry server on 127.0.0.1:<n>
+//                       (0 = ephemeral; the bound port is printed).
+//                       Serves /metrics (Prometheus), /varz (JSON),
+//                       /healthz, /tracez. Implies metrics + a span
+//                       ring for /tracez.
+//   --serve-linger-ms <n>  Keep the telemetry server up <n> ms after
+//                       the command finishes (scrape/smoke windows).
+//   --explain           Record every DIMSAT EXPAND decision and print
+//                       the explain report (each prune-rule firing
+//                       with its depth) to stderr when done.
+//   --explain-trace <path>  Also write the decisions as Chrome
+//                       trace_event JSON (open in ui.perfetto.dev).
+//                       Implies --explain.
+//   --admission-high-water <n>  Shed parallel requests beyond <n>
+//                       concurrent admissions (exit 18; /healthz
+//                       degrades while saturated).
+//   Value flags also accept the --flag=value spelling.
 //
 // Exit codes: 0 = success / affirmative answer; 1 = definitive negative
 // answer (NOT IMPLIED, UNSATISFIABLE, ...); 2 = usage error; otherwise
@@ -48,18 +64,22 @@
 // tell a parse error from a timeout from a missing file.
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/budget.h"
 #include "common/memory_budget.h"
 #include "obs/metrics.h"
+#include "obs/search_tree.h"
 #include "obs/span.h"
+#include "obs/telemetry_server.h"
 #include "constraint/evaluator.h"
 #include "constraint/parser.h"
 #include "constraint/printer.h"
@@ -69,6 +89,7 @@
 #include "core/mining.h"
 #include "core/report.h"
 #include "core/summarizability.h"
+#include "exec/admission.h"
 #include "exec/work_stealing_pool.h"
 #include "io/instance_io.h"
 #include "io/schema_io.h"
@@ -116,7 +137,9 @@ int Usage() {
       "  validate <schema> <instance>       C1-C7 + Sigma model check\n"
       "  mine <schema> <instance>           learn constraints from data\n"
       "global flags: --deadline-ms <n>, --memory-budget-mb <n>, "
-      "--threads <n>, --metrics-json <path>, --trace <path>\n"
+      "--threads <n>, --metrics-json <path>, --trace <path>,\n"
+      "  --serve-port <n>, --serve-linger-ms <n>, --explain, "
+      "--explain-trace <path>, --admission-high-water <n>\n"
       "exit codes: 0 yes/ok, 1 no, 2 usage, 10-18 one per error class\n"
       "  (16 = deadline exceeded, 17 = cancelled, 18 = overloaded)\n");
   return kExitUsage;
@@ -130,6 +153,9 @@ struct CliBudget {
   /// Owns the MemoryBudget the Budget points at (shared so the struct
   /// stays copyable; the CLI never mutates it after flag parsing).
   std::shared_ptr<MemoryBudget> memory;
+  /// --admission-high-water overload gate (shared for copyability; the
+  /// telemetry /healthz probe also reads it).
+  std::shared_ptr<exec::AdmissionGate> admission;
   bool bounded = false;
   int threads = 1;
   const Budget* get() const { return bounded ? &budget : nullptr; }
@@ -137,6 +163,7 @@ struct CliBudget {
   void Apply(DimsatOptions* options) const {
     options->budget = get();
     options->num_threads = threads;
+    options->admission = admission.get();
   }
 };
 
@@ -304,8 +331,25 @@ struct CliFlags {
   CliBudget budget;
   std::string metrics_json_path;
   std::string trace_path;
+  /// Telemetry server: -1 = off, 0 = ephemeral port, else the port.
+  int serve_port = -1;
+  long serve_linger_ms = 0;
+  bool explain = false;
+  std::string explain_trace_path;
   bool usage_error = false;
 };
+
+/// Category names of the schema the current command loaded, so the
+/// explain renderers can name prune edges (ids render as "#<id>"
+/// before a schema is loaded).
+std::vector<std::string> g_category_names;
+
+std::string CategoryNameOf(int id) {
+  if (id >= 0 && static_cast<size_t>(id) < g_category_names.size()) {
+    return g_category_names[id];
+  }
+  return "#" + std::to_string(id);
+}
 
 /// Extracts `--flag value` / `--flag=value`. Returns true when `arg`
 /// consumed the flag (then `*value` holds its value or is empty with
@@ -408,6 +452,71 @@ CliFlags ParseFlags(int argc, char** argv) {
       flags.trace_path = value;
       continue;
     }
+    if (TakeFlagValue("--serve-port", arg, argc, argv, &i, &value, &flags)) {
+      if (flags.usage_error) return flags;
+      char* end = nullptr;
+      errno = 0;
+      long port = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || errno == ERANGE || port < 0 ||
+          port > 65535) {
+        std::fprintf(stderr,
+                     "error: --serve-port needs an integer in [0, 65535], "
+                     "got '%s'\n",
+                     value.c_str());
+        flags.usage_error = true;
+        return flags;
+      }
+      flags.serve_port = static_cast<int>(port);
+      continue;
+    }
+    if (TakeFlagValue("--serve-linger-ms", arg, argc, argv, &i, &value,
+                      &flags)) {
+      if (flags.usage_error) return flags;
+      char* end = nullptr;
+      errno = 0;
+      long ms = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || errno == ERANGE || ms < 0) {
+        std::fprintf(stderr,
+                     "error: --serve-linger-ms needs a non-negative "
+                     "integer, got '%s'\n",
+                     value.c_str());
+        flags.usage_error = true;
+        return flags;
+      }
+      flags.serve_linger_ms = ms;
+      continue;
+    }
+    if (TakeFlagValue("--admission-high-water", arg, argc, argv, &i, &value,
+                      &flags)) {
+      if (flags.usage_error) return flags;
+      char* end = nullptr;
+      errno = 0;
+      long n = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || errno == ERANGE || n <= 0) {
+        std::fprintf(stderr,
+                     "error: --admission-high-water needs a positive "
+                     "integer, got '%s'\n",
+                     value.c_str());
+        flags.usage_error = true;
+        return flags;
+      }
+      exec::AdmissionGate::Options gate_options;
+      gate_options.high_water = n;
+      flags.budget.admission =
+          std::make_shared<exec::AdmissionGate>(gate_options);
+      continue;
+    }
+    if (arg == "--explain") {
+      flags.explain = true;
+      continue;
+    }
+    if (TakeFlagValue("--explain-trace", arg, argc, argv, &i, &value,
+                      &flags)) {
+      if (flags.usage_error) return flags;
+      flags.explain = true;
+      flags.explain_trace_path = value;
+      continue;
+    }
     flags.args.push_back(std::move(arg));
   }
   return flags;
@@ -417,6 +526,12 @@ int RunCommand(const std::vector<std::string>& args, const CliBudget& budget) {
   const std::string& command = args[0];
   Result<DimensionSchema> ds = LoadSchemaFile(args[1]);
   if (!ds.ok()) return Fail(ds.status());
+
+  // Let the explain renderers name categories after this command ends.
+  g_category_names.clear();
+  for (CategoryId c = 0; c < ds->hierarchy().num_categories(); ++c) {
+    g_category_names.push_back(ds->hierarchy().CategoryName(c));
+  }
 
   if (command == "check") return Check(*ds, budget);
   if (command == "dot") {
@@ -493,8 +608,83 @@ int Run(int argc, char** argv) {
                  flags.trace_path.c_str());
     return kExitUsage;
   }
+  if (flags.explain) {
+    obs::SearchTreeRecorder::Global().Enable();
+  }
+
+  obs::TelemetryServer server;
+  if (flags.serve_port >= 0) {
+    // A live scrape needs live content: the registry and a span ring
+    // come up with the server even without --metrics-json/--trace.
+    obs::MetricsRegistry::Global().Enable();
+    obs::TraceSink::Global().EnableRing(256);
+    obs::TelemetryServer::Options server_options;
+    server_options.port = flags.serve_port;
+    server_options.health = [memory = flags.budget.memory,
+                             gate = flags.budget.admission]() {
+      obs::HealthReport report;
+      if (gate != nullptr) {
+        const bool saturated =
+            gate->in_flight() >= gate->options().high_water;
+        if (saturated) report.ok = false;
+        report.detail += "admission: in_flight=" +
+                         std::to_string(gate->in_flight()) + " high_water=" +
+                         std::to_string(gate->options().high_water) +
+                         " shed=" + std::to_string(gate->shed()) + "\n";
+      }
+      if (memory != nullptr) {
+        if (memory->exhausted()) report.ok = false;
+        report.detail += "memory: reserved=" +
+                         std::to_string(memory->reserved()) + " limit=" +
+                         std::to_string(memory->limit()) +
+                         (memory->exhausted() ? " exhausted" : "") + "\n";
+      }
+      return report;
+    };
+    if (!server.Start(server_options)) {
+      return Fail(Status::Internal("telemetry server: " +
+                                   server.last_error()));
+    }
+    std::fprintf(stderr, "telemetry: serving on 127.0.0.1:%d\n",
+                 server.port());
+  }
 
   const int code = RunCommand(flags.args, flags.budget);
+
+  if (flags.explain) {
+    std::vector<obs::ExplainEvent> events =
+        obs::SearchTreeRecorder::Global().Drain();
+    const std::string report = obs::RenderExplainReport(
+        events, [](int id) { return CategoryNameOf(id); });
+    std::fprintf(stderr, "--- explain: %zu search-tree decisions",
+                 events.size());
+    const uint64_t dropped = obs::SearchTreeRecorder::Global().dropped();
+    if (dropped > 0) {
+      std::fprintf(stderr, " (%llu dropped to ring bounds)",
+                   static_cast<unsigned long long>(dropped));
+    }
+    std::fprintf(stderr, " ---\n%s", report.c_str());
+    if (!flags.explain_trace_path.empty()) {
+      std::ofstream out(flags.explain_trace_path, std::ios::trunc);
+      if (out) {
+        out << obs::RenderChromeTrace(
+                   events, [](int id) { return CategoryNameOf(id); })
+            << "\n";
+      }
+      if (!out) {
+        std::fprintf(stderr,
+                     "warning: could not write explain trace to '%s'\n",
+                     flags.explain_trace_path.c_str());
+      }
+    }
+    obs::SearchTreeRecorder::Global().Disable();
+  }
+
+  if (server.running() && flags.serve_linger_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(flags.serve_linger_ms));
+  }
+  server.Stop();
 
   if (!flags.metrics_json_path.empty()) {
     // Final gauge refresh so the export carries the quiescent memory
