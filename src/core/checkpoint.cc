@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "core/schema.h"
+
 namespace olapdc {
 
 std::string DimsatCheckpoint::Serialize() const {
@@ -74,6 +76,25 @@ Result<DimsatCheckpoint> DimsatCheckpoint::Deserialize(
     }
     cp.frames.push_back(
         DimsatCheckpointFrame{std::move(*g), next_mask, depth});
+  }
+  return cp;
+}
+
+Result<DimsatCheckpoint> ParseCheckpointFor(const DimensionSchema& ds,
+                                            CategoryId root,
+                                            std::string_view text) {
+  OLAPDC_ASSIGN_OR_RETURN(DimsatCheckpoint cp,
+                          DimsatCheckpoint::Deserialize(text));
+  if (cp.root != root) {
+    return Status::InvalidArgument(
+        "checkpoint root " + std::to_string(cp.root) +
+        " does not match query root " + std::to_string(root));
+  }
+  if (cp.num_categories != ds.hierarchy().num_categories()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(cp.num_categories) +
+        " categories, schema has " +
+        std::to_string(ds.hierarchy().num_categories()));
   }
   return cp;
 }

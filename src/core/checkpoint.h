@@ -35,6 +35,8 @@
 
 namespace olapdc {
 
+class DimensionSchema;
+
 /// One partially processed EXPAND node of the interrupted search.
 struct DimsatCheckpointFrame {
   /// The subhierarchy as it was when this node's EXPAND ran.
@@ -66,6 +68,15 @@ struct DimsatCheckpoint {
   /// partial subhierarchy (kParseError / kInvalidArgument).
   static Result<DimsatCheckpoint> Deserialize(std::string_view text);
 };
+
+/// Resume hook for the request plane: deserializes `text` and
+/// validates it against (ds, root) up front, so a service can reject a
+/// stale or mismatched client checkpoint with kInvalidArgument before
+/// committing a request slot to the run (ResumeDimsat would reject it
+/// too, but only after the caller has built options and budgets).
+Result<DimsatCheckpoint> ParseCheckpointFor(const DimensionSchema& ds,
+                                            CategoryId root,
+                                            std::string_view text);
 
 }  // namespace olapdc
 

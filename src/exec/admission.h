@@ -9,10 +9,21 @@
 // no work, carries no partial result, and is safe to retry verbatim
 // after backing off (RetryPolicy parses the hint).
 //
-// The gate is intentionally a counter, not a queue: admission control
-// that *waits* is just a second queue with extra steps. Callers that
-// can tolerate latency retry with backoff; callers that cannot get an
-// honest "not now" in microseconds.
+// The retry-after hint adapts to the observed drain rate: the gate
+// keeps an EWMA of the interval between Release() calls, so the hint
+// approximates "when the next slot frees up" instead of a constant
+// that is wrong in both directions (too eager under heavy requests,
+// too lazy under light ones). Options::retry_after_ms is the floor and
+// the fallback before any release has been observed. The hint has one
+// source of truth — RetryAfterMsHint() — embedded in the kUnavailable
+// message for CLI/RetryPolicy consumers and parsed back out by the
+// HTTP layer for the Retry-After header.
+//
+// Drain: BeginDrain() flips the gate into shedding everything (new
+// work is refused during shutdown) while in-flight requests keep their
+// slots; WaitIdle() blocks until they Release() or the deadline
+// passes. The gate stays a counter, not a queue: admission control
+// that *waits* is just a second queue with extra steps.
 
 #ifndef OLAPDC_EXEC_ADMISSION_H_
 #define OLAPDC_EXEC_ADMISSION_H_
@@ -29,7 +40,8 @@ class AdmissionGate {
   struct Options {
     /// Concurrent admitted requests beyond which new ones are shed.
     int64_t high_water = 64;
-    /// Backoff hint embedded in the kUnavailable message as
+    /// Floor (and pre-observation fallback) for the adaptive backoff
+    /// hint embedded in the kUnavailable message as
     /// "retry-after-ms=<n>" (RetryAfterMsFromStatus parses it back).
     int64_t retry_after_ms = 50;
   };
@@ -42,12 +54,29 @@ class AdmissionGate {
 
   /// Admits the request (counting it in-flight until Release()) or
   /// sheds it with kUnavailable. Lock-free; safe from any thread.
+  /// While draining, everything is shed.
   Status TryAdmit();
 
   /// Returns one admitted request's slot. Must pair 1:1 with a
   /// successful TryAdmit().
   void Release();
 
+  /// Current backoff suggestion in ms: the EWMA interval between
+  /// recent Release() calls (≈ time until a slot frees), floored at
+  /// Options::retry_after_ms and capped at one minute.
+  int64_t RetryAfterMsHint() const;
+
+  /// Stop admitting anything; in-flight requests keep their slots.
+  /// Idempotent, lock-free.
+  void BeginDrain();
+
+  /// Blocks until in_flight() reaches zero or `timeout_ms` elapses.
+  /// Returns true when idle. Polling (1ms) — only used at shutdown.
+  bool WaitIdle(int64_t timeout_ms) const;
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
   int64_t in_flight() const {
     return in_flight_.load(std::memory_order_relaxed);
   }
@@ -78,10 +107,17 @@ class AdmissionGate {
   };
 
  private:
+  Status Shed(const std::string& why);
+
   const Options options_;
   std::atomic<int64_t> in_flight_{0};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<bool> draining_{false};
+  /// Monotonic ns of the last Release(); 0 before the first.
+  std::atomic<int64_t> last_release_ns_{0};
+  /// EWMA of release inter-arrival in us; 0 before two releases.
+  std::atomic<int64_t> ewma_release_interval_us_{0};
 };
 
 /// Parses the "retry-after-ms=<n>" hint out of a kUnavailable status

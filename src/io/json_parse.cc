@@ -1,0 +1,323 @@
+#include "io/json_parse.h"
+
+#include <cstdlib>
+
+namespace olapdc {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  const JsonParseOptions& options;
+  size_t pos = 0;
+  int depth = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      // Derive line:column (1-based) from the failure offset, matching
+      // the schema parser's "line L:C: message" convention.
+      int line = 1;
+      int column = 1;
+      const size_t stop = pos < text.size() ? pos : text.size();
+      for (size_t i = 0; i < stop; ++i) {
+        if (text[i] == '\n') {
+          ++line;
+          column = 1;
+        } else {
+          ++column;
+        }
+      }
+      error = "line " + std::to_string(line) + ":" + std::to_string(column) +
+              ": " + message;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos >= text.size()) return Fail("dangling escape");
+      char esc = text[pos++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    if (pos >= text.size()) return Fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    char c = text[pos];
+    if (c == '{') {
+      if (++depth > options.max_depth) return Fail("nesting too deep");
+      ++pos;
+      out->type = JsonValue::Type::kObject;
+      SkipSpace();
+      if (Consume('}')) {
+        --depth;
+        return true;
+      }
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return Fail("expected ':'");
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace_back(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        if (Consume('}')) {
+          --depth;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      if (++depth > options.max_depth) return Fail("nesting too deep");
+      ++pos;
+      out->type = JsonValue::Type::kArray;
+      SkipSpace();
+      if (Consume(']')) {
+        --depth;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        if (Consume(']')) {
+          --depth;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      out->type = JsonValue::Type::kNull;
+      pos += 4;
+      return true;
+    }
+    // Number. strtod needs a terminated buffer only when the view may
+    // not be NUL-terminated at its end; copy the longest plausible
+    // number prefix instead of trusting text.data() to extend past
+    // size().
+    size_t end_pos = pos;
+    while (end_pos < text.size() &&
+           (text[end_pos] == '+' || text[end_pos] == '-' ||
+            text[end_pos] == '.' || text[end_pos] == 'e' ||
+            text[end_pos] == 'E' ||
+            (text[end_pos] >= '0' && text[end_pos] <= '9'))) {
+      ++end_pos;
+    }
+    if (end_pos == pos) return Fail("unexpected token");
+    const std::string buffer(text.substr(pos, end_pos - pos));
+    char* end = nullptr;
+    double value = std::strtod(buffer.c_str(), &end);
+    if (end == buffer.c_str()) return Fail("unexpected token");
+    out->type = JsonValue::Type::kNumber;
+    out->number_value = value;
+    pos += static_cast<size_t>(end - buffer.c_str());
+    return true;
+  }
+};
+
+std::string TypeName(JsonValue::Type type) {
+  switch (type) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return "bool";
+    case JsonValue::Type::kNumber: return "number";
+    case JsonValue::Type::kString: return "string";
+    case JsonValue::Type::kArray: return "array";
+    case JsonValue::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+Status FieldError(std::string_view key, const std::string& what) {
+  return Status::InvalidArgument("field \"" + std::string(key) + "\" " +
+                                 what);
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<const JsonValue*> JsonValue::Require(std::string_view key) const {
+  if (!is_object()) {
+    return FieldError(key, "requires an object, got " + TypeName(type));
+  }
+  const JsonValue* value = Find(key);
+  if (value == nullptr) return FieldError(key, "is missing");
+  return value;
+}
+
+Result<std::string> JsonValue::RequireString(std::string_view key) const {
+  OLAPDC_ASSIGN_OR_RETURN(const JsonValue* value, Require(key));
+  if (!value->is_string()) {
+    return FieldError(key, "must be a string, got " + TypeName(value->type));
+  }
+  return value->string_value;
+}
+
+Result<double> JsonValue::RequireNumber(std::string_view key) const {
+  OLAPDC_ASSIGN_OR_RETURN(const JsonValue* value, Require(key));
+  if (!value->is_number()) {
+    return FieldError(key, "must be a number, got " + TypeName(value->type));
+  }
+  return value->number_value;
+}
+
+Result<int64_t> JsonValue::RequireInt(std::string_view key) const {
+  OLAPDC_ASSIGN_OR_RETURN(double number, RequireNumber(key));
+  const int64_t integral = static_cast<int64_t>(number);
+  if (static_cast<double>(integral) != number) {
+    return FieldError(key, "must be an integer");
+  }
+  return integral;
+}
+
+Result<const JsonValue*> JsonValue::RequireArray(std::string_view key) const {
+  OLAPDC_ASSIGN_OR_RETURN(const JsonValue* value, Require(key));
+  if (!value->is_array()) {
+    return FieldError(key, "must be an array, got " + TypeName(value->type));
+  }
+  return value;
+}
+
+Result<int64_t> JsonValue::OptionalInt(std::string_view key,
+                                       int64_t default_value) const {
+  if (!is_object() || Find(key) == nullptr) return default_value;
+  return RequireInt(key);
+}
+
+Result<std::string> JsonValue::OptionalString(std::string_view key,
+                                              std::string default_value) const {
+  if (!is_object() || Find(key) == nullptr) return default_value;
+  return RequireString(key);
+}
+
+Result<bool> JsonValue::OptionalBool(std::string_view key,
+                                     bool default_value) const {
+  if (!is_object()) return default_value;
+  const JsonValue* value = Find(key);
+  if (value == nullptr) return default_value;
+  if (!value->is_bool()) {
+    return FieldError(key, "must be a bool, got " + TypeName(value->type));
+  }
+  return value->bool_value;
+}
+
+bool ParseJsonText(std::string_view text, JsonValue* out, std::string* error,
+                   const JsonParseOptions& options) {
+  Parser parser{text, options, 0, 0, {}};
+  if (!parser.ParseValue(out)) {
+    if (error != nullptr) *error = parser.error;
+    return false;
+  }
+  parser.SkipSpace();
+  if (parser.pos != text.size()) {
+    parser.Fail("trailing garbage after document");
+    if (error != nullptr) *error = parser.error;
+    return false;
+  }
+  return true;
+}
+
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonParseOptions& options) {
+  JsonValue value;
+  std::string error;
+  if (!ParseJsonText(text, &value, &error, options)) {
+    return Status::ParseError(error);
+  }
+  return value;
+}
+
+}  // namespace olapdc

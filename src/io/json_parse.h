@@ -1,0 +1,99 @@
+// JSON parsing for the request plane (and the offline tools).
+//
+// Historically the library only ever *wrote* JSON (src/obs/json.h) and
+// the tools carried a private parser (tools/mini_json.h). The resident
+// service (src/service) moves parsing into the library: request bodies
+// arrive as JSON from untrusted clients, so the parser is promoted here
+// with the defenses and diagnostics the one-shot tools never needed:
+//
+//   - errors are anchored at line:column like the schema parser
+//     ("line 3:17: expected ':'"), not a byte offset;
+//   - a recursion-depth cap, so a hostile deeply-nested body cannot
+//     overflow the serving thread's stack;
+//   - required-field accessors that *report* a missing or mistyped
+//     field by name instead of silently defaulting it — the input-side
+//     mirror of the JsonNumber non-finite fix (silent defaults mask
+//     malformed requests the same way fake finite values masked
+//     poisoned histograms).
+//
+// Scope: strict enough for our own writers plus well-formed client
+// requests — objects, arrays, strings with the common escapes
+// (\" \\ \/ \n \r \t \b \f \u00XX), numbers via strtod, true/false/
+// null. No surrogate-pair decoding (a \uD800-\uDFFF escape is carried
+// through as its UTF-8 encoding of the raw code point).
+
+#ifndef OLAPDC_IO_JSON_PARSE_H_
+#define OLAPDC_IO_JSON_PARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace olapdc {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered so reports list fields the way the writer
+  /// emitted them.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// First member named `key`, or null when absent (callers that treat
+  /// absence as an error use Require* below instead).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Required-field accessors: kInvalidArgument naming the field when
+  /// it is absent or has the wrong type — never a silent default.
+  Result<const JsonValue*> Require(std::string_view key) const;
+  Result<std::string> RequireString(std::string_view key) const;
+  Result<double> RequireNumber(std::string_view key) const;
+  Result<int64_t> RequireInt(std::string_view key) const;
+  Result<const JsonValue*> RequireArray(std::string_view key) const;
+
+  /// Optional-field accessors: the default when the field is absent,
+  /// but a *present* field of the wrong type (or, for ints, a
+  /// non-integral number) is still an error naming the field — a typo'd
+  /// value must not silently become the default.
+  Result<int64_t> OptionalInt(std::string_view key,
+                              int64_t default_value) const;
+  Result<std::string> OptionalString(std::string_view key,
+                                     std::string default_value) const;
+  Result<bool> OptionalBool(std::string_view key, bool default_value) const;
+};
+
+struct JsonParseOptions {
+  /// Maximum nesting depth of arrays/objects; exceeding it is a parse
+  /// error, not a stack overflow.
+  int max_depth = 64;
+};
+
+/// Parses `text` into `*out`. On failure returns false with a
+/// "line L:C: message" diagnostic in `*error` (when non-null), both
+/// 1-based, matching the schema/instance parsers' convention.
+bool ParseJsonText(std::string_view text, JsonValue* out,
+                   std::string* error = nullptr,
+                   const JsonParseOptions& options = {});
+
+/// Status-typed wrapper: kParseError carrying the line:column message.
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonParseOptions& options = {});
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_IO_JSON_PARSE_H_

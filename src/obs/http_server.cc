@@ -1,0 +1,518 @@
+#include "obs/http_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace olapdc {
+namespace obs {
+
+namespace {
+
+constexpr int kPollSliceMs = 100;
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (IEquals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+void HttpRequestParser::Fail(int status, std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(message);
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(std::string_view bytes) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(bytes.data(), bytes.size());
+  if (state_ == State::kHeaders) {
+    // Find the header terminator; accept bare-LF framing like the
+    // rest of the codebase's text formats.
+    size_t terminator = buffer_.find("\r\n\r\n");
+    size_t body_start = terminator + 4;
+    const size_t lf = buffer_.find("\n\n");
+    if (lf != std::string::npos &&
+        (terminator == std::string::npos || lf < terminator)) {
+      terminator = lf;
+      body_start = lf + 2;
+    }
+    if (terminator == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        Fail(431, "request headers exceed " +
+                      std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      return state_;
+    }
+    if (body_start > limits_.max_header_bytes) {
+      Fail(431, "request headers exceed " +
+                    std::to_string(limits_.max_header_bytes) + " bytes");
+      return state_;
+    }
+    ParseHeaderSection(terminator, body_start);
+  }
+  if (state_ == State::kBody) MaybeFinishBody();
+  return state_;
+}
+
+void HttpRequestParser::ParseHeaderSection(size_t terminator,
+                                           size_t body_start) {
+  std::string_view head(buffer_.data(), terminator);
+
+  // Request line.
+  size_t line_end = head.find('\n');
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || line.find(' ', sp2 + 1) != std::string_view::npos) {
+    Fail(400, "malformed request line");
+    return;
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (target.empty() || target.front() != '/') {
+    Fail(400, "malformed request target");
+    return;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    Fail(400, "unsupported HTTP version");
+    return;
+  }
+  request_.version = std::string(version);
+  const size_t query = target.find('?');
+  if (query == std::string_view::npos) {
+    request_.path = std::string(target);
+  } else {
+    request_.path = std::string(target.substr(0, query));
+    request_.query = std::string(target.substr(query + 1));
+  }
+
+  // Header lines.
+  bool saw_content_length = false;
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 1;
+  while (pos < head.size()) {
+    size_t end = head.find('\n', pos);
+    if (end == std::string_view::npos) end = head.size();
+    std::string_view header_line = head.substr(pos, end - pos);
+    pos = end + 1;
+    if (!header_line.empty() && header_line.back() == '\r') {
+      header_line.remove_suffix(1);
+    }
+    if (header_line.empty()) continue;
+    const size_t colon = header_line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      Fail(400, "malformed header line");
+      return;
+    }
+    std::string_view name = Trim(header_line.substr(0, colon));
+    std::string_view value = Trim(header_line.substr(colon + 1));
+    if (name.empty() || name.find(' ') != std::string_view::npos) {
+      Fail(400, "malformed header name");
+      return;
+    }
+    request_.headers.emplace_back(std::string(name), std::string(value));
+    if (IEquals(name, "Content-Length")) {
+      if (saw_content_length) {
+        Fail(400, "duplicate Content-Length");
+        return;
+      }
+      saw_content_length = true;
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string_view::npos) {
+        Fail(400, "malformed Content-Length");
+        return;
+      }
+      errno = 0;
+      const unsigned long long parsed =
+          std::strtoull(std::string(value).c_str(), nullptr, 10);
+      if (errno == ERANGE || parsed > limits_.max_body_bytes) {
+        Fail(413, "request body exceeds " +
+                      std::to_string(limits_.max_body_bytes) + " bytes");
+        return;
+      }
+      content_length_ = static_cast<size_t>(parsed);
+    } else if (IEquals(name, "Transfer-Encoding")) {
+      Fail(400, "transfer encodings not supported");
+      return;
+    }
+  }
+
+  request_.keep_alive = request_.version == "HTTP/1.1";
+  if (const std::string* connection = request_.FindHeader("Connection")) {
+    if (IEquals(*connection, "close")) request_.keep_alive = false;
+    if (IEquals(*connection, "keep-alive")) request_.keep_alive = true;
+  }
+
+  buffer_.erase(0, body_start);
+  state_ = State::kBody;
+}
+
+void HttpRequestParser::MaybeFinishBody() {
+  if (buffer_.size() < content_length_) return;
+  request_.body = buffer_.substr(0, content_length_);
+  buffer_.erase(0, content_length_);
+  state_ = State::kComplete;
+}
+
+HttpRequest HttpRequestParser::TakeRequest() {
+  HttpRequest taken = std::move(request_);
+  request_ = HttpRequest{};
+  content_length_ = 0;
+  state_ = State::kHeaders;
+  // Re-run on retained bytes: a pipelined request may already be
+  // complete in the buffer.
+  if (!buffer_.empty()) {
+    std::string retained;
+    retained.swap(buffer_);
+    Feed(retained);
+  }
+  return taken;
+}
+
+bool HttpServer::Start(const Options& options) {
+  if (running()) {
+    last_error_ = "server already running";
+    return false;
+  }
+  options_ = options;
+  if (options_.max_connections < 1) options_.max_connections = 1;
+  if (options_.max_pending < 1) options_.max_pending = 1;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    last_error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    last_error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    last_error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  // Register the http family so /metrics lists it from the first
+  // scrape.
+  Count("olapdc.http.requests", 0);
+  Count("olapdc.http.bad_requests", 0);
+  Count("olapdc.http.timeouts", 0);
+  Count("olapdc.http.busy_rejects", 0);
+  stop_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  busy_.store(0, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.max_connections));
+  for (int i = 0; i < options_.max_connections; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+bool HttpServer::WaitDrained(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return drained_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                              [this] {
+                                return pending_.empty() &&
+                                       busy_.load(std::memory_order_acquire) ==
+                                           0;
+                              });
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop/drain
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (pending_.size() >= static_cast<size_t>(options_.max_pending)) {
+      lock.unlock();
+      Count("olapdc.http.busy_rejects");
+      SendSimple(fd, 503, "busy\n");
+      ::close(fd);
+      continue;
+    }
+    pending_.push_back(fd);
+    queue_cv_.notify_one();
+  }
+  // Drain or stop: refuse new connects at the kernel level.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      fd = pending_.front();
+      pending_.pop_front();
+      busy_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ServeConnection(fd);
+    ::close(fd);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_.fetch_sub(1, std::memory_order_acq_rel);
+      if (pending_.empty() && busy_.load(std::memory_order_acquire) == 0) {
+        drained_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  HttpRequestParser parser(
+      HttpRequestParser::Limits{options_.max_header_bytes,
+                                options_.max_body_bytes});
+  char buf[4096];
+  int served = 0;
+  while (!stop_.load(std::memory_order_acquire) &&
+         served < options_.max_requests_per_connection) {
+    // Receive one full request within the read deadline. Poll slices
+    // keep Stop() and drain prompt; the total deadline (not a
+    // per-read idle timer) is what defeats a dribbling client.
+    const int64_t deadline = NowMs() + options_.read_timeout_ms;
+    bool timed_out = false;
+    bool peer_closed = false;
+    while (parser.state() == HttpRequestParser::State::kHeaders ||
+           parser.state() == HttpRequestParser::State::kBody) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (draining_.load(std::memory_order_acquire) && !parser.mid_request()) {
+        // Drain closes idle keep-alive connections (and queued
+        // connections that never sent a byte) without waiting out the
+        // read deadline.
+        return;
+      }
+      const int64_t remaining = deadline - NowMs();
+      if (remaining <= 0) {
+        timed_out = true;
+        break;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int ready = ::poll(
+          &pfd, 1,
+          remaining < kPollSliceMs ? static_cast<int>(remaining)
+                                   : kPollSliceMs);
+      if (ready <= 0) continue;
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        peer_closed = true;
+        break;
+      }
+      parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+
+    if (parser.state() == HttpRequestParser::State::kError) {
+      Count("olapdc.http.bad_requests");
+      SendSimple(fd, parser.error_status(), parser.error() + "\n");
+      return;
+    }
+    if (timed_out) {
+      // A connection that times out mid-request (slow loris) or
+      // before its first request (connect-and-hold) is a hostile
+      // reject; an idle wait on a reused keep-alive connection is a
+      // routine expiry.
+      if (parser.mid_request() || served == 0) {
+        Count("olapdc.http.timeouts");
+        Count("olapdc.http.bad_requests");
+        SendSimple(fd, 408, "request timeout\n");
+      }
+      return;
+    }
+    if (peer_closed) {
+      if (parser.mid_request()) {
+        // Truncated request (e.g. a POST body shorter than its
+        // Content-Length). The peer may have only half-closed, so
+        // still try to answer.
+        Count("olapdc.http.bad_requests");
+        SendSimple(fd, 400, "truncated request\n");
+      }
+      return;
+    }
+
+    HttpRequest request = parser.TakeRequest();
+    Count("olapdc.http.requests");
+    HttpResponse response;
+    if (options_.handler) {
+      response = options_.handler(request);
+    } else {
+      response = HttpResponse{404, "text/plain; charset=utf-8", "not found\n",
+                              {}};
+    }
+    ++served;
+    const bool keep_alive = request.keep_alive &&
+                            !draining_.load(std::memory_order_acquire) &&
+                            !stop_.load(std::memory_order_acquire) &&
+                            served < options_.max_requests_per_connection;
+
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                      HttpStatusText(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    for (const auto& [name, value] : response.headers) {
+      out += name + ": " + value + "\r\n";
+    }
+    out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                      : "Connection: close\r\n\r\n";
+    out += response.body;
+    if (!SendAll(fd, out)) return;
+    if (!keep_alive) return;
+  }
+}
+
+bool HttpServer::SendAll(int fd, std::string_view bytes) {
+  const int64_t deadline = NowMs() + options_.write_timeout_ms;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    if (stop_.load(std::memory_order_acquire)) return false;
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) {
+      Count("olapdc.http.timeouts");
+      return false;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int ready = ::poll(
+        &pfd, 1,
+        remaining < kPollSliceMs ? static_cast<int>(remaining) : kPollSliceMs);
+    if (ready <= 0) continue;
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void HttpServer::SendSimple(
+    int fd, int status, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>* extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    HttpStatusText(status) + "\r\n";
+  out += "Content-Type: text/plain; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (extra_headers != nullptr) {
+    for (const auto& [name, value] : *extra_headers) {
+      out += name + ": " + value + "\r\n";
+    }
+  }
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  SendAll(fd, out);
+}
+
+}  // namespace obs
+}  // namespace olapdc

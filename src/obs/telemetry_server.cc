@@ -1,13 +1,7 @@
 #include "obs/telemetry_server.h"
 
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
-#include <cstring>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
@@ -18,146 +12,55 @@ namespace obs {
 
 namespace {
 
-constexpr int kPollTimeoutMs = 100;
-/// Request cap: a GET line plus headers; anything larger is a client
-/// error for this endpoint.
+/// Scrape-plane bounds, deliberately tighter than the request plane:
+/// a scrape is one small GET, so anyone sending kilobytes of body or
+/// taking seconds to finish a request line is not a scraper.
+constexpr int kScrapeWorkers = 2;
 constexpr size_t kMaxRequestBytes = 16 * 1024;
-
-const char* StatusText(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 503: return "Service Unavailable";
-    default: return "Internal Server Error";
-  }
-}
+constexpr size_t kMaxBodyBytes = 4 * 1024;
+constexpr int kReadTimeoutMs = 2000;
+constexpr int kWriteTimeoutMs = 5000;
 
 }  // namespace
 
 bool TelemetryServer::Start(const Options& options) {
-  if (running()) {
+  if (server_.running()) {
     last_error_ = "server already running";
     return false;
   }
   options_ = options;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    last_error_ = std::string("socket: ") + std::strerror(errno);
+  HttpServer::Options server_options;
+  server_options.port = options.port;
+  server_options.max_connections = kScrapeWorkers;
+  server_options.max_header_bytes = kMaxRequestBytes;
+  server_options.max_body_bytes = kMaxBodyBytes;
+  server_options.read_timeout_ms = kReadTimeoutMs;
+  server_options.write_timeout_ms = kWriteTimeoutMs;
+  server_options.handler = [this](const HttpRequest& request) {
+    const auto start = std::chrono::steady_clock::now();
+    HttpResponse out;
+    if (request.method != "GET") {
+      out = HttpResponse{405, "text/plain; charset=utf-8",
+                         "method not allowed\n", {}};
+    } else {
+      Response response = Handle(request.path);
+      out = HttpResponse{response.status, std::move(response.content_type),
+                         std::move(response.body), {}};
+    }
+    LatencyUs("olapdc.http.scrape_latency_us",
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+    return out;
+  };
+  if (!server_.Start(server_options)) {
+    last_error_ = server_.last_error();
     return false;
   }
-  int reuse = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options.port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    last_error_ = std::string("bind: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  if (::listen(listen_fd_, 16) < 0) {
-    last_error_ = std::string("listen: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
-    port_ = ntohs(addr.sin_port);
-  } else {
-    port_ = options.port;
-  }
-  // Register the inventory so /metrics lists the http family from the
-  // first scrape, not the second.
-  Count("olapdc.http.requests", 0);
-  stop_.store(false, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { Serve(); });
   return true;
 }
 
-void TelemetryServer::Stop() {
-  if (!running()) return;
-  stop_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  port_ = 0;
-  running_.store(false, std::memory_order_release);
-}
-
-void TelemetryServer::Serve() {
-  while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check stop_
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    HandleConnection(fd);
-    ::close(fd);
-  }
-}
-
-void TelemetryServer::HandleConnection(int fd) {
-  const auto start = std::chrono::steady_clock::now();
-  // Read until the header terminator (GET requests have no body).
-  std::string request;
-  char buf[4096];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    request.append(buf, static_cast<size_t>(n));
-  }
-
-  Response response;
-  const size_t line_end = request.find_first_of("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  const size_t sp1 = line.find(' ');
-  const size_t sp2 = line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    response = Response{400, "text/plain; charset=utf-8", "bad request\n"};
-  } else if (line.substr(0, sp1) != "GET") {
-    response =
-        Response{405, "text/plain; charset=utf-8", "method not allowed\n"};
-  } else {
-    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    const size_t query = path.find('?');
-    if (query != std::string::npos) path.resize(query);
-    response = Handle(path);
-  }
-
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    StatusText(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += response.body;
-  size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, 0);
-    if (n <= 0) break;
-    sent += static_cast<size_t>(n);
-  }
-
-  Count("olapdc.http.requests");
-  LatencyUs("olapdc.http.scrape_latency_us",
-            std::chrono::duration<double, std::micro>(
-                std::chrono::steady_clock::now() - start)
-                .count());
-}
+void TelemetryServer::Stop() { server_.Stop(); }
 
 TelemetryServer::Response TelemetryServer::Handle(
     const std::string& path) const {

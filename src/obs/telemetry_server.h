@@ -1,7 +1,6 @@
-// TelemetryServer: the live exposition plane — a dependency-free
-// blocking HTTP/1.1 server (POSIX sockets + poll, no third-party
-// libs) that serves the process observability state while a request
-// is running, instead of only at exit:
+// TelemetryServer: the live exposition plane — serves the process
+// observability state while a request is running, instead of only at
+// exit:
 //
 //   /metrics  Prometheus text exposition of MetricsRegistry::Snapshot()
 //   /varz     the same snapshot as the --metrics-json JSON schema
@@ -9,10 +8,13 @@
 //   /tracez   recent completed spans (TraceSink ring) as JSON
 //
 // Scope: an operator/scrape endpoint, deliberately minimal — GET only,
-// one connection served at a time (a Prometheus scrape every 15s is
-// the design load), bound to the loopback interface. The accept loop
-// runs on a dedicated thread and polls with a short timeout so Stop()
-// is prompt.
+// a tiny worker pool (a Prometheus scrape every 15s is the design
+// load), bound to the loopback interface. The transport is the shared
+// HttpServer, so even this scrape-only plane gets the hostile-peer
+// bounds for free: a client that connects and sends nothing (or
+// dribbles a byte at a time) is cut off by the read deadline, oversized
+// or malformed requests are rejected 4xx, and every rejection counts
+// olapdc.http.bad_requests.
 //
 // Layering: `src/obs` sits below `src/common`, so the server reports
 // errors as bool + last_error() rather than Status, and the health
@@ -20,16 +22,15 @@
 // above) is injected as a callback built by the CLI/tests.
 //
 // Self-observation: every request counts olapdc.http.requests and
-// records olapdc.http.scrape_latency_us.
+// scrapes record olapdc.http.scrape_latency_us.
 
 #ifndef OLAPDC_OBS_TELEMETRY_SERVER_H_
 #define OLAPDC_OBS_TELEMETRY_SERVER_H_
 
-#include <atomic>
-#include <cstdint>
 #include <functional>
 #include <string>
-#include <thread>
+
+#include "obs/http_server.h"
 
 namespace olapdc {
 namespace obs {
@@ -65,18 +66,19 @@ class TelemetryServer {
   TelemetryServer(const TelemetryServer&) = delete;
   TelemetryServer& operator=(const TelemetryServer&) = delete;
 
-  /// Binds, listens, and starts the serving thread. Returns false with
-  /// last_error() set when the socket setup fails (port in use, ...).
+  /// Binds, listens, and starts the serving threads. Returns false
+  /// with last_error() set when the socket setup fails (port in use,
+  /// ...).
   bool Start(const Options& options);
 
-  /// Stops the serving thread and closes the socket. Idempotent.
+  /// Stops the serving threads and closes the socket. Idempotent.
   void Stop();
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const { return server_.running(); }
 
   /// The bound port (the actual one when Options::port was 0), or 0
   /// when not running.
-  int port() const { return port_; }
+  int port() const { return server_.port(); }
 
   const std::string& last_error() const { return last_error_; }
 
@@ -84,16 +86,9 @@ class TelemetryServer {
   Response Handle(const std::string& path) const;
 
  private:
-  void Serve();
-  void HandleConnection(int fd);
-
   Options options_;
-  int listen_fd_ = -1;
-  int port_ = 0;
+  HttpServer server_;
   std::string last_error_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
 };
 
 }  // namespace obs

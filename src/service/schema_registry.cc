@@ -1,0 +1,49 @@
+#include "service/schema_registry.h"
+
+#include <utility>
+
+#include "io/schema_io.h"
+
+namespace olapdc::service {
+
+Status SchemaRegistry::Register(const std::string& name,
+                                std::string_view schema_text,
+                                const Budget* budget) {
+  // Parse entirely outside the lock: an adversarial schema burns its
+  // own request budget, not the registry's availability.
+  OLAPDC_ASSIGN_OR_RETURN(DimensionSchema parsed,
+                          ParseSchemaText(schema_text, budget));
+  auto entry = std::make_shared<const DimensionSchema>(std::move(parsed));
+  std::lock_guard<std::mutex> lock(mutex_);
+  schemas_[name] = std::move(entry);
+  return Status::OK();
+}
+
+void SchemaRegistry::RegisterParsed(const std::string& name,
+                                    DimensionSchema schema) {
+  auto entry = std::make_shared<const DimensionSchema>(std::move(schema));
+  std::lock_guard<std::mutex> lock(mutex_);
+  schemas_[name] = std::move(entry);
+}
+
+std::shared_ptr<const DimensionSchema> SchemaRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = schemas_.find(name);
+  return it == schemas_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> SchemaRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(schemas_.size());
+  for (const auto& [name, schema] : schemas_) names.push_back(name);
+  return names;
+}
+
+size_t SchemaRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return schemas_.size();
+}
+
+}  // namespace olapdc::service

@@ -1,0 +1,60 @@
+// SchemaRegistry: the resident daemon's pre-parsed schema store.
+//
+// The whole point of a long-lived service (ROADMAP item 1) is that
+// schemas and constraint theories are parsed once and kept hot; every
+// request then reasons against an immutable snapshot. Entries are
+// handed out as shared_ptr<const DimensionSchema>, which is the
+// sticky-failure isolation mechanism: a request holds its own
+// reference for its whole lifetime, so a concurrent re-registration
+// (or a poisoned request dying mid-run) can never mutate or free the
+// schema under it, and a failed registration never disturbs the entry
+// it would have replaced.
+
+#ifndef OLAPDC_SERVICE_SCHEMA_REGISTRY_H_
+#define OLAPDC_SERVICE_SCHEMA_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/budget.h"
+#include "common/status.h"
+#include "core/schema.h"
+
+namespace olapdc::service {
+
+class SchemaRegistry {
+ public:
+  SchemaRegistry() = default;
+  SchemaRegistry(const SchemaRegistry&) = delete;
+  SchemaRegistry& operator=(const SchemaRegistry&) = delete;
+
+  /// Parses `schema_text` (the schema text format) and installs it
+  /// under `name`, replacing any previous entry *only on success* — a
+  /// parse failure (or budget expiry during the parse) leaves the
+  /// registry exactly as it was. `budget` bounds the parse.
+  Status Register(const std::string& name, std::string_view schema_text,
+                  const Budget* budget = nullptr);
+
+  /// Installs an already-built schema (workload generators, tests).
+  void RegisterParsed(const std::string& name, DimensionSchema schema);
+
+  /// The schema registered under `name`, or null. The returned
+  /// reference stays valid for as long as the caller holds it,
+  /// regardless of later re-registrations.
+  std::shared_ptr<const DimensionSchema> Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const DimensionSchema>> schemas_;
+};
+
+}  // namespace olapdc::service
+
+#endif  // OLAPDC_SERVICE_SCHEMA_REGISTRY_H_

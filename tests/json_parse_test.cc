@@ -1,0 +1,122 @@
+// Tests for src/io/json_parse.h — the hardened request-body parser:
+// line:column diagnostics, the nesting-depth cap, and the
+// required/optional field accessors that never silently default a
+// present-but-mistyped field.
+
+#include "io/json_parse.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace olapdc {
+namespace {
+
+TEST(JsonParseTest, ParsesScalarsArraysAndObjects) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJsonText(
+      "{\"s\": \"x\", \"n\": 2.5, \"i\": -7, \"b\": true, \"z\": null, "
+      "\"a\": [1, 2, 3], \"o\": {\"k\": \"v\"}}",
+      &v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("s")->string_value, "x");
+  EXPECT_DOUBLE_EQ(v.Find("n")->number_value, 2.5);
+  EXPECT_DOUBLE_EQ(v.Find("i")->number_value, -7);
+  EXPECT_TRUE(v.Find("b")->bool_value);
+  EXPECT_TRUE(v.Find("z")->is_null());
+  ASSERT_TRUE(v.Find("a")->is_array());
+  EXPECT_EQ(v.Find("a")->array.size(), 3u);
+  ASSERT_TRUE(v.Find("o")->is_object());
+  EXPECT_EQ(v.Find("o")->Find("k")->string_value, "v");
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, DecodesEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJsonText(
+      R"({"e": "a\"b\\c\/d\ne\tf", "u": "Aé"})", &v));
+  EXPECT_EQ(v.Find("e")->string_value, "a\"b\\c/d\ne\tf");
+  EXPECT_EQ(v.Find("u")->string_value, "A\xc3\xa9");
+}
+
+TEST(JsonParseTest, ErrorsCarryLineAndColumn) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJsonText("{\n  \"a\": }", &v, &error));
+  EXPECT_NE(error.find("line 2:"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(ParseJsonText("{\"a\": 1,\n\"b\" 2}", &v, &error));
+  EXPECT_NE(error.find("line 2:"), std::string::npos) << error;
+
+  // The Status-typed wrapper surfaces the same diagnostic as
+  // kParseError.
+  Result<JsonValue> parsed = ParseJson("[1, 2,");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().ToString().find("line 1:"), std::string::npos);
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJsonText("{} extra", &v, &error));
+  EXPECT_FALSE(ParseJsonText("1 2", &v, &error));
+  EXPECT_TRUE(ParseJsonText("  {}  \n", &v, &error));
+}
+
+TEST(JsonParseTest, DepthCapStopsHostileNesting) {
+  // A deeply nested body must be a parse error, not a stack overflow.
+  std::string hostile(100000, '[');
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJsonText(hostile, &v, &error));
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
+
+  // The cap is configurable and tight bounds work.
+  JsonParseOptions shallow;
+  shallow.max_depth = 2;
+  EXPECT_TRUE(ParseJsonText("[[1]]", &v, nullptr, shallow));
+  EXPECT_FALSE(ParseJsonText("[[[1]]]", &v, nullptr, shallow));
+}
+
+TEST(JsonParseTest, RequireAccessorsNameTheField) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJsonText(
+      "{\"name\": \"x\", \"count\": 3, \"frac\": 1.5, \"list\": []}", &v));
+  EXPECT_EQ(*v.RequireString("name"), "x");
+  EXPECT_EQ(*v.RequireInt("count"), 3);
+  EXPECT_TRUE(v.RequireArray("list").ok());
+
+  Result<std::string> missing = v.RequireString("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("nope"), std::string::npos);
+
+  Result<std::string> mistyped = v.RequireString("count");
+  ASSERT_FALSE(mistyped.ok());
+  EXPECT_NE(mistyped.status().ToString().find("count"), std::string::npos);
+
+  // Non-integral numbers are not silently truncated into ints.
+  EXPECT_FALSE(v.RequireInt("frac").ok());
+}
+
+TEST(JsonParseTest, OptionalAccessorsDefaultOnlyOnAbsence) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJsonText(
+      "{\"n\": 5, \"s\": \"y\", \"b\": false, \"bad\": \"soon\"}", &v));
+  EXPECT_EQ(*v.OptionalInt("n", 9), 5);
+  EXPECT_EQ(*v.OptionalInt("absent", 9), 9);
+  EXPECT_EQ(*v.OptionalString("s", "d"), "y");
+  EXPECT_EQ(*v.OptionalString("absent", "d"), "d");
+  EXPECT_EQ(*v.OptionalBool("b", true), false);
+  EXPECT_EQ(*v.OptionalBool("absent", true), true);
+
+  // A *present* field of the wrong type is an error naming the field,
+  // never the default (the input-side silent-default fix).
+  Result<int64_t> mistyped = v.OptionalInt("bad", 9);
+  ASSERT_FALSE(mistyped.ok());
+  EXPECT_NE(mistyped.status().ToString().find("bad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olapdc

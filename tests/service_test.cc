@@ -1,0 +1,510 @@
+// Tests for src/service — the olapdcd request plane (DimService +
+// SchemaRegistry) and its hostile-client defenses on the HttpServer
+// transport: pipelined requests, truncated POST bodies,
+// Content-Length mismatches, oversized JSON, UTF-8 garbage schema
+// names. Every hostile shape must be a clean 4xx with a counted
+// metric — never a crash, never a 200.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "core/location_example.h"
+#include "exec/admission.h"
+#include "gtest/gtest.h"
+#include "io/schema_io.h"
+#include "obs/http_server.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "service/dim_service.h"
+#include "service/schema_registry.h"
+#include "workload/schema_generator.h"
+
+namespace olapdc::service {
+namespace {
+
+using obs::HttpRequest;
+using obs::HttpResponse;
+
+HttpRequest Post(const std::string& path, const std::string& body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = path;
+  request.body = body;
+  return request;
+}
+
+std::string LocationSchemaText() {
+  Result<DimensionSchema> loc = LocationSchema();
+  EXPECT_TRUE(loc.ok());
+  return SerializeSchema(*loc);
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::Global().Enable();
+    ASSERT_TRUE(registry_.Register("loc", LocationSchemaText()).ok());
+    options_.registry = &registry_;
+    options_.max_threads = 2;
+  }
+
+  static uint64_t Counter(const std::string& name) {
+    return obs::MetricsRegistry::Global().Snapshot().counter(name);
+  }
+
+  SchemaRegistry registry_;
+  DimService::Options options_;
+};
+
+// ---------------------------------------------------------------------------
+// The request plane, transport-free (HandleRequest directly).
+
+TEST_F(ServiceTest, CheckAnswersDefinitivelyOnLocationExample) {
+  DimService service(options_);
+  HttpResponse response = service.HandleRequest(
+      Post("/v1/check", "{\"schema\": \"loc\", \"category\": \"Store\"}"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"definitive\": true"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"satisfiable\": "), std::string::npos);
+  EXPECT_NE(response.body.find("\"expand_calls\": "), std::string::npos);
+  EXPECT_EQ(service.ok(), 1u);
+  EXPECT_EQ(service.requests(), 1u);
+}
+
+TEST_F(ServiceTest, ImpliesAndSummarizableAndBatchAnswer) {
+  DimService service(options_);
+  HttpResponse implies = service.HandleRequest(Post(
+      "/v1/implies",
+      "{\"schema\": \"loc\", \"constraint\": \"Store/City\"}"));
+  EXPECT_EQ(implies.status, 200);
+  EXPECT_NE(implies.body.find("\"implied\": "), std::string::npos)
+      << implies.body;
+
+  HttpResponse summarizable = service.HandleRequest(Post(
+      "/v1/summarizable",
+      "{\"schema\": \"loc\", \"category\": \"Country\", "
+      "\"sources\": [\"Store\"]}"));
+  EXPECT_EQ(summarizable.status, 200);
+  EXPECT_NE(summarizable.body.find("\"summarizable\": "), std::string::npos)
+      << summarizable.body;
+
+  HttpResponse batch = service.HandleRequest(Post(
+      "/v1/batch",
+      "{\"requests\": [{\"op\": \"check\", \"schema\": \"loc\", "
+      "\"category\": \"Store\"}, {\"op\": \"implies\", \"schema\": "
+      "\"loc\", \"constraint\": \"Store/City\"}]}"));
+  EXPECT_EQ(batch.status, 200);
+  EXPECT_NE(batch.body.find("\"count\": 2"), std::string::npos) << batch.body;
+  EXPECT_EQ(service.requests(), service.ok());
+}
+
+TEST_F(ServiceTest, UnknownSchemaIs404AndUnknownPathIs404) {
+  DimService service(options_);
+  HttpResponse unknown_schema = service.HandleRequest(
+      Post("/v1/check", "{\"schema\": \"nope\", \"category\": \"X\"}"));
+  EXPECT_EQ(unknown_schema.status, 404);
+  EXPECT_NE(unknown_schema.body.find("Not found"), std::string::npos)
+      << unknown_schema.body;
+
+  HttpResponse unknown_path = service.HandleRequest(Post("/v1/zap", "{}"));
+  EXPECT_EQ(unknown_path.status, 404);
+  EXPECT_EQ(service.errors(), 2u);
+}
+
+TEST_F(ServiceTest, NonPostIs405) {
+  DimService service(options_);
+  HttpRequest get;
+  get.method = "GET";
+  get.path = "/v1/check";
+  EXPECT_EQ(service.HandleRequest(get).status, 405);
+}
+
+TEST_F(ServiceTest, MalformedJsonIs400WithLineColumnAndCountedMetric) {
+  DimService service(options_);
+  const uint64_t before = Counter("olapdc.service.bad_json");
+  HttpResponse response =
+      service.HandleRequest(Post("/v1/check", "{\"schema\": "));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("line 1:"), std::string::npos) << response.body;
+  EXPECT_EQ(Counter("olapdc.service.bad_json"), before + 1);
+
+  // A non-object body is rejected before any field lookup.
+  EXPECT_EQ(service.HandleRequest(Post("/v1/check", "[1, 2]")).status, 400);
+  EXPECT_EQ(service.errors(), 2u);
+}
+
+TEST_F(ServiceTest, MistypedFieldIs400NamingTheField) {
+  DimService service(options_);
+  HttpResponse response = service.HandleRequest(Post(
+      "/v1/check",
+      "{\"schema\": \"loc\", \"category\": \"Store\", "
+      "\"deadline_ms\": \"soon\"}"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("deadline_ms"), std::string::npos)
+      << response.body;
+}
+
+TEST_F(ServiceTest, Utf8GarbageSchemaNamesAre400NeverCrash) {
+  DimService service(options_);
+  const std::string hostile_names[] = {
+      std::string("\xFF\xFE"),     // invalid lead bytes
+      std::string("\xC0\xAF"),     // overlong encoding
+      std::string("\x80garbled"),  // stray continuation byte
+      std::string("trunc\xC3"),    // truncated multibyte sequence
+      std::string(200, 'a'),       // over the 128-byte length cap
+  };
+  for (const std::string& name : hostile_names) {
+    // The raw bytes travel inside the JSON string literal unescaped —
+    // exactly what a hostile client would send.
+    HttpResponse response = service.HandleRequest(Post(
+        "/v1/check",
+        "{\"schema\": \"" + name + "\", \"category\": \"Store\"}"));
+    EXPECT_EQ(response.status, 400) << "name bytes: " << name;
+    EXPECT_NE(response.body.find("\"code\": "), std::string::npos)
+        << response.body;
+  }
+  // Valid multibyte UTF-8 is a legal name.
+  ASSERT_TRUE(registry_.Register("sch\xC3\xA9ma", LocationSchemaText()).ok());
+  HttpResponse ok = service.HandleRequest(Post(
+      "/v1/check",
+      "{\"schema\": \"sch\xC3\xA9ma\", \"category\": \"Store\"}"));
+  EXPECT_EQ(ok.status, 200) << ok.body;
+}
+
+TEST_F(ServiceTest, AdmissionShedIs503WithRetryAfterHeader) {
+  exec::AdmissionGate gate(exec::AdmissionGate::Options{1, 50});
+  options_.gate = &gate;
+  DimService service(options_);
+  // Hold the only slot so the service's ticket is shed.
+  ASSERT_TRUE(gate.TryAdmit().ok());
+  HttpResponse response = service.HandleRequest(
+      Post("/v1/check", "{\"schema\": \"loc\", \"category\": \"Store\"}"));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("retry-after-ms="), std::string::npos)
+      << response.body;
+  bool has_retry_after = false;
+  for (const auto& [key, value] : response.headers) {
+    if (key == "Retry-After") {
+      has_retry_after = true;
+      EXPECT_GE(std::stoll(value), 1);
+    }
+  }
+  EXPECT_TRUE(has_retry_after);
+  EXPECT_EQ(service.shed(), 1u);
+  gate.Release();
+
+  // With the slot free the same request is admitted and succeeds.
+  EXPECT_EQ(service
+                .HandleRequest(Post("/v1/check",
+                                    "{\"schema\": \"loc\", \"category\": "
+                                    "\"Store\"}"))
+                .status,
+            200);
+  EXPECT_EQ(service.requests(), service.ok() + service.shed());
+}
+
+TEST_F(ServiceTest, DrainShedsNewRequests) {
+  exec::AdmissionGate gate;
+  options_.gate = &gate;
+  DimService service(options_);
+  service.BeginDrain();
+  EXPECT_TRUE(service.draining());
+  HttpResponse response = service.HandleRequest(
+      Post("/v1/check", "{\"schema\": \"loc\", \"category\": \"Store\"}"));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_EQ(service.shed(), 1u);
+}
+
+// Pulls the value of a JSON string field out of a rendered response
+// body and undoes obs::JsonEscape (checkpoints serialize to printable
+// ASCII + newlines, so the n/r/t escapes cover it).
+std::string ExtractStringField(const std::string& body,
+                               const std::string& field) {
+  const std::string key = "\"" + field + "\": \"";
+  const size_t start = body.find(key);
+  if (start == std::string::npos) return "";
+  std::string out;
+  size_t i = start + key.size();
+  while (i < body.size() && body[i] != '"') {
+    if (body[i] == '\\' && i + 1 < body.size()) {
+      ++i;
+      switch (body[i]) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default: out += body[i];
+      }
+    } else {
+      out += body[i];
+    }
+    ++i;
+  }
+  return out;
+}
+
+TEST_F(ServiceTest, TinyDeadlineDegradesWithCheckpointAndResumesToTruth) {
+  // A workload big enough that a 1ms deadline genuinely interrupts the
+  // search on most machines. Either outcome of one hop is legitimate;
+  // when interrupted, the response must carry a resumable checkpoint
+  // and the resume chain must converge to the unbudgeted answer.
+  SchemaGenOptions gen;
+  gen.num_levels = 5;
+  gen.categories_per_level = 4;
+  gen.extra_edge_prob = 0.4;
+  gen.seed = 1234;
+  auto hierarchy = GenerateLayeredHierarchy(gen);
+  ASSERT_TRUE(hierarchy.ok());
+  ConstraintGenOptions cgen;
+  cgen.into_fraction = 0.4;
+  cgen.num_choice_constraints = 2;
+  cgen.seed = 99;
+  auto schema = GenerateConstrainedSchema(*hierarchy, cgen);
+  ASSERT_TRUE(schema.ok());
+  registry_.RegisterParsed("big", std::move(*schema));
+
+  DimService service(options_);
+  // Ground truth with an effectively unbounded budget.
+  HttpResponse truth = service.HandleRequest(Post(
+      "/v1/check",
+      "{\"schema\": \"big\", \"category\": \"Base\", "
+      "\"deadline_ms\": 30000}"));
+  ASSERT_EQ(truth.status, 200) << truth.body;
+  ASSERT_NE(truth.body.find("\"definitive\": true"), std::string::npos)
+      << truth.body;
+  const bool truth_satisfiable =
+      truth.body.find("\"satisfiable\": true") != std::string::npos;
+
+  std::string body =
+      "{\"schema\": \"big\", \"category\": \"Base\", \"deadline_ms\": 1}";
+  for (int hop = 0; hop < 512; ++hop) {
+    HttpResponse response = service.HandleRequest(Post("/v1/check", body));
+    ASSERT_EQ(response.status, 200) << response.body;
+    if (response.body.find("\"definitive\": true") != std::string::npos) {
+      EXPECT_EQ(
+          response.body.find("\"satisfiable\": true") != std::string::npos,
+          truth_satisfiable)
+          << response.body;
+      return;
+    }
+    ASSERT_NE(response.body.find("\"definitive\": false"), std::string::npos);
+    const std::string checkpoint =
+        ExtractStringField(response.body, "checkpoint");
+    if (checkpoint.empty()) {
+      continue;  // expired before any frontier existed; try again
+    }
+    // Give resume hops a workable deadline so the chain terminates.
+    body = "{\"schema\": \"big\", \"category\": \"Base\", "
+           "\"deadline_ms\": 500, \"resume\": " +
+           obs::JsonString(checkpoint) + "}";
+  }
+  FAIL() << "resume chain did not converge in 512 hops";
+}
+
+TEST_F(ServiceTest, RegisterEndpointRoundTripsAndHonorsDisable) {
+  DimService service(options_);
+  HttpResponse registered = service.HandleRequest(Post(
+      "/v1/schemas", "{\"name\": \"copy\", \"text\": " +
+                         obs::JsonString(LocationSchemaText()) + "}"));
+  EXPECT_EQ(registered.status, 200) << registered.body;
+  EXPECT_NE(registered.body.find("\"categories\": "), std::string::npos);
+  EXPECT_NE(registry_.Find("copy"), nullptr);
+
+  // A bad schema text must not disturb the existing entry.
+  auto before = registry_.Find("copy");
+  HttpResponse bad = service.HandleRequest(Post(
+      "/v1/schemas", "{\"name\": \"copy\", \"text\": \"category \"}"));
+  EXPECT_EQ(bad.status, 400) << bad.body;
+  EXPECT_EQ(registry_.Find("copy"), before);
+
+  options_.allow_register = false;
+  DimService frozen(options_);
+  HttpResponse denied = frozen.HandleRequest(Post(
+      "/v1/schemas", "{\"name\": \"x\", \"text\": \"\"}"));
+  EXPECT_EQ(denied.status, 400);
+  EXPECT_NE(denied.body.find("disabled"), std::string::npos) << denied.body;
+}
+
+TEST_F(ServiceTest, BatchCapsFanOutAndEmbedsPerItemErrors) {
+  options_.max_batch = 2;
+  DimService service(options_);
+  HttpResponse overflow = service.HandleRequest(Post(
+      "/v1/batch",
+      "{\"requests\": [{\"op\": \"check\"}, {\"op\": \"check\"}, "
+      "{\"op\": \"check\"}]}"));
+  EXPECT_EQ(overflow.status, 400) << overflow.body;
+
+  HttpResponse mixed = service.HandleRequest(Post(
+      "/v1/batch",
+      "{\"requests\": [{\"op\": \"check\", \"schema\": \"loc\", "
+      "\"category\": \"Store\"}, {\"op\": \"check\", \"schema\": "
+      "\"nope\", \"category\": \"X\"}]}"));
+  EXPECT_EQ(mixed.status, 200);
+  EXPECT_NE(mixed.body.find("\"http_status\": 404"), std::string::npos)
+      << mixed.body;
+}
+
+// ---------------------------------------------------------------------------
+// The transport: hostile parsing edges over a real loopback socket.
+
+/// Sends raw bytes and collects everything the server writes back
+/// until it closes (or `linger_ms` of quiet).
+std::string RawExchange(int port, const std::string& bytes,
+                        bool half_close = true, int linger_ms = 5000) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  if (half_close) ::shutdown(fd, SHUT_WR);
+  timeval tv{linger_ms / 1000, (linger_ms % 1000) * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class ServiceTransportTest : public ServiceTest {
+ protected:
+  void StartServer(obs::HttpServer::Options overrides = {}) {
+    service_.emplace(options_);
+    overrides.handler = [this](const HttpRequest& request) {
+      return service_->HandleRequest(request);
+    };
+    ASSERT_TRUE(server_.Start(overrides)) << server_.last_error();
+  }
+
+  void TearDown() override { server_.Stop(); }
+
+  static std::string FramedPost(const std::string& path,
+                                const std::string& body) {
+    return "POST " + path + " HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n\r\n" + body;
+  }
+
+  std::optional<DimService> service_;
+  obs::HttpServer server_;
+};
+
+TEST_F(ServiceTransportTest, PipelinedRequestsAllServedInOrder) {
+  StartServer();
+  const std::string one = FramedPost(
+      "/v1/check", "{\"schema\": \"loc\", \"category\": \"Store\"}");
+  const std::string two = FramedPost(
+      "/v1/implies", "{\"schema\": \"loc\", \"constraint\": \"Store/City\"}");
+  const std::string response = RawExchange(server_.port(), one + two);
+  // Two complete responses on one connection, in request order.
+  const size_t first = response.find("HTTP/1.1 200");
+  ASSERT_NE(first, std::string::npos) << response;
+  ASSERT_NE(response.find("HTTP/1.1 200", first + 1), std::string::npos)
+      << response;
+  EXPECT_LT(response.find("\"satisfiable\""), response.find("\"implied\""))
+      << response;
+  EXPECT_EQ(service_->requests(), 2u);
+}
+
+TEST_F(ServiceTransportTest, TruncatedPostBodyIs400AndCounted) {
+  StartServer();
+  const uint64_t before = Counter("olapdc.http.bad_requests");
+  // Promise 100 bytes, deliver 9, half-close: the server must answer
+  // 400 (truncated request), count it, and survive.
+  const std::string response = RawExchange(
+      server_.port(),
+      "POST /v1/check HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n"
+      "{\"trunc\":");
+  EXPECT_NE(response.find("400"), std::string::npos) << response;
+  EXPECT_GE(Counter("olapdc.http.bad_requests"), before + 1);
+  EXPECT_EQ(service_->requests(), 0u);  // never reached the handler
+}
+
+TEST_F(ServiceTransportTest, ContentLengthMismatchFailsCleanly) {
+  StartServer();
+  // Content-Length smaller than the bytes actually sent: the surplus
+  // is parsed as a next pipelined request and must fail as a clean
+  // 4xx on that connection, leaving the server healthy.
+  const std::string body =
+      "{\"schema\": \"loc\", \"category\": \"Store\"}GARBAGE TRAILING";
+  const std::string request =
+      "POST /v1/check HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+      std::to_string(body.size() - 16) + "\r\n\r\n" + body;
+  const std::string response = RawExchange(server_.port(), request);
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+
+  // The server is still healthy for the next connection.
+  const std::string again = RawExchange(
+      server_.port(),
+      FramedPost("/v1/check",
+                 "{\"schema\": \"loc\", \"category\": \"Store\"}"));
+  EXPECT_NE(again.find("HTTP/1.1 200"), std::string::npos) << again;
+}
+
+TEST_F(ServiceTransportTest, OversizedJsonBodyIs413AndCounted) {
+  obs::HttpServer::Options small;
+  small.max_body_bytes = 1024;
+  StartServer(small);
+  const uint64_t before = Counter("olapdc.http.bad_requests");
+  const std::string big = "{\"pad\": \"" + std::string(4096, 'x') + "\"}";
+  const std::string response =
+      RawExchange(server_.port(), FramedPost("/v1/check", big));
+  EXPECT_NE(response.find("413"), std::string::npos) << response;
+  EXPECT_GE(Counter("olapdc.http.bad_requests"), before + 1);
+  EXPECT_EQ(service_->requests(), 0u);
+}
+
+TEST_F(ServiceTransportTest, OversizedHeadersAre431) {
+  obs::HttpServer::Options small;
+  small.max_header_bytes = 512;
+  StartServer(small);
+  const std::string response = RawExchange(
+      server_.port(), "POST /v1/check HTTP/1.1\r\nX-Pad: " +
+                          std::string(2048, 'h') + "\r\n\r\n");
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+}
+
+TEST_F(ServiceTransportTest, SlowLorisTimesOutWith408) {
+  obs::HttpServer::Options impatient;
+  impatient.read_timeout_ms = 150;
+  StartServer(impatient);
+  const uint64_t before = Counter("olapdc.http.timeouts");
+  // Dribble an incomplete request line and then stall (no half-close:
+  // the connection stays open, the server's read deadline must fire).
+  const std::string response = RawExchange(
+      server_.port(), "POST /v1/check HTT", /*half_close=*/false,
+      /*linger_ms=*/5000);
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+  EXPECT_GE(Counter("olapdc.http.timeouts"), before + 1);
+}
+
+TEST_F(ServiceTransportTest, GarbageRequestLineIs400) {
+  StartServer();
+  const std::string response =
+      RawExchange(server_.port(), "EXPLODE now\r\n\r\n");
+  EXPECT_NE(response.find("400"), std::string::npos) << response;
+}
+
+}  // namespace
+}  // namespace olapdc::service

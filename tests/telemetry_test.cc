@@ -213,7 +213,7 @@ std::string RawRequest(int port, const std::string& request) {
   size_t sent = 0;
   while (sent < request.size()) {
     const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, 0);
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) break;
     sent += static_cast<size_t>(n);
   }
@@ -275,6 +275,37 @@ TEST_F(TelemetryTest, StartFailsOnPortInUse) {
   EXPECT_FALSE(second.Start(clash));
   EXPECT_NE(second.last_error().find("bind"), std::string::npos);
   first.Stop();
+}
+
+TEST_F(TelemetryTest, HostilePeersAreBoundedAndCounted) {
+  TelemetryServer server;
+  TelemetryServer::Options options;
+  options.port = 0;
+  ASSERT_TRUE(server.Start(options)) << server.last_error();
+
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
+  // Oversized headers: the scrape plane caps total request bytes, so a
+  // peer spraying header bytes gets 431, not unbounded buffering.
+  const std::string oversized = RawRequest(
+      server.port(),
+      "GET /metrics HTTP/1.1\r\nX-Pad: " + std::string(32 * 1024, 'h') +
+          "\r\n\r\n");
+  EXPECT_NE(oversized.find("431"), std::string::npos) << oversized;
+
+  // Garbage that never resembles HTTP is a clean 400.
+  const std::string garbage = RawRequest(server.port(), "\x01\x02\x03\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos) << garbage;
+
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.counter("olapdc.http.bad_requests"),
+            before.counter("olapdc.http.bad_requests") + 2);
+
+  // The server is still healthy for a legitimate scrape afterwards.
+  const std::string scrape = RawRequest(
+      server.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(scrape.find("HTTP/1.1 200 OK"), std::string::npos) << scrape;
+  server.Stop();
 }
 
 // ---------------------------------------------------------------------------

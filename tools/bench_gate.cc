@@ -14,10 +14,18 @@
 // and throughput-like fields would need a higher-is-better gate —
 // add a --threshold entry the day one matters).
 //
-// Exit codes: 0 = within thresholds, 1 = regression, 2 = usage or
-// unreadable/ill-formed input. CI wires this as a non-blocking report
-// step first (docs/performance.md); flipping it to blocking is a
-// one-line workflow change once the baselines have soaked.
+// A second mode gates *robustness* reports instead of latency grids:
+//
+//   bench_gate --invariants <report.json>...
+//
+// accepts the chaos_campaign report format (BENCH_robustness.json,
+// chaos_daemon_report.json) and fails unless "invariants_held" is true
+// and "violations" is empty — so CI can block on "the chaos campaign
+// found nothing" with the same binary that gates the latency
+// baselines.
+//
+// Exit codes: 0 = within thresholds / invariants held, 1 = regression
+// or violated invariant, 2 = usage or unreadable/ill-formed input.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +35,7 @@
 #include <string>
 #include <vector>
 
-#include "tools/mini_json.h"
+#include "io/json_parse.h"
 
 namespace olapdc::tools {
 namespace {
@@ -42,11 +50,69 @@ int Usage() {
       "usage: bench_gate --baseline <BENCH.json> --current <BENCH.json>\n"
       "                  [--default-threshold-pct <p>] "
       "[--threshold <field>=<p>]...\n"
+      "       bench_gate --invariants <report.json>...\n"
       "gates latency-like fields (ms/us/ns_per_task/*_ms/*_us/*_ns) at\n"
       "current <= baseline * (1 + p/100); other numeric fields are\n"
-      "reported but not gated.\n"
-      "exit codes: 0 within thresholds, 1 regression, 2 usage/parse\n");
+      "reported but not gated. --invariants instead checks chaos\n"
+      "campaign reports: \"invariants_held\" must be true with an empty\n"
+      "\"violations\" array.\n"
+      "exit codes: 0 within thresholds, 1 regression/violation, 2 "
+      "usage/parse\n");
   return kExitUsage;
+}
+
+/// --invariants mode: every report must say invariants_held=true with
+/// zero violations.
+int CheckInvariants(const std::vector<std::string>& paths) {
+  int bad = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "bench_gate: cannot read '%s'\n", path.c_str());
+      return kExitUsage;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue doc;
+    std::string error;
+    if (!ParseJsonText(buffer.str(), &doc, &error) || !doc.is_object()) {
+      std::fprintf(stderr, "bench_gate: '%s': %s\n", path.c_str(),
+                   error.c_str());
+      return kExitUsage;
+    }
+    const JsonValue* held = doc.Find("invariants_held");
+    const JsonValue* violations = doc.Find("violations");
+    if (held == nullptr || !held->is_bool() || violations == nullptr ||
+        !violations->is_array()) {
+      std::fprintf(stderr,
+                   "bench_gate: '%s' is not an invariants report "
+                   "(missing invariants_held / violations)\n",
+                   path.c_str());
+      return kExitUsage;
+    }
+    if (held->bool_value && violations->array.empty()) {
+      std::printf("  ok    %s: invariants held\n", path.c_str());
+      continue;
+    }
+    ++bad;
+    std::printf("  FAIL  %s: %zu violation(s), invariants_held=%s\n",
+                path.c_str(), violations->array.size(),
+                held->bool_value ? "true" : "false");
+    for (const JsonValue& v : violations->array) {
+      const JsonValue* what = v.Find("what");
+      const JsonValue* site = v.Find("site");
+      std::printf("        [%s] %s\n",
+                  site != nullptr && site->is_string()
+                      ? site->string_value.c_str()
+                      : "?",
+                  what != nullptr && what->is_string()
+                      ? what->string_value.c_str()
+                      : "(unstructured violation)");
+    }
+  }
+  std::printf("bench_gate: %zu report(s), %d with violations\n", paths.size(),
+              bad);
+  return bad > 0 ? kExitRegression : kExitOk;
 }
 
 bool LatencyLike(const std::string& field) {
@@ -89,7 +155,7 @@ bool LoadBench(const std::string& path, JsonValue* out, std::string* bench,
   std::stringstream buffer;
   buffer << in.rdbuf();
   std::string error;
-  if (!ParseJson(buffer.str(), out, &error)) {
+  if (!ParseJsonText(buffer.str(), out, &error)) {
     std::fprintf(stderr, "bench_gate: '%s': %s\n", path.c_str(),
                  error.c_str());
     return false;
@@ -116,7 +182,12 @@ int Run(int argc, char** argv) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--baseline") {
+    if (arg == "--invariants") {
+      std::vector<std::string> paths;
+      for (++i; i < argc; ++i) paths.emplace_back(argv[i]);
+      if (paths.empty()) return Usage();
+      return CheckInvariants(paths);
+    } else if (arg == "--baseline") {
       const char* v = next();
       if (v == nullptr) return Usage();
       baseline_path = v;

@@ -27,16 +27,46 @@
 // Flags:
 //   --runs-per-cell <n>   workload runs per (site, prob, budget) cell
 //   --seeds <n>           distinct workload seeds (cycled over runs)
-//   --out <path>          JSON report path (default BENCH_robustness.json)
+//   --out <path>          JSON report path (default BENCH_robustness.json;
+//                         daemon mode: chaos_daemon_report.json)
 //   --quick               CI smoke grid: prob 0.5 only, two budget
 //                         configs, two runs per cell
+//
+// Live-daemon soak (--daemon): instead of the in-process sweep, stand
+// up the full olapdcd stack (SchemaRegistry + AdmissionGate +
+// DimService behind the hardened HttpServer on a real loopback port),
+// arm EVERY registered fault site inside the serving threads, and
+// hammer it with concurrent clients running the mixed request shapes
+// (check / implies / summarizable / batch, tiny deadlines that force
+// the checkpoint path, schema re-registration mid-flight, malformed
+// JSON, unknown schemas, oversized bodies, truncated POSTs, garbage
+// request lines) — then drain gracefully and assert the lifecycle
+// invariants from the outside:
+//   - every response is in the documented status taxonomy
+//     (200/400/404/405/408/413/500/503), never a crash or a hang;
+//   - client-side conservation: every request sent is accounted as
+//     exactly one of {2xx, shed, other 4xx/5xx, transport error};
+//   - server-side conservation: requests == ok + errors + shed at
+//     quiescence;
+//   - drain completes within the deadline with the admission gate idle
+//     and memory accounting back at zero.
+//
+//   --daemon-duration-ms <n>   load phase length (default 4000)
+//   --daemon-min-requests <n>  keep hammering until this many sent
+//                              (default 1200)
+//   --daemon-prob <p>          per-site injection probability (0.05)
+//   --daemon-threads <n>       client threads (default 4)
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -44,12 +74,18 @@
 #include "common/fault_injector.h"
 #include "common/memory_budget.h"
 #include "core/dimsat.h"
+#include "core/location_example.h"
 #include "core/reasoner.h"
 #include "exec/admission.h"
 #include "exec/work_stealing_pool.h"
 #include "io/instance_io.h"
 #include "io/schema_io.h"
+#include "obs/http_server.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "service/dim_service.h"
+#include "service/schema_registry.h"
+#include "tools/http_client.h"
 #include "workload/schema_generator.h"
 
 namespace olapdc {
@@ -307,10 +343,487 @@ bool WriteReport(const std::string& path, const Campaign& c, bool quick,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Live-daemon soak (--daemon)
+// ---------------------------------------------------------------------------
+
+struct DaemonSoakConfig {
+  int64_t duration_ms = 4000;
+  uint64_t min_requests = 1200;
+  double prob = 0.05;
+  int client_threads = 4;
+  int seeds = 3;
+  std::string out_path = "chaos_daemon_report.json";
+};
+
+struct ClientTally {
+  uint64_t sent = 0;
+  uint64_t ok_2xx = 0;
+  uint64_t shed_503 = 0;
+  uint64_t other_4xx = 0;
+  uint64_t other_5xx = 0;
+  uint64_t transport = 0;
+  uint64_t checkpoints = 0;
+  uint64_t nondefinitive = 0;
+  std::map<int, uint64_t> statuses;
+  std::vector<int> unexpected_statuses;
+
+  void Merge(const ClientTally& o) {
+    sent += o.sent;
+    ok_2xx += o.ok_2xx;
+    shed_503 += o.shed_503;
+    other_4xx += o.other_4xx;
+    other_5xx += o.other_5xx;
+    transport += o.transport;
+    checkpoints += o.checkpoints;
+    nondefinitive += o.nondefinitive;
+    for (const auto& [code, n] : o.statuses) statuses[code] += n;
+    unexpected_statuses.insert(unexpected_statuses.end(),
+                               o.unexpected_statuses.begin(),
+                               o.unexpected_statuses.end());
+  }
+};
+
+/// One request shape of the soak mix.
+struct SoakShape {
+  std::string path;
+  std::string body;
+  bool raw = false;           // raw bytes instead of a framed POST
+  bool expect_no_reply = false;  // client closes mid-request
+  std::string raw_bytes;
+};
+
+std::vector<SoakShape> BuildSoakShapes(const std::vector<Workload>& workloads,
+                                       size_t max_body_bytes) {
+  std::vector<SoakShape> shapes;
+  auto add = [&shapes](const char* path, std::string body) {
+    SoakShape shape;
+    shape.path = path;
+    shape.body = std::move(body);
+    shapes.push_back(std::move(shape));
+  };
+  auto check = [](const std::string& schema, const char* extra = "") {
+    return "{\"schema\": \"" + schema +
+           "\", \"category\": \"Base\", \"deadline_ms\": 250" + extra + "}";
+  };
+  for (size_t k = 0; k < workloads.size(); ++k) {
+    const std::string name = "w" + std::to_string(k);
+    add("/v1/check", check(name));
+    // threads: 2 routes through the work-stealing pool — the exec.*
+    // fault sites fire inside the serving thread's parallel run.
+    add("/v1/check", check(name, ", \"threads\": 2"));
+    // A 1ms deadline expires mid-search: 200 with "definitive": false
+    // and (sequentially) a resumable checkpoint — the degraded mode.
+    add("/v1/check", "{\"schema\": \"" + name +
+                         "\", \"category\": \"Base\", \"deadline_ms\": 1}");
+    // Re-registration races against in-flight reasoning on the same
+    // name — the shared_ptr snapshot isolation under test.
+    add("/v1/schemas", "{\"name\": \"" + name + "\", \"text\": " +
+                           obs::JsonString(workloads[k].schema_text) + "}");
+  }
+  // The paper's location example: implies / summarizable / batch.
+  add("/v1/implies",
+      "{\"schema\": \"loc\", \"constraint\": \"Store/City\"}");
+  add("/v1/summarizable",
+      "{\"schema\": \"loc\", \"category\": \"Country\", "
+      "\"sources\": [\"Store\"]}");
+  add("/v1/batch",
+      "{\"requests\": [{\"op\": \"check\", \"schema\": \"loc\", "
+      "\"category\": \"Store\"}, {\"op\": \"implies\", \"schema\": "
+      "\"loc\", \"constraint\": \"Store/City\"}, {\"op\": "
+      "\"summarizable\", \"schema\": \"loc\", \"category\": "
+      "\"Country\", \"sources\": [\"Store\"]}]}");
+  // Hostile shapes — each must be a clean 4xx/405, never a crash.
+  add("/v1/check", "{\"schema\": \"loc\", ");  // 400
+  add("/v1/check", "{\"schema\": \"no-such\", \"category\": \"Base\"}");
+  add("/v1/nonsense", "{}");  // 404
+  add("/v1/check",
+      "{\"schema\": \"loc\", \"category\": \"Base\", \"deadline_ms\": "
+      "\"soon\"}");  // mistyped field -> 400
+  add("/v1/check", std::string("{\"pad\": \"") +
+                       std::string(max_body_bytes + 1024, 'x') +
+                       "\"}");  // 413
+  SoakShape get;  // GET on the request plane -> 405
+  get.raw = true;
+  get.raw_bytes = "GET /v1/check HTTP/1.1\r\nHost: x\r\n\r\n";
+  shapes.push_back(get);
+  SoakShape garbage;  // malformed request line -> 400, connection closed
+  garbage.raw = true;
+  garbage.raw_bytes = "EXPLODE now\r\n\r\n";
+  shapes.push_back(garbage);
+  SoakShape truncated;  // promises 100 bytes, delivers 9, hangs up
+  truncated.raw = true;
+  truncated.expect_no_reply = true;
+  truncated.raw_bytes =
+      "POST /v1/check HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n"
+      "{\"trunc\":";
+  shapes.push_back(truncated);
+  return shapes;
+}
+
+void SoakWorker(int port, const std::vector<SoakShape>& shapes, size_t offset,
+                int64_t deadline_us, uint64_t min_requests,
+                std::atomic<uint64_t>* global_sent,
+                std::atomic<bool>* stop, ClientTally* out) {
+  auto now_us = [] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  tools::HttpClient client(port);
+  size_t next = offset;
+  while (!stop->load(std::memory_order_relaxed) &&
+         (now_us() < deadline_us ||
+          global_sent->load(std::memory_order_relaxed) < min_requests)) {
+    const SoakShape& shape = shapes[next++ % shapes.size()];
+    ++out->sent;
+    global_sent->fetch_add(1, std::memory_order_relaxed);
+    int status = -1;
+    std::string body;
+    if (shape.raw) {
+      if (shape.expect_no_reply) {
+        // Truncated POST: hang up mid-body. No response is owed; the
+        // server must simply survive (and count a bad request).
+        client.SendRaw(shape.raw_bytes);
+        client.Close();
+        ++out->transport;
+        continue;
+      }
+      if (client.SendRaw(shape.raw_bytes)) {
+        status = client.ReadResponse(&body);
+      }
+      client.Close();
+    } else {
+      status = client.Post(shape.path, shape.body, &body);
+    }
+    if (status < 0) {
+      ++out->transport;
+      client.Close();
+      continue;
+    }
+    ++out->statuses[status];
+    static const std::set<int> kAllowed = {200, 400, 404, 405,
+                                           408, 413, 500, 503};
+    if (kAllowed.count(status) == 0) {
+      out->unexpected_statuses.push_back(status);
+    }
+    if (status == 503) {
+      ++out->shed_503;
+    } else if (status >= 500) {
+      ++out->other_5xx;
+    } else if (status >= 400) {
+      ++out->other_4xx;
+    } else {
+      ++out->ok_2xx;
+      if (body.find("\"checkpoint\"") != std::string::npos) {
+        ++out->checkpoints;
+      }
+      if (body.find("\"definitive\": false") != std::string::npos) {
+        ++out->nondefinitive;
+      }
+    }
+  }
+}
+
+bool WriteDaemonReport(const std::string& path, const DaemonSoakConfig& cfg,
+                       const ClientTally& tally, int64_t drain_ms,
+                       bool drained, uint64_t server_requests,
+                       uint64_t server_ok, uint64_t server_errors,
+                       uint64_t server_shed, uint64_t server_checkpointed,
+                       uint64_t injected,
+                       const std::vector<Violation>& violations) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmark\": \"chaos_campaign\",\n");
+  std::fprintf(f, "  \"mode\": \"daemon\",\n");
+  std::fprintf(f, "  \"probability\": %g,\n  \"client_threads\": %d,\n",
+               cfg.prob, cfg.client_threads);
+  std::fprintf(f, "  \"requests_sent\": %llu,\n",
+               static_cast<unsigned long long>(tally.sent));
+  std::fprintf(
+      f,
+      "  \"client\": {\"ok\": %llu, \"shed\": %llu, \"http_4xx\": %llu, "
+      "\"http_5xx\": %llu, \"transport\": %llu, \"checkpoints\": %llu, "
+      "\"nondefinitive\": %llu},\n",
+      static_cast<unsigned long long>(tally.ok_2xx),
+      static_cast<unsigned long long>(tally.shed_503),
+      static_cast<unsigned long long>(tally.other_4xx),
+      static_cast<unsigned long long>(tally.other_5xx),
+      static_cast<unsigned long long>(tally.transport),
+      static_cast<unsigned long long>(tally.checkpoints),
+      static_cast<unsigned long long>(tally.nondefinitive));
+  std::fprintf(
+      f,
+      "  \"server\": {\"requests\": %llu, \"ok\": %llu, \"errors\": %llu, "
+      "\"shed\": %llu, \"checkpointed\": %llu},\n",
+      static_cast<unsigned long long>(server_requests),
+      static_cast<unsigned long long>(server_ok),
+      static_cast<unsigned long long>(server_errors),
+      static_cast<unsigned long long>(server_shed),
+      static_cast<unsigned long long>(server_checkpointed));
+  std::fprintf(f, "  \"statuses\": {");
+  bool first = true;
+  for (const auto& [code, n] : tally.statuses) {
+    std::fprintf(f, "%s\"%d\": %llu", first ? "" : ", ", code,
+                 static_cast<unsigned long long>(n));
+    first = false;
+  }
+  std::fprintf(f, "},\n");
+  std::fprintf(f, "  \"injected_failures\": %llu,\n",
+               static_cast<unsigned long long>(injected));
+  std::fprintf(f, "  \"sites\": {\n");
+  first = true;
+  for (const std::string& site : RegisteredFaultSites()) {
+    std::fprintf(f, "%s    \"%s\": {\"probes\": %llu, \"injected\": %llu}",
+                 first ? "" : ",\n", JsonEscape(site).c_str(),
+                 static_cast<unsigned long long>(
+                     FaultInjector::Global().probes(site)),
+                 static_cast<unsigned long long>(
+                     FaultInjector::Global().failures(site)));
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+  std::fprintf(f, "  \"drain_ms\": %lld,\n  \"drained\": %s,\n",
+               static_cast<long long>(drain_ms), drained ? "true" : "false");
+  std::fprintf(f, "  \"violations\": [");
+  for (size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    std::fprintf(f,
+                 "%s\n    {\"site\": \"%s\", \"probability\": %g, "
+                 "\"budget\": \"%s\", \"run\": %d, \"what\": \"%s\"}",
+                 i == 0 ? "" : ",", JsonEscape(v.site).c_str(), v.probability,
+                 JsonEscape(v.budget).c_str(), v.run,
+                 JsonEscape(v.what).c_str());
+  }
+  std::fprintf(f, "%s],\n", violations.empty() ? "" : "\n  ");
+  std::fprintf(f, "  \"invariants_held\": %s\n}\n",
+               violations.empty() ? "true" : "false");
+  std::fclose(f);
+  return true;
+}
+
+int RunDaemonSoak(const DaemonSoakConfig& cfg) {
+  obs::MetricsRegistry::Global().Enable();
+  std::vector<Violation> violations;
+  auto violate = [&](const std::string& what) {
+    violations.push_back(Violation{"<daemon>", cfg.prob, "service", -1, what});
+    std::fprintf(stderr, "VIOLATION [daemon soak]: %s\n", what.c_str());
+  };
+
+  // Workloads + the location example, registered before faults arm.
+  std::vector<Workload> workloads;
+  service::SchemaRegistry registry;
+  for (int s = 0; s < cfg.seeds; ++s) {
+    Result<Workload> w = MakeWorkload(s);
+    if (!w.ok()) {
+      std::fprintf(stderr, "workload %d generation failed: %s\n", s,
+                   w.status().ToString().c_str());
+      return 2;
+    }
+    workloads.push_back(std::move(w).ValueOrDie());
+    Status registered = registry.Register(
+        "w" + std::to_string(s), workloads.back().schema_text);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "register w%d failed: %s\n", s,
+                   registered.ToString().c_str());
+      return 2;
+    }
+  }
+  {
+    Result<DimensionSchema> loc = LocationSchema();
+    if (!loc.ok()) return 2;
+    registry.RegisterParsed("loc", std::move(*loc));
+  }
+
+  // High-water below the server's concurrency so overload shedding
+  // genuinely fires under the client fleet.
+  exec::AdmissionGate gate(exec::AdmissionGate::Options{2, 25});
+  service::DimService::Options service_options;
+  service_options.registry = &registry;
+  service_options.gate = &gate;
+  service_options.default_deadline_ms = 250;
+  service_options.max_deadline_ms = 2000;
+  service_options.memory_budget_bytes = 16ull << 20;
+  service_options.max_threads = 2;
+  service_options.max_batch = 16;
+  service::DimService service(service_options);
+
+  constexpr size_t kMaxBodyBytes = 128 * 1024;
+  obs::HttpServer server;
+  obs::HttpServer::Options server_options;
+  server_options.max_connections = 4;
+  server_options.max_body_bytes = kMaxBodyBytes;
+  server_options.read_timeout_ms = 2000;
+  server_options.handler = [&](const obs::HttpRequest& request) {
+    return service.HandleRequest(request);
+  };
+  if (!server.Start(server_options)) {
+    std::fprintf(stderr, "daemon soak: server start failed: %s\n",
+                 server.last_error().c_str());
+    return 2;
+  }
+
+  // Arm EVERY registered site inside the serving threads.
+  const std::vector<std::string> sites = RegisteredFaultSites();
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Arm(0x50a1c0de);
+  const StatusCode rotation[] = {StatusCode::kInternal,
+                                 StatusCode::kResourceExhausted,
+                                 StatusCode::kDeadlineExceeded};
+  for (size_t i = 0; i < sites.size(); ++i) {
+    const StatusCode code =
+        IsParseSite(sites[i]) ? StatusCode::kParseError : rotation[i % 3];
+    injector.SetFault(sites[i], code, cfg.prob, "daemon-soak");
+  }
+  std::fprintf(stderr,
+               "daemon soak: port %d, %zu sites armed at p=%g, %d client "
+               "threads, >= %llu requests over >= %lld ms\n",
+               server.port(), sites.size(), cfg.prob, cfg.client_threads,
+               static_cast<unsigned long long>(cfg.min_requests),
+               static_cast<long long>(cfg.duration_ms));
+
+  const std::vector<SoakShape> shapes =
+      BuildSoakShapes(workloads, kMaxBodyBytes);
+  std::atomic<uint64_t> global_sent{0};
+  std::atomic<bool> stop{false};
+  std::vector<ClientTally> tallies(
+      static_cast<size_t>(cfg.client_threads));
+  std::vector<std::thread> clients;
+  clients.reserve(tallies.size());
+  // Workers run until the stop flag: the drain below fires while the
+  // fleet is still hammering, so requests genuinely in flight at
+  // BeginDrain() must complete, checkpoint, or shed — never vanish.
+  for (size_t t = 0; t < tallies.size(); ++t) {
+    clients.emplace_back(SoakWorker, server.port(), std::cref(shapes),
+                         t * 3, INT64_MAX, cfg.min_requests, &global_sent,
+                         &stop, &tallies[t]);
+  }
+  const auto load_start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - load_start <
+             std::chrono::milliseconds(cfg.duration_ms) ||
+         global_sent.load(std::memory_order_relaxed) < cfg.min_requests) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Graceful drain under live fire, with the same phased deadline
+  // discipline as olapdcd's SIGTERM path: shed, wait, cancel, wait.
+  constexpr int64_t kDrainDeadlineMs = 5000;
+  const auto drain_start = std::chrono::steady_clock::now();
+  server.BeginDrain();
+  service.BeginDrain();
+  bool drained = server.WaitDrained(kDrainDeadlineMs / 2);
+  if (!drained) {
+    service.CancelInFlight();
+    drained = server.WaitDrained(kDrainDeadlineMs / 2);
+  }
+  const int64_t drain_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - drain_start)
+          .count();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  ClientTally tally;
+  for (const ClientTally& t : tallies) tally.Merge(t);
+
+  // Invariant: the whole soak actually happened.
+  if (tally.sent < cfg.min_requests) {
+    violate("sent " + std::to_string(tally.sent) + " < minimum " +
+            std::to_string(cfg.min_requests));
+  }
+  // Invariant: taxonomy-only response statuses.
+  if (!tally.unexpected_statuses.empty()) {
+    violate("response status outside the taxonomy: " +
+            std::to_string(tally.unexpected_statuses.front()) + " (" +
+            std::to_string(tally.unexpected_statuses.size()) +
+            " occurrences)");
+  }
+  // Invariant: client-side conservation.
+  const uint64_t accounted = tally.ok_2xx + tally.shed_503 +
+                             tally.other_4xx + tally.other_5xx +
+                             tally.transport;
+  if (accounted != tally.sent) {
+    violate("client conservation: sent " + std::to_string(tally.sent) +
+            " != accounted " + std::to_string(accounted));
+  }
+  // The soak must exercise the real thing: some requests succeed,
+  // overload shedding actually fires (the gate's high-water sits below
+  // the client fleet's concurrency), and with every site armed, some
+  // injections actually fire.
+  if (tally.ok_2xx == 0) violate("no request ever succeeded");
+  if (static_cast<int64_t>(cfg.client_threads) >
+          gate.options().high_water &&
+      tally.shed_503 == 0) {
+    violate("admission gate never shed despite oversubscribed clients");
+  }
+  uint64_t injected = 0;
+  for (const std::string& site : sites) injected += injector.failures(site);
+  if (cfg.prob > 0 && injected == 0) {
+    violate("every site armed but nothing ever injected");
+  }
+  // Invariant: server-side conservation at quiescence.
+  const uint64_t server_total =
+      service.ok() + service.errors() + service.shed();
+  if (service.requests() != server_total) {
+    violate("server conservation: requests " +
+            std::to_string(service.requests()) + " != ok+errors+shed " +
+            std::to_string(server_total));
+  }
+  // Invariant: drain completed inside the deadline, gate idle, memory
+  // accounting back at zero.
+  if (!drained) {
+    violate("drain did not complete within " +
+            std::to_string(kDrainDeadlineMs) + " ms");
+  }
+  if (gate.in_flight() != 0) {
+    violate("admission gate left " + std::to_string(gate.in_flight()) +
+            " in-flight after drain");
+  }
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const uint64_t reserved = snapshot.counter("olapdc.mem.reserved_bytes");
+  const uint64_t released = snapshot.counter("olapdc.mem.released_bytes");
+  if (reserved != released) {
+    violate("reserved_bytes (" + std::to_string(reserved) +
+            ") != released_bytes (" + std::to_string(released) +
+            ") at quiescence");
+  }
+
+  const bool wrote = WriteDaemonReport(
+      cfg.out_path, cfg, tally, drain_ms, drained, service.requests(),
+      service.ok(), service.errors(), service.shed(), service.checkpointed(),
+      injected, violations);
+  injector.Disarm();
+  if (!wrote) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 cfg.out_path.c_str());
+    return 2;
+  }
+  std::fprintf(
+      stderr,
+      "daemon soak done: %llu sent (%llu ok, %llu shed, %llu 4xx, %llu "
+      "5xx, %llu transport), %llu checkpoints, %llu injected, drain %lld "
+      "ms, %zu violations -> %s\n",
+      static_cast<unsigned long long>(tally.sent),
+      static_cast<unsigned long long>(tally.ok_2xx),
+      static_cast<unsigned long long>(tally.shed_503),
+      static_cast<unsigned long long>(tally.other_4xx),
+      static_cast<unsigned long long>(tally.other_5xx),
+      static_cast<unsigned long long>(tally.transport),
+      static_cast<unsigned long long>(tally.checkpoints),
+      static_cast<unsigned long long>(injected),
+      static_cast<long long>(drain_ms), violations.size(),
+      cfg.out_path.c_str());
+  return violations.empty() ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   int runs_per_cell = 11;
   int seeds = 6;
   bool quick = false;
+  bool daemon = false;
+  DaemonSoakConfig daemon_cfg;
+  bool out_path_set = false;
   std::string out_path = "BENCH_robustness.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -323,14 +836,37 @@ int Main(int argc, char** argv) {
       seeds = std::atoi(value());
     } else if (arg == "--out") {
       out_path = value();
+      out_path_set = true;
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--daemon") {
+      daemon = true;
+    } else if (arg == "--daemon-duration-ms") {
+      daemon_cfg.duration_ms = std::atoll(value());
+    } else if (arg == "--daemon-min-requests") {
+      daemon_cfg.min_requests = static_cast<uint64_t>(std::atoll(value()));
+    } else if (arg == "--daemon-prob") {
+      daemon_cfg.prob = std::atof(value());
+    } else if (arg == "--daemon-threads") {
+      daemon_cfg.client_threads = std::atoi(value());
     } else {
       std::fprintf(stderr,
                    "usage: chaos_campaign [--runs-per-cell n] [--seeds n] "
-                   "[--out path] [--quick]\n");
+                   "[--out path] [--quick] [--daemon "
+                   "[--daemon-duration-ms n] [--daemon-min-requests n] "
+                   "[--daemon-prob p] [--daemon-threads n]]\n");
       return 2;
     }
+  }
+  if (daemon) {
+    if (daemon_cfg.duration_ms < 1 || daemon_cfg.client_threads < 1 ||
+        daemon_cfg.prob < 0 || daemon_cfg.prob > 1) {
+      std::fprintf(stderr, "error: bad --daemon-* flag values\n");
+      return 2;
+    }
+    daemon_cfg.seeds = seeds == 6 ? 3 : seeds;
+    if (out_path_set) daemon_cfg.out_path = out_path;
+    return RunDaemonSoak(daemon_cfg);
   }
   if (quick) {
     runs_per_cell = 5;  // one run of every request shape

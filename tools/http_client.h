@@ -1,0 +1,177 @@
+// Minimal blocking HTTP/1.1 loopback client shared by the load
+// generator and the live-daemon chaos soak. One connection,
+// keep-alive, Content-Length framing (which is all the server speaks).
+// Every call either returns the response status or -1 (transport
+// error); the caller reconnects. Deliberately tiny and test-oriented —
+// not a general client.
+
+#ifndef OLAPDC_TOOLS_HTTP_CLIENT_H_
+#define OLAPDC_TOOLS_HTTP_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace olapdc::tools {
+
+class HttpClient {
+ public:
+  explicit HttpClient(int port) : port_(port) {}
+  ~HttpClient() { Close(); }
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  bool Connect() {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Close();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    buffer_.clear();
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    buffer_.clear();
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// POSTs `body` to `path`; returns the HTTP status (and the response
+  /// body / Retry-After seconds through the out-params) or -1.
+  int Post(const std::string& path, const std::string& body,
+           std::string* response_body = nullptr,
+           int64_t* retry_after_s = nullptr) {
+    if (fd_ < 0 && !Connect()) return -1;
+    std::string request = "POST " + path + " HTTP/1.1\r\n";
+    request += "Host: localhost\r\n";
+    request += "Content-Type: application/json\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    request += "\r\n";
+    request += body;
+    if (!SendAll(request)) {
+      // Keep-alive races are legal: the server may have closed the
+      // idle connection (request cap, drain). One reconnect retry.
+      if (!Connect() || !SendAll(request)) return -1;
+    }
+    return ReadResponse(response_body, retry_after_s);
+  }
+
+  /// Sends raw bytes (hostile shapes bypass well-formed framing).
+  bool SendRaw(const std::string& bytes) {
+    if (fd_ < 0 && !Connect()) return false;
+    return SendAll(bytes);
+  }
+
+  /// Reads one response off the connection. `read_timeout_ms` bounds
+  /// each wait for more bytes.
+  int ReadResponse(std::string* response_body = nullptr,
+                   int64_t* retry_after_s = nullptr,
+                   int read_timeout_ms = 10000) {
+    std::string headers;
+    while (true) {
+      const size_t end = buffer_.find("\r\n\r\n");
+      if (end != std::string::npos) {
+        headers = buffer_.substr(0, end + 4);
+        buffer_.erase(0, end + 4);
+        break;
+      }
+      if (!Fill(read_timeout_ms)) return -1;
+    }
+    int status = -1;
+    if (headers.compare(0, 5, "HTTP/") == 0) {
+      const size_t sp = headers.find(' ');
+      if (sp != std::string::npos) status = std::atoi(headers.c_str() + sp);
+    }
+    if (status < 100) return -1;
+    size_t content_length = 0;
+    bool close_after = false;
+    size_t line_start = headers.find("\r\n") + 2;
+    while (line_start < headers.size()) {
+      size_t line_end = headers.find("\r\n", line_start);
+      if (line_end == std::string::npos || line_end == line_start) break;
+      std::string line = headers.substr(line_start, line_end - line_start);
+      for (char& c : line) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (line.rfind("content-length:", 0) == 0) {
+        content_length = static_cast<size_t>(
+            std::strtoull(line.c_str() + 15, nullptr, 10));
+      } else if (line.rfind("connection:", 0) == 0 &&
+                 line.find("close") != std::string::npos) {
+        close_after = true;
+      } else if (line.rfind("retry-after:", 0) == 0 &&
+                 retry_after_s != nullptr) {
+        *retry_after_s = std::strtoll(line.c_str() + 12, nullptr, 10);
+      }
+      line_start = line_end + 2;
+    }
+    while (buffer_.size() < content_length) {
+      if (!Fill(read_timeout_ms)) return -1;
+    }
+    if (response_body != nullptr) {
+      *response_body = buffer_.substr(0, content_length);
+    }
+    buffer_.erase(0, content_length);
+    if (close_after) Close();
+    return status;
+  }
+
+ private:
+  bool SendAll(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        Close();
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Fill(int read_timeout_ms) {
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, read_timeout_ms) <= 0) {
+      Close();
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int port_;
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace olapdc::tools
+
+#endif  // OLAPDC_TOOLS_HTTP_CLIENT_H_

@@ -1,0 +1,332 @@
+// olapdcd — the resident dimension-constraint reasoning daemon
+// (ROADMAP item 1; docs/robustness.md "Daemon lifecycle").
+//
+// Serves the DimService request plane (POST /v1/check, /v1/implies,
+// /v1/summarizable, /v1/batch, /v1/schemas) and the telemetry GET
+// routes (/metrics, /varz, /healthz, /tracez) on one loopback port,
+// over the hardened HttpServer transport: concurrent connections,
+// per-request read/write deadlines, header/body caps, overload
+// shedding with adaptive Retry-After.
+//
+// Lifecycle: on SIGTERM/SIGINT the daemon stops accepting, sheds new
+// requests, and gives in-flight work the first half of
+// --drain-timeout-ms to finish on its own; anything still running is
+// then cancelled through the shared drain token, which makes
+// sequential DIMSAT runs checkpoint and return their frontier to the
+// client. Exit 0 = drained within the deadline, 1 = drain deadline
+// exceeded, 2 = usage, else the olapdc CLI exit-code taxonomy for
+// startup failures (e.g. 14 = schema file not found).
+//
+// Fault injection (--fault-site/--fault-prob/--fault-seed) arms the
+// process-wide injector *inside the serving threads* — the live-daemon
+// chaos soak (tools/loadgen, chaos_campaign --daemon) depends on it.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "exec/admission.h"
+#include "io/schema_io.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "obs/telemetry_server.h"
+#include "service/dim_service.h"
+#include "service/schema_registry.h"
+
+namespace olapdc {
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int sig) { g_signal = sig; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: olapdcd [flags]\n"
+      "  --port N                 TCP port on 127.0.0.1 (default 0 = "
+      "ephemeral; bound port printed on stdout)\n"
+      "  --schema name=path       pre-register a schema file (repeatable)\n"
+      "  --drain-timeout-ms N     graceful-drain deadline on SIGTERM "
+      "(default 5000)\n"
+      "  --max-connections N      concurrent connections (default 4)\n"
+      "  --max-body-bytes N       request body cap (default 1048576)\n"
+      "  --max-header-bytes N     request header cap (default 16384)\n"
+      "  --read-timeout-ms N      per-request receive deadline (default "
+      "5000)\n"
+      "  --admission-high-water N concurrent admitted requests (default "
+      "16)\n"
+      "  --request-deadline-ms N  default per-request deadline (default "
+      "2000)\n"
+      "  --max-deadline-ms N      ceiling on client deadlines (default "
+      "30000)\n"
+      "  --memory-budget-mb N     per-request memory envelope (default 64)\n"
+      "  --threads N              ceiling on per-request parallelism "
+      "(default 1)\n"
+      "  --max-batch N            ceiling on /v1/batch size (default 64)\n"
+      "  --no-register            disable POST /v1/schemas\n"
+      "  --fault-site S           arm fault site S (repeatable; 'all' = "
+      "every registered site)\n"
+      "  --fault-prob P           injection probability (default 0.01)\n"
+      "  --fault-seed N           injector seed (default 42)\n"
+      "  --linger-ms N            exit (with a clean drain) after N ms — "
+      "smoke tests\n");
+  return 2;
+}
+
+int ExitCodeFor(const Status& status) {
+  return status.ok() ? 0 : static_cast<int>(status.code());
+}
+
+StatusCode NaturalFaultCode(const std::string& site) {
+  if (site == "schema_io.parse" || site == "instance_io.parse") {
+    return StatusCode::kParseError;
+  }
+  if (site == "mem.reserve") return StatusCode::kResourceExhausted;
+  return StatusCode::kInternal;
+}
+
+int Main(int argc, char** argv) {
+  int port = 0;
+  std::vector<std::pair<std::string, std::string>> schema_files;
+  int64_t drain_timeout_ms = 5000;
+  int max_connections = 4;
+  int64_t max_body_bytes = 1 << 20;
+  int64_t max_header_bytes = 16 * 1024;
+  int64_t read_timeout_ms = 5000;
+  int64_t admission_high_water = 16;
+  int64_t request_deadline_ms = 2000;
+  int64_t max_deadline_ms = 30000;
+  int64_t memory_budget_mb = 64;
+  int threads = 1;
+  int64_t max_batch = 64;
+  bool allow_register = true;
+  std::vector<std::string> fault_sites;
+  double fault_prob = 0.01;
+  uint64_t fault_seed = 42;
+  int64_t linger_ms = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    const size_t eq = arg.find('=');
+    bool has_value = false;
+    if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_value = true;
+    }
+    auto next = [&]() -> std::string {
+      if (has_value) return value;
+      if (i + 1 < argc) return argv[++i];
+      return "";
+    };
+    if (arg == "--port") {
+      port = std::atoi(next().c_str());
+    } else if (arg == "--schema") {
+      const std::string spec = next();
+      const size_t sep = spec.find('=');
+      if (sep == std::string::npos || sep == 0 || sep + 1 >= spec.size()) {
+        std::fprintf(stderr, "error: --schema expects name=path\n");
+        return 2;
+      }
+      schema_files.emplace_back(spec.substr(0, sep), spec.substr(sep + 1));
+    } else if (arg == "--drain-timeout-ms") {
+      drain_timeout_ms = std::atoll(next().c_str());
+    } else if (arg == "--max-connections") {
+      max_connections = std::atoi(next().c_str());
+    } else if (arg == "--max-body-bytes") {
+      max_body_bytes = std::atoll(next().c_str());
+    } else if (arg == "--max-header-bytes") {
+      max_header_bytes = std::atoll(next().c_str());
+    } else if (arg == "--read-timeout-ms") {
+      read_timeout_ms = std::atoll(next().c_str());
+    } else if (arg == "--admission-high-water") {
+      admission_high_water = std::atoll(next().c_str());
+    } else if (arg == "--request-deadline-ms") {
+      request_deadline_ms = std::atoll(next().c_str());
+    } else if (arg == "--max-deadline-ms") {
+      max_deadline_ms = std::atoll(next().c_str());
+    } else if (arg == "--memory-budget-mb") {
+      memory_budget_mb = std::atoll(next().c_str());
+    } else if (arg == "--threads") {
+      threads = std::atoi(next().c_str());
+    } else if (arg == "--max-batch") {
+      max_batch = std::atoll(next().c_str());
+    } else if (arg == "--no-register") {
+      allow_register = false;
+    } else if (arg == "--fault-site") {
+      fault_sites.push_back(next());
+    } else if (arg == "--fault-prob") {
+      fault_prob = std::atof(next().c_str());
+    } else if (arg == "--fault-seed") {
+      fault_seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--linger-ms") {
+      linger_ms = std::atoll(next().c_str());
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (drain_timeout_ms < 1 || max_connections < 1 || max_body_bytes < 1 ||
+      max_header_bytes < 1 || read_timeout_ms < 1 ||
+      admission_high_water < 1 || request_deadline_ms < 1 ||
+      memory_budget_mb < 1 || threads < 1 || max_batch < 1) {
+    std::fprintf(stderr, "error: flag values must be >= 1\n");
+    return 2;
+  }
+
+  obs::MetricsRegistry::Global().Enable();
+
+  service::SchemaRegistry registry;
+  for (const auto& [name, path] : schema_files) {
+    Result<DimensionSchema> loaded = LoadSchemaFile(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: cannot load schema '%s' from %s: %s\n",
+                   name.c_str(), path.c_str(),
+                   loaded.status().ToString().c_str());
+      return ExitCodeFor(loaded.status());
+    }
+    registry.RegisterParsed(name, std::move(*loaded));
+  }
+
+  if (!fault_sites.empty()) {
+    std::vector<std::string> armed = fault_sites;
+    if (armed.size() == 1 && armed[0] == "all") {
+      armed = RegisteredFaultSites();
+    }
+    FaultInjector::Global().Arm(fault_seed);
+    for (const std::string& site : armed) {
+      FaultInjector::Global().SetFault(site, NaturalFaultCode(site),
+                                       fault_prob, "olapdcd");
+    }
+    std::fprintf(stderr, "olapdcd: %zu fault sites armed at p=%g seed=%llu\n",
+                 armed.size(), fault_prob,
+                 static_cast<unsigned long long>(fault_seed));
+  }
+
+  exec::AdmissionGate gate(
+      exec::AdmissionGate::Options{admission_high_water, 50});
+
+  service::DimService::Options service_options;
+  service_options.registry = &registry;
+  service_options.gate = &gate;
+  service_options.default_deadline_ms = request_deadline_ms;
+  service_options.max_deadline_ms = max_deadline_ms;
+  service_options.memory_budget_bytes =
+      static_cast<uint64_t>(memory_budget_mb) << 20;
+  service_options.max_threads = threads;
+  service_options.max_batch = static_cast<size_t>(max_batch);
+  service_options.allow_register = allow_register;
+  service::DimService dim_service(service_options);
+
+  // The telemetry GET routes share the port; /healthz is served here so
+  // it can see the gate and the drain state.
+  obs::TelemetryServer telemetry_routes;
+
+  obs::HttpServer server;
+  obs::HttpServer::Options server_options;
+  server_options.port = port;
+  server_options.max_connections = max_connections;
+  server_options.max_header_bytes = static_cast<size_t>(max_header_bytes);
+  server_options.max_body_bytes = static_cast<size_t>(max_body_bytes);
+  server_options.read_timeout_ms = static_cast<int>(read_timeout_ms);
+  server_options.handler = [&](const obs::HttpRequest& request)
+      -> obs::HttpResponse {
+    if (request.method == "GET" || request.method == "HEAD") {
+      if (request.path == "/healthz") {
+        const bool shedding =
+            gate.in_flight() >= gate.options().high_water;
+        const bool ok = !shedding && !dim_service.draining();
+        std::string body = ok ? "ok\n" : "degraded\n";
+        if (dim_service.draining()) body += "draining\n";
+        if (shedding) body += "admission gate at high-water\n";
+        return obs::HttpResponse{ok ? 200 : 503,
+                                 "text/plain; charset=utf-8", body, {}};
+      }
+      obs::TelemetryServer::Response response =
+          telemetry_routes.Handle(request.path);
+      return obs::HttpResponse{response.status, response.content_type,
+                               response.body, {}};
+    }
+    return dim_service.HandleRequest(request);
+  };
+
+  if (!server.Start(server_options)) {
+    std::fprintf(stderr, "error: cannot start server: %s\n",
+                 server.last_error().c_str());
+    return static_cast<int>(StatusCode::kInternal);
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // loadgen and the CI smoke parse this line; keep it stable.
+  std::printf("olapdcd listening on port %d\n", server.port());
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "olapdcd: %zu schemas, gate high-water %lld, drain timeout "
+               "%lld ms\n",
+               registry.size(),
+               static_cast<long long>(admission_high_water),
+               static_cast<long long>(drain_timeout_ms));
+
+  const auto started = std::chrono::steady_clock::now();
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (linger_ms >= 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::milliseconds(linger_ms)) {
+      break;
+    }
+  }
+
+  // Graceful drain: shed new work, give in-flight requests the first
+  // half of the deadline to finish, then cancel (sequential DIMSAT
+  // runs checkpoint back to their clients) and wait out the rest.
+  const auto drain_start = std::chrono::steady_clock::now();
+  server.BeginDrain();
+  dim_service.BeginDrain();
+  bool drained = server.WaitDrained(static_cast<int>(drain_timeout_ms / 2));
+  if (!drained) {
+    dim_service.CancelInFlight();
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - drain_start)
+            .count();
+    const int64_t remaining = drain_timeout_ms - elapsed;
+    drained = remaining > 0 && server.WaitDrained(static_cast<int>(remaining));
+  }
+  const int64_t drain_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - drain_start)
+          .count();
+  server.Stop();
+
+  std::fprintf(stderr,
+               "olapdcd: drain %s in %lld ms (requests=%llu ok=%llu "
+               "errors=%llu shed=%llu checkpointed=%llu)\n",
+               drained ? "complete" : "DEADLINE EXCEEDED",
+               static_cast<long long>(drain_ms),
+               static_cast<unsigned long long>(dim_service.requests()),
+               static_cast<unsigned long long>(dim_service.ok()),
+               static_cast<unsigned long long>(dim_service.errors()),
+               static_cast<unsigned long long>(dim_service.shed()),
+               static_cast<unsigned long long>(dim_service.checkpointed()));
+  if (!fault_sites.empty()) FaultInjector::Global().Disarm();
+  return drained ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace olapdc
+
+int main(int argc, char** argv) { return olapdc::Main(argc, argv); }

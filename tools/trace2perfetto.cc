@@ -18,7 +18,7 @@
 #include <sstream>
 #include <string>
 
-#include "tools/mini_json.h"
+#include "io/json_parse.h"
 
 namespace olapdc::tools {
 namespace {
@@ -70,7 +70,7 @@ int Run(int argc, char** argv) {
     if (line.empty()) continue;
     JsonValue span;
     std::string error;
-    if (!ParseJson(line, &span, &error) || !span.is_object()) {
+    if (!ParseJsonText(line, &span, &error) || !span.is_object()) {
       std::fprintf(stderr, "trace2perfetto: skipping line %zu: %s\n", lineno,
                    error.c_str());
       ++skipped;
