@@ -16,6 +16,7 @@
 #include "common/string_util.h"
 #include "constraint/normalize.h"
 #include "core/check_subhierarchy.h"
+#include "core/nogood.h"
 #include "exec/admission.h"
 #include "exec/work_stealing_pool.h"
 #include "obs/metrics.h"
@@ -39,6 +40,7 @@ void AccumulateStats(DimsatStats* total, const DimsatStats& delta) {
   total->shortcut_prunes += delta.shortcut_prunes;
   total->cycle_prunes += delta.cycle_prunes;
   total->dead_ends += delta.dead_ends;
+  total->nogood_prunes += delta.nogood_prunes;
   total->frozen_found += delta.frozen_found;
   total->parallel_tasks += delta.parallel_tasks;
   total->parallel_steals += delta.parallel_steals;
@@ -59,6 +61,7 @@ void FlushDimsatMetrics(const DimsatStats& stats, const Status& status,
   obs::Count("olapdc.dimsat.prune.shortcut", stats.shortcut_prunes);
   obs::Count("olapdc.dimsat.prune.cycle", stats.cycle_prunes);
   obs::Count("olapdc.dimsat.dead_ends", stats.dead_ends);
+  obs::Count("olapdc.dimsat.prune.nogood", stats.nogood_prunes);
   obs::Count("olapdc.dimsat.frozen_found", stats.frozen_found);
   obs::Count("olapdc.dimsat.parallel.tasks", stats.parallel_tasks);
   obs::Count("olapdc.dimsat.parallel.steals", stats.parallel_steals);
@@ -184,6 +187,17 @@ class DimsatSearch {
     // enabled bit) so the disabled hot path pays one pointer test.
     if (obs::SearchTreeRecorder::Global().enabled()) {
       recorder_ = &obs::SearchTreeRecorder::Global();
+    }
+    // Learned pruning changes which nodes are visited, so it is
+    // incompatible with the exact-trace contract of the Figure 7
+    // harness: a trace-collecting run ignores the store.
+    if (options.nogoods != nullptr && !options.collect_trace) {
+      nogoods_ = options.nogoods;
+      nogood_bits_ = (options.prune_shortcuts ? 1u : 0u) |
+                     (options.prune_cycles ? 2u : 0u) |
+                     (options.prune_into ? 4u : 0u) |
+                     (options.require_injective_names ? 8u : 0u);
+      nogood_salt_ = options.nogood_salt;
     }
   }
 
@@ -410,6 +424,21 @@ class DimsatSearch {
       MaybeCapture(depth, start_mask);
       return;
     }
+    // Learned pruning (core/nogood.h): a node whose signature is a
+    // recorded barren subtree is skipped before it is even counted —
+    // the warm path of a repeat query does O(signature) work per
+    // skipped subtree instead of re-exploring it. Replayed checkpoint
+    // nodes (fresh == false) keep their stats contract untouched.
+    Fingerprint128 node_sig;
+    bool have_sig = false;
+    if (fresh && nogoods_ != nullptr) {
+      node_sig = NoGoodStore::Signature(g_, nogood_bits_, nogood_salt_);
+      have_sig = true;
+      if (nogoods_->Probe(node_sig)) {
+        ++result_.stats.nogood_prunes;
+        return;
+      }
+    }
     if (fresh) {
       if (++result_.stats.expand_calls > options_.max_expand_calls) {
         // Uncount the node: it is captured unprocessed (next_mask 0),
@@ -429,12 +458,22 @@ class DimsatSearch {
     DynamicBitset pending = g_.top();
     pending.reset(schema_.all());
     if (pending.none()) {
+      const size_t frozen_before = result_.frozen.size();
       if (!RunCheck(g_, depth)) {
         // The CHECK could not afford its outcome: uncount the node and
         // capture it whole so the resume redoes it (frozen dimensions
         // are emitted exactly once across the interrupt/resume pair).
         if (fresh) --result_.stats.expand_calls;
         MaybeCapture(depth, 0);
+        return;
+      }
+      // A completed subhierarchy that induces no frozen dimension is
+      // the leaf form of a barren subtree. The max_frozen guard keeps
+      // a capped enumerate run from recording a leaf whose dimensions
+      // were merely dropped at the cap.
+      if (have_sig && result_.frozen.size() == frozen_before &&
+          result_.frozen.size() < options_.max_frozen) {
+        nogoods_->Record(node_sig);
       }
       return;
     }
@@ -492,6 +531,9 @@ class DimsatSearch {
             });
           }
         }
+        // An into-pruned node yields nothing under these options, in
+        // this run or any future one: a no-good by construction.
+        if (have_sig) nogoods_->Record(node_sig);
         return;
       }
     } else {
@@ -504,6 +546,7 @@ class DimsatSearch {
         Trace(DimsatTraceEvent::Kind::kDeadEnd, g_);
         RecordExplain(obs::ExplainEvent::Kind::kDeadEnd, depth, ctop);
       }
+      if (have_sig) nogoods_->Record(node_sig);
       return;
     }
 
@@ -518,6 +561,7 @@ class DimsatSearch {
     });
     const bool split = spawner_ && depth < split_depth_;
     const uint32_t subsets = uint32_t{1} << num_free;
+    const size_t frozen_before_children = result_.frozen.size();
     for (uint32_t mask = start_mask; mask < subsets; ++mask) {
       if (!ShouldContinue()) {
         // A budget stop mid-loop captures this node's continuation
@@ -542,6 +586,19 @@ class DimsatSearch {
         g_.Rollback(&undo_);
       }
     }
+    // Interior no-good: the subset loop ran to completion *inline*
+    // (no outstanding spawned children), cleanly (no budget stop, no
+    // external stop), and no descendant produced a frozen dimension —
+    // the subtree below this exact subhierarchy is barren and will be
+    // barren in every future run with the same option bits. The
+    // max_frozen guard mirrors the leaf case above.
+    if (have_sig && !split && result_.status.ok() &&
+        (external_stop_ == nullptr ||
+         !external_stop_->load(std::memory_order_relaxed)) &&
+        result_.frozen.size() == frozen_before_children &&
+        result_.frozen.size() < options_.max_frozen) {
+      nogoods_->Record(node_sig);
+    }
   }
 
   const DimensionSchema& ds_;
@@ -564,6 +621,12 @@ class DimsatSearch {
   SubhierarchyUndoLog undo_;
   /// Explain recorder, cached at construction (null = --explain off).
   obs::SearchTreeRecorder* recorder_ = nullptr;
+  /// Learned-pruning store (null = off; forced off under
+  /// collect_trace) and the semantic option bits mixed into every
+  /// signature.
+  NoGoodStore* nogoods_ = nullptr;
+  uint32_t nogood_bits_ = 0;
+  uint64_t nogood_salt_ = 0;
   DimsatResult result_;
   std::atomic<bool>* external_stop_ = nullptr;
   std::function<void(Subhierarchy&&, int)> spawner_;

@@ -1,0 +1,108 @@
+// NoGoodStore: learned pruning for DIMSAT (ROADMAP item 2, layer b).
+//
+// The search tree below an EXPAND node is a deterministic function of
+// the node's subhierarchy g (given the schema, Σ, and the semantic
+// pruning options): the pending-top choice, the successor scan, and the
+// subset loop all read only g and the immutable schema. So when a
+// subtree has been explored to completion and yielded *no frozen
+// dimension* — a dead end, an into-prune, a failed CHECK, or a fully
+// enumerated barren interior node — that fact can be memoized as a
+// signature of (g, options) and consulted before ever expanding an
+// identical node again, in this request or any later one against the
+// same Σ epoch. DIMSAT revisits structurally identical subhierarchies
+// constantly (different subset-loop paths converge on the same g), so
+// the store prunes both within one search and across requests.
+//
+// Soundness guards (enforced at the recording sites in dimsat.cc):
+// a node is recorded only when its subtree ran to completion *inline*
+// (no outstanding parallel children), with an OK status (no budget
+// stop), no external stop, and no frozen dimension found below it. The
+// semantic option bits (Ss / Sc / into pruning, injective names) are
+// part of the signature, so a store can be shared by runs with
+// different options without cross-contamination. Probing is always
+// sound: a hit only ever skips a subtree known to contribute nothing.
+//
+// The store is a byte-capped ShardedCache of 128-bit signatures —
+// thread-safe, LRU-evicting under pressure (forgetting a lemma is
+// always safe) — and serializes to a `dimsat-nogoods v1` text form in
+// the dimsat-checkpoint v1 spirit, so a drained daemon can persist its
+// learned pruning and a warm restart (same content epoch) reloads it.
+
+#ifndef OLAPDC_CORE_NOGOOD_H_
+#define OLAPDC_CORE_NOGOOD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/cache_shard.h"
+#include "common/status.h"
+#include "core/subhierarchy.h"
+
+namespace olapdc {
+
+class NoGoodStore {
+ public:
+  struct Options {
+    /// Byte cap across shards; LRU-evicted under pressure.
+    uint64_t max_bytes = 4ull << 20;
+    size_t num_shards = 8;
+    /// Observability charge target (see cache_shard.h); not owned.
+    MemoryBudget* memory = nullptr;
+  };
+
+  // Delegation instead of `Options{}` as a default argument: the
+  // nested struct's member initializers are only usable once the
+  // enclosing class is complete (member-init lists are).
+  NoGoodStore() : NoGoodStore(Options{}) {}
+  explicit NoGoodStore(Options options)
+      : cache_({/*name=*/"nogood", options.num_shards, options.max_bytes,
+                /*entry_overhead_bytes=*/kEntryOverheadBytes,
+                options.memory}) {}
+
+  NoGoodStore(const NoGoodStore&) = delete;
+  NoGoodStore& operator=(const NoGoodStore&) = delete;
+
+  /// Signature of a search node: the subhierarchy's exact structure
+  /// (root, categories, edges), the semantic option bits of the run,
+  /// and a theory salt distinguishing runs whose effective constraint
+  /// theory extends Σ (DimsatOptions::nogood_salt). Two nodes with
+  /// equal signatures have identical subtrees.
+  static Fingerprint128 Signature(const Subhierarchy& g,
+                                  uint32_t option_bits,
+                                  uint64_t theory_salt = 0);
+
+  /// True iff `sig` is a recorded barren subtree; refreshes its LRU
+  /// position.
+  bool Probe(const Fingerprint128& sig) { return cache_.Contains(sig); }
+
+  void Record(const Fingerprint128& sig) {
+    cache_.Insert(sig, true, /*value_bytes=*/sizeof(Fingerprint128));
+  }
+
+  uint64_t size() const { return cache_.size(); }
+  CacheStatsSnapshot Stats() const { return cache_.Stats(); }
+  void Clear() { cache_.Clear(); }
+
+  /// `dimsat-nogoods v1` text: header, entry count, one signature per
+  /// line. Concurrent inserts during serialization may or may not be
+  /// included (the count line is authoritative for what follows).
+  std::string Serialize() const;
+
+  /// Merges the entries of a serialized store into this one. The
+  /// caller is responsible for epoch discipline: only load a store
+  /// that was recorded against the same schema content epoch.
+  /// `consumed` (optional) receives the number of bytes read, so
+  /// containers can embed multiple stores in one stream.
+  Status Load(std::string_view text, size_t* consumed = nullptr);
+
+ private:
+  /// list node + map node + key; the signature itself is the value.
+  static constexpr uint64_t kEntryOverheadBytes = 80;
+
+  ShardedCache<Fingerprint128, bool, Fingerprint128Hash> cache_;
+};
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_CORE_NOGOOD_H_

@@ -98,6 +98,22 @@ ReasonerAnswer Reasoner::RunLadder(
     finish();
     return answer;
   }
+  // The shared closure cache (layer c): another request — or another
+  // Reasoner instance over the same epoch — may already have derived
+  // this verdict. A hit is promoted into the run-local map so repeats
+  // within this Reasoner skip even the shared cache's shard lock.
+  if (options_.shared_cache != nullptr) {
+    bool yes = false;
+    if (options_.shared_cache->Lookup(options_.shared_scope + key, &yes)) {
+      ++stats_.hits;
+      ++stats_.shared_hits;
+      cache_.emplace(key, yes);
+      answer.truth = yes ? Truth::kYes : Truth::kNo;
+      answer.from_cache = true;
+      finish();
+      return answer;
+    }
+  }
 
   // Iterative deepening: each rung widens the expand-call budget
   // geometrically; the caller's wall-clock Budget caps the whole
@@ -135,7 +151,11 @@ ReasonerAnswer Reasoner::RunLadder(
     if (outcome.status.ok()) {
       answer.truth = outcome.truth;
       answer.reason = Status::OK();
-      cache_.emplace(key, outcome.truth == Truth::kYes);
+      const bool yes = outcome.truth == Truth::kYes;
+      cache_.emplace(key, yes);
+      if (options_.shared_cache != nullptr) {
+        options_.shared_cache->Insert(options_.shared_scope + key, yes);
+      }
       finish();
       return answer;
     }

@@ -36,6 +36,7 @@
 #include "common/budget.h"
 #include "common/result.h"
 #include "common/retry.h"
+#include "core/answer_cache.h"
 #include "core/dimsat.h"
 #include "core/implication.h"
 #include "core/schema.h"
@@ -97,6 +98,16 @@ struct ReasonerOptions {
   /// (dimsat.num_threads <= 1, no trace); other query shapes restart
   /// each rung as before.
   bool resume_from_checkpoint = true;
+  /// Cross-request closure cache (core/answer_cache.h); not owned, may
+  /// be shared across Reasoners and threads. Consulted after the
+  /// run-local cache misses; definitive answers are written to both.
+  /// The caller owns epoch discipline via `shared_scope`.
+  AnswerCache* shared_cache = nullptr;
+  /// Prefix prepended to every shared-cache key — encode the
+  /// (schema, Σ) content epoch here (e.g. "e<hex>/") so a theory edit
+  /// can never serve a stale verdict. The run-local cache stays
+  /// unprefixed (its Reasoner owns exactly one immutable schema).
+  std::string shared_scope;
 };
 
 class Reasoner {
@@ -129,6 +140,9 @@ class Reasoner {
   struct Stats {
     uint64_t queries = 0;
     uint64_t hits = 0;
+    /// Subset of `hits` answered by the shared AnswerCache (another
+    /// request or Reasoner did the work).
+    uint64_t shared_hits = 0;
     /// Queries that ended kUnknown.
     uint64_t unknown = 0;
     /// Ladder rungs beyond the first, across all queries.

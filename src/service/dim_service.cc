@@ -1,5 +1,6 @@
 #include "service/dim_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <utility>
@@ -7,7 +8,9 @@
 
 #include "common/memory_budget.h"
 #include "common/status.h"
+#include "constraint/normalize.h"
 #include "constraint/parser.h"
+#include "constraint/printer.h"
 #include "core/checkpoint.h"
 #include "core/dimsat.h"
 #include "core/implication.h"
@@ -15,6 +18,7 @@
 #include "io/json_parse.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "service/service_caches.h"
 
 namespace olapdc::service {
 
@@ -112,6 +116,25 @@ EngineTail RenderBudgetTail(const Status& status,
   return tail;
 }
 
+/// The prefix every cache key carries: a theory replacement mints a new
+/// epoch, so every key under the old one goes permanently cold.
+std::string EpochScope(const Fingerprint128& epoch) {
+  return "e" + epoch.ToHex() + "/";
+}
+
+/// Marks a cache-served body on its way out. Stored bodies never carry
+/// the marker, so a hit re-served later stays byte-identical.
+HttpResponse CachedResponse(std::string body, const char* layer) {
+  if (!body.empty() && body.back() == '}') {
+    body.pop_back();
+    body += ", \"cached\": true, \"cache_layer\": \"";
+    body += layer;
+    body += "\"}";
+  }
+  if (obs::MetricsEnabled()) obs::Count("olapdc.service.cache_served");
+  return JsonResponse(200, std::move(body));
+}
+
 }  // namespace
 
 void DimService::BeginDrain() {
@@ -144,6 +167,7 @@ HttpResponse DimService::HandleRequest(const HttpRequest& request) {
                    std::chrono::duration<double, std::micro>(
                        std::chrono::steady_clock::now() - start)
                        .count());
+    if (options_.caches != nullptr) options_.caches->PublishGauges();
   }
   return response;
 }
@@ -219,6 +243,8 @@ namespace {
 struct OpContext {
   std::shared_ptr<const DimensionSchema> schema;
   std::string schema_name;
+  /// Content epoch of the snapshot — the cache-key scope for this op.
+  Fingerprint128 epoch;
   int threads = 1;
 };
 
@@ -231,7 +257,9 @@ Result<OpContext> ResolveOp(const SchemaRegistry& registry,
         "field \"schema\" must be non-empty, valid UTF-8 without control "
         "characters, and at most 128 bytes");
   }
-  ctx.schema = registry.Find(ctx.schema_name);
+  SchemaRegistry::Snapshot snapshot = registry.FindEntry(ctx.schema_name);
+  ctx.schema = snapshot.schema;
+  ctx.epoch = snapshot.epoch;
   if (ctx.schema == nullptr) {
     return Status::NotFound("schema \"" + ctx.schema_name +
                             "\" is not registered");
@@ -264,7 +292,38 @@ HttpResponse DimService::DoCheck(const JsonValue& body, const Budget& budget) {
   auto resume = body.OptionalString("resume", "");
   if (!resume.ok()) return ErrorResponse(resume.status());
 
+  // Cache read path: response layer first (one hash lookup), then the
+  // closure layer (verdict known, body re-synthesized). Resume requests
+  // bypass reads — the client explicitly asked to continue a search —
+  // but still warm the no-good layer below.
+  ServiceCaches* const caches = options_.caches;
+  const bool cacheable = caches != nullptr && resume->empty();
+  std::string closure_key, response_key;
+  if (cacheable) {
+    closure_key = EpochScope(ctx->epoch) + "s/" + std::to_string(*root);
+    response_key = "check/" + closure_key;
+    std::string cached_body;
+    if (caches->LookupResponse(response_key, &cached_body)) {
+      return CachedResponse(std::move(cached_body), "response");
+    }
+    bool satisfiable = false;
+    if (caches->closure().Lookup(closure_key, &satisfiable)) {
+      std::string out = "{\"schema\": " + obs::JsonString(ctx->schema_name) +
+                        ", \"category\": " + obs::JsonString(*category) +
+                        ", \"definitive\": true, \"satisfiable\": " +
+                        BoolJson(satisfiable) + ", \"expand_calls\": 0}";
+      return CachedResponse(std::move(out), "closure");
+    }
+  }
+
   DimsatOptions dopt = EngineOptions(options_, budget, ctx->threads);
+  std::shared_ptr<NoGoodStore> nogoods;
+  if (caches != nullptr) {
+    // Keep the store alive for the whole run even if its epoch is aged
+    // out of the LRU concurrently.
+    nogoods = caches->NoGoodsFor(ctx->epoch);
+    dopt.nogoods = nogoods.get();
+  }
   DimsatCheckpoint captured;
   DimsatResult result;
   if (!resume->empty()) {
@@ -283,6 +342,7 @@ HttpResponse DimService::DoCheck(const JsonValue& body, const Budget& budget) {
   if (result.status.ok()) {
     out += ", \"definitive\": true, \"satisfiable\": " +
            BoolJson(result.satisfiable);
+    if (cacheable) caches->closure().Insert(closure_key, result.satisfiable);
   } else if (IsBudgetError(result.status)) {
     EngineTail tail = RenderBudgetTail(result.status, &captured);
     out += tail.json;
@@ -295,6 +355,11 @@ HttpResponse DimService::DoCheck(const JsonValue& body, const Budget& budget) {
   }
   out += ", \"expand_calls\": " +
          std::to_string(result.stats.expand_calls) + "}";
+  // Only definitive answers are cached: a budget expiry is a property
+  // of this request's budget, not of the theory.
+  if (cacheable && result.status.ok()) {
+    caches->InsertResponse(response_key, out);
+  }
   return JsonResponse(200, std::move(out));
 }
 
@@ -307,7 +372,55 @@ HttpResponse DimService::DoImplies(const JsonValue& body,
   auto alpha = ParseConstraint(ctx->schema->hierarchy(), *constraint_text);
   if (!alpha.ok()) return ErrorResponse(alpha.status());
 
+  // The closure layer keys on the *canonical* form (shorthands
+  // expanded to plain path atoms, constants folded) so textually
+  // different spellings of one constraint share a verdict. The
+  // response layer keys on the raw text, because the body echoes it.
+  // An expansion failure (path_limit) just runs this request uncached.
+  ServiceCaches* const caches = options_.caches;
+  std::string closure_key, response_key;
+  uint64_t theory_salt = 0;
+  bool cacheable = false;
+  if (caches != nullptr) {
+    auto expanded = ExpandShorthands(ctx->schema->hierarchy(), alpha->expr);
+    if (expanded.ok()) {
+      const std::string scope = EpochScope(ctx->epoch);
+      const std::string canonical =
+          std::to_string(alpha->root) + ":" +
+          ExprToString(ctx->schema->hierarchy(), Simplify(*expanded));
+      closure_key = scope + "i/" + canonical;
+      response_key =
+          "implies/" + scope + FingerprintBytes(*constraint_text).ToHex();
+      theory_salt = FingerprintBytes(canonical).lo;
+      cacheable = true;
+      std::string cached_body;
+      if (caches->LookupResponse(response_key, &cached_body)) {
+        return CachedResponse(std::move(cached_body), "response");
+      }
+      bool implied = false;
+      if (caches->closure().Lookup(closure_key, &implied)) {
+        // Verdict-only synthesis: no "counterexample" field (the
+        // closure layer keeps verdicts, not witnesses).
+        std::string out =
+            "{\"schema\": " + obs::JsonString(ctx->schema_name) +
+            ", \"constraint\": " + obs::JsonString(*constraint_text) +
+            ", \"definitive\": true, \"implied\": " + BoolJson(implied) +
+            ", \"expand_calls\": 0}";
+        return CachedResponse(std::move(out), "closure");
+      }
+    }
+  }
+
   DimsatOptions dopt = EngineOptions(options_, budget, ctx->threads);
+  std::shared_ptr<NoGoodStore> nogoods;
+  if (cacheable) {
+    // Implies() searches Σ ∪ {¬α}, a different theory than /v1/check's
+    // plain Σ — the salt keeps their no-good signatures apart while
+    // letting repeats of the *same* constraint share learned pruning.
+    nogoods = caches->NoGoodsFor(ctx->epoch);
+    dopt.nogoods = nogoods.get();
+    dopt.nogood_salt = theory_salt;
+  }
   auto result = Implies(*ctx->schema, *alpha, dopt);
   if (!result.ok()) return ErrorResponse(result.status());
 
@@ -317,6 +430,7 @@ HttpResponse DimService::DoImplies(const JsonValue& body,
     out += ", \"definitive\": true, \"implied\": " + BoolJson(result->implied);
     out += ", \"counterexample\": " +
            BoolJson(result->counterexample.has_value());
+    if (cacheable) caches->closure().Insert(closure_key, result->implied);
   } else if (IsBudgetError(result->status)) {
     out += RenderBudgetTail(result->status, nullptr).json;
   } else {
@@ -324,6 +438,9 @@ HttpResponse DimService::DoImplies(const JsonValue& body,
   }
   out += ", \"expand_calls\": " +
          std::to_string(result->stats.expand_calls) + "}";
+  if (cacheable && result->status.ok()) {
+    caches->InsertResponse(response_key, out);
+  }
   return JsonResponse(200, std::move(out));
 }
 
@@ -349,7 +466,55 @@ HttpResponse DimService::DoSummarizable(const JsonValue& body,
     s.push_back(*id);
   }
 
+  // Canonical form: target id plus the source ids sorted (ExactlyOne
+  // over the through-atoms is order-independent, so sorting is
+  // semantics-preserving; duplicates are kept — one(x, x) != one(x)).
+  ServiceCaches* const caches = options_.caches;
+  std::string closure_key, response_key;
+  uint64_t theory_salt = 0;
+  const bool cacheable = caches != nullptr;
+  if (cacheable) {
+    std::vector<CategoryId> sorted_sources = s;
+    std::sort(sorted_sources.begin(), sorted_sources.end());
+    std::string canonical = std::to_string(*root);
+    for (CategoryId id : sorted_sources) {
+      canonical += "," + std::to_string(id);
+    }
+    closure_key = EpochScope(ctx->epoch) + "m/" + canonical;
+    response_key = "summarizable/" + closure_key;
+    theory_salt = FingerprintBytes(closure_key).lo;
+    std::string cached_body;
+    if (caches->LookupResponse(response_key, &cached_body)) {
+      return CachedResponse(std::move(cached_body), "response");
+    }
+    bool summarizable = false;
+    if (caches->closure().Lookup(closure_key, &summarizable)) {
+      // A cached definitive verdict always covered every bottom.
+      size_t bottoms = 0;
+      for (CategoryId bottom : ctx->schema->hierarchy().bottom_categories()) {
+        if (bottom != ctx->schema->hierarchy().all()) ++bottoms;
+      }
+      std::string out = "{\"schema\": " + obs::JsonString(ctx->schema_name) +
+                        ", \"category\": " + obs::JsonString(*category) +
+                        ", \"definitive\": true, \"summarizable\": " +
+                        BoolJson(summarizable) +
+                        ", \"bottoms_checked\": " + std::to_string(bottoms) +
+                        ", \"expand_calls\": 0}";
+      return CachedResponse(std::move(out), "closure");
+    }
+  }
+
   DimsatOptions dopt = EngineOptions(options_, budget, ctx->threads);
+  std::shared_ptr<NoGoodStore> nogoods;
+  if (cacheable) {
+    // Each per-bottom Implies() searches Σ ∪ {¬α_bottom}; α_bottom is
+    // determined by (bottom, target, sources), the salt covers
+    // (target, sources), and the bottom is the signature's root — so
+    // (salt, root) pins the exact theory of every run.
+    nogoods = caches->NoGoodsFor(ctx->epoch);
+    dopt.nogoods = nogoods.get();
+    dopt.nogood_salt = theory_salt;
+  }
   auto result = IsSummarizable(*ctx->schema, *root, s, dopt);
   if (!result.ok()) return ErrorResponse(result.status());
 
@@ -358,6 +523,9 @@ HttpResponse DimService::DoSummarizable(const JsonValue& body,
   if (result->status.ok()) {
     out += ", \"definitive\": true, \"summarizable\": " +
            BoolJson(result->summarizable);
+    if (cacheable) {
+      caches->closure().Insert(closure_key, result->summarizable);
+    }
   } else if (IsBudgetError(result->status)) {
     out += RenderBudgetTail(result->status, nullptr).json;
   } else {
@@ -366,6 +534,9 @@ HttpResponse DimService::DoSummarizable(const JsonValue& body,
   out += ", \"bottoms_checked\": " + std::to_string(result->details.size());
   out += ", \"expand_calls\": " +
          std::to_string(result->stats.expand_calls) + "}";
+  if (cacheable && result->status.ok()) {
+    caches->InsertResponse(response_key, out);
+  }
   return JsonResponse(200, std::move(out));
 }
 

@@ -61,6 +61,8 @@ struct JsonValue;
 
 namespace olapdc::service {
 
+class ServiceCaches;
+
 class DimService {
  public:
   struct Options {
@@ -82,6 +84,14 @@ class DimService {
     uint64_t max_expand_calls = UINT64_MAX;
     /// Whether POST /v1/schemas may (re)register schemas.
     bool allow_register = true;
+    /// Cross-request cache plane (service_caches.h); not owned, null
+    /// disables all caching — request handling is then bit-identical
+    /// to the uncached service. With caches attached, definitive
+    /// answers are served from the response/closure layers when the
+    /// epoch matches (marked "cached": true in the body) and every
+    /// DIMSAT run shares the epoch's no-good store. Resume requests
+    /// bypass the read path entirely but still warm the no-good layer.
+    ServiceCaches* caches = nullptr;
   };
 
   explicit DimService(const Options& options) : options_(options) {}

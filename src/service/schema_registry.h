@@ -13,6 +13,16 @@
 #ifndef OLAPDC_SERVICE_SCHEMA_REGISTRY_H_
 #define OLAPDC_SERVICE_SCHEMA_REGISTRY_H_
 
+// The registry also owns the cache epoch model (ROADMAP item 2): every
+// entry carries a 128-bit *content fingerprint* of its serialized
+// schema + constraint theory. The epoch is part of every service-cache
+// key, so replacing a schema invalidates all cached answers for it
+// logically and atomically — entries under the old epoch can never hit
+// again and age out through the LRU. Content addressing also means a
+// replace with an identical theory keeps the caches warm (same Σ, same
+// answers) and that persisted no-good stores survive a daemon restart
+// soundly: they only ever re-attach to a byte-identical theory.
+
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,6 +31,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/cache_shard.h"
 #include "common/status.h"
 #include "core/schema.h"
 
@@ -28,6 +39,13 @@ namespace olapdc::service {
 
 class SchemaRegistry {
  public:
+  struct Snapshot {
+    std::shared_ptr<const DimensionSchema> schema;
+    /// Content fingerprint of the schema + Σ; Fingerprint128{} (zero)
+    /// iff schema == nullptr.
+    Fingerprint128 epoch;
+  };
+
   SchemaRegistry() = default;
   SchemaRegistry(const SchemaRegistry&) = delete;
   SchemaRegistry& operator=(const SchemaRegistry&) = delete;
@@ -47,12 +65,26 @@ class SchemaRegistry {
   /// regardless of later re-registrations.
   std::shared_ptr<const DimensionSchema> Find(const std::string& name) const;
 
+  /// Find() plus the entry's cache epoch — the lookup every cached
+  /// request path uses, so schema and epoch are one consistent read.
+  Snapshot FindEntry(const std::string& name) const;
+
   std::vector<std::string> Names() const;
   size_t size() const;
 
+  /// Registrations that *replaced* an entry with different content
+  /// (i.e. changed its epoch and thereby invalidated every cached
+  /// answer for that schema). Also counted as
+  /// olapdc.cache.invalidations.
+  uint64_t invalidations() const;
+
  private:
+  void Install(const std::string& name,
+               std::shared_ptr<const DimensionSchema> entry);
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const DimensionSchema>> schemas_;
+  std::map<std::string, Snapshot> schemas_;
+  uint64_t invalidations_ = 0;
 };
 
 }  // namespace olapdc::service

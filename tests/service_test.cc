@@ -14,6 +14,8 @@
 #include <optional>
 #include <string>
 
+#include "common/fault_injector.h"
+#include "constraint/parser.h"
 #include "core/location_example.h"
 #include "exec/admission.h"
 #include "gtest/gtest.h"
@@ -23,6 +25,7 @@
 #include "obs/metrics.h"
 #include "service/dim_service.h"
 #include "service/schema_registry.h"
+#include "service/service_caches.h"
 #include "workload/schema_generator.h"
 
 namespace olapdc::service {
@@ -348,6 +351,210 @@ TEST_F(ServiceTest, BatchCapsFanOutAndEmbedsPerItemErrors) {
   EXPECT_EQ(mixed.status, 200);
   EXPECT_NE(mixed.body.find("\"http_status\": 404"), std::string::npos)
       << mixed.body;
+}
+
+// ---------------------------------------------------------------------------
+// The cross-request cache plane (ServiceCaches wired into DimService).
+
+TEST_F(ServiceTest, CacheHitAfterMissServesMarkedResponse) {
+  ServiceCaches caches;
+  options_.caches = &caches;
+  DimService service(options_);
+  const std::string body = "{\"schema\": \"loc\", \"category\": \"Store\"}";
+
+  HttpResponse cold = service.HandleRequest(Post("/v1/check", body));
+  ASSERT_EQ(cold.status, 200) << cold.body;
+  EXPECT_EQ(cold.body.find("\"cached\""), std::string::npos) << cold.body;
+  const bool truth =
+      cold.body.find("\"satisfiable\": true") != std::string::npos;
+
+  const uint64_t served_before = Counter("olapdc.service.cache_served");
+  HttpResponse warm = service.HandleRequest(Post("/v1/check", body));
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_NE(warm.body.find("\"cached\": true"), std::string::npos)
+      << warm.body;
+  EXPECT_NE(warm.body.find("\"cache_layer\": \"response\""),
+            std::string::npos)
+      << warm.body;
+  EXPECT_EQ(warm.body.find("\"satisfiable\": true") != std::string::npos,
+            truth);
+  EXPECT_EQ(Counter("olapdc.service.cache_served"), served_before + 1);
+
+  // With the response layer flushed, the closure layer still knows the
+  // verdict: the served body is synthesized, with zero engine work.
+  caches.ClearResponses();
+  HttpResponse closure = service.HandleRequest(Post("/v1/check", body));
+  ASSERT_EQ(closure.status, 200);
+  EXPECT_NE(closure.body.find("\"cache_layer\": \"closure\""),
+            std::string::npos)
+      << closure.body;
+  EXPECT_NE(closure.body.find("\"expand_calls\": 0"), std::string::npos)
+      << closure.body;
+  EXPECT_EQ(closure.body.find("\"satisfiable\": true") != std::string::npos,
+            truth);
+
+  // The other two ops memoize the same way.
+  const std::string implies =
+      "{\"schema\": \"loc\", \"constraint\": \"Store/City\"}";
+  HttpResponse implies_cold = service.HandleRequest(Post("/v1/implies", implies));
+  ASSERT_EQ(implies_cold.status, 200) << implies_cold.body;
+  HttpResponse implies_warm = service.HandleRequest(Post("/v1/implies", implies));
+  EXPECT_NE(implies_warm.body.find("\"cached\": true"), std::string::npos)
+      << implies_warm.body;
+
+  const std::string summarizable =
+      "{\"schema\": \"loc\", \"category\": \"City\", \"sources\": []}";
+  HttpResponse sum_cold =
+      service.HandleRequest(Post("/v1/summarizable", summarizable));
+  ASSERT_EQ(sum_cold.status, 200) << sum_cold.body;
+  HttpResponse sum_warm =
+      service.HandleRequest(Post("/v1/summarizable", summarizable));
+  EXPECT_NE(sum_warm.body.find("\"cached\": true"), std::string::npos)
+      << sum_warm.body;
+}
+
+TEST_F(ServiceTest, EpochBumpInvalidatesEveryCacheLayer) {
+  ServiceCaches caches;
+  options_.caches = &caches;
+  DimService service(options_);
+  const std::string body = "{\"schema\": \"loc\", \"category\": \"Store\"}";
+
+  // Warm all layers for the current epoch.
+  ASSERT_EQ(service.HandleRequest(Post("/v1/check", body)).status, 200);
+  HttpResponse warm = service.HandleRequest(Post("/v1/check", body));
+  ASSERT_NE(warm.body.find("\"cached\": true"), std::string::npos);
+
+  // Replace "loc" with a *different* theory (one extra constraint):
+  // the content epoch changes, so every cached answer for the old
+  // theory is logically gone in the same instant.
+  Result<DimensionSchema> loc = LocationSchema();
+  ASSERT_TRUE(loc.ok());
+  auto extra = ParseConstraint(loc->hierarchy(), "Store/SaleRegion");
+  ASSERT_TRUE(extra.ok()) << extra.status().ToString();
+  registry_.RegisterParsed("loc", loc->WithExtraConstraint(*extra));
+  EXPECT_EQ(registry_.invalidations(), 1u);
+
+  HttpResponse fresh = service.HandleRequest(Post("/v1/check", body));
+  ASSERT_EQ(fresh.status, 200) << fresh.body;
+  EXPECT_EQ(fresh.body.find("\"cached\""), std::string::npos)
+      << "served a stale epoch: " << fresh.body;
+  // The recompute ran the engine (no closure short-circuit either).
+  EXPECT_EQ(fresh.body.find("\"expand_calls\": 0"), std::string::npos)
+      << fresh.body;
+
+  // Restoring byte-identical content restores the *original* epoch —
+  // and with it every cached answer learned under it.
+  Result<DimensionSchema> restored = LocationSchema();
+  ASSERT_TRUE(restored.ok());
+  registry_.RegisterParsed("loc", std::move(*restored));
+  HttpResponse back = service.HandleRequest(Post("/v1/check", body));
+  ASSERT_EQ(back.status, 200);
+  EXPECT_NE(back.body.find("\"cached\": true"), std::string::npos)
+      << back.body;
+}
+
+TEST_F(ServiceTest, TinyCacheBudgetEvictsButNeverChangesAnswers) {
+  // Truth from an uncached service.
+  DimService uncached(options_);
+  ServiceCaches::Options tiny;
+  tiny.memory_budget_bytes = 4 << 10;  // a few responses at most
+  tiny.num_shards = 1;
+  ServiceCaches caches(tiny);
+  options_.caches = &caches;
+  DimService service(options_);
+
+  Result<DimensionSchema> loc = LocationSchema();
+  ASSERT_TRUE(loc.ok());
+  const HierarchySchema& hierarchy = loc->hierarchy();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (CategoryId c = 0; c < hierarchy.num_categories(); ++c) {
+      if (c == hierarchy.all()) continue;
+      const std::string body =
+          "{\"schema\": \"loc\", \"category\": " +
+          obs::JsonString(hierarchy.CategoryName(c)) + "}";
+      HttpResponse truth = uncached.HandleRequest(Post("/v1/check", body));
+      HttpResponse cached = service.HandleRequest(Post("/v1/check", body));
+      ASSERT_EQ(truth.status, 200);
+      ASSERT_EQ(cached.status, 200);
+      EXPECT_EQ(
+          cached.body.find("\"satisfiable\": true") != std::string::npos,
+          truth.body.find("\"satisfiable\": true") != std::string::npos)
+          << "category " << hierarchy.CategoryName(c) << " pass " << pass;
+    }
+  }
+}
+
+TEST_F(ServiceTest, ResumeRequestsBypassTheCacheReadPath) {
+  SchemaGenOptions gen;
+  gen.num_levels = 5;
+  gen.categories_per_level = 4;
+  gen.extra_edge_prob = 0.4;
+  gen.seed = 1234;
+  auto hierarchy = GenerateLayeredHierarchy(gen);
+  ASSERT_TRUE(hierarchy.ok());
+  ConstraintGenOptions cgen;
+  cgen.into_fraction = 0.4;
+  cgen.num_choice_constraints = 2;
+  cgen.seed = 99;
+  auto schema = GenerateConstrainedSchema(*hierarchy, cgen);
+  ASSERT_TRUE(schema.ok());
+  registry_.RegisterParsed("big", std::move(*schema));
+
+  ServiceCaches caches;
+  options_.caches = &caches;
+  DimService service(options_);
+
+  std::string body =
+      "{\"schema\": \"big\", \"category\": \"Base\", \"deadline_ms\": 1}";
+  bool saw_resume = false;
+  for (int hop = 0; hop < 512; ++hop) {
+    HttpResponse response = service.HandleRequest(Post("/v1/check", body));
+    ASSERT_EQ(response.status, 200) << response.body;
+    // Neither a degraded answer nor a resumed one may come from (or
+    // land in) the response cache: only definitive first-shot answers
+    // are memoized.
+    EXPECT_EQ(response.body.find("\"cached\""), std::string::npos)
+        << response.body;
+    if (response.body.find("\"definitive\": true") != std::string::npos) {
+      // On most machines the 1ms first hop was interrupted and the
+      // chain went through >= 1 resume; a machine fast enough to finish
+      // inside the deadline legitimately never exercises the bypass.
+      (void)saw_resume;
+      return;
+    }
+    const std::string checkpoint =
+        ExtractStringField(response.body, "checkpoint");
+    if (checkpoint.empty()) continue;
+    saw_resume = true;
+    body = "{\"schema\": \"big\", \"category\": \"Base\", "
+           "\"deadline_ms\": 500, \"resume\": " +
+           obs::JsonString(checkpoint) + "}";
+  }
+  FAIL() << "resume chain did not converge in 512 hops";
+}
+
+TEST_F(ServiceTest, ChaosMidCacheFillNeverCachesFailures) {
+  ServiceCaches caches;
+  options_.caches = &caches;
+  DimService service(options_);
+  const std::string body = "{\"schema\": \"loc\", \"category\": \"Store\"}";
+  {
+    ScopedFaultInjection guard(/*seed=*/77);
+    FaultInjector::Global().SetFault("dimsat.expand", StatusCode::kInternal,
+                                     1.0, "injected mid-fill bug");
+    HttpResponse failed = service.HandleRequest(Post("/v1/check", body));
+    EXPECT_EQ(failed.status, 500) << failed.body;
+  }
+  // The failure must not have populated any layer: the first fault-free
+  // request recomputes, the second is the real first hit.
+  HttpResponse recomputed = service.HandleRequest(Post("/v1/check", body));
+  ASSERT_EQ(recomputed.status, 200) << recomputed.body;
+  EXPECT_EQ(recomputed.body.find("\"cached\""), std::string::npos)
+      << recomputed.body;
+  HttpResponse warm = service.HandleRequest(Post("/v1/check", body));
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_NE(warm.body.find("\"cached\": true"), std::string::npos)
+      << warm.body;
 }
 
 // ---------------------------------------------------------------------------

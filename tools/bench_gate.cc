@@ -24,6 +24,16 @@
 // found nothing" with the same binary that gates the latency
 // baselines.
 //
+// A third mode gates higher-is-better fields against an absolute
+// floor (the latency gate is relative and lower-is-better, so ratios
+// like a cache hit rate need their own direction):
+//
+//   bench_gate --current BENCH_cache.json --floor warm_hit_ratio=0.5
+//
+// Every row that carries the field must be >= the floor; a field that
+// appears in no row is a usage error (a misspelled gate must not pass
+// silently).
+//
 // Exit codes: 0 = within thresholds / invariants held, 1 = regression
 // or violated invariant, 2 = usage or unreadable/ill-formed input.
 
@@ -51,11 +61,13 @@ int Usage() {
       "                  [--default-threshold-pct <p>] "
       "[--threshold <field>=<p>]...\n"
       "       bench_gate --invariants <report.json>...\n"
+      "       bench_gate --current <BENCH.json> --floor <field>=<min>...\n"
       "gates latency-like fields (ms/us/ns_per_task/*_ms/*_us/*_ns) at\n"
       "current <= baseline * (1 + p/100); other numeric fields are\n"
       "reported but not gated. --invariants instead checks chaos\n"
       "campaign reports: \"invariants_held\" must be true with an empty\n"
-      "\"violations\" array.\n"
+      "\"violations\" array. --floor gates higher-is-better fields: every\n"
+      "row carrying the field must be >= the floor.\n"
       "exit codes: 0 within thresholds, 1 regression/violation, 2 "
       "usage/parse\n");
   return kExitUsage;
@@ -171,11 +183,50 @@ bool LoadBench(const std::string& path, JsonValue* out, std::string* bench,
   return true;
 }
 
+/// --floor mode: every row of `path` that carries a floored field must
+/// be >= the floor. Higher-is-better, absolute — the complement of the
+/// relative lower-is-better latency gate.
+int CheckFloors(const std::string& path,
+                const std::map<std::string, double>& floors) {
+  JsonValue doc;
+  std::string bench;
+  const JsonValue* rows = nullptr;
+  if (!LoadBench(path, &doc, &bench, &rows)) return kExitUsage;
+  int failures = 0;
+  for (const auto& [field, min_value] : floors) {
+    int checked = 0;
+    for (size_t i = 0; i < rows->array.size(); ++i) {
+      const JsonValue* value = rows->array[i].Find(field);
+      if (value == nullptr || !value->is_number()) continue;
+      ++checked;
+      if (value->number_value < min_value) {
+        ++failures;
+        std::printf("  FAIL  %s[%zu]: %s %g < floor %g\n", bench.c_str(), i,
+                    field.c_str(), value->number_value, min_value);
+      } else {
+        std::printf("  ok    %s[%zu]: %s %g >= floor %g\n", bench.c_str(), i,
+                    field.c_str(), value->number_value, min_value);
+      }
+    }
+    if (checked == 0) {
+      std::fprintf(stderr,
+                   "bench_gate: no row in '%s' carries field '%s' — a "
+                   "misspelled floor must not pass silently\n",
+                   path.c_str(), field.c_str());
+      return kExitUsage;
+    }
+  }
+  std::printf("bench_gate: %s: %zu floor(s), %d failure(s)\n", bench.c_str(),
+              floors.size(), failures);
+  return failures > 0 ? kExitRegression : kExitOk;
+}
+
 int Run(int argc, char** argv) {
   std::string baseline_path;
   std::string current_path;
   double default_threshold_pct = 25;
   std::map<std::string, double> per_field_pct;
+  std::map<std::string, double> floors;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -213,9 +264,25 @@ int Run(int argc, char** argv) {
       const double pct = std::strtod(spec.c_str() + eq + 1, &end);
       if (*end != '\0' || pct < 0) return Usage();
       per_field_pct[spec.substr(0, eq)] = pct;
+    } else if (arg == "--floor") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      const std::string spec = v;
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) return Usage();
+      char* end = nullptr;
+      const double min_value = std::strtod(spec.c_str() + eq + 1, &end);
+      if (end == spec.c_str() + eq + 1 || *end != '\0') return Usage();
+      floors[spec.substr(0, eq)] = min_value;
     } else {
       return Usage();
     }
+  }
+  if (!floors.empty()) {
+    if (baseline_path.empty() && !current_path.empty()) {
+      return CheckFloors(current_path, floors);
+    }
+    return Usage();
   }
   if (baseline_path.empty() || current_path.empty()) return Usage();
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Documentation lint, run by the CI `docs` job and locally via
 #   tools/check_docs.sh
-# from the repository root. Two checks:
+# from the repository root. Four checks:
 #   1. Every relative markdown link in README.md, DESIGN.md,
 #      EXPERIMENTS.md and docs/*.md resolves to a file in the repo.
 #   2. Every src/<subsystem>/ directory is mentioned in DESIGN.md's
@@ -9,6 +9,9 @@
 #      silently fall behind the tree.
 #   3. Every tool binary declared in tools/CMakeLists.txt is mentioned
 #      in README.md or docs/, so shipped tools cannot go undocumented.
+#   4. Every /v1/* endpoint in the DimService route table
+#      (src/service/dim_service.cc) appears in docs/service.md, so a
+#      new endpoint cannot ship without its reference entry.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -55,6 +58,20 @@ while IFS= read -r tool; do
   fi
 done < <(grep -oE '^add_executable\([a-z0-9_]+' tools/CMakeLists.txt |
          sed 's/^add_executable(//')
+
+# --- 4. Every /v1/* endpoint is documented in docs/service.md ------------
+if [ ! -f docs/service.md ]; then
+  echo "MISSING DOC: docs/service.md (the /v1/* endpoint reference)"
+  fail=1
+else
+  while IFS= read -r endpoint; do
+    if ! grep -qF "$endpoint" docs/service.md; then
+      echo "UNDOCUMENTED ENDPOINT: $endpoint is not in docs/service.md"
+      fail=1
+    fi
+  done < <(grep -oE '"/v1/[a-z_]+"' src/service/dim_service.cc |
+           tr -d '"' | sort -u)
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"

@@ -70,6 +70,7 @@ struct EndpointStats {
   uint64_t http_5xx = 0;  // non-503
   uint64_t transport_errors = 0;
   uint64_t checkpoints = 0;
+  uint64_t cache_served = 0;
   std::vector<int64_t> latencies_us;
 
   void Merge(const EndpointStats& other) {
@@ -80,6 +81,7 @@ struct EndpointStats {
     http_5xx += other.http_5xx;
     transport_errors += other.transport_errors;
     checkpoints += other.checkpoints;
+    cache_served += other.cache_served;
     latencies_us.insert(latencies_us.end(), other.latencies_us.begin(),
                         other.latencies_us.end());
   }
@@ -152,14 +154,33 @@ std::vector<Shape> BuildShapes() {
   return shapes;
 }
 
-void Worker(int port, const std::vector<Shape>& shapes, int64_t deadline_us,
-            uint64_t min_requests, std::atomic<uint64_t>* global_sent,
-            WorkerResult* out) {
+void Worker(int port, const std::vector<Shape>& shapes,
+            const std::vector<Shape>& repeats, double repeat_fraction,
+            uint64_t seed, int64_t deadline_us, uint64_t min_requests,
+            std::atomic<uint64_t>* global_sent, WorkerResult* out) {
   HttpClient client(port);
   size_t next = 0;
+  // Per-worker xorshift64*: cheap, deterministic per seed.
+  uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull;
+  auto rand01 = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return static_cast<double>(rng >> 11) / 9007199254740992.0;
+  };
   while (NowUs() < deadline_us ||
          global_sent->load(std::memory_order_relaxed) < min_requests) {
-    const Shape& shape = shapes[next++ % shapes.size()];
+    // --repeat-fraction: with probability f, re-send a well-formed body
+    // from the mix instead of advancing the rotation — repeat-heavy
+    // traffic, the shape the cross-request cache plane serves best.
+    const bool repeat = repeat_fraction > 0.0 && !repeats.empty() &&
+                        rand01() < repeat_fraction;
+    const Shape& shape =
+        repeat ? repeats[static_cast<size_t>(rand01() *
+                                             static_cast<double>(
+                                                 repeats.size())) %
+                         repeats.size()]
+               : shapes[next++ % shapes.size()];
     EndpointStats& stats = out->per_endpoint[shape.endpoint];
     ++stats.sent;
     global_sent->fetch_add(1, std::memory_order_relaxed);
@@ -194,6 +215,9 @@ void Worker(int port, const std::vector<Shape>& shapes, int64_t deadline_us,
       if (body.find("\"checkpoint\"") != std::string::npos) {
         ++stats.checkpoints;
       }
+      if (body.find("\"cached\": true") != std::string::npos) {
+        ++stats.cache_served;
+      }
     }
   }
 }
@@ -203,7 +227,7 @@ int Usage() {
       stderr,
       "usage: loadgen (--port N | --spawn <olapdcd>) [--threads T] "
       "[--duration-ms D] [--min-requests N] [--bench-name NAME] "
-      "[-- daemon flags...]\n");
+      "[--repeat-fraction F] [-- daemon flags...]\n");
   return 2;
 }
 
@@ -265,6 +289,7 @@ int Run(int argc, char** argv) {
   int threads = 4;
   int64_t duration_ms = 3000;
   uint64_t min_requests = 0;
+  double repeat_fraction = 0.0;
   std::string bench_name = "service";
   std::vector<std::string> daemon_args;
 
@@ -300,6 +325,15 @@ int Run(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       bench_name = v;
+    } else if (arg == "--repeat-fraction") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      repeat_fraction = std::atof(v);
+      if (repeat_fraction < 0.0 || repeat_fraction > 1.0) {
+        std::fprintf(stderr,
+                     "loadgen: --repeat-fraction must be in [0, 1]\n");
+        return Usage();
+      }
     } else {
       std::fprintf(stderr, "loadgen: unknown flag '%s'\n", arg.c_str());
       return Usage();
@@ -345,6 +379,12 @@ int Run(int argc, char** argv) {
   }
 
   const std::vector<Shape> shapes = BuildShapes();
+  // Repeat candidates: the well-formed POSTs (hostile shapes stay on
+  // the rotation only — repeating garbage exercises nothing new).
+  std::vector<Shape> repeats;
+  for (const Shape& shape : shapes) {
+    if (!shape.raw && shape.endpoint != 4) repeats.push_back(shape);
+  }
   const int64_t start_us = NowUs();
   const int64_t deadline_us = start_us + duration_ms * 1000;
   std::atomic<uint64_t> global_sent{0};
@@ -353,8 +393,9 @@ int Run(int argc, char** argv) {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      pool.emplace_back(Worker, port, std::cref(shapes), deadline_us,
-                        min_requests, &global_sent, &results[t]);
+      pool.emplace_back(Worker, port, std::cref(shapes), std::cref(repeats),
+                        repeat_fraction, static_cast<uint64_t>(t + 1),
+                        deadline_us, min_requests, &global_sent, &results[t]);
     }
     for (std::thread& t : pool) t.join();
   }
@@ -384,7 +425,7 @@ int Run(int argc, char** argv) {
 
   bench::BenchReporter reporter(bench_name);
   uint64_t all_sent = 0, all_ok = 0, all_shed = 0, all_4xx = 0, all_5xx = 0,
-           all_transport = 0, all_checkpoints = 0;
+           all_transport = 0, all_checkpoints = 0, all_cache_served = 0;
   for (size_t e = 0; e < kNumEndpoints; ++e) {
     EndpointStats& s = totals[e];
     all_sent += s.sent;
@@ -394,6 +435,7 @@ int Run(int argc, char** argv) {
     all_5xx += s.http_5xx;
     all_transport += s.transport_errors;
     all_checkpoints += s.checkpoints;
+    all_cache_served += s.cache_served;
     std::sort(s.latencies_us.begin(), s.latencies_us.end());
     reporter.AddRow()
         .Set("endpoint", kEndpoints[e])
@@ -403,6 +445,7 @@ int Run(int argc, char** argv) {
         .Set("http_4xx", s.http_4xx)
         .Set("http_5xx", s.http_5xx)
         .Set("transport_errors", s.transport_errors)
+        .Set("cache_served", s.cache_served)
         .Set("p50_us", Percentile(s.latencies_us, 0.50))
         .Set("p99_us", Percentile(s.latencies_us, 0.99));
   }
@@ -418,6 +461,7 @@ int Run(int argc, char** argv) {
       .Set("http_5xx", all_5xx)
       .Set("transport_errors", all_transport)
       .Set("checkpoints", all_checkpoints)
+      .Set("cache_served", all_cache_served)
       .Set("rps", elapsed_s > 0
                       ? static_cast<double>(all_sent) / elapsed_s
                       : 0.0)

@@ -26,6 +26,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -40,6 +43,7 @@
 #include "obs/telemetry_server.h"
 #include "service/dim_service.h"
 #include "service/schema_registry.h"
+#include "service/service_caches.h"
 
 namespace olapdc {
 namespace {
@@ -73,6 +77,10 @@ int Usage() {
       "(default 1)\n"
       "  --max-batch N            ceiling on /v1/batch size (default 64)\n"
       "  --no-register            disable POST /v1/schemas\n"
+      "  --cache-budget-mb N      cross-request cache envelope (default "
+      "32; 0 disables caching)\n"
+      "  --nogood-file PATH       load learned DIMSAT pruning on start, "
+      "save it on drain\n"
       "  --fault-site S           arm fault site S (repeatable; 'all' = "
       "every registered site)\n"
       "  --fault-prob P           injection probability (default 0.01)\n"
@@ -109,6 +117,8 @@ int Main(int argc, char** argv) {
   int threads = 1;
   int64_t max_batch = 64;
   bool allow_register = true;
+  int64_t cache_budget_mb = 32;
+  std::string nogood_file;
   std::vector<std::string> fault_sites;
   double fault_prob = 0.01;
   uint64_t fault_seed = 42;
@@ -163,6 +173,10 @@ int Main(int argc, char** argv) {
       max_batch = std::atoll(next().c_str());
     } else if (arg == "--no-register") {
       allow_register = false;
+    } else if (arg == "--cache-budget-mb") {
+      cache_budget_mb = std::atoll(next().c_str());
+    } else if (arg == "--nogood-file") {
+      nogood_file = next();
     } else if (arg == "--fault-site") {
       fault_sites.push_back(next());
     } else if (arg == "--fault-prob") {
@@ -181,6 +195,10 @@ int Main(int argc, char** argv) {
       admission_high_water < 1 || request_deadline_ms < 1 ||
       memory_budget_mb < 1 || threads < 1 || max_batch < 1) {
     std::fprintf(stderr, "error: flag values must be >= 1\n");
+    return 2;
+  }
+  if (cache_budget_mb < 0) {
+    std::fprintf(stderr, "error: --cache-budget-mb must be >= 0\n");
     return 2;
   }
 
@@ -226,6 +244,39 @@ int Main(int argc, char** argv) {
   service_options.max_threads = threads;
   service_options.max_batch = static_cast<size_t>(max_batch);
   service_options.allow_register = allow_register;
+
+  // The cross-request cache plane (docs/caching.md). A warm restart
+  // against byte-identical schemas reloads the learned DIMSAT pruning;
+  // the epoch inside the file makes a stale load harmless (the store
+  // just stays cold).
+  std::unique_ptr<service::ServiceCaches> caches;
+  if (cache_budget_mb > 0) {
+    service::ServiceCaches::Options cache_options;
+    cache_options.memory_budget_bytes =
+        static_cast<uint64_t>(cache_budget_mb) << 20;
+    caches = std::make_unique<service::ServiceCaches>(cache_options);
+    service_options.caches = caches.get();
+    if (!nogood_file.empty()) {
+      std::ifstream in(nogood_file);
+      if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const Status loaded = caches->LoadNoGoods(buffer.str());
+        if (loaded.ok()) {
+          std::fprintf(stderr, "olapdcd: loaded no-good stores from %s\n",
+                       nogood_file.c_str());
+        } else {
+          std::fprintf(stderr,
+                       "olapdcd: ignoring no-good file %s: %s\n",
+                       nogood_file.c_str(), loaded.ToString().c_str());
+        }
+      }
+    }
+  } else if (!nogood_file.empty()) {
+    std::fprintf(stderr,
+                 "error: --nogood-file needs --cache-budget-mb > 0\n");
+    return 2;
+  }
   service::DimService dim_service(service_options);
 
   // The telemetry GET routes share the port; /healthz is served here so
@@ -311,6 +362,18 @@ int Main(int argc, char** argv) {
           std::chrono::steady_clock::now() - drain_start)
           .count();
   server.Stop();
+
+  if (caches != nullptr && !nogood_file.empty()) {
+    std::ofstream out(nogood_file, std::ios::trunc);
+    if (out) {
+      out << caches->SerializeNoGoods();
+      std::fprintf(stderr, "olapdcd: saved no-good stores to %s\n",
+                   nogood_file.c_str());
+    } else {
+      std::fprintf(stderr, "olapdcd: cannot write no-good file %s\n",
+                   nogood_file.c_str());
+    }
+  }
 
   std::fprintf(stderr,
                "olapdcd: drain %s in %lld ms (requests=%llu ok=%llu "
