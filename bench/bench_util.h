@@ -10,11 +10,13 @@
 #include <fstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/result.h"
+#include "exec/work_stealing_pool.h"
 #include "obs/json.h"
 
 namespace olapdc {
@@ -50,14 +52,50 @@ inline void PrintRule() {
   std::printf("--------------------------------------------------------------------------\n");
 }
 
+/// Host and build provenance, rendered as one JSON object. Benchmark
+/// numbers are only comparable against a floor or a committed baseline
+/// when the JSON records which machine and build produced them — CI
+/// (and the single-core speedup exemption in tools/bench_gate) keys
+/// off these fields rather than guessing from the numbers.
+inline std::string HostJson() {
+  std::string flags;
+#if defined(NDEBUG)
+  flags += "NDEBUG";
+#else
+  flags += "DEBUG";
+#endif
+#if defined(__OPTIMIZE__)
+  flags += " -O";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  flags += " asan";
+#endif
+#if defined(__SANITIZE_THREAD__)
+  flags += " tsan";
+#endif
+#if defined(__AVX2__)
+  flags += " avx2";
+#endif
+  std::string out = "{\"hardware_concurrency\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += ", \"effective_threads\": ";
+  out += std::to_string(exec::DefaultThreadCount());
+  out += ", \"compiler\": " + obs::JsonString(__VERSION__);
+  out += ", \"build_flags\": " + obs::JsonString(flags);
+  out += "}";
+  return out;
+}
+
 /// Machine-readable benchmark output. A harness creates one reporter,
 /// appends one Row per measured case, and calls WriteJson() at exit to
 /// produce `BENCH_<name>.json` next to the binary:
 ///
-///   {"bench": "<name>", "rows": [{"case": ..., "ms": ...}, ...]}
+///   {"bench": "<name>", "host": {...}, "rows": [{"case": ..., "ms": ...}, ...]}
 ///
 /// so CI and offline tooling can diff benchmark runs without scraping
-/// the human-oriented stdout tables.
+/// the human-oriented stdout tables. The "host" object (HostJson) makes
+/// each file self-describing about the machine and build that produced
+/// its numbers.
 class BenchReporter {
  public:
   class Row {
@@ -118,7 +156,8 @@ class BenchReporter {
   }
 
   std::string ToJson() const {
-    std::string out = "{\"bench\": " + obs::JsonString(name_) + ", \"rows\": [";
+    std::string out = "{\"bench\": " + obs::JsonString(name_) +
+                      ", \"host\": " + HostJson() + ", \"rows\": [";
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (i > 0) out += ", ";
       out += "{";

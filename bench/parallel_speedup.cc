@@ -159,16 +159,23 @@ void RunWorkload(BenchReporter& reporter, const WorkloadCase& workload,
                   static_cast<unsigned long long>(
                       parallel.stats.parallel_steals),
                   speedup);
-      reporter.AddRow()
-          .Set("workload", workload.name)
-          .Set("mode", mode)
-          .Set("threads", threads)
-          .Set("ms", ms)
-          .Set("frozen", static_cast<uint64_t>(parallel.frozen.size()))
-          .Set("expand_calls", parallel.stats.expand_calls)
-          .Set("tasks", parallel.stats.parallel_tasks)
-          .Set("steals", parallel.stats.parallel_steals)
-          .Set("speedup", speedup);
+      BenchReporter::Row& row =
+          reporter.AddRow()
+              .Set("workload", workload.name)
+              .Set("mode", mode)
+              .Set("threads", threads)
+              .Set("ms", ms)
+              .Set("frozen", static_cast<uint64_t>(parallel.frozen.size()))
+              .Set("expand_calls", parallel.stats.expand_calls)
+              .Set("tasks", parallel.stats.parallel_tasks)
+              .Set("steals", parallel.stats.parallel_steals)
+              .Set("speedup", speedup);
+      // On a single hardware thread no parallel driver can beat the
+      // sequential run; mark the row so bench_gate's speedup floors
+      // exempt it instead of failing on an impossible claim.
+      if (std::thread::hardware_concurrency() <= 1) {
+        row.Set("single_core_host", true);
+      }
     }
   }
 }

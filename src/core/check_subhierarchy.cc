@@ -12,8 +12,12 @@ CheckOutcome CheckSubhierarchy(
     const CheckOptions& options) {
   CheckOutcome outcome;
 
+  // One reachability closure serves all three phases of the check:
+  // cycle detection, shortcut detection, and the circle operator.
+  const std::vector<DynamicBitset> reach = g.ComputeReach();
+
   // Proposition 2, condition (a).
-  if (g.HasCycleIn() || g.HasShortcut()) {
+  if (g.HasCycleIn(reach) || g.HasShortcut(reach)) {
     outcome.structurally_rejected = true;
     return outcome;
   }
@@ -21,7 +25,6 @@ CheckOutcome CheckSubhierarchy(
   // Sigma(ds, c) ∘ g, simplified. A literal False means no assignment
   // can help; vacuous (root outside g) constraints simplify to True and
   // are dropped.
-  const std::vector<DynamicBitset> reach = g.ComputeReach();
   std::vector<ExprPtr> circled;
   circled.reserve(relevant.size());
   for (const DimensionConstraint& c : relevant) {

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <utility>
@@ -16,6 +17,7 @@
 #include "common/string_util.h"
 #include "constraint/normalize.h"
 #include "core/check_subhierarchy.h"
+#include "core/decompose.h"
 #include "core/nogood.h"
 #include "exec/admission.h"
 #include "exec/work_stealing_pool.h"
@@ -262,6 +264,22 @@ class DimsatSearch {
     split_depth_ = split_depth;
   }
 
+  /// Restricts successor choices to a category universe — the
+  /// component searches of a decomposed run (core/decompose.h) pass
+  /// their component's categories plus root and All. Null (the
+  /// default) leaves the search unrestricted. Not owned; must outlive
+  /// the search.
+  void set_universe(const DynamicBitset* universe) { universe_ = universe; }
+
+  /// Most-constrained-first branching (options.branch_heuristic):
+  /// EXPAND picks the pending category with the smallest rank instead
+  /// of the smallest id. Not owned; must outlive the search.
+  void set_branch_rank(const std::vector<int>* rank) { branch_rank_ = rank; }
+
+  /// Tags every captured checkpoint frame with a component id
+  /// (decomposed runs); -1 (the default) marks monolithic frames.
+  void set_component(int component) { component_ = component; }
+
  private:
   void Trace(DimsatTraceEvent::Kind kind, const Subhierarchy& g) {
     if (!options_.collect_trace ||
@@ -312,7 +330,8 @@ class DimsatSearch {
     if (checkpoint_ == nullptr || !IsBudgetError(result_.status)) return;
     checkpoint_->root = root_;
     checkpoint_->num_categories = schema_.num_categories();
-    checkpoint_->frames.push_back(DimsatCheckpointFrame{g_, next_mask, depth});
+    checkpoint_->frames.push_back(
+        DimsatCheckpointFrame{g_, next_mask, depth, component_});
   }
 
   /// Hands frames[start..] of an interrupted resume back to the new
@@ -478,8 +497,20 @@ class DimsatSearch {
       return;
     }
 
-    // Line (10): pick a pending top category (lowest id: deterministic).
-    const CategoryId ctop = pending.First();
+    // Line (10): pick a pending top category — lowest id by default,
+    // lowest branch rank under the most-constrained-first heuristic.
+    // Both are deterministic, so checkpoint replays recompute the
+    // interrupted run's exact choice.
+    CategoryId ctop = pending.First();
+    if (branch_rank_ != nullptr) {
+      int best = (*branch_rank_)[ctop];
+      pending.ForEach([&](int c) {
+        if ((*branch_rank_)[c] < best) {
+          best = (*branch_rank_)[c];
+          ctop = c;
+        }
+      });
+    }
     const DynamicBitset& below = g_.Below(ctop);
 
     // Explain: bracket this node (fresh only — a checkpoint replay's
@@ -492,6 +523,10 @@ class DimsatSearch {
     DynamicBitset allowed(schema_.num_categories());
     DynamicBitset into(schema_.num_categories());
     for (CategoryId c : schema_.graph().OutNeighbors(ctop)) {
+      // Component searches never leave their universe; filtered
+      // successors belong to sibling components and are someone
+      // else's search (they are not counted as prunes).
+      if (universe_ != nullptr && !universe_->test(c)) continue;
       bool blocked = false;
       // Ss: an existing edge from below ctop into c would become a
       // shortcut once ctop -> c completes the longer path.
@@ -518,7 +553,8 @@ class DimsatSearch {
 
     if (options_.prune_into) {
       // Line (15): a blocked into-target dooms every choice at ctop.
-      if (!into.IsSubsetOf(allowed)) {
+      // AndNotAny is the fused kernel — no temporary bitset.
+      if (into.AndNotAny(allowed)) {
         if (fresh) {
           ++result_.stats.into_prunes;
           Trace(DimsatTraceEvent::Kind::kPruned, g_);
@@ -631,7 +667,299 @@ class DimsatSearch {
   std::atomic<bool>* external_stop_ = nullptr;
   std::function<void(Subhierarchy&&, int)> spawner_;
   int split_depth_ = 0;
+  /// Category universe restriction (decomposed component searches).
+  const DynamicBitset* universe_ = nullptr;
+  /// Branching rank (options.branch_heuristic); null = id order.
+  const std::vector<int>* branch_rank_ = nullptr;
+  /// Component tag for captured checkpoint frames (-1 = monolithic).
+  int component_ = -1;
 };
+
+/// Most-constrained-first branching rank: a static permutation of the
+/// categories ordered by (free successor choices ascending, forced
+/// into-target count descending, out-degree ascending, id ascending).
+/// Free choices = out-degree minus forced into-targets — the branching
+/// factor EXPAND actually faces at the category; expanding the
+/// tightest category first shrinks the subset loop fan-out near the
+/// top of the tree. A pure function of the schema, so checkpoint
+/// resumes and parallel workers recompute it identically.
+std::vector<int> ComputeBranchRank(const DimensionSchema& ds) {
+  const HierarchySchema& schema = ds.hierarchy();
+  const int n = schema.num_categories();
+  std::vector<int> outdeg(n, 0), forced(n, 0);
+  for (int c = 0; c < n; ++c) {
+    for (CategoryId t : schema.graph().OutNeighbors(c)) {
+      ++outdeg[c];
+      if (ds.IntoTargets(c).test(t)) ++forced[c];
+    }
+  }
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int fa = outdeg[a] - forced[a];
+    const int fb = outdeg[b] - forced[b];
+    if (fa != fb) return fa < fb;
+    if (forced[a] != forced[b]) return forced[a] > forced[b];
+    if (outdeg[a] != outdeg[b]) return outdeg[a] < outdeg[b];
+    return a < b;
+  });
+  std::vector<int> rank(n);
+  for (int i = 0; i < n; ++i) rank[order[i]] = i;
+  return rank;
+}
+
+/// Cross-product composition of the per-component model sets
+/// (enumerate mode): every combination picking one model per
+/// component — or "absent" for components whose constraints allow it —
+/// yields one frozen dimension, except the all-absent combination
+/// (the root must expand somewhere). Each composed model is charged
+/// against the memory reservation; a non-OK return means the budget
+/// could not cover it (out->truncated at that point).
+Status ComposeFrozen(const ComponentSplit& split,
+                     const std::vector<std::vector<FrozenDimension>>& models,
+                     size_t max_frozen, uint64_t frozen_bytes,
+                     MemoryReservation* mem,
+                     std::vector<FrozenDimension>* out) {
+  const int w = static_cast<int>(split.num_components());
+  // A component that must be present but has no model kills every
+  // combination.
+  for (int k = 0; k < w; ++k) {
+    if (!split.absent_valid[k] && models[k].empty()) return Status::OK();
+  }
+  // Mixed-base odometer: digit -1 = absent (absent-valid components
+  // only), 0..m-1 = that model. Starts at the lowest combination.
+  std::vector<int> choice(w);
+  for (int k = 0; k < w; ++k) choice[k] = split.absent_valid[k] ? -1 : 0;
+  while (true) {
+    int first_present = -1;
+    for (int k = 0; k < w; ++k) {
+      if (choice[k] >= 0) {
+        first_present = k;
+        break;
+      }
+    }
+    if (first_present >= 0) {  // skip the all-absent combination
+      if (out->size() >= max_frozen) return Status::OK();
+      OLAPDC_RETURN_NOT_OK(mem->Reserve(frozen_bytes, "dimsat.frozen"));
+      FrozenDimension fd = models[first_present][choice[first_present]];
+      for (int k = first_present + 1; k < w; ++k) {
+        if (choice[k] >= 0) MergeDisjointInto(models[k][choice[k]], &fd);
+      }
+      out->push_back(std::move(fd));
+    }
+    int k = 0;
+    for (; k < w; ++k) {
+      if (++choice[k] < static_cast<int>(models[k].size())) break;
+      choice[k] = split.absent_valid[k] ? -1 : 0;
+    }
+    if (k == w) return Status::OK();
+  }
+}
+
+/// The sequential decomposed driver: one restricted-universe
+/// DimsatSearch per component, run in deterministic order, then the
+/// composition step. Handles both fresh runs and checkpoint resumes
+/// (`resume_from`); on a budget stop it captures a v2 checkpoint —
+/// frames of the interrupted component, models collected so far, and
+/// seed frames for components not yet started — and reports *no*
+/// frozen dimensions (partial per-component sets cannot compose; the
+/// resume emits the full composed set instead).
+DimsatResult RunDecomposedSequential(
+    const DimensionSchema& ds, CategoryId root, const DimsatOptions& options,
+    const std::vector<DimensionConstraint>& relevant,
+    const ComponentSplit& split, const std::vector<int>* branch_rank,
+    DimsatCheckpoint* resume_from) {
+  const int n = ds.hierarchy().num_categories();
+  const int w = static_cast<int>(split.num_components());
+  DimsatResult result;
+
+  std::vector<std::vector<DimensionConstraint>> comp_relevant(w);
+  for (int k = 0; k < w; ++k) {
+    for (size_t i : split.constraint_indices[k]) {
+      comp_relevant[k].push_back(relevant[i]);
+    }
+  }
+
+  // Which components this run searches, in deterministic order.
+  // Enumerate mode needs every component's full model set. Decision
+  // mode with must-be-present components searches exactly those (a
+  // witness merges one model from each; the optional components stay
+  // absent). Decision mode where every component may be absent scans
+  // components in order until one yields a witness.
+  std::vector<int> to_search;
+  bool any_required = false;
+  for (int k = 0; k < w; ++k) {
+    if (!split.absent_valid[k]) any_required = true;
+  }
+  const bool scan_mode = !options.enumerate_all && !any_required;
+  for (int k = 0; k < w; ++k) {
+    if (options.enumerate_all || scan_mode || !split.absent_valid[k]) {
+      to_search.push_back(k);
+    }
+  }
+
+  // Resume bookkeeping: partition the interrupted run's checkpoint
+  // into per-component frontiers and already-collected model sets.
+  std::vector<std::vector<DimsatCheckpointFrame>> frames(w);
+  std::vector<std::vector<FrozenDimension>> models(w);
+  std::vector<char> done(w, 0);
+  if (resume_from != nullptr) {
+    std::vector<char> has_entry(w, 0);
+    for (DimsatCheckpointFrame& frame : resume_from->frames) {
+      OLAPDC_DCHECK(0 <= frame.component && frame.component < w);
+      frames[frame.component].push_back(std::move(frame));
+    }
+    for (DimsatSolvedComponent& comp : resume_from->solved) {
+      OLAPDC_DCHECK(0 <= comp.component && comp.component < w);
+      has_entry[comp.component] = 1;
+      models[comp.component] = std::move(comp.models);
+    }
+    for (int k = 0; k < w; ++k) {
+      done[k] = has_entry[k] && frames[k].empty();
+    }
+  }
+
+  uint64_t consumed = 0;
+  bool interrupted = false;
+  int interrupted_comp = -1;
+  size_t interrupted_idx = 0;
+  bool unsat_proven = false;
+  int witness_comp = -1;
+  DimsatCheckpoint local_cp;
+
+  for (size_t idx = 0; idx < to_search.size(); ++idx) {
+    const int k = to_search[idx];
+    if (!done[k]) {
+      local_cp = DimsatCheckpoint{};
+      DimsatOptions comp_opts = options;
+      comp_opts.nogood_salt = split.salts[k];
+      comp_opts.checkpoint =
+          options.checkpoint != nullptr ? &local_cp : nullptr;
+      comp_opts.max_expand_calls =
+          options.max_expand_calls == UINT64_MAX
+              ? UINT64_MAX
+              : options.max_expand_calls - consumed;
+      DimsatSearch search(ds, root, comp_opts, comp_relevant[k]);
+      search.set_universe(&split.universes[k]);
+      if (branch_rank != nullptr) search.set_branch_rank(branch_rank);
+      search.set_component(k);
+      DimsatResult r;
+      if (!frames[k].empty()) {
+        DimsatCheckpoint sub;
+        sub.root = root;
+        sub.num_categories = n;
+        sub.frames = std::move(frames[k]);
+        frames[k].clear();
+        r = search.RunResume(std::move(sub));
+      } else {
+        r = search.Run();
+      }
+      consumed += r.stats.expand_calls;
+      AccumulateStats(&result.stats, r.stats);
+      for (FrozenDimension& f : r.frozen) models[k].push_back(std::move(f));
+      if (!r.status.ok()) {
+        result.status = r.status;
+        interrupted = true;
+        interrupted_comp = k;
+        interrupted_idx = idx;
+        break;
+      }
+      done[k] = 1;
+    }
+    if (!options.enumerate_all) {
+      if (scan_mode) {
+        if (!models[k].empty()) {
+          witness_comp = k;
+          break;
+        }
+      } else if (models[k].empty()) {
+        unsat_proven = true;
+        break;
+      }
+    }
+  }
+
+  if (interrupted) {
+    if (IsBudgetError(result.status) && options.checkpoint != nullptr) {
+      DimsatCheckpoint* cp = options.checkpoint;
+      cp->root = root;
+      cp->num_categories = n;
+      cp->num_components = w;
+      cp->frames = std::move(local_cp.frames);
+      if (!models[interrupted_comp].empty()) {
+        cp->solved.push_back(DimsatSolvedComponent{
+            interrupted_comp, std::move(models[interrupted_comp])});
+      }
+      for (int k = 0; k < w; ++k) {
+        if (done[k]) {
+          cp->solved.push_back(
+              DimsatSolvedComponent{k, std::move(models[k])});
+        }
+      }
+      for (size_t j = interrupted_idx + 1; j < to_search.size(); ++j) {
+        const int k = to_search[j];
+        if (done[k]) continue;
+        if (!frames[k].empty()) {
+          // An earlier interrupt's still-unreplayed frontier for this
+          // component carries over verbatim.
+          for (DimsatCheckpointFrame& f : frames[k]) {
+            cp->frames.push_back(std::move(f));
+          }
+        } else {
+          cp->frames.push_back(DimsatCheckpointFrame{
+              Subhierarchy(n, root), 0, 0, k});
+        }
+      }
+    }
+    result.satisfiable = false;
+    result.stats.frozen_found = 0;
+    return result;
+  }
+
+  // Verdict / composition.
+  MemoryReservation mem(options.budget != nullptr ? options.budget->memory()
+                                                  : nullptr);
+  const uint64_t frozen_bytes =
+      ApproxSubhierarchyBytes(n) + static_cast<uint64_t>(n) * 24;
+  if (!options.enumerate_all) {
+    if (!unsat_proven) {
+      if (scan_mode) {
+        if (witness_comp >= 0) {
+          result.frozen.push_back(std::move(models[witness_comp][0]));
+        }
+      } else {
+        FrozenDimension fd{Subhierarchy(n, root),
+                           CAssignment(static_cast<size_t>(n), std::nullopt)};
+        for (int k : to_search) MergeDisjointInto(models[k][0], &fd);
+        result.frozen.push_back(std::move(fd));
+      }
+    }
+  } else {
+    Status composed = ComposeFrozen(split, models, options.max_frozen,
+                                    frozen_bytes, &mem, &result.frozen);
+    if (!composed.ok()) {
+      result.status = std::move(composed);
+      result.frozen.clear();
+      if (IsBudgetError(result.status) && options.checkpoint != nullptr) {
+        // Everything is solved; the resume only needs to recompose.
+        DimsatCheckpoint* cp = options.checkpoint;
+        cp->root = root;
+        cp->num_categories = n;
+        cp->num_components = w;
+        for (int k = 0; k < w; ++k) {
+          cp->solved.push_back(
+              DimsatSolvedComponent{k, std::move(models[k])});
+        }
+      }
+      result.satisfiable = false;
+      result.stats.frozen_found = 0;
+      return result;
+    }
+  }
+  result.satisfiable = !result.frozen.empty();
+  result.stats.frozen_found = result.frozen.size();
+  return result;
+}
 
 /// First-level expansion choices of `root` under the schema+options —
 /// the static driver's work items. Mirrors one EXPAND step (the seeds
@@ -736,6 +1064,9 @@ struct ParallelShared {
   /// task starts and the seed is consumed).
   MemoryBudget* const mem;
   const uint64_t seed_bytes;
+  /// Branching rank shared by every worker (options.branch_heuristic);
+  /// null = declaration order. Outlives the task group.
+  const std::vector<int>* branch_rank = nullptr;
   exec::TaskGroup group;
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> tasks{0};
@@ -782,6 +1113,9 @@ void RunSubtreeTask(ParallelShared* shared, Subhierarchy seed, int depth) {
 
   DimsatSearch search(shared->ds, shared->root, shared->options,
                       shared->relevant);
+  if (shared->branch_rank != nullptr) {
+    search.set_branch_rank(shared->branch_rank);
+  }
   search.set_external_stop(&shared->stop);
   search.set_spawner(
       [shared](Subhierarchy&& child, int child_depth) {
@@ -810,6 +1144,136 @@ void RunSubtreeTask(ParallelShared* shared, Subhierarchy seed, int depth) {
   }
 }
 
+/// The decomposed parallel driver: one pool task per component — the
+/// component *is* the steal granularity, replacing the depth-split of
+/// the monolithic driver (components are independent by construction,
+/// so no merge locking, no cross-task subtree spawning, and the
+/// shared stop flag only fires on verdict-deciding events). Each task
+/// runs the component search sequentially; the composition step runs
+/// on the caller's thread after the group drains.
+DimsatResult RunDecomposedParallel(
+    const DimensionSchema& ds, CategoryId root, const DimsatOptions& options,
+    const std::vector<DimensionConstraint>& relevant,
+    const ComponentSplit& split, const std::vector<int>* branch_rank,
+    exec::WorkStealingPool& pool) {
+  const int n = ds.hierarchy().num_categories();
+  const int w = static_cast<int>(split.num_components());
+
+  std::vector<std::vector<DimensionConstraint>> comp_relevant(w);
+  for (int k = 0; k < w; ++k) {
+    for (size_t i : split.constraint_indices[k]) {
+      comp_relevant[k].push_back(relevant[i]);
+    }
+  }
+  std::vector<int> to_search;
+  bool any_required = false;
+  for (int k = 0; k < w; ++k) {
+    if (!split.absent_valid[k]) any_required = true;
+  }
+  const bool scan_mode = !options.enumerate_all && !any_required;
+  for (int k = 0; k < w; ++k) {
+    if (options.enumerate_all || scan_mode || !split.absent_valid[k]) {
+      to_search.push_back(k);
+    }
+  }
+
+  std::vector<DimsatResult> partials(w);
+  std::atomic<bool> stop{false};
+  /// Set only by semantic verdicts (a scan-mode witness, a required
+  /// component proven UNSAT) — never by budget errors, so the
+  /// post-drain logic can tell "decided" from "interrupted".
+  std::atomic<bool> decided{false};
+  std::atomic<uint64_t> tasks{0}, stolen{0};
+  exec::TaskGroup group(&pool);
+  for (int k : to_search) {
+    group.Spawn([&, k]() {
+      tasks.fetch_add(1, std::memory_order_relaxed);
+      if (exec::WorkStealingPool::CurrentTaskStolen()) {
+        stolen.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (stop.load(std::memory_order_acquire)) return;
+      DimsatOptions comp_opts = options;
+      comp_opts.nogood_salt = split.salts[k];
+      comp_opts.checkpoint = nullptr;
+      DimsatSearch search(ds, root, comp_opts, comp_relevant[k]);
+      search.set_universe(&split.universes[k]);
+      if (branch_rank != nullptr) search.set_branch_rank(branch_rank);
+      search.set_external_stop(&stop);
+      DimsatResult r = search.Run();
+      bool verdict = false;
+      if (r.status.ok() && !options.enumerate_all &&
+          !stop.load(std::memory_order_acquire)) {
+        // Completed cleanly: a scan-mode witness or a required
+        // component with no model decides the whole run.
+        verdict = scan_mode ? !r.frozen.empty() : r.frozen.empty();
+      }
+      const bool errored = !r.status.ok();
+      partials[k] = std::move(r);
+      if (verdict) decided.store(true, std::memory_order_release);
+      if (verdict || errored) {
+        stop.store(true, std::memory_order_release);
+      }
+    });
+  }
+  group.Wait();
+
+  DimsatResult result;
+  Status first_err;
+  for (int k = 0; k < w; ++k) {
+    AccumulateStats(&result.stats, partials[k].stats);
+    if (!partials[k].status.ok() && first_err.ok()) {
+      first_err = partials[k].status;
+    }
+  }
+  result.stats.parallel_tasks = tasks.load();
+  result.stats.parallel_steals = stolen.load();
+
+  MemoryReservation mem(options.budget != nullptr ? options.budget->memory()
+                                                  : nullptr);
+  const uint64_t frozen_bytes =
+      ApproxSubhierarchyBytes(n) + static_cast<uint64_t>(n) * 24;
+  if (!options.enumerate_all) {
+    if (scan_mode) {
+      // A witness is a verdict even when another component errored.
+      for (int k : to_search) {
+        if (!partials[k].frozen.empty()) {
+          result.frozen.push_back(std::move(partials[k].frozen[0]));
+          break;
+        }
+      }
+      if (result.frozen.empty() && !first_err.ok()) {
+        result.status = first_err;
+      }
+    } else if (decided.load()) {
+      // Some required component is exhaustively UNSAT: the whole
+      // query is, regardless of how the other workers stopped.
+    } else if (!first_err.ok()) {
+      result.status = first_err;
+    } else {
+      FrozenDimension fd{Subhierarchy(n, root),
+                         CAssignment(static_cast<size_t>(n), std::nullopt)};
+      for (int k : to_search) MergeDisjointInto(partials[k].frozen[0], &fd);
+      result.frozen.push_back(std::move(fd));
+    }
+  } else {
+    if (!first_err.ok()) {
+      result.status = first_err;
+    } else {
+      std::vector<std::vector<FrozenDimension>> models(w);
+      for (int k = 0; k < w; ++k) models[k] = std::move(partials[k].frozen);
+      Status composed = ComposeFrozen(split, models, options.max_frozen,
+                                      frozen_bytes, &mem, &result.frozen);
+      if (!composed.ok()) {
+        result.status = std::move(composed);
+        result.frozen.clear();
+      }
+    }
+  }
+  result.satisfiable = !result.frozen.empty();
+  result.stats.frozen_found = result.frozen.size();
+  return result;
+}
+
 }  // namespace
 
 DimsatResult Dimsat(const DimensionSchema& ds, CategoryId root,
@@ -826,8 +1290,33 @@ DimsatResult Dimsat(const DimensionSchema& ds, CategoryId root,
   }
   const std::vector<DimensionConstraint> relevant =
       std::move(prepared).ValueOrDie();
-  if (options.checkpoint != nullptr) options.checkpoint->frames.clear();
-  DimsatResult result = DimsatSearch(ds, root, options, relevant).Run();
+  if (options.checkpoint != nullptr) *options.checkpoint = DimsatCheckpoint{};
+  std::vector<int> rank;
+  const std::vector<int>* rank_ptr = nullptr;
+  if (options.branch_heuristic) {
+    rank = ComputeBranchRank(ds);
+    rank_ptr = &rank;
+  }
+  DimsatResult result;
+  bool decomposed = false;
+  if (options.decompose && !options.collect_trace &&
+      !options.require_injective_names) {
+    const ComponentSplit split =
+        ComputeComponentSplit(ds, root, relevant, options.nogood_salt);
+    if (split.eligible) {
+      result = RunDecomposedSequential(ds, root, options, relevant, split,
+                                       rank_ptr, nullptr);
+      decomposed = true;
+    }
+  }
+  if (!decomposed) {
+    DimsatSearch search(ds, root, options, relevant);
+    if (rank_ptr != nullptr) search.set_branch_rank(rank_ptr);
+    result = search.Run();
+  }
+  if (decomposed && obs::MetricsEnabled()) {
+    obs::Count("olapdc.dimsat.decomposed_runs");
+  }
   if (options.checkpoint != nullptr && !options.checkpoint->empty() &&
       obs::MetricsEnabled()) {
     obs::Count("olapdc.dimsat.checkpoints");
@@ -867,9 +1356,37 @@ DimsatResult ResumeDimsat(const DimensionSchema& ds, CategoryId root,
   }
   const std::vector<DimensionConstraint> relevant =
       std::move(prepared).ValueOrDie();
-  if (options.checkpoint != nullptr) options.checkpoint->frames.clear();
-  result = DimsatSearch(ds, root, options, relevant)
-               .RunResume(std::move(checkpoint));
+  if (options.checkpoint != nullptr) *options.checkpoint = DimsatCheckpoint{};
+  std::vector<int> rank;
+  const std::vector<int>* rank_ptr = nullptr;
+  if (options.branch_heuristic) {
+    rank = ComputeBranchRank(ds);
+    rank_ptr = &rank;
+  }
+  if (checkpoint.num_components > 0) {
+    // A decomposed checkpoint only resumes under options that
+    // reproduce the interrupted run's exact component split (the
+    // split is a pure function of schema, root, and salt).
+    ComponentSplit split;
+    if (options.decompose && !options.collect_trace &&
+        !options.require_injective_names) {
+      split = ComputeComponentSplit(ds, root, relevant, options.nogood_salt);
+    }
+    if (!split.eligible ||
+        static_cast<int>(split.num_components()) !=
+            checkpoint.num_components) {
+      result.status = Status::InvalidArgument(
+          "decomposed checkpoint does not match: the current options and "
+          "schema do not reproduce the interrupted run's component split");
+      return result;
+    }
+    result = RunDecomposedSequential(ds, root, options, relevant, split,
+                                     rank_ptr, &checkpoint);
+  } else {
+    DimsatSearch search(ds, root, options, relevant);
+    if (rank_ptr != nullptr) search.set_branch_rank(rank_ptr);
+    result = search.RunResume(std::move(checkpoint));
+  }
   if (obs::MetricsEnabled()) {
     obs::Count("olapdc.dimsat.resumes");
     if (options.checkpoint != nullptr && !options.checkpoint->empty()) {
@@ -928,7 +1445,41 @@ DimsatResult DimsatParallel(const DimensionSchema& ds, CategoryId root,
     }
   }
   exec::WorkStealingPool& pool = *pool_ptr;
+
+  std::vector<int> rank;
+  const std::vector<int>* rank_ptr = nullptr;
+  if (options.branch_heuristic) {
+    rank = ComputeBranchRank(ds);
+    rank_ptr = &rank;
+  }
+
+  // Component decomposition replaces depth-split as the steal
+  // granularity when the split is eligible: independent components
+  // need no merge lock and no subtree respawning.
+  if (options.decompose && !options.require_injective_names) {
+    const ComponentSplit split =
+        ComputeComponentSplit(ds, root, relevant, options.nogood_salt);
+    if (split.eligible) {
+      DimsatResult result =
+          RunDecomposedParallel(ds, root, options, relevant, split, rank_ptr,
+                                pool);
+      if (obs::MetricsEnabled()) {
+        obs::Count("olapdc.dimsat.decomposed_runs");
+      }
+      if (run.observed()) {
+        pool.PublishMetricNames();
+        FlushDimsatMetrics(result.stats, result.status, run.ElapsedUs());
+        span.AddStat("threads", pool.num_threads());
+        span.AddStat("tasks", result.stats.parallel_tasks);
+        span.AddStat("steals", result.stats.parallel_steals);
+        AnnotateSpan(span, ds.hierarchy(), root, result);
+      }
+      return result;
+    }
+  }
+
   ParallelShared shared(ds, root, options, relevant, &pool);
+  shared.branch_rank = rank_ptr;
   SpawnSubtree(&shared,
                Subhierarchy(ds.hierarchy().num_categories(), root), 0);
   shared.group.Wait();
@@ -979,6 +1530,13 @@ DimsatResult DimsatParallelStatic(const DimensionSchema& ds, CategoryId root,
   std::vector<Subhierarchy> seeds = FirstLevelSeeds(ds, root, options);
   if (seeds.empty()) return Dimsat(ds, root, options);
 
+  std::vector<int> rank;
+  const std::vector<int>* rank_ptr = nullptr;
+  if (options.branch_heuristic) {
+    rank = ComputeBranchRank(ds);
+    rank_ptr = &rank;
+  }
+
   // Per-worker budget: sum across workers may exceed a tight global
   // budget by (threads - 1); acceptable for a backstop limit.
   std::atomic<bool> stop(false);
@@ -990,6 +1548,7 @@ DimsatResult DimsatParallelStatic(const DimensionSchema& ds, CategoryId root,
       size_t index = next.fetch_add(1);
       if (index >= seeds.size()) return;
       DimsatSearch search(ds, root, options, relevant);
+      if (rank_ptr != nullptr) search.set_branch_rank(rank_ptr);
       search.set_external_stop(&stop);
       partials[index] = search.RunFrom(std::move(seeds[index]), 1);
       if (partials[index].satisfiable && !options.enumerate_all) {

@@ -45,6 +45,29 @@ struct DimsatOptions {
   bool prune_into = true;
   /// Enforce injective constant choices (literal Proposition 2).
   bool require_injective_names = false;
+  /// Connected-component decomposition (core/decompose.h): partition
+  /// the intermediate categories of UpSet(root) into weakly connected
+  /// components of the hierarchy DAG plus the constraint-coupling
+  /// edges of the effective theory, solve each component with its own
+  /// EXPAND over a restricted universe, and compose the per-component
+  /// model sets — a w-component schema then costs the *sum* of the
+  /// per-component searches instead of their product. Falls back to
+  /// the monolithic search whenever a static soundness gate trips
+  /// (fewer than two components, injective-names mode, a direct
+  /// root->All edge, a cycle through the root, or a constraint whose
+  /// atoms couple only root/All) and under collect_trace (the Figure 7
+  /// harness pins the exact monolithic trace). The frozen-dimension
+  /// set is always equal to the monolithic search's.
+  bool decompose = false;
+  /// Most-constrained-first branching: expand the pending category
+  /// with the fewest free successor choices (out-degree minus forced
+  /// into-targets, ties broken towards denser into coverage) instead
+  /// of the lowest category id. The ordering is a pure function of
+  /// (schema, root, options), computed once per solve and recomputed
+  /// identically on checkpoint resume, so interrupted ≡ uninterrupted
+  /// still holds. Off by default: the ablation bench and the
+  /// per-technique floors own the evidence that it helps.
+  bool branch_heuristic = false;
   /// Collect every frozen dimension instead of stopping at the first.
   bool enumerate_all = false;
   /// Cap on collected frozen dimensions (enumerate_all mode).

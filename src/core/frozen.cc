@@ -69,4 +69,15 @@ bool FrozenEquals(const FrozenDimension& a, const FrozenDimension& b) {
   return a.g.Edges() == b.g.Edges() && a.names == b.names;
 }
 
+void MergeDisjointInto(const FrozenDimension& from, FrozenDimension* into) {
+  into->g.UnionWith(from.g);
+  for (size_t c = 0; c < from.names.size(); ++c) {
+    if (from.names[c].has_value()) {
+      OLAPDC_DCHECK(!into->names[c].has_value() ||
+                    *into->names[c] == *from.names[c]);
+      into->names[c] = from.names[c];
+    }
+  }
+}
+
 }  // namespace olapdc

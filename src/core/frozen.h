@@ -51,6 +51,13 @@ struct FrozenDimension {
 /// compared in tests.
 bool FrozenEquals(const FrozenDimension& a, const FrozenDimension& b);
 
+/// Merges the per-component model `from` into the composite model
+/// `into` (same category universe): subhierarchies union, and every
+/// assigned name of `from` is copied over. Components of a decomposed
+/// DIMSAT run assign disjoint category sets (apart from root/All,
+/// where the assignments agree), which the debug build checks.
+void MergeDisjointInto(const FrozenDimension& from, FrozenDimension* into);
+
 }  // namespace olapdc
 
 #endif  // OLAPDC_CORE_FROZEN_H_

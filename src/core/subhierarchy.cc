@@ -190,8 +190,24 @@ Digraph Subhierarchy::ToDigraph() const {
 
 bool Subhierarchy::HasCycleIn() const { return HasCycle(ToDigraph()); }
 
+bool Subhierarchy::HasCycleIn(
+    const std::vector<DynamicBitset>& reach) const {
+  bool found = false;
+  cats_.ForEach([&](int u) {
+    if (found) return;
+    out_[u].ForEach([&](int v) {
+      if (!found && reach[v].test(u)) found = true;
+    });
+  });
+  return found;
+}
+
 bool Subhierarchy::HasShortcut() const {
-  std::vector<DynamicBitset> reach = ComputeReach();
+  return HasShortcut(ComputeReach());
+}
+
+bool Subhierarchy::HasShortcut(
+    const std::vector<DynamicBitset>& reach) const {
   bool found = false;
   cats_.ForEach([&](int u) {
     if (found) return;
@@ -205,6 +221,21 @@ bool Subhierarchy::HasShortcut() const {
     });
   });
   return found;
+}
+
+void Subhierarchy::UnionWith(const Subhierarchy& other) {
+  OLAPDC_DCHECK(n_ == other.n_);
+  OLAPDC_DCHECK(root_ == other.root_);
+  cats_ |= other.cats_;
+  for (int c = 0; c < n_; ++c) {
+    out_[c] |= other.out_[c];
+    in_[c] |= other.in_[c];
+    below_[c] |= other.below_[c];
+  }
+  top_.clear();
+  cats_.ForEach([&](int c) {
+    if (!out_[c].any()) top_.set(c);
+  });
 }
 
 std::optional<Subhierarchy> Subhierarchy::FromPartialEdges(

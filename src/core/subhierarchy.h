@@ -151,10 +151,30 @@ class Subhierarchy {
 
   /// True iff g (as currently built) has a directed cycle.
   bool HasCycleIn() const;
+  /// Same, but reusing a reachability table already computed by
+  /// ComputeReach() on this exact g — the CHECK hot path computes
+  /// reach once and shares it between the cycle test, the shortcut
+  /// test, and the circle operator instead of materializing a Digraph
+  /// per call. A cycle exists iff some edge (u, v) has v reaching back
+  /// to u (self-edges cannot occur).
+  bool HasCycleIn(const std::vector<DynamicBitset>& reach) const;
 
   /// True iff some edge (u, v) of g is paralleled by a longer path —
   /// condition (a) of Proposition 2. Requires acyclicity for exactness.
   bool HasShortcut() const;
+  /// Same, with a caller-supplied ComputeReach() table (see above).
+  bool HasShortcut(const std::vector<DynamicBitset>& reach) const;
+
+  /// Merges `other` (over the same category universe) into this
+  /// subhierarchy: categories, edges, and Below sets union
+  /// elementwise; top() is recomputed. Used to compose per-component
+  /// models of a decomposed DIMSAT run. Below stays exact when the
+  /// two operands share only categories that no cross-operand path
+  /// enters or leaves except trivially — for component composition the
+  /// shared categories are the query root (no in-edges in either
+  /// operand) and All (no out-edges), so In* of the union is the
+  /// elementwise union of the operands' In*.
+  void UnionWith(const Subhierarchy& other);
 
  private:
   int n_;

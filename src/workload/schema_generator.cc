@@ -185,4 +185,139 @@ Result<DimensionSchema> GenerateConstrainedSchema(
   return DimensionSchema(schema, std::move(constraints));
 }
 
+Result<DimensionSchema> GenerateMultiComponentSchema(
+    const MultiComponentGenOptions& options) {
+  if (options.num_components < 2 || options.levels_per_component < 1 ||
+      options.categories_per_level < 1) {
+    return Status::InvalidArgument(
+        "need >= 2 components and >= 1 level/category per component");
+  }
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  HierarchySchemaBuilder builder;
+  std::vector<std::pair<std::string, std::string>> edges;
+  auto add_edge = [&](const std::string& a, const std::string& b) {
+    edges.emplace_back(a, b);
+    builder.AddEdge(a, b);
+  };
+  auto has_edge = [&](const std::string& a, const std::string& b) {
+    for (const auto& [x, y] : edges) {
+      if (x == a && y == b) return true;
+    }
+    return false;
+  };
+
+  // comp_edges[k]: the comp-internal edges eligible for into
+  // constraints; hubs[k]: the component's wide entry category.
+  std::vector<std::vector<std::pair<std::string, std::string>>> comp_edges(
+      options.num_components);
+  std::vector<std::string> hubs;
+
+  for (int k = 0; k < options.num_components; ++k) {
+    const std::string prefix = "P" + std::to_string(k);
+    const std::string hub = prefix + "Hub";
+    hubs.push_back(hub);
+    add_edge("Base", hub);
+
+    std::vector<std::vector<std::string>> levels;
+    levels.push_back({hub});
+    for (int level = 1; level <= options.levels_per_component; ++level) {
+      std::vector<std::string> names;
+      for (int i = 0; i < options.categories_per_level; ++i) {
+        names.push_back(prefix + "L" + std::to_string(level) + "C" +
+                        std::to_string(i));
+      }
+      levels.push_back(std::move(names));
+    }
+
+    // The hub fans out to the whole first level: the declaration-order
+    // branching baseline meets this wide category first.
+    for (const std::string& c : levels[1]) {
+      add_edge(hub, c);
+      comp_edges[k].emplace_back(hub, c);
+    }
+    // Spanning edges upward, plus optional extras, strictly inside the
+    // component.
+    for (int level = 1; level < options.levels_per_component; ++level) {
+      const auto& next = levels[level + 1];
+      std::uniform_int_distribution<size_t> pick(0, next.size() - 1);
+      for (const std::string& from : levels[level]) {
+        const std::string& to = next[pick(rng)];
+        add_edge(from, to);
+        comp_edges[k].emplace_back(from, to);
+        for (const std::string& extra : next) {
+          if (!has_edge(from, extra) && coin(rng) < options.extra_edge_prob) {
+            add_edge(from, extra);
+            comp_edges[k].emplace_back(from, extra);
+          }
+        }
+      }
+      // Every next-level category needs an in-edge to stay reachable.
+      for (const std::string& to : next) {
+        bool has_in = false;
+        for (const auto& [a, b] : edges) has_in |= (b == to);
+        if (!has_in) {
+          std::uniform_int_distribution<size_t> pick_from(
+              0, levels[level].size() - 1);
+          const std::string& from = levels[level][pick_from(rng)];
+          add_edge(from, to);
+          comp_edges[k].emplace_back(from, to);
+        }
+      }
+    }
+    // Top level rolls up to All. No Base -> All edge exists, so the
+    // split stays eligible.
+    for (const std::string& top : levels.back()) {
+      add_edge(top, "All");
+    }
+  }
+
+  OLAPDC_ASSIGN_OR_RETURN(HierarchySchemaPtr schema, builder.BuildShared());
+
+  std::vector<DimensionConstraint> constraints;
+  DynamicBitset into_source(schema->num_categories());
+  for (int k = 0; k < options.num_components; ++k) {
+    // Into constraints over comp-internal edges (never Base's edges:
+    // keeping Base unconstrained keeps every component absent-valid).
+    for (const auto& [a, b] : comp_edges[k]) {
+      const CategoryId u = schema->FindCategory(a);
+      const CategoryId v = schema->FindCategory(b);
+      if (HasSimplePathThroughThirdNode(schema->graph(), u, v)) continue;
+      if (coin(rng) < options.into_fraction) {
+        OLAPDC_ASSIGN_OR_RETURN(
+            DimensionConstraint c,
+            MakeConstraint(*schema, MakePathAtom({u, v}), "into"));
+        constraints.push_back(std::move(c));
+        into_source.set(u);
+      }
+    }
+    // Exclusive choice over wide comp-internal categories, hub first —
+    // this is the constraint that couples the component's categories
+    // into one split class.
+    std::vector<CategoryId> candidates;
+    for (const auto& [a, b] : comp_edges[k]) {
+      const CategoryId u = schema->FindCategory(a);
+      if (schema->graph().OutDegree(u) >= 2 && !into_source.test(u) &&
+          (candidates.empty() || candidates.back() != u)) {
+        candidates.push_back(u);
+      }
+    }
+    for (int i = 0; i < options.num_choice_constraints && !candidates.empty();
+         ++i) {
+      const CategoryId c = candidates[i % candidates.size()];
+      std::vector<ExprPtr> atoms;
+      for (CategoryId p : schema->graph().OutNeighbors(c)) {
+        atoms.push_back(MakePathAtom({c, p}));
+      }
+      OLAPDC_ASSIGN_OR_RETURN(
+          DimensionConstraint constraint,
+          MakeConstraint(*schema, MakeExactlyOne(std::move(atoms)), "choice"));
+      constraints.push_back(std::move(constraint));
+    }
+  }
+
+  return DimensionSchema(schema, std::move(constraints));
+}
+
 }  // namespace olapdc

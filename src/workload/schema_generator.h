@@ -64,6 +64,37 @@ struct ConstraintGenOptions {
 Result<DimensionSchema> GenerateConstrainedSchema(
     const HierarchySchemaPtr& schema, const ConstraintGenOptions& options);
 
+struct MultiComponentGenOptions {
+  /// Independent sub-hierarchies hanging between Base and All — the
+  /// decomposition-friendly shape (mixed-rollup geography, parallel
+  /// fiscal/calendar paths, ...). No edge or constraint crosses
+  /// components, so ComputeComponentSplit recovers exactly this many
+  /// components for queries rooted at Base.
+  int num_components = 3;
+  /// Intermediate levels inside each component above its entry hub.
+  int levels_per_component = 2;
+  /// Categories per intermediate level of each component.
+  int categories_per_level = 3;
+  /// Probability of extra (non-spanning) comp-internal edges.
+  double extra_edge_prob = 0.35;
+  /// Fraction of comp-internal edges carrying an into constraint.
+  double into_fraction = 0.3;
+  /// Exclusive-choice constraints per component (always at least the
+  /// hub choice when the hub has >= 2 successors).
+  int num_choice_constraints = 1;
+  uint64_t seed = 1;
+};
+
+/// A schema of `num_components` disjoint sub-hierarchies:
+/// Base -> P<k>Hub -> P<k>L<level>C<i> -> ... -> All. Each hub fans
+/// out to every first-level category of its component — a
+/// deliberately pessimal shape for declaration-order branching, which
+/// meets the wide hubs first, while the most-constrained-first
+/// heuristic defers them behind the into-forced interior. Base's own
+/// edges carry no constraints, so every component is absent-valid.
+Result<DimensionSchema> GenerateMultiComponentSchema(
+    const MultiComponentGenOptions& options);
+
 }  // namespace olapdc
 
 #endif  // OLAPDC_WORKLOAD_SCHEMA_GENERATOR_H_

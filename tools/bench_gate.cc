@@ -195,10 +195,27 @@ int CheckFloors(const std::string& path,
   int failures = 0;
   for (const auto& [field, min_value] : floors) {
     int checked = 0;
+    int exempt = 0;
     for (size_t i = 0; i < rows->array.size(); ++i) {
       const JsonValue* value = rows->array[i].Find(field);
       if (value == nullptr || !value->is_number()) continue;
       ++checked;
+      // Rows may self-exempt from floors when the claim is unmeasurable
+      // on the producing host: "single_core_host" (no parallel speedup
+      // physically possible) or the generic "floor_exempt" (e.g. SIMD
+      // speedups on machines without the vector unit). Failing the gate
+      // there would punish the machine, not catch a regression.
+      const JsonValue* single = rows->array[i].Find("single_core_host");
+      const JsonValue* generic = rows->array[i].Find("floor_exempt");
+      const bool exempted =
+          (single != nullptr && single->is_bool() && single->bool_value) ||
+          (generic != nullptr && generic->is_bool() && generic->bool_value);
+      if (exempted) {
+        ++exempt;
+        std::printf("  skip  %s[%zu]: %s %g (host-exempt row)\n",
+                    bench.c_str(), i, field.c_str(), value->number_value);
+        continue;
+      }
       if (value->number_value < min_value) {
         ++failures;
         std::printf("  FAIL  %s[%zu]: %s %g < floor %g\n", bench.c_str(), i,
@@ -214,6 +231,11 @@ int CheckFloors(const std::string& path,
                    "misspelled floor must not pass silently\n",
                    path.c_str(), field.c_str());
       return kExitUsage;
+    }
+    if (exempt == checked) {
+      std::printf("  note  %s: every '%s' row is host-exempt — floor "
+                  "not enforced on this machine\n",
+                  bench.c_str(), field.c_str());
     }
   }
   std::printf("bench_gate: %s: %zu floor(s), %d failure(s)\n", bench.c_str(),
