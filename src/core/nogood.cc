@@ -91,12 +91,21 @@ Status NoGoodStore::Load(std::string_view text, size_t* consumed) {
   if (count_line.substr(0, kEntries.size()) != kEntries) {
     return Status::ParseError("no-good store missing \"entries N\" line");
   }
+  const std::string_view digits = count_line.substr(kEntries.size());
+  if (digits.empty()) {
+    return Status::ParseError("malformed entry count in no-good store");
+  }
   uint64_t expected = 0;
-  for (const char c : count_line.substr(kEntries.size())) {
+  for (const char c : digits) {
     if (c < '0' || c > '9') {
       return Status::ParseError("malformed entry count in no-good store");
     }
     expected = expected * 10 + static_cast<uint64_t>(c - '0');
+    // Each entry is a 33-byte line; a count past this cap cannot be a
+    // store we wrote (and would only make a corrupt file loop longer).
+    if (expected > (1u << 27)) {
+      return Status::ParseError("implausible entry count in no-good store");
+    }
   }
   uint64_t loaded = 0;
   while (loaded < expected) {

@@ -84,6 +84,14 @@ class NoGoodStore {
   CacheStatsSnapshot Stats() const { return cache_.Stats(); }
   void Clear() { cache_.Clear(); }
 
+  /// Visits every recorded signature (arbitrary order). The snapshot
+  /// plane uses this to merge a fully-parsed staging store into the
+  /// live one, so a malformed persistence file never half-loads.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    cache_.ForEach([&](const Fingerprint128& sig, const bool&) { fn(sig); });
+  }
+
   /// `dimsat-nogoods v1` text: header, entry count, one signature per
   /// line. Concurrent inserts during serialization may or may not be
   /// included (the count line is authoritative for what follows).

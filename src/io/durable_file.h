@@ -1,0 +1,100 @@
+// Durable files: the crash-durability primitive under olapdcd's
+// snapshot plane (docs/robustness.md "Crash durability & recovery").
+//
+// A durable file is a sequence of CRC32-framed, length-prefixed
+// records behind a fixed magic line:
+//
+//   "olapdc-durable v1\n"
+//   [u32 LE payload length][u32 LE CRC32(payload)][payload bytes] ...
+//
+// Writing is all-or-nothing at the *file* level: WriteDurableFile
+// writes every record to `path + ".tmp"`, fsyncs the data, atomically
+// rename()s over `path`, and fsyncs the parent directory, so a reader
+// (or a restart) only ever sees either the previous complete file or
+// the new complete file — never a half-written one. Any failure along
+// the way removes the temp file and leaves the previous file intact.
+//
+// Reading is recovery, not parsing: a kill -9 mid-write, a power cut
+// that loses un-fsynced tail pages, or a stray bit flip must never
+// take the next startup down. ReadDurableFile salvages the longest
+// valid prefix of records — a torn tail (truncated frame or payload)
+// is dropped and counted, a CRC mismatch drops the record and
+// everything after it (framing cannot resync past a corrupt length),
+// and the caller is told exactly what was recovered. Only a missing
+// file (NotFound) or a wrong magic line (ParseError: it is not a
+// durable file at all) fail the read.
+//
+// Fault injection: the writer probes the `durable.write`,
+// `durable.fsync`, and `durable.rename` sites (common/fault_injector.h)
+// before the corresponding syscall, so disk-full and failed-fsync
+// paths are testable deterministically — an injected fault takes the
+// same cleanup path a real ENOSPC would.
+//
+// Metrics: olapdc.durable.writes / write_failures / bytes on the write
+// side; olapdc.durable.recovered_records / torn_tail_truncations /
+// crc_drops on the recovery side (inventory in docs/observability.md).
+
+#ifndef OLAPDC_IO_DURABLE_FILE_H_
+#define OLAPDC_IO_DURABLE_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace olapdc {
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes` — the per-record frame
+/// checksum. Exposed so tests and harnesses can forge/verify frames.
+uint32_t Crc32(std::string_view bytes);
+
+struct DurableWriteStats {
+  uint64_t records = 0;
+  /// Total file size written (magic + frames + payloads).
+  uint64_t bytes = 0;
+};
+
+/// Atomically replaces `path` with a durable file holding `records`,
+/// via temp + fsync + rename + parent-directory fsync. On any failure
+/// (injected or real) the temp file is removed and the previous
+/// `path`, if any, is left untouched. Records may hold arbitrary
+/// bytes; a record larger than kMaxDurableRecordBytes is refused.
+Status WriteDurableFile(const std::string& path,
+                        const std::vector<std::string>& records,
+                        DurableWriteStats* stats = nullptr);
+
+/// Ceiling on one record's payload (and on what the reader will
+/// believe a length frame): keeps a corrupt length word from turning
+/// into a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxDurableRecordBytes = 1u << 30;
+
+struct DurableReadResult {
+  /// The longest valid prefix of records.
+  std::vector<std::string> records;
+  /// Size of the file as read.
+  uint64_t bytes_total = 0;
+  /// Bytes covered by the magic + the valid records.
+  uint64_t bytes_salvaged = 0;
+  /// 1 if trailing bytes past the last valid record were dropped
+  /// (torn frame, truncated payload, or an implausible length word).
+  uint64_t torn_tail_truncations = 0;
+  /// 1 if the first dropped record framed correctly but failed its
+  /// CRC (bit flip) — everything after it is dropped too.
+  uint64_t crc_drops = 0;
+};
+
+/// Recovers `path`: salvages the valid record prefix and reports what
+/// was dropped. With `truncate_torn_tail`, the file itself is
+/// truncated back to the last valid record so later readers see a
+/// clean file. Fails only with NotFound (no file) or ParseError
+/// (wrong magic — not a durable file); torn tails and CRC failures
+/// are recovery, not errors.
+Result<DurableReadResult> ReadDurableFile(const std::string& path,
+                                          bool truncate_torn_tail = false);
+
+}  // namespace olapdc
+
+#endif  // OLAPDC_IO_DURABLE_FILE_H_

@@ -69,6 +69,17 @@ std::vector<std::string> SchemaRegistry::Names() const {
   return names;
 }
 
+std::vector<std::pair<std::string, Fingerprint128>> SchemaRegistry::Epochs()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Fingerprint128>> epochs;
+  epochs.reserve(schemas_.size());
+  for (const auto& [name, snapshot] : schemas_) {
+    epochs.emplace_back(name, snapshot.epoch);
+  }
+  return epochs;
+}
+
 size_t SchemaRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return schemas_.size();

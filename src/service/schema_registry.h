@@ -28,6 +28,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/budget.h"
@@ -71,6 +72,11 @@ class SchemaRegistry {
 
   std::vector<std::string> Names() const;
   size_t size() const;
+
+  /// All (name, content epoch) pairs, one consistent read — what the
+  /// snapshot plane checkpoints so a restart can tell which persisted
+  /// cache state still matches a live theory.
+  std::vector<std::pair<std::string, Fingerprint128>> Epochs() const;
 
   /// Registrations that *replaced* an entry with different content
   /// (i.e. changed its epoch and thereby invalidated every cached

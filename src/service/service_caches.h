@@ -105,12 +105,30 @@ class ServiceCaches {
   /// by DimService; cheap (a handful of uncontended shard locks).
   void PublishGauges() const;
 
-  /// Persistence for warm restarts (`olapdcd --nogood-file`):
-  /// `olapdc-nogood-stores v1` — each live store serialized with its
-  /// epoch, so a reload only ever re-attaches learned pruning to the
-  /// byte-identical theory it was learned against.
+  /// Persistence for warm restarts (`olapdcd --nogood-file` and the
+  /// snapshot plane): `olapdc-nogood-stores v1` — each live store
+  /// serialized with its epoch, so a reload only ever re-attaches
+  /// learned pruning to the byte-identical theory it was learned
+  /// against. LoadNoGoods is all-or-nothing: the text is parsed into
+  /// staging stores first and committed only if every store parses,
+  /// so truncated or corrupted input returns ParseError and loads
+  /// nothing (tests/snapshot_test.cc's adversarial corpus).
   std::string SerializeNoGoods() const;
   Status LoadNoGoods(std::string_view text);
+
+  /// Warm-set snapshot of layer a: up to `max_entries` response-cache
+  /// entries as `olapdc-responses v1` text (length-prefixed key/body
+  /// pairs — bodies are opaque bytes). Part of the olapdcd snapshot
+  /// (service/snapshot.h); keys carry their epoch, so re-loading a
+  /// stale snapshot is harmless (stale keys never hit).
+  std::string SerializeResponses(size_t max_entries) const;
+  /// Re-inserts a SerializeResponses snapshot. All-or-nothing like
+  /// LoadNoGoods: malformed input returns ParseError, inserts nothing.
+  Status LoadResponses(std::string_view text);
+
+  /// Total entries across the live no-good stores — the crash
+  /// harness's monotonicity counter.
+  uint64_t NoGoodEntryCount() const { return NoGoodStats().entries; }
 
  private:
   Options options_;

@@ -22,7 +22,14 @@
 // chaos_daemon_report.json) and fails unless "invariants_held" is true
 // and "violations" is empty — so CI can block on "the chaos campaign
 // found nothing" with the same binary that gates the latency
-// baselines.
+// baselines. When the report embeds a "crash_grid" object (the kill-9
+// recovery grid from `chaos_campaign --crash`), that section's own
+// "invariants_held" must also be true. Pass
+// `--require-crash-grid <min_rounds>` before --invariants to make the
+// section mandatory: a report without a crash grid, or with fewer
+// rounds than the floor, fails the gate — so CI can insist the
+// committed baseline actually ran the kill grid at scale instead of
+// silently passing a sweep-only report.
 //
 // A third mode gates higher-is-better fields against an absolute
 // floor (the latency gate is relative and lower-is-better, so ratios
@@ -60,22 +67,30 @@ int Usage() {
       "usage: bench_gate --baseline <BENCH.json> --current <BENCH.json>\n"
       "                  [--default-threshold-pct <p>] "
       "[--threshold <field>=<p>]...\n"
-      "       bench_gate --invariants <report.json>...\n"
+      "       bench_gate [--require-crash-grid <min_rounds>] "
+      "--invariants <report.json>...\n"
       "       bench_gate --current <BENCH.json> --floor <field>=<min>...\n"
       "gates latency-like fields (ms/us/ns_per_task/*_ms/*_us/*_ns) at\n"
       "current <= baseline * (1 + p/100); other numeric fields are\n"
       "reported but not gated. --invariants instead checks chaos\n"
       "campaign reports: \"invariants_held\" must be true with an empty\n"
-      "\"violations\" array. --floor gates higher-is-better fields: every\n"
-      "row carrying the field must be >= the floor.\n"
+      "\"violations\" array, and an embedded \"crash_grid\" section must\n"
+      "itself hold; --require-crash-grid makes that section mandatory\n"
+      "with at least <min_rounds> rounds. --floor gates higher-is-better\n"
+      "fields: every row carrying the field must be >= the floor.\n"
       "exit codes: 0 within thresholds, 1 regression/violation, 2 "
       "usage/parse\n");
   return kExitUsage;
 }
 
 /// --invariants mode: every report must say invariants_held=true with
-/// zero violations.
-int CheckInvariants(const std::vector<std::string>& paths) {
+/// zero violations. A report embedding a "crash_grid" object (the
+/// kill-9 grid from `chaos_campaign --crash`) must also hold inside
+/// that section; with `require_crash_grid`, a report *without* the
+/// section — or with fewer than `min_crash_rounds` rounds — fails, so
+/// CI can insist the baseline actually exercised the kill grid.
+int CheckInvariants(const std::vector<std::string>& paths,
+                    bool require_crash_grid, double min_crash_rounds) {
   int bad = 0;
   for (const std::string& path : paths) {
     std::ifstream in(path);
@@ -102,7 +117,39 @@ int CheckInvariants(const std::vector<std::string>& paths) {
                    path.c_str());
       return kExitUsage;
     }
-    if (held->bool_value && violations->array.empty()) {
+    const JsonValue* crash_grid = doc.Find("crash_grid");
+    bool crash_ok = true;
+    if (crash_grid != nullptr) {
+      if (!crash_grid->is_object()) {
+        std::printf("  FAIL  %s: \"crash_grid\" is not an object\n",
+                    path.c_str());
+        crash_ok = false;
+      } else {
+        const JsonValue* grid_held = crash_grid->Find("invariants_held");
+        const JsonValue* rounds = crash_grid->Find("rounds");
+        const double n_rounds =
+            rounds != nullptr && rounds->is_number() ? rounds->number_value : 0;
+        if (grid_held == nullptr || !grid_held->is_bool() ||
+            !grid_held->bool_value) {
+          std::printf("  FAIL  %s: crash_grid invariants_held != true\n",
+                      path.c_str());
+          crash_ok = false;
+        } else if (require_crash_grid && n_rounds < min_crash_rounds) {
+          std::printf("  FAIL  %s: crash_grid rounds %g < required %g\n",
+                      path.c_str(), n_rounds, min_crash_rounds);
+          crash_ok = false;
+        } else {
+          std::printf("  ok    %s: crash_grid held (%g rounds)\n",
+                      path.c_str(), n_rounds);
+        }
+      }
+    } else if (require_crash_grid) {
+      std::printf("  FAIL  %s: no \"crash_grid\" section but "
+                  "--require-crash-grid was given\n",
+                  path.c_str());
+      crash_ok = false;
+    }
+    if (held->bool_value && violations->array.empty() && crash_ok) {
       std::printf("  ok    %s: invariants held\n", path.c_str());
       continue;
     }
@@ -249,6 +296,8 @@ int Run(int argc, char** argv) {
   double default_threshold_pct = 25;
   std::map<std::string, double> per_field_pct;
   std::map<std::string, double> floors;
+  bool require_crash_grid = false;
+  double min_crash_rounds = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -259,7 +308,14 @@ int Run(int argc, char** argv) {
       std::vector<std::string> paths;
       for (++i; i < argc; ++i) paths.emplace_back(argv[i]);
       if (paths.empty()) return Usage();
-      return CheckInvariants(paths);
+      return CheckInvariants(paths, require_crash_grid, min_crash_rounds);
+    } else if (arg == "--require-crash-grid") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      char* end = nullptr;
+      min_crash_rounds = std::strtod(v, &end);
+      if (end == v || *end != '\0' || min_crash_rounds < 1) return Usage();
+      require_crash_grid = true;
     } else if (arg == "--baseline") {
       const char* v = next();
       if (v == nullptr) return Usage();

@@ -56,14 +56,52 @@
 //                              (default 1200)
 //   --daemon-prob <p>          per-site injection probability (0.05)
 //   --daemon-threads <n>       client threads (default 4)
+//
+// Kill-9 crash grid (--crash / --crash-only): forks a real olapdcd
+// (with --snapshot-file and a fast --snapshot-interval-ms), hammers it
+// with mixed load, and SIGKILLs it at randomized points — including
+// mid-snapshot, with some rounds arming the durable.* fault sites and
+// some rounds corrupting the snapshot on disk (byte flips, torn
+// truncation) before restart. After every kill the daemon is
+// restarted and the crash-durability invariants are asserted:
+//
+//   A. startup never fails on a missing/torn/corrupt snapshot — the
+//      daemon always reaches "listening" (worst case it starts cold);
+//   B. recovered warm answers equal the cold recomputation: the probe
+//      set (check / implies / summarizable) must return exactly the
+//      ground truth computed in-process before any kill;
+//   C. the learned no-good count is monotone across *clean* restarts:
+//      what a graceful shutdown reports saved, the next startup must
+//      recover (kill -9 may lose un-snapshotted tail learning; a clean
+//      drain may not).
+//
+// --crash runs the grid after the classic in-process sweep and embeds
+// a "crash_grid" section in the combined report (the committed
+// BENCH_robustness.json shape); --crash-only runs just the grid (the
+// CI crash-recovery smoke).
+//
+//   --crash-kills <n>          rounds in the grid (default 200; 10 in
+//                              --quick)
+//   --crash-daemon-bin <path>  olapdcd binary (default: next to this
+//                              binary)
+//   --crash-dir <path>         scratch dir (default chaos_crash_tmp)
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
+#include <random>
 #include <set>
 #include <string>
 #include <thread>
@@ -296,8 +334,11 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// `crash_json` (optional): the serialized "crash_grid" object of a
+/// --crash run, embedded next to the sweep's own sections.
 bool WriteReport(const std::string& path, const Campaign& c, bool quick,
-                 int runs_per_cell, int seeds) {
+                 int runs_per_cell, int seeds,
+                 const std::string* crash_json = nullptr) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"benchmark\": \"chaos_campaign\",\n");
@@ -326,6 +367,9 @@ bool WriteReport(const std::string& path, const Campaign& c, bool quick,
     first = false;
   }
   std::fprintf(f, "\n  },\n");
+  if (crash_json != nullptr) {
+    std::fprintf(f, "  \"crash_grid\": %s,\n", crash_json->c_str());
+  }
   std::fprintf(f, "  \"violations\": [");
   for (size_t i = 0; i < c.violations.size(); ++i) {
     const Violation& v = c.violations[i];
@@ -817,12 +861,504 @@ int RunDaemonSoak(const DaemonSoakConfig& cfg) {
   return violations.empty() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Kill-9 crash grid (--crash / --crash-only)
+// ---------------------------------------------------------------------------
+
+struct CrashConfig {
+  int kills = 200;
+  std::string daemon_bin;
+  std::string dir = "chaos_crash_tmp";
+  int seeds = 2;
+  uint64_t seed = 0xC4A5;
+};
+
+struct CrashGrid {
+  int rounds = 0;
+  int sigkills = 0;
+  int clean_shutdowns = 0;
+  int recoveries = 0;
+  int torn_tail_recoveries = 0;
+  int crc_drop_recoveries = 0;
+  int corruptions_injected = 0;
+  int fault_armed_rounds = 0;
+  uint64_t warm_probes = 0;
+  std::vector<Violation> violations;
+};
+
+struct CrashDaemon {
+  pid_t pid = -1;
+  int out_fd = -1;
+  std::string pending;
+};
+
+bool SpawnCrashDaemon(const std::string& binary,
+                      const std::vector<std::string>& args,
+                      CrashDaemon* out) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    // 200 restarts of stderr lifecycle chatter would drown the grid's
+    // own reporting; the invariants read stdout only.
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDERR_FILENO);
+      ::close(devnull);
+    }
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  out->pid = pid;
+  out->out_fd = fds[0];
+  out->pending.clear();
+  return true;
+}
+
+/// Next stdout line from the daemon, or false on EOF/deadline.
+bool CrashReadLine(CrashDaemon* d,
+                   std::chrono::steady_clock::time_point deadline,
+                   std::string* line) {
+  for (;;) {
+    const size_t eol = d->pending.find('\n');
+    if (eol != std::string::npos) {
+      *line = d->pending.substr(0, eol);
+      d->pending.erase(0, eol + 1);
+      return true;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return false;
+    struct pollfd pfd;
+    pfd.fd = d->out_fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int r = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (r <= 0) return false;
+    char buf[4096];
+    const ssize_t n = ::read(d->out_fd, buf, sizeof(buf));
+    if (n <= 0) return false;
+    d->pending.append(buf, static_cast<size_t>(n));
+  }
+}
+
+/// 1/0 for a `"field": true/false` JSON member, -1 when absent.
+int ExtractBool(const std::string& body, const std::string& field) {
+  const std::string key = "\"" + field + "\": ";
+  const size_t pos = body.find(key);
+  if (pos == std::string::npos) return -1;
+  if (body.compare(pos + key.size(), 4, "true") == 0) return 1;
+  if (body.compare(pos + key.size(), 5, "false") == 0) return 0;
+  return -1;
+}
+
+/// A warm-vs-cold probe: the response `field` must equal `expected`
+/// (the unfaulted in-process ground truth) on every restart.
+struct CrashProbe {
+  std::string path;
+  std::string body;
+  std::string field;
+  bool expected = false;
+};
+
+void CrashLoadWorker(int port,
+                     const std::vector<std::pair<std::string, std::string>>*
+                         shapes,
+                     std::atomic<bool>* stop) {
+  tools::HttpClient client(port);
+  size_t i = 0;
+  while (!stop->load(std::memory_order_relaxed)) {
+    const auto& [path, body] = (*shapes)[i++ % shapes->size()];
+    std::string response;
+    if (client.Post(path, body, &response) < 0) client.Close();
+  }
+}
+
+int RunCrashGrid(const CrashConfig& cfg, CrashGrid* grid) {
+  auto violate = [&](int round, const std::string& what) {
+    grid->violations.push_back(
+        Violation{"<crash>", 0.0, "crash-grid", round, what});
+    std::fprintf(stderr, "VIOLATION [crash round %d]: %s\n", round,
+                 what.c_str());
+  };
+
+  // Scratch dir, schema files, and the ground-truth registry (same
+  // schema bytes the daemon will load, so same content epochs).
+  ::mkdir(cfg.dir.c_str(), 0755);
+  std::vector<std::string> base_args;
+  service::SchemaRegistry registry;
+  std::vector<Workload> workloads;
+  auto add_schema = [&](const std::string& name,
+                        const std::string& text) -> bool {
+    const std::string path = cfg.dir + "/" + name + ".schema";
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    out.close();
+    if (out.fail()) {
+      std::fprintf(stderr, "crash grid: cannot write %s\n", path.c_str());
+      return false;
+    }
+    base_args.push_back("--schema");
+    base_args.push_back(name + "=" + path);
+    return registry.Register(name, text).ok();
+  };
+  for (int s = 0; s < cfg.seeds; ++s) {
+    Result<Workload> w = MakeWorkload(s);
+    if (!w.ok()) {
+      std::fprintf(stderr, "crash grid: workload %d failed: %s\n", s,
+                   w.status().ToString().c_str());
+      return 2;
+    }
+    workloads.push_back(std::move(w).ValueOrDie());
+    if (!add_schema("w" + std::to_string(s), workloads.back().schema_text)) {
+      return 2;
+    }
+  }
+  {
+    Result<DimensionSchema> loc = LocationSchema();
+    if (!loc.ok() || !add_schema("loc", SerializeSchema(*loc))) return 2;
+  }
+
+  // Cold ground truth, computed in-process with no faults and a
+  // generous deadline; every later warm answer must match it exactly.
+  exec::AdmissionGate gate(exec::AdmissionGate::Options{16, 50});
+  service::DimService::Options service_options;
+  service_options.registry = &registry;
+  service_options.gate = &gate;
+  service_options.default_deadline_ms = 20000;
+  service_options.max_deadline_ms = 30000;
+  service_options.memory_budget_bytes = 64ull << 20;
+  service_options.max_threads = 1;
+  service_options.max_batch = 16;
+  service::DimService truth_service(service_options);
+  std::vector<CrashProbe> probes;
+  auto add_probe = [&](const char* path, std::string body,
+                       const char* field) -> bool {
+    obs::HttpRequest request;
+    request.method = "POST";
+    request.path = path;
+    request.body = body;
+    const obs::HttpResponse response = truth_service.HandleRequest(request);
+    const int v = ExtractBool(response.body, field);
+    if (response.status != 200 ||
+        ExtractBool(response.body, "definitive") != 1 || v < 0) {
+      std::fprintf(stderr,
+                   "crash grid: ground truth for %s failed (status %d)\n",
+                   path, response.status);
+      return false;
+    }
+    probes.push_back(CrashProbe{path, std::move(body), field, v == 1});
+    return true;
+  };
+  for (size_t k = 0; k < workloads.size(); ++k) {
+    if (!add_probe("/v1/check",
+                   "{\"schema\": \"w" + std::to_string(k) +
+                       "\", \"category\": \"Base\", \"deadline_ms\": 20000}",
+                   "satisfiable")) {
+      return 2;
+    }
+  }
+  if (!add_probe("/v1/implies",
+                 "{\"schema\": \"loc\", \"constraint\": \"Store/City\"}",
+                 "implied") ||
+      !add_probe("/v1/summarizable",
+                 "{\"schema\": \"loc\", \"category\": \"Country\", "
+                 "\"sources\": [\"Store\"]}",
+                 "summarizable")) {
+    return 2;
+  }
+
+  // The hammer mix: the probes plus short- and 1ms-deadline checks
+  // (checkpoints, no-good learning) so kills land mid-reasoning and
+  // mid-snapshot with real cache state on the line.
+  std::vector<std::pair<std::string, std::string>> load_shapes;
+  for (const CrashProbe& p : probes) load_shapes.emplace_back(p.path, p.body);
+  for (size_t k = 0; k < workloads.size(); ++k) {
+    const std::string name = "w" + std::to_string(k);
+    load_shapes.emplace_back(
+        "/v1/check", "{\"schema\": \"" + name +
+                         "\", \"category\": \"Base\", \"deadline_ms\": 150}");
+    load_shapes.emplace_back(
+        "/v1/check", "{\"schema\": \"" + name +
+                         "\", \"category\": \"Base\", \"deadline_ms\": 1}");
+  }
+
+  const std::string snap = cfg.dir + "/snap";
+  ::unlink(snap.c_str());
+  ::unlink((snap + ".tmp").c_str());
+  base_args.insert(base_args.end(),
+                   {"--port", "0", "--snapshot-file", snap,
+                    "--snapshot-interval-ms", "10", "--cache-budget-mb", "8",
+                    "--request-deadline-ms", "20000", "--max-deadline-ms",
+                    "30000", "--drain-timeout-ms", "4000"});
+
+  std::mt19937_64 rng(cfg.seed);
+  int64_t last_clean_nogoods = -1;
+  bool ever_salvaged = false;
+
+  for (int round = 0; round < cfg.kills; ++round) {
+    const bool fault_round = round % 7 == 3;
+    // Every 8th round ends in a graceful SIGTERM instead of SIGKILL —
+    // the monotonicity anchor: what that drain reports saved, the very
+    // next startup must recover.
+    const bool clean_round = round % 8 == 5;
+    // Harness-side corruption: bit-flip or torn-truncate the snapshot
+    // before restart (never between a clean save and its monotonicity
+    // check — corruption legitimately loses records).
+    if (last_clean_nogoods < 0 && round % 4 == 2) {
+      std::fstream file(snap,
+                        std::ios::binary | std::ios::in | std::ios::out);
+      file.seekg(0, std::ios::end);
+      const int64_t size = file.tellg();
+      if (file && size > 0) {
+        const uint64_t offset = rng() % static_cast<uint64_t>(size);
+        if (rng() % 2 == 0) {
+          file.seekg(static_cast<std::streamoff>(offset));
+          char byte = 0;
+          file.read(&byte, 1);
+          byte = static_cast<char>(byte ^ 0x40);
+          file.seekp(static_cast<std::streamoff>(offset));
+          file.write(&byte, 1);
+          file.close();
+        } else {
+          file.close();
+          if (::truncate(snap.c_str(), static_cast<off_t>(offset)) != 0) {
+            // Removal also models a lost file; recovery must cope.
+            ::unlink(snap.c_str());
+          }
+        }
+        ++grid->corruptions_injected;
+      }
+    }
+
+    std::vector<std::string> args = base_args;
+    if (fault_round) {
+      // Injected write/fsync/rename failures *inside* the snapshot
+      // plane: periodic snapshots fail and retry, and the durable-file
+      // contract (temp unlinked, previous snapshot intact) is what
+      // keeps the next recovery working.
+      args.insert(args.end(),
+                  {"--fault-site", "durable.write", "--fault-site",
+                   "durable.fsync", "--fault-site", "durable.rename",
+                   "--fault-prob", "0.25", "--fault-seed",
+                   std::to_string(round + 1)});
+      ++grid->fault_armed_rounds;
+    }
+
+    CrashDaemon daemon;
+    if (!SpawnCrashDaemon(cfg.daemon_bin, args, &daemon)) {
+      std::fprintf(stderr, "crash grid: cannot spawn %s\n",
+                   cfg.daemon_bin.c_str());
+      return 2;
+    }
+    // Invariant A: startup always reaches "listening", whatever state
+    // the previous round left the snapshot in.
+    int port = 0;
+    bool recovered = false;
+    unsigned long long r_seq = 0, r_nogoods = 0, r_torn = 0, r_crc = 0;
+    {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      std::string line;
+      while (port == 0 && CrashReadLine(&daemon, deadline, &line)) {
+        if (std::sscanf(line.c_str(),
+                        "olapdcd recovered snapshot seq=%llu nogoods=%llu "
+                        "torn=%llu crc_drops=%llu",
+                        &r_seq, &r_nogoods, &r_torn, &r_crc) == 4) {
+          recovered = true;
+        }
+        std::sscanf(line.c_str(), "olapdcd listening on port %d", &port);
+      }
+    }
+    if (port == 0) {
+      violate(round,
+              "daemon failed to reach 'listening' after restart — startup "
+              "died on the recovered snapshot");
+      ::kill(daemon.pid, SIGKILL);
+      ::waitpid(daemon.pid, nullptr, 0);
+      ::close(daemon.out_fd);
+      ++grid->rounds;
+      break;  // every later round would re-report the same broken state
+    }
+    if (recovered) {
+      ++grid->recoveries;
+      grid->torn_tail_recoveries += static_cast<int>(r_torn);
+      grid->crc_drop_recoveries += static_cast<int>(r_crc);
+      if (r_torn > 0 || r_crc > 0) ever_salvaged = true;
+      // Invariant C: learned pruning never goes backwards across a
+      // clean restart.
+      if (last_clean_nogoods >= 0 &&
+          static_cast<int64_t>(r_nogoods) < last_clean_nogoods) {
+        violate(round, "no-good count went backwards across a clean "
+                       "restart: saved " +
+                           std::to_string(last_clean_nogoods) +
+                           ", recovered " + std::to_string(r_nogoods));
+      }
+    } else if (last_clean_nogoods >= 0) {
+      violate(round, "clean shutdown saved a snapshot but the next "
+                     "startup recovered nothing");
+    }
+    last_clean_nogoods = -1;
+
+    // Invariant B: warm answers equal the cold ground truth.
+    {
+      tools::HttpClient client(port);
+      for (const CrashProbe& probe : probes) {
+        std::string body;
+        const int status = client.Post(probe.path, probe.body, &body);
+        ++grid->warm_probes;
+        if (status != 200) {
+          violate(round, "probe " + probe.path + " returned status " +
+                             std::to_string(status) + " after restart");
+          client.Close();
+          continue;
+        }
+        if (ExtractBool(body, "definitive") != 1) {
+          violate(round, "probe " + probe.path +
+                             " not definitive despite a 20s deadline");
+          continue;
+        }
+        const int v = ExtractBool(body, probe.field);
+        if (v != (probe.expected ? 1 : 0)) {
+          violate(round, "warm answer diverged from cold recomputation: " +
+                             probe.path + " " + probe.field + " = " +
+                             std::to_string(v) + ", expected " +
+                             std::to_string(probe.expected ? 1 : 0));
+        }
+      }
+    }
+
+    // Load, then kill at a randomized point (snapshots rewrite every
+    // 10ms, so kills land before, during, and after durable writes).
+    std::atomic<bool> stop{false};
+    std::thread hammer(CrashLoadWorker, port, &load_shapes, &stop);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(3 + static_cast<int>(rng() % 120)));
+    if (clean_round) {
+      stop.store(true, std::memory_order_relaxed);
+      hammer.join();
+      ::kill(daemon.pid, SIGTERM);
+      unsigned long long s_seq = 0, s_nogoods = 0;
+      bool saved = false;
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      std::string line;
+      while (CrashReadLine(&daemon, deadline, &line)) {
+        if (std::sscanf(line.c_str(),
+                        "olapdcd snapshot saved seq=%llu nogoods=%llu",
+                        &s_seq, &s_nogoods) == 2) {
+          saved = true;
+        }
+      }
+      int wstatus = 0;
+      ::waitpid(daemon.pid, &wstatus, 0);
+      const int code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 128;
+      if (code != 0) {
+        violate(round,
+                "graceful shutdown exited " + std::to_string(code));
+      }
+      if (saved) {
+        last_clean_nogoods = static_cast<int64_t>(s_nogoods);
+      } else {
+        violate(round, "graceful shutdown never reported a saved snapshot");
+      }
+      ++grid->clean_shutdowns;
+    } else {
+      ::kill(daemon.pid, SIGKILL);
+      stop.store(true, std::memory_order_relaxed);
+      hammer.join();
+      ::waitpid(daemon.pid, nullptr, 0);
+      ++grid->sigkills;
+    }
+    ::close(daemon.out_fd);
+    ++grid->rounds;
+  }
+
+  // A grid that never salvaged a torn/corrupt snapshot never tested
+  // recovery — the corruption rounds above make that overwhelmingly
+  // unlikely on a real grid, so silence means the plumbing is broken.
+  if (cfg.kills >= 50 && !ever_salvaged) {
+    violate(-1, "grid never observed a torn/CRC salvage — recovery was "
+                "not exercised");
+  }
+  std::fprintf(stderr,
+               "crash grid done: %d rounds (%d SIGKILL, %d clean), %d "
+               "recoveries (%d torn, %d crc), %d corruptions, %d fault "
+               "rounds, %llu warm probes, %zu violations\n",
+               grid->rounds, grid->sigkills, grid->clean_shutdowns,
+               grid->recoveries, grid->torn_tail_recoveries,
+               grid->crc_drop_recoveries, grid->corruptions_injected,
+               grid->fault_armed_rounds,
+               static_cast<unsigned long long>(grid->warm_probes),
+               grid->violations.size());
+  return 0;
+}
+
+std::string CrashGridJson(const CrashGrid& grid) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"rounds\": %d, \"sigkills\": %d, \"clean_shutdowns\": %d, "
+      "\"recoveries\": %d, \"torn_tail_recoveries\": %d, "
+      "\"crc_drop_recoveries\": %d, \"corruptions_injected\": %d, "
+      "\"fault_armed_rounds\": %d, \"warm_probes\": %llu, "
+      "\"invariants_held\": %s}",
+      grid.rounds, grid.sigkills, grid.clean_shutdowns, grid.recoveries,
+      grid.torn_tail_recoveries, grid.crc_drop_recoveries,
+      grid.corruptions_injected, grid.fault_armed_rounds,
+      static_cast<unsigned long long>(grid.warm_probes),
+      grid.violations.empty() ? "true" : "false");
+  return buf;
+}
+
+bool WriteCrashReport(const std::string& path, const CrashGrid& grid) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmark\": \"chaos_campaign\",\n");
+  std::fprintf(f, "  \"mode\": \"crash\",\n");
+  std::fprintf(f, "  \"crash_grid\": %s,\n", CrashGridJson(grid).c_str());
+  std::fprintf(f, "  \"violations\": [");
+  for (size_t i = 0; i < grid.violations.size(); ++i) {
+    const Violation& v = grid.violations[i];
+    std::fprintf(f,
+                 "%s\n    {\"site\": \"%s\", \"probability\": %g, "
+                 "\"budget\": \"%s\", \"run\": %d, \"what\": \"%s\"}",
+                 i == 0 ? "" : ",", JsonEscape(v.site).c_str(), v.probability,
+                 JsonEscape(v.budget).c_str(), v.run,
+                 JsonEscape(v.what).c_str());
+  }
+  std::fprintf(f, "%s],\n", grid.violations.empty() ? "" : "\n  ");
+  std::fprintf(f, "  \"invariants_held\": %s\n}\n",
+               grid.violations.empty() ? "true" : "false");
+  std::fclose(f);
+  return true;
+}
+
 int Main(int argc, char** argv) {
   int runs_per_cell = 11;
   int seeds = 6;
   bool quick = false;
   bool daemon = false;
+  bool crash = false;
+  bool crash_only = false;
   DaemonSoakConfig daemon_cfg;
+  CrashConfig crash_cfg;
+  int crash_kills = -1;  // <0: mode default (200 full, 10 quick)
   bool out_path_set = false;
   std::string out_path = "BENCH_robustness.json";
   for (int i = 1; i < argc; ++i) {
@@ -849,14 +1385,58 @@ int Main(int argc, char** argv) {
       daemon_cfg.prob = std::atof(value());
     } else if (arg == "--daemon-threads") {
       daemon_cfg.client_threads = std::atoi(value());
+    } else if (arg == "--crash") {
+      crash = true;
+    } else if (arg == "--crash-only") {
+      crash = true;
+      crash_only = true;
+    } else if (arg == "--crash-kills") {
+      crash_kills = std::atoi(value());
+    } else if (arg == "--crash-daemon-bin") {
+      crash_cfg.daemon_bin = value();
+    } else if (arg == "--crash-dir") {
+      crash_cfg.dir = value();
     } else {
       std::fprintf(stderr,
                    "usage: chaos_campaign [--runs-per-cell n] [--seeds n] "
                    "[--out path] [--quick] [--daemon "
                    "[--daemon-duration-ms n] [--daemon-min-requests n] "
-                   "[--daemon-prob p] [--daemon-threads n]]\n");
+                   "[--daemon-prob p] [--daemon-threads n]] "
+                   "[--crash | --crash-only] [--crash-kills n] "
+                   "[--crash-daemon-bin path] [--crash-dir path]\n");
       return 2;
     }
+  }
+  if (crash) {
+    crash_cfg.kills = crash_kills > 0 ? crash_kills : (quick ? 10 : 200);
+    if (crash_cfg.daemon_bin.empty()) {
+      // Default: the olapdcd built next to this binary.
+      std::string self = argv[0];
+      const size_t slash = self.find_last_of('/');
+      crash_cfg.daemon_bin =
+          (slash == std::string::npos ? std::string(".")
+                                      : self.substr(0, slash)) +
+          "/olapdcd";
+    }
+    if (::access(crash_cfg.daemon_bin.c_str(), X_OK) != 0) {
+      std::fprintf(stderr, "error: no executable olapdcd at '%s' "
+                   "(--crash-daemon-bin)\n",
+                   crash_cfg.daemon_bin.c_str());
+      return 2;
+    }
+  }
+  if (crash_only) {
+    if (!out_path_set) out_path = "chaos_crash_report.json";
+    CrashGrid grid;
+    const int rc = RunCrashGrid(crash_cfg, &grid);
+    if (rc != 0) return rc;
+    if (!WriteCrashReport(out_path, grid)) {
+      std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                   out_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "crash grid report -> %s\n", out_path.c_str());
+    return grid.violations.empty() ? 0 : 1;
   }
   if (daemon) {
     if (daemon_cfg.duration_ms < 1 || daemon_cfg.client_threads < 1 ||
@@ -1051,7 +1631,21 @@ int Main(int argc, char** argv) {
                       ") at quiescence"});
   }
 
-  if (!WriteReport(out_path, campaign, quick, runs_per_cell, seeds)) {
+  // The kill-9 crash grid rides behind the sweep (--crash), embedding
+  // its section and folding its violations into the one verdict.
+  std::optional<std::string> crash_json;
+  if (crash) {
+    CrashGrid grid;
+    const int rc = RunCrashGrid(crash_cfg, &grid);
+    if (rc != 0) return rc;
+    crash_json = CrashGridJson(grid);
+    for (Violation& v : grid.violations) {
+      campaign.violations.push_back(std::move(v));
+    }
+  }
+
+  if (!WriteReport(out_path, campaign, quick, runs_per_cell, seeds,
+                   crash_json ? &*crash_json : nullptr)) {
     std::fprintf(stderr, "error: cannot write report to '%s'\n",
                  out_path.c_str());
     return 2;

@@ -21,12 +21,15 @@
 // process-wide injector *inside the serving threads* — the live-daemon
 // chaos soak (tools/loadgen, chaos_campaign --daemon) depends on it.
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -37,6 +40,7 @@
 #include "common/fault_injector.h"
 #include "common/status.h"
 #include "exec/admission.h"
+#include "io/durable_file.h"
 #include "io/schema_io.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
@@ -44,6 +48,7 @@
 #include "service/dim_service.h"
 #include "service/schema_registry.h"
 #include "service/service_caches.h"
+#include "service/snapshot.h"
 
 namespace olapdc {
 namespace {
@@ -81,6 +86,10 @@ int Usage() {
       "32; 0 disables caching)\n"
       "  --nogood-file PATH       load learned DIMSAT pruning on start, "
       "save it on drain\n"
+      "  --snapshot-file PATH     durable cache snapshot: recovered on "
+      "start, rewritten on drain\n"
+      "  --snapshot-interval-ms N also rewrite the snapshot every N ms off "
+      "the serving path (default 0 = drain only)\n"
       "  --fault-site S           arm fault site S (repeatable; 'all' = "
       "every registered site)\n"
       "  --fault-prob P           injection probability (default 0.01)\n"
@@ -94,6 +103,41 @@ int ExitCodeFor(const Status& status) {
   return status.ok() ? 0 : static_cast<int>(status.code());
 }
 
+/// Validated integer flag parse (the olapdc_cli.cc pattern): rejects
+/// empty/non-numeric text, trailing junk, and out-of-range values
+/// instead of atoll's silent 0 and ERANGE saturation.
+bool ParseInt64Flag(const char* flag, const std::string& text, int64_t min,
+                    int64_t max, int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long n = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      n < min || n > max) {
+    std::fprintf(stderr,
+                 "error: %s needs an integer in [%lld, %lld], got '%s'\n",
+                 flag, static_cast<long long>(min),
+                 static_cast<long long>(max), text.c_str());
+    return false;
+  }
+  *out = n;
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const std::string& text, double min,
+                     double max, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      !(v >= min && v <= max)) {
+    std::fprintf(stderr, "error: %s needs a number in [%g, %g], got '%s'\n",
+                 flag, min, max, text.c_str());
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 StatusCode NaturalFaultCode(const std::string& site) {
   if (site == "schema_io.parse" || site == "instance_io.parse") {
     return StatusCode::kParseError;
@@ -103,10 +147,10 @@ StatusCode NaturalFaultCode(const std::string& site) {
 }
 
 int Main(int argc, char** argv) {
-  int port = 0;
+  int64_t port = 0;
   std::vector<std::pair<std::string, std::string>> schema_files;
   int64_t drain_timeout_ms = 5000;
-  int max_connections = 4;
+  int64_t max_connections = 4;
   int64_t max_body_bytes = 1 << 20;
   int64_t max_header_bytes = 16 * 1024;
   int64_t read_timeout_ms = 5000;
@@ -114,16 +158,19 @@ int Main(int argc, char** argv) {
   int64_t request_deadline_ms = 2000;
   int64_t max_deadline_ms = 30000;
   int64_t memory_budget_mb = 64;
-  int threads = 1;
+  int64_t threads = 1;
   int64_t max_batch = 64;
   bool allow_register = true;
   int64_t cache_budget_mb = 32;
   std::string nogood_file;
+  std::string snapshot_file;
+  int64_t snapshot_interval_ms = 0;
   std::vector<std::string> fault_sites;
   double fault_prob = 0.01;
-  uint64_t fault_seed = 42;
+  int64_t fault_seed = 42;
   int64_t linger_ms = -1;
 
+  constexpr int64_t kMs = 1ll << 40;  // generous ceiling for *-ms flags
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string value;
@@ -140,7 +187,7 @@ int Main(int argc, char** argv) {
       return "";
     };
     if (arg == "--port") {
-      port = std::atoi(next().c_str());
+      if (!ParseInt64Flag("--port", next(), 0, 65535, &port)) return Usage();
     } else if (arg == "--schema") {
       const std::string spec = next();
       const size_t sep = spec.find('=');
@@ -150,55 +197,101 @@ int Main(int argc, char** argv) {
       }
       schema_files.emplace_back(spec.substr(0, sep), spec.substr(sep + 1));
     } else if (arg == "--drain-timeout-ms") {
-      drain_timeout_ms = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--drain-timeout-ms", next(), 1, kMs,
+                          &drain_timeout_ms)) {
+        return Usage();
+      }
     } else if (arg == "--max-connections") {
-      max_connections = std::atoi(next().c_str());
+      if (!ParseInt64Flag("--max-connections", next(), 1, 4096,
+                          &max_connections)) {
+        return Usage();
+      }
     } else if (arg == "--max-body-bytes") {
-      max_body_bytes = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--max-body-bytes", next(), 1, 1ll << 40,
+                          &max_body_bytes)) {
+        return Usage();
+      }
     } else if (arg == "--max-header-bytes") {
-      max_header_bytes = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--max-header-bytes", next(), 1, 1ll << 30,
+                          &max_header_bytes)) {
+        return Usage();
+      }
     } else if (arg == "--read-timeout-ms") {
-      read_timeout_ms = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--read-timeout-ms", next(), 1, kMs,
+                          &read_timeout_ms)) {
+        return Usage();
+      }
     } else if (arg == "--admission-high-water") {
-      admission_high_water = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--admission-high-water", next(), 1, 1 << 20,
+                          &admission_high_water)) {
+        return Usage();
+      }
     } else if (arg == "--request-deadline-ms") {
-      request_deadline_ms = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--request-deadline-ms", next(), 1, kMs,
+                          &request_deadline_ms)) {
+        return Usage();
+      }
     } else if (arg == "--max-deadline-ms") {
-      max_deadline_ms = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--max-deadline-ms", next(), 1, kMs,
+                          &max_deadline_ms)) {
+        return Usage();
+      }
     } else if (arg == "--memory-budget-mb") {
-      memory_budget_mb = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--memory-budget-mb", next(), 1, 1 << 20,
+                          &memory_budget_mb)) {
+        return Usage();
+      }
     } else if (arg == "--threads") {
-      threads = std::atoi(next().c_str());
+      if (!ParseInt64Flag("--threads", next(), 1, 256, &threads)) {
+        return Usage();
+      }
     } else if (arg == "--max-batch") {
-      max_batch = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--max-batch", next(), 1, 1 << 20, &max_batch)) {
+        return Usage();
+      }
     } else if (arg == "--no-register") {
       allow_register = false;
     } else if (arg == "--cache-budget-mb") {
-      cache_budget_mb = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--cache-budget-mb", next(), 0, 1 << 20,
+                          &cache_budget_mb)) {
+        return Usage();
+      }
     } else if (arg == "--nogood-file") {
       nogood_file = next();
+    } else if (arg == "--snapshot-file") {
+      snapshot_file = next();
+    } else if (arg == "--snapshot-interval-ms") {
+      if (!ParseInt64Flag("--snapshot-interval-ms", next(), 0, kMs,
+                          &snapshot_interval_ms)) {
+        return Usage();
+      }
     } else if (arg == "--fault-site") {
       fault_sites.push_back(next());
     } else if (arg == "--fault-prob") {
-      fault_prob = std::atof(next().c_str());
+      if (!ParseDoubleFlag("--fault-prob", next(), 0.0, 1.0, &fault_prob)) {
+        return Usage();
+      }
     } else if (arg == "--fault-seed") {
-      fault_seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+      if (!ParseInt64Flag("--fault-seed", next(), 0,
+                          std::numeric_limits<int64_t>::max(), &fault_seed)) {
+        return Usage();
+      }
     } else if (arg == "--linger-ms") {
-      linger_ms = std::atoll(next().c_str());
+      if (!ParseInt64Flag("--linger-ms", next(), -1, kMs, &linger_ms)) {
+        return Usage();
+      }
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return Usage();
     }
   }
-  if (drain_timeout_ms < 1 || max_connections < 1 || max_body_bytes < 1 ||
-      max_header_bytes < 1 || read_timeout_ms < 1 ||
-      admission_high_water < 1 || request_deadline_ms < 1 ||
-      memory_budget_mb < 1 || threads < 1 || max_batch < 1) {
-    std::fprintf(stderr, "error: flag values must be >= 1\n");
+  if (!snapshot_file.empty() && cache_budget_mb <= 0) {
+    std::fprintf(stderr, "error: --snapshot-file needs --cache-budget-mb > 0\n");
     return 2;
   }
-  if (cache_budget_mb < 0) {
-    std::fprintf(stderr, "error: --cache-budget-mb must be >= 0\n");
+  if (snapshot_interval_ms > 0 && snapshot_file.empty()) {
+    std::fprintf(stderr,
+                 "error: --snapshot-interval-ms needs --snapshot-file\n");
     return 2;
   }
 
@@ -277,6 +370,51 @@ int Main(int argc, char** argv) {
                  "error: --nogood-file needs --cache-budget-mb > 0\n");
     return 2;
   }
+
+  // Crash recovery (docs/robustness.md "Crash durability & recovery"):
+  // load the newest valid snapshot, salvaging a torn tail in place. A
+  // missing, torn, or even completely corrupt snapshot must never stop
+  // the daemon from starting — worst case it starts cold, exactly like
+  // a first boot. Epoch discipline is carried inside the sections
+  // (no-good stores and response keys name their content epochs), so a
+  // snapshot from before a schema change re-loads harmlessly cold.
+  uint64_t snapshot_seq = 1;
+  if (caches != nullptr && !snapshot_file.empty()) {
+    const auto recovery_start = std::chrono::steady_clock::now();
+    Result<DurableReadResult> read =
+        ReadDurableFile(snapshot_file, /*truncate_torn_tail=*/true);
+    if (read.ok()) {
+      Result<service::SnapshotRestore> restored =
+          service::LoadSnapshotRecords(read->records, caches.get());
+      const int64_t recovery_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - recovery_start)
+              .count();
+      if (restored.ok()) {
+        snapshot_seq = restored->seq + 1;
+        obs::Gauge("olapdc.durable.recovery_ms", recovery_ms);
+        // The crash harness parses this line (before the listening
+        // line, which loadgen tolerates); keep it stable.
+        std::printf("olapdcd recovered snapshot seq=%llu nogoods=%llu "
+                    "torn=%llu crc_drops=%llu\n",
+                    static_cast<unsigned long long>(restored->seq),
+                    static_cast<unsigned long long>(
+                        caches->NoGoodEntryCount()),
+                    static_cast<unsigned long long>(
+                        read->torn_tail_truncations),
+                    static_cast<unsigned long long>(read->crc_drops));
+        std::fflush(stdout);
+      } else {
+        std::fprintf(stderr, "olapdcd: ignoring snapshot %s: %s\n",
+                     snapshot_file.c_str(),
+                     restored.status().ToString().c_str());
+      }
+    } else if (read.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "olapdcd: ignoring snapshot %s: %s\n",
+                   snapshot_file.c_str(), read.status().ToString().c_str());
+    }
+  }
+
   service::DimService dim_service(service_options);
 
   // The telemetry GET routes share the port; /healthz is served here so
@@ -321,6 +459,42 @@ int Main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGPIPE, SIG_IGN);
 
+  // Periodic snapshotting runs on its own thread, entirely off the
+  // serving path: it serializes the cache plane (brief shard locks)
+  // and does the durable write+fsync+rename with no request waiting on
+  // it. A failed write (injected or real) leaves the previous snapshot
+  // intact — that is the durable-file contract — so it is logged and
+  // retried next tick.
+  auto write_snapshot = [&]() -> Status {
+    const std::vector<std::string> records =
+        service::BuildSnapshotRecords(snapshot_seq, registry, *caches);
+    DurableWriteStats stats;
+    OLAPDC_RETURN_NOT_OK(WriteDurableFile(snapshot_file, records, &stats));
+    ++snapshot_seq;
+    obs::Count("olapdc.durable.snapshots");
+    return Status::OK();
+  };
+  std::atomic<bool> stop_snapshots{false};
+  std::thread snapshot_thread;
+  if (caches != nullptr && !snapshot_file.empty() &&
+      snapshot_interval_ms > 0) {
+    snapshot_thread = std::thread([&] {
+      auto next_at = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(snapshot_interval_ms);
+      while (!stop_snapshots.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        if (std::chrono::steady_clock::now() < next_at) continue;
+        next_at = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(snapshot_interval_ms);
+        const Status status = write_snapshot();
+        if (!status.ok()) {
+          std::fprintf(stderr, "olapdcd: snapshot failed: %s\n",
+                       status.ToString().c_str());
+        }
+      }
+    });
+  }
+
   // loadgen and the CI smoke parse this line; keep it stable.
   std::printf("olapdcd listening on port %d\n", server.port());
   std::fflush(stdout);
@@ -362,15 +536,47 @@ int Main(int argc, char** argv) {
           std::chrono::steady_clock::now() - drain_start)
           .count();
   server.Stop();
+  stop_snapshots.store(true, std::memory_order_relaxed);
+  if (snapshot_thread.joinable()) snapshot_thread.join();
 
+  // Disarm *before* the final persists: a clean shutdown's durable
+  // state must not be lost to the daemon's own injected faults (the
+  // chaos soaks arm every registered site, including durable.*).
+  if (!fault_sites.empty()) FaultInjector::Global().Disarm();
+
+  // Final persists. A failed persist on a clean drain is a real error:
+  // the operator asked for durable state and is not getting it, so say
+  // so and exit nonzero (tier-1 covers this path with an unwritable
+  // target).
+  bool persist_failed = false;
+  if (caches != nullptr && !snapshot_file.empty()) {
+    const uint64_t saved_seq = snapshot_seq;
+    const Status status = write_snapshot();
+    if (status.ok()) {
+      // The crash harness parses this line; keep it stable.
+      std::printf("olapdcd snapshot saved seq=%llu nogoods=%llu\n",
+                  static_cast<unsigned long long>(saved_seq),
+                  static_cast<unsigned long long>(
+                      caches->NoGoodEntryCount()));
+      std::fflush(stdout);
+    } else {
+      std::fprintf(stderr, "olapdcd: cannot write snapshot %s: %s\n",
+                   snapshot_file.c_str(), status.ToString().c_str());
+      persist_failed = true;
+    }
+  }
   if (caches != nullptr && !nogood_file.empty()) {
     std::ofstream out(nogood_file, std::ios::trunc);
-    if (out) {
-      out << caches->SerializeNoGoods();
-      std::fprintf(stderr, "olapdcd: saved no-good stores to %s\n",
-                   nogood_file.c_str());
-    } else {
+    out << caches->SerializeNoGoods();
+    out.close();
+    // The stream state after close() covers open, write, and flush
+    // failures alike; "saved" is only claimed when all three held.
+    if (out.fail()) {
       std::fprintf(stderr, "olapdcd: cannot write no-good file %s\n",
+                   nogood_file.c_str());
+      persist_failed = true;
+    } else {
+      std::fprintf(stderr, "olapdcd: saved no-good stores to %s\n",
                    nogood_file.c_str());
     }
   }
@@ -385,7 +591,7 @@ int Main(int argc, char** argv) {
                static_cast<unsigned long long>(dim_service.errors()),
                static_cast<unsigned long long>(dim_service.shed()),
                static_cast<unsigned long long>(dim_service.checkpointed()));
-  if (!fault_sites.empty()) FaultInjector::Global().Disarm();
+  if (persist_failed) return static_cast<int>(StatusCode::kInternal);
   return drained ? 0 : 1;
 }
 
